@@ -1,0 +1,103 @@
+// Arrival-process ablation (beyond the paper): the paper models Poisson
+// arrivals; operational traces are burstier.  Same dataset-1 system, same
+// task mix and count, three arrival processes — how much does burstiness
+// reshape the utility/energy front?
+
+#include <iostream>
+
+#include "common.hpp"
+#include "data/historical.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.1).front()) *
+      bench_scale());
+
+  const SystemModel system = historical_system();
+  const TufClassLibrary tufs = standard_tuf_classes(2.0 * 900.0);
+
+  std::cout << "== arrival-process ablation (250 tasks / 15 min, "
+            << generations << " generations each) ==\n";
+
+  struct Variant {
+    ArrivalProcess process;
+    double burst_factor;
+  };
+  const Variant variants[] = {
+      {ArrivalProcess::kPeriodic, 0.0},
+      {ArrivalProcess::kPoisson, 0.0},
+      {ArrivalProcess::kBursty, 8.0},
+      {ArrivalProcess::kBursty, 25.0},
+  };
+
+  // One fixed (type, TUF) sequence; variants differ ONLY in arrival times,
+  // so energy floors and utility bounds stay comparable.
+  Rng base_rng(bench_seed() + 5);
+  TraceConfig base_cfg;
+  base_cfg.num_tasks = 250;
+  base_cfg.window_seconds = 900.0;
+  const Trace base_trace = generate_trace(system, tufs, base_cfg, base_rng);
+
+  AsciiTable table({"arrivals", "interarrival cv", "min energy (MJ)",
+                    "max utility", "% of utility bound", "knee utility/MJ"});
+  std::vector<std::vector<EUPoint>> fronts;
+  for (const auto& variant : variants) {
+    Rng rng(bench_seed() + 9);
+    std::vector<double> times;
+    switch (variant.process) {
+      case ArrivalProcess::kPoisson:
+        times = poisson_arrivals(250, 900.0, rng);
+        break;
+      case ArrivalProcess::kBursty:
+        times = bursty_arrivals(250, 900.0, variant.burst_factor, rng);
+        break;
+      case ArrivalProcess::kPeriodic:
+        times = periodic_arrivals(250, 900.0);
+        break;
+    }
+    std::vector<TaskInstance> tasks = base_trace.tasks();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      tasks[i].arrival = times[i];
+    }
+    const Trace trace(std::move(tasks), tufs);
+
+    const WorkloadAnalysis load = analyze_workload(system, trace);
+    const ObjectiveBounds bounds = compute_bounds(system, trace);
+
+    const UtilityEnergyProblem problem(system, trace);
+    Nsga2 ga(problem, bench::figure_config(bench_seed(), 100));
+    ga.initialize({min_energy_allocation(system, trace),
+                   min_min_completion_time_allocation(system, trace)});
+    ga.iterate(generations);
+
+    const auto front = ga.front_points();
+    fronts.push_back(front);
+    const KneeAnalysis knee = analyze_utility_per_energy(front);
+
+    std::string label = to_string(variant.process);
+    if (variant.process == ArrivalProcess::kBursty) {
+      label += " x" + format_double(variant.burst_factor, 0);
+    }
+    table.add_row(
+        {label, format_double(load.cv_interarrival, 2),
+         format_double(front.front().energy / 1e6, 3),
+         format_double(front.back().utility, 1),
+         format_double(100.0 * front.back().utility /
+                           bounds.utility_upper_contention_free,
+                       1) +
+             "%",
+         format_double(knee.peak_ratio * 1e6, 1)});
+  }
+  std::cout << table.render()
+            << "\nExpected shape: the energy floor is arrival-independent "
+               "(energy ignores\ntiming), but burstier arrivals concentrate "
+               "deadline pressure — queues form\ninside bursts, so the "
+               "achievable utility and the efficiency peak both sag\nas "
+               "interarrival CV grows; periodic arrivals are the easiest "
+               "workload.\n";
+  return 0;
+}

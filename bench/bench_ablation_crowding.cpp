@@ -1,0 +1,68 @@
+// Crowding-distance ablation: §IV-D credits crowding with "a more equally
+// spaced Pareto front".  Runs dataset 1 with the crowding truncation on and
+// off and compares the spread metric (lower = more even) and hypervolume.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.1).front()) *
+      bench_scale());
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  std::cout << "== crowding-distance ablation (dataset 1, " << generations
+            << " generations) ==\n";
+
+  AsciiTable table({"truncation policy", "spread (lower=more even)",
+                    "final HV (x1e9)", "front size", "front width (MJ)"});
+
+  std::vector<std::vector<EUPoint>> fronts;
+  // Several seeds so the comparison is not a single-run fluke.
+  const std::vector<std::uint64_t> seeds = {bench_seed(), bench_seed() + 1,
+                                            bench_seed() + 2};
+  for (const bool use_crowding : {true, false}) {
+    double sum_spread = 0.0, sum_width = 0.0;
+    std::size_t sum_size = 0;
+    std::vector<EUPoint> last;
+    for (const std::uint64_t seed : seeds) {
+      Nsga2Config config = bench::figure_config(seed, 100);
+      config.use_crowding = use_crowding;
+      Nsga2 ga(problem, config);
+      ga.initialize({min_energy_allocation(scenario.system, scenario.trace),
+                     min_min_completion_time_allocation(scenario.system,
+                                                        scenario.trace)});
+      ga.iterate(generations);
+      last = ga.front_points();
+      sum_spread += spread(last);
+      sum_width += (last.back().energy - last.front().energy) / 1e6;
+      sum_size += last.size();
+    }
+    fronts.push_back(last);
+    const auto n = static_cast<double>(seeds.size());
+    table.add_row({use_crowding ? "crowding distance (paper)"
+                                : "ascending-energy truncation",
+                   format_double(sum_spread / n, 3), "-",
+                   std::to_string(sum_size / seeds.size()),
+                   format_double(sum_width / n, 3)});
+  }
+
+  const EUPoint ref = enclosing_reference(fronts);
+  // Fill in the HV column using the last run of each policy.
+  std::cout << table.render();
+  std::cout << "final-run hypervolumes: crowding="
+            << hypervolume(fronts[0], ref) / 1e9
+            << "e9, no-crowding=" << hypervolume(fronts[1], ref) / 1e9
+            << "e9\n"
+            << "\nExpected shape: without crowding the kept solutions pile "
+               "up at the\nlow-energy end (ascending-energy truncation), "
+               "shrinking front width and\nevenness — the paper's rationale "
+               "for Algorithm 1 step 10.\n";
+  return 0;
+}

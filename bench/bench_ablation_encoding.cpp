@@ -1,0 +1,59 @@
+// Encoding ablation (DESIGN.md): the paper's segment crossover swaps global
+// scheduling orders between chromosomes, which can duplicate order values
+// within one chromosome.  We treat orders as priorities with stable
+// tie-breaks; the alternative repairs every offspring back to a strict
+// permutation.  This bench compares the two readings.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.1).front()) *
+      bench_scale());
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  std::cout << "== scheduling-order encoding ablation (dataset 1, "
+            << generations << " generations) ==\n";
+
+  AsciiTable table({"encoding", "final HV (x1e9)", "max utility",
+                    "min energy (MJ)", "wall time (s)"});
+
+  std::vector<std::vector<EUPoint>> fronts;
+  std::vector<double> times;
+  for (const bool repair : {false, true}) {
+    Nsga2Config config = bench::figure_config(bench_seed(), 100);
+    config.repair_order_permutation = repair;
+    Nsga2 ga(problem, config);
+    ga.initialize({min_min_completion_time_allocation(scenario.system,
+                                                      scenario.trace)});
+    Stopwatch timer;
+    ga.iterate(generations);
+    times.push_back(timer.seconds());
+    fronts.push_back(ga.front_points());
+  }
+
+  const EUPoint ref = enclosing_reference(fronts);
+  const char* names[] = {"priority semantics (library default)",
+                         "repair to strict permutation"};
+  for (std::size_t i = 0; i < fronts.size(); ++i) {
+    table.add_row({names[i],
+                   format_double(hypervolume(fronts[i], ref) / 1e9, 3),
+                   format_double(fronts[i].back().utility, 1),
+                   format_double(fronts[i].front().energy / 1e6, 3),
+                   format_double(times[i], 2)});
+  }
+  std::cout << table.render()
+            << "\nBoth encodings evaluate identically (the evaluator breaks "
+               "order ties by\ntask index); repair costs an extra O(T log T) "
+               "per offspring and mainly\naffects how mutations redistribute "
+               "priorities.  Similar fronts here mean\nthe paper's encoding "
+               "ambiguity is benign.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Idle-power ablation (beyond the paper): the paper's energy model (Eq. 3)
+// bills busy energy only, so minimizing energy never cares how many
+// machines are powered or how long they sit waiting.  Real suites draw
+// idle power; this bench adds per-type idle wattage (as a fraction of each
+// type's mean busy power) and shows how the front and the min-energy
+// allocation's structure change.
+
+#include <iostream>
+#include <set>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.1).front()) *
+      bench_scale());
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const SystemModel& sys = scenario.system;
+
+  std::cout << "== idle-power ablation (dataset 1, " << generations
+            << " generations each) ==\n";
+
+  // Idle watts per machine type = fraction x that type's mean busy power.
+  const auto idle_table = [&](double fraction) {
+    std::vector<double> watts(sys.num_machine_types(), 0.0);
+    for (std::size_t ty = 0; ty < sys.num_machine_types(); ++ty) {
+      double mean = 0.0;
+      std::size_t n = 0;
+      for (std::size_t t = 0; t < sys.num_task_types(); ++t) {
+        if (sys.eligible_type(t, ty)) {
+          mean += sys.epc()(t, ty);
+          ++n;
+        }
+      }
+      watts[ty] = fraction * mean / static_cast<double>(n);
+    }
+    return watts;
+  };
+
+  AsciiTable table({"idle power", "min energy (MJ)", "machines @ floor",
+                    "max utility", "idle share @ max-utility",
+                    "machines @ max-utility"});
+  for (const double fraction : {0.0, 0.2, 0.4}) {
+    EvaluatorOptions opts;
+    if (fraction > 0.0) opts.idle_watts = idle_table(fraction);
+    const UtilityEnergyProblem problem(scenario.system, scenario.trace, opts);
+
+    Nsga2 ga(problem, bench::figure_config(bench_seed(), 100));
+    ga.initialize({min_energy_allocation(scenario.system, scenario.trace),
+                   min_min_completion_time_allocation(scenario.system,
+                                                      scenario.trace)});
+    ga.iterate(generations);
+
+    const auto front = ga.front();
+    const Individual& floor = front.front();
+    const Individual& top = front.back();
+    const Evaluation top_detail = problem.evaluator().evaluate(top.genome);
+    std::set<int> floor_used(floor.genome.machine.begin(),
+                             floor.genome.machine.end());
+    std::set<int> top_used(top.genome.machine.begin(),
+                           top.genome.machine.end());
+    table.add_row(
+        {fraction == 0.0 ? "none (paper model)"
+                         : format_double(100.0 * fraction, 0) + "% of busy",
+         format_double(floor.objectives.energy / 1e6, 3),
+         std::to_string(floor_used.size()),
+         format_double(top.objectives.utility, 1),
+         format_double(100.0 * top_detail.idle_energy /
+                           std::max(top_detail.energy, 1e-9),
+                       1) +
+             "%",
+         std::to_string(top_used.size())});
+  }
+  std::cout << table.render()
+            << "\nExpected shape: the min-energy floor barely moves (its "
+               "back-to-back queues\non the two cheapest machines have no "
+               "gaps to bill), but the utility end —\nwhich spreads work "
+               "across the whole suite with arrival-wait gaps — now\npays "
+               "an idle surcharge, squeezing the front from the right and "
+               "lowering\nachievable utility per joule.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Mutation-probability ablation: the paper only says the probability was
+// "selected by experimentation" — this bench *is* that experimentation.
+// Sweeps the per-offspring mutation rate on dataset 1 at a fixed generation
+// budget and reports final front quality.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.1).front()) *
+      bench_scale());
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  std::cout << "== mutation-probability ablation (dataset 1, " << generations
+            << " generations, min-energy seeded) ==\n";
+
+  const std::vector<double> rates = {0.0, 0.05, 0.15, 0.25, 0.5, 0.8, 1.0};
+  std::vector<std::vector<EUPoint>> fronts;
+
+  Stopwatch timer;
+  for (const double rate : rates) {
+    Nsga2Config config = bench::figure_config(bench_seed(), 100);
+    config.mutation_probability = rate;
+    Nsga2 ga(problem, config);
+    ga.initialize({min_energy_allocation(scenario.system, scenario.trace)});
+    ga.iterate(generations);
+    fronts.push_back(ga.front_points());
+    std::cout << "  rate " << rate << " done @ " << timer.seconds() << "s\n";
+  }
+
+  const EUPoint ref = enclosing_reference(fronts);
+  AsciiTable table({"mutation probability", "final HV (x1e9)", "front size",
+                    "max utility", "spread"});
+  double best_hv = 0.0;
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double hv = hypervolume(fronts[i], ref);
+    if (hv > best_hv) {
+      best_hv = hv;
+      best_idx = i;
+    }
+    table.add_row({format_double(rates[i], 2), format_double(hv / 1e9, 3),
+                   std::to_string(fronts[i].size()),
+                   format_double(fronts[i].back().utility, 1),
+                   format_double(spread(fronts[i]), 3)});
+  }
+  std::cout << table.render()
+            << "\nbest rate in this sweep: " << rates[best_idx]
+            << " (the library default is 0.25)\n"
+            << "Expected shape: zero mutation stalls (crossover alone "
+               "cannot introduce new\nmachine assignments), while very high "
+               "rates degrade convergence — a hump.\n";
+  return 0;
+}

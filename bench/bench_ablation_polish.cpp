@@ -1,0 +1,79 @@
+// Memetic-polish ablation (beyond the paper): spend a slice of the budget
+// hill-climbing the final front instead of evolving longer.  Compares
+// "GA only" against "GA (90% budget) + polish_front (10% budget)" at equal
+// total fitness evaluations.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/local_search.hpp"
+#include "pareto/front.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto budget = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({1000000}, 0.1).front()) *
+      bench_scale());  // total offspring evaluations
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  std::cout << "== memetic-polish ablation (dataset 1, ~" << budget
+            << " evaluations per variant) ==\n";
+
+  const auto run_ga = [&](std::size_t generations) {
+    Nsga2 ga(problem, bench::figure_config(bench_seed(), 100));
+    ga.initialize({min_energy_allocation(scenario.system, scenario.trace),
+                   min_min_completion_time_allocation(scenario.system,
+                                                      scenario.trace)});
+    ga.iterate(generations);
+    return ga.front();
+  };
+
+  // Variant A: pure GA for the whole budget (100 evals per generation).
+  const auto pure = run_ga(budget / 100);
+  std::vector<EUPoint> pure_points;
+  for (const auto& ind : pure) pure_points.push_back(ind.objectives);
+
+  // Variant B: GA for 90%, then polish the front with the remaining 10%.
+  const auto evolved = run_ga(budget * 9 / 10 / 100);
+  std::vector<Allocation> genomes;
+  std::vector<EUPoint> polished_points;
+  for (const auto& ind : evolved) {
+    genomes.push_back(ind.genome);
+    polished_points.push_back(ind.objectives);
+  }
+  Rng rng(bench_seed() + 1);
+  const std::size_t per_member =
+      genomes.empty() ? 0 : (budget / 10) / genomes.size();
+  const auto polished =
+      polish_front(problem, genomes, std::max<std::size_t>(per_member, 2),
+                   rng);
+  for (const auto& r : polished) polished_points.push_back(r.objectives);
+
+  const EUPoint ref = enclosing_reference({pure_points, polished_points});
+  std::size_t improvements = 0;
+  for (const auto& r : polished) improvements += r.improvements;
+
+  AsciiTable table({"variant", "HV (x1e9)", "min energy (MJ)",
+                    "max utility"});
+  const auto add = [&](const char* name, const std::vector<EUPoint>& pts) {
+    const auto front = pareto_front(pts);
+    table.add_row({name, format_double(hypervolume(front, ref) / 1e9, 4),
+                   format_double(front.front().energy / 1e6, 3),
+                   format_double(front.back().utility, 1)});
+  };
+  add("pure GA (100% budget)", pure_points);
+  add("GA 90% + polish 10%", polished_points);
+  std::cout << table.render()
+            << "local-search improvements applied: " << improvements << '\n'
+            << "\nExpected shape: near a wash on hypervolume — crossover "
+               "and mutation are\nalready strong local movers for this "
+               "encoding — with polish typically\nbuying a slightly better "
+               "utility extreme.  The interesting negative result:\nmemetic "
+               "refinement is NOT an easy win here, supporting the paper's "
+               "choice\nof a plain NSGA-II.\n";
+  return 0;
+}

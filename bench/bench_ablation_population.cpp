@@ -1,0 +1,52 @@
+// Population-size ablation at a fixed *evaluation* budget: a bigger
+// population holds a wider front per generation but evolves fewer
+// generations for the same cost.  The paper fixes N=100; this shows the
+// trade-off around that choice.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto budget = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({1000000}, 0.1).front()) *
+      bench_scale());  // total offspring evaluations
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  std::cout << "== population-size ablation (dataset 1, ~" << budget
+            << " offspring evaluations each) ==\n";
+
+  const std::vector<std::size_t> sizes = {20, 50, 100, 200, 400};
+  std::vector<std::vector<EUPoint>> fronts;
+
+  AsciiTable table({"population N", "generations", "front size",
+                    "final HV (x1e9)", "spread"});
+  for (const std::size_t n : sizes) {
+    const std::size_t generations = std::max<std::size_t>(1, budget / n);
+    Nsga2Config config = bench::figure_config(bench_seed(), n);
+    Nsga2 ga(problem, config);
+    ga.initialize({min_energy_allocation(scenario.system, scenario.trace)});
+    ga.iterate(generations);
+    fronts.push_back(ga.front_points());
+    table.add_row({std::to_string(n), std::to_string(generations),
+                   std::to_string(fronts.back().size()), "-",
+                   format_double(spread(fronts.back()), 3)});
+  }
+
+  const EUPoint ref = enclosing_reference(fronts);
+  std::cout << table.render() << "hypervolumes (x1e9): ";
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::cout << sizes[i] << "->"
+              << format_double(hypervolume(fronts[i], ref) / 1e9, 3) << ' ';
+  }
+  std::cout << "\n\nExpected shape: tiny populations converge fast but hold "
+               "narrow fronts;\nvery large ones spend the budget before "
+               "converging.  N=100 (the paper's\nchoice) sits near the "
+               "sweet spot at these budgets.\n";
+  return 0;
+}

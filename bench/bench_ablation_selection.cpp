@@ -1,0 +1,77 @@
+// Selection-operator ablation: the paper picks crossover parents uniformly
+// at random (§IV-D), while Deb's original NSGA-II uses binary tournaments
+// by crowded comparison.  Tournament pressure usually speeds convergence;
+// uniform selection preserves diversity.  Measured on dataset 1.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto checkpoints = scaled_checkpoints(
+      {100, 1000, 10000}, 0.1 * bench_scale());
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  std::cout << "== selection-operator ablation (dataset 1, checkpoints ";
+  for (const auto c : checkpoints) std::cout << c << ' ';
+  std::cout << ") ==\n";
+
+  struct Variant {
+    const char* name;
+    SelectionMode mode;
+  };
+  const Variant variants[] = {
+      {"uniform random (paper)", SelectionMode::kUniform},
+      {"crowded binary tournament (Deb)", SelectionMode::kCrowdedTournament},
+  };
+
+  std::vector<std::vector<std::vector<EUPoint>>> results;  // [variant][ckpt]
+  for (const auto& variant : variants) {
+    Nsga2Config config = bench::figure_config(bench_seed(), 100);
+    config.selection = variant.mode;
+    Nsga2 ga(problem, config);
+    ga.initialize({min_energy_allocation(scenario.system, scenario.trace)});
+    std::vector<std::vector<EUPoint>> per_ckpt;
+    std::size_t done = 0;
+    for (const std::size_t target : checkpoints) {
+      ga.iterate(target - done);
+      done = target;
+      per_ckpt.push_back(ga.front_points());
+    }
+    results.push_back(std::move(per_ckpt));
+  }
+
+  std::vector<std::vector<EUPoint>> all;
+  for (const auto& variant : results) {
+    for (const auto& f : variant) all.push_back(f);
+  }
+  const EUPoint ref = enclosing_reference(all);
+
+  AsciiTable table({"selection", "HV @" + std::to_string(checkpoints[0]),
+                    "HV @" + std::to_string(checkpoints[1]),
+                    "HV @" + std::to_string(checkpoints[2]),
+                    "final spread"});
+  for (std::size_t v = 0; v < results.size(); ++v) {
+    std::vector<std::string> row = {variants[v].name};
+    for (const auto& front : results[v]) {
+      row.push_back(format_double(hypervolume(front, ref) / 1e9, 3));
+    }
+    row.push_back(format_double(spread(results[v].back()), 3));
+    table.add_row(row);
+  }
+  std::cout << table.render()
+            << "mutual final coverage: C(uniform, tournament) = "
+            << coverage(results[0].back(), results[1].back())
+            << ", C(tournament, uniform) = "
+            << coverage(results[1].back(), results[0].back()) << '\n'
+            << "\nExpected shape: tournament converges faster at early "
+               "checkpoints; by the\nlate checkpoint the two meet — "
+               "consistent with the paper getting away\nwith plain uniform "
+               "selection.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Baseline cross-check: the predecessor bi-objective problem of the
+// paper's ref [3] (Friese et al., INFOCOMP 2012) — minimize makespan and
+// energy — run through the same NSGA-II machinery.  Confirms the MOEA is
+// not specific to the utility objective, and reproduces [3]'s qualitative
+// result that "spending more energy may allow a system to complete all the
+// tasks within a batch sooner".
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.1).front()) *
+      bench_scale());
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const MakespanEnergyProblem problem(scenario.system, scenario.trace);
+
+  std::cout << "== baseline: makespan vs energy (ref [3] problem, dataset 1, "
+            << generations << " generations) ==\n";
+
+  Nsga2 ga(problem, bench::figure_config(bench_seed(), 100));
+  ga.initialize({min_energy_allocation(scenario.system, scenario.trace),
+                 min_min_completion_time_allocation(scenario.system,
+                                                    scenario.trace)});
+  Stopwatch timer;
+  ga.iterate(generations);
+  std::cout << "evolved in " << timer.seconds() << " s\n";
+
+  const auto front = ga.front_points();  // utility == -makespan
+  PlotSeries s{"makespan-energy front", '*', {}, {}};
+  for (const auto& p : front) {
+    s.x.push_back(p.energy / 1e6);
+    s.y.push_back(-p.utility);  // back to seconds
+  }
+  PlotOptions opts;
+  opts.title = "\nenergy vs makespan (good = lower left)";
+  opts.x_label = "energy (MJ)";
+  opts.y_label = "makespan (s)";
+  std::cout << render_scatter({s}, opts);
+
+  AsciiTable table({"end of front", "energy (MJ)", "makespan (s)"});
+  table.add_row({"cheapest", format_double(front.front().energy / 1e6, 3),
+                 format_double(-front.front().utility, 1)});
+  table.add_row({"fastest", format_double(front.back().energy / 1e6, 3),
+                 format_double(-front.back().utility, 1)});
+  std::cout << table.render();
+
+  const double makespan_gain =
+      -front.back().utility > 0.0
+          ? (-front.front().utility) / (-front.back().utility)
+          : 0.0;
+  const double energy_cost = front.back().energy / front.front().energy;
+  std::cout << "\nfastest schedule is " << format_double(makespan_gain, 2)
+            << "x quicker than the cheapest, for "
+            << format_double(energy_cost, 2)
+            << "x the energy — the [3] trade-off, reproduced.\n"
+            << "\nCSV energy_J,makespan_s\n";
+  CsvWriter csv(std::cout);
+  for (const auto& p : front) {
+    csv.write_row({format_double(p.energy, 1), format_double(-p.utility, 2)});
+  }
+  std::cout << "END CSV\n";
+  return 0;
+}

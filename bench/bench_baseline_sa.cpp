@@ -1,0 +1,81 @@
+// §II made measurable: the weighted-sum simulated-annealing baseline (the
+// paper's ref-[8] style of solver) vs one NSGA-II run at the SAME total
+// fitness-evaluation budget.  SA must split the budget across a weight
+// sweep and still yields one point per weight; the NSGA-II spends it once
+// and returns a full front.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/simulated_annealing.hpp"
+#include "pareto/front.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto budget = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({1000000}, 0.1).front()) *
+      bench_scale());
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  std::cout << "== weighted-sum SA baseline vs NSGA-II (dataset 1, "
+            << budget << " evaluations each) ==\n";
+
+  // NSGA-II: one run, whole budget.
+  Nsga2 ga(problem, bench::figure_config(bench_seed(), 100));
+  ga.initialize({min_energy_allocation(scenario.system, scenario.trace)});
+  ga.iterate(budget / 100);
+  const auto ga_front = ga.front_points();
+
+  // SA: eleven weights, budget split evenly.
+  std::vector<double> lambdas;
+  for (int k = 0; k <= 10; ++k) lambdas.push_back(k / 10.0);
+  Rng rng(bench_seed() + 17);
+  const auto sa_results = weighted_sum_sweep(problem, lambdas, budget, rng);
+  std::vector<EUPoint> sa_points;
+  for (const auto& r : sa_results) sa_points.push_back(r.objectives);
+  const auto sa_front = pareto_front(sa_points);
+
+  // Overlay.
+  std::vector<PlotSeries> series;
+  PlotSeries sg{"NSGA-II front (one run)", '*', {}, {}};
+  for (const auto& p : ga_front) {
+    sg.x.push_back(p.energy / 1e6);
+    sg.y.push_back(p.utility);
+  }
+  PlotSeries ss{"SA best-per-weight (11 runs)", 'S', {}, {}};
+  for (const auto& p : sa_points) {
+    ss.x.push_back(p.energy / 1e6);
+    ss.y.push_back(p.utility);
+  }
+  series.push_back(std::move(sg));
+  series.push_back(std::move(ss));
+  PlotOptions opts;
+  opts.x_label = "energy (MJ)";
+  opts.y_label = "utility";
+  std::cout << render_scatter(series, opts);
+
+  const EUPoint ref = enclosing_reference({ga_front, sa_points});
+  AsciiTable table({"solver", "solutions", "nondominated", "HV (x1e9)",
+                    "covered by the other"});
+  table.add_row({"NSGA-II (one run)", std::to_string(ga_front.size()),
+                 std::to_string(ga_front.size()),
+                 format_double(hypervolume(ga_front, ref) / 1e9, 3),
+                 format_double(coverage(sa_front, ga_front), 2)});
+  table.add_row({"weighted-sum SA (11 runs)",
+                 std::to_string(sa_points.size()),
+                 std::to_string(sa_front.size()),
+                 format_double(hypervolume(sa_front, ref) / 1e9, 3),
+                 format_double(coverage(ga_front, sa_front), 2)});
+  std::cout << table.render()
+            << "\nExpected shape (the paper's §II argument, quantified): at "
+               "equal budget the\nNSGA-II front carries ~10x more "
+               "nondominated solutions, larger hypervolume,\nand covers "
+               "most of the SA points — a weight sweep pays the whole "
+               "budget per\npoint and still leaves the front's interior "
+               "unexplored.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Convergence curves: hypervolume vs generation for seeded and random
+// populations on dataset 1 — the continuous version of Figures 3/4/6's
+// four-checkpoint snapshots, built on the per-generation observer.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "pareto/archive.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.1).front()) *
+      bench_scale());
+  const std::size_t samples = 24;
+  const std::size_t stride = std::max<std::size_t>(1, generations / samples);
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  std::cout << "== convergence curves (dataset 1, " << generations
+            << " generations, sampled every " << stride << ") ==\n";
+
+  struct Curve {
+    std::string name;
+    char marker;
+    std::vector<std::size_t> gens;
+    std::vector<std::vector<EUPoint>> fronts;
+  };
+  std::vector<Curve> curves;
+
+  const std::vector<PopulationSpec> specs = {
+      {"min-energy seed", 'd', {SeedHeuristic::kMinEnergy}},
+      {"min-min seed", 's', {SeedHeuristic::kMinMinCompletionTime}},
+      {"random", '*', {}},
+  };
+
+  for (const auto& spec : specs) {
+    Nsga2Config config = bench::figure_config(bench_seed(), 100);
+    Nsga2 ga(problem, config);
+    std::vector<Allocation> seeds;
+    for (const SeedHeuristic h : spec.seeds) {
+      seeds.push_back(make_seed(h, scenario.system, scenario.trace));
+    }
+    ga.initialize(seeds);
+
+    Curve curve{spec.name, spec.marker, {}, {}};
+    curve.gens.push_back(0);
+    curve.fronts.push_back(ga.front_points());
+    ga.set_observer([&](std::size_t gen, const std::vector<Individual>& pop) {
+      if (gen % stride != 0 && gen != generations) return;
+      std::vector<EUPoint> front;
+      for (const auto& ind : pop) {
+        if (ind.rank == 0) front.push_back(ind.objectives);
+      }
+      curve.gens.push_back(gen);
+      curve.fronts.push_back(std::move(front));
+    });
+    ga.iterate(generations);
+    curves.push_back(std::move(curve));
+  }
+
+  // Shared reference for comparable hypervolumes.
+  std::vector<std::vector<EUPoint>> all;
+  for (const auto& c : curves) {
+    for (const auto& f : c.fronts) all.push_back(f);
+  }
+  const EUPoint ref = enclosing_reference(all);
+
+  double best = 0.0;
+  for (const auto& c : curves) {
+    best = std::max(best, hypervolume(c.fronts.back(), ref));
+  }
+
+  std::vector<PlotSeries> series;
+  for (const auto& c : curves) {
+    PlotSeries s{c.name, c.marker, {}, {}};
+    for (std::size_t k = 0; k < c.gens.size(); ++k) {
+      s.x.push_back(static_cast<double>(c.gens[k]));
+      s.y.push_back(hypervolume(c.fronts[k], ref) / best);
+    }
+    series.push_back(std::move(s));
+  }
+  PlotOptions opts;
+  opts.title = "normalized hypervolume vs generation";
+  opts.x_label = "generation";
+  opts.y_label = "HV / best-final";
+  std::cout << render_scatter(series, opts);
+
+  std::cout << "\nCSV population,generation,normalized_hv\n";
+  CsvWriter csv(std::cout);
+  for (std::size_t ci = 0; ci < curves.size(); ++ci) {
+    for (std::size_t k = 0; k < curves[ci].gens.size(); ++k) {
+      csv.write_row({curves[ci].name, std::to_string(curves[ci].gens[k]),
+                     format_double(series[ci].y[k], 4)});
+    }
+  }
+  std::cout << "END CSV\n"
+            << "\nExpected shape: the seeded curves start higher (their "
+               "seed anchors useful\nregions immediately) and the random "
+               "curve needs a burn-in before the\nthree converge — the "
+               "continuous view of the paper's checkpoint story.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 1: a sample task time-utility function, with the paper's two
+// called-out evaluations (t=20 -> 12 utility, t=47 -> 7 utility), rendered
+// as an ASCII curve and a value table.
+
+#include <iostream>
+
+#include "tuf/builder.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const TimeUtilityFunction f = make_figure1_tuf();
+
+  std::cout << "== Figure 1 — task time-utility function ==\n";
+  PlotSeries curve{"utility(t)", '*', {}, {}};
+  for (double t = 0.0; t <= 90.0; t += 0.5) {
+    curve.x.push_back(t);
+    curve.y.push_back(f.value(t));
+  }
+  PlotSeries callouts{"paper call-outs (t=20, t=47)", 'X',
+                      {20.0, 47.0}, {f.value(20.0), f.value(47.0)}};
+  PlotOptions opts;
+  opts.x_label = "completion time";
+  opts.y_label = "utility earned";
+  std::cout << render_scatter({curve, callouts}, opts);
+
+  std::cout << "\nvalues at selected completion times:\n";
+  AsciiTable table({"completion time", "utility earned"});
+  for (const double t : {0.0, 10.0, 20.0, 30.0, 47.0, 64.0, 79.0, 80.0, 90.0}) {
+    table.add_row({format_double(t, 0), format_double(f.value(t), 2)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\npaper check: value(20) = " << f.value(20.0)
+            << " (expected 12), value(47) = " << f.value(47.0)
+            << " (expected 7)\n"
+            << "monotonically decreasing: "
+            << [&] {
+                 double prev = f.value(0.0);
+                 for (double t = 0.0; t <= 100.0; t += 0.1) {
+                   if (f.value(t) > prev + 1e-12) return "NO";
+                   prev = f.value(t);
+                 }
+                 return "yes";
+               }()
+            << ", priority (max utility): " << f.priority()
+            << ", worthless after t = 80\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 3: Pareto fronts of total energy consumed vs total utility earned
+// for the real historical data set (dataset 1), five seeded initial
+// populations, through 100 / 1,000 / 10,000 / 100,000 NSGA-II iterations.
+//
+// Expected shape (paper §VI): distinct per-seed fronts early; convergence
+// of all populations (including all-random) to a common front late; an
+// interior utility-per-energy peak region on the converged front.
+
+#include "common.hpp"
+
+int main() {
+  using namespace eus;
+  bench::FigureSpec spec;
+  spec.figure = "Figure 3";
+  spec.paper_iters = {100, 1000, 10000, 100000};
+  spec.default_scale = 0.1;  // 10 / 100 / 1,000 / 10,000 by default
+  const Scenario scenario = make_dataset1(bench_seed());
+  (void)bench::run_figure(spec, scenario);
+  return 0;
+}

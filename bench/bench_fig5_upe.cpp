@@ -1,0 +1,101 @@
+// Figure 5: locating the maximum utility-per-energy region.  Subplot A is
+// the final Pareto front of the max-utility-per-energy-seeded population on
+// dataset 2; subplot B plots utility/energy vs utility; subplot C plots
+// utility/energy vs energy.  The shared peak of B and C identifies the
+// circled region on A.
+
+#include <algorithm>
+
+#include "common.hpp"
+
+int main() {
+  using namespace eus;
+
+  const double scale = 0.005 * bench_scale();
+  const std::size_t iterations =
+      scaled_checkpoints({1000000}, scale).front();
+
+  const Scenario scenario = make_dataset2(bench_seed());
+  std::cout << "== Figure 5 — utility-per-energy analysis ("
+            << scenario.name << ") ==\n"
+            << "evolving the max-utility-per-energy-seeded population for "
+            << iterations << " iterations (EUS_SCALE rescales)...\n";
+
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+  Nsga2 ga(problem, bench::figure_config(bench_seed(), 100));
+  ga.initialize({max_utility_per_energy_allocation(scenario.system,
+                                                   scenario.trace)});
+  Stopwatch timer;
+  ga.iterate(iterations);
+  std::cout << "done in " << timer.seconds() << " s\n";
+
+  const auto front = ga.front_points();
+  const KneeAnalysis knee = analyze_utility_per_energy(front);
+
+  // Subplot A: the front, with the efficient region marked.
+  std::vector<PlotSeries> a_series;
+  PlotSeries front_series{"Pareto front", '*', {}, {}};
+  PlotSeries region_series{"max utility-per-energy region", 'O', {}, {}};
+  for (std::size_t i = 0; i < knee.front.size(); ++i) {
+    front_series.x.push_back(knee.front[i].energy / 1e6);
+    front_series.y.push_back(knee.front[i].utility);
+  }
+  for (const std::size_t i : knee.region) {
+    region_series.x.push_back(knee.front[i].energy / 1e6);
+    region_series.y.push_back(knee.front[i].utility);
+  }
+  a_series.push_back(std::move(front_series));
+  a_series.push_back(std::move(region_series));
+  PlotOptions a_opts;
+  a_opts.title = "\nsubplot A — Pareto front with circled region";
+  a_opts.x_label = "energy (MJ)";
+  a_opts.y_label = "utility";
+  std::cout << render_scatter(a_series, a_opts);
+
+  // Subplot B: utility-per-energy vs utility.
+  PlotSeries b{"U/E vs utility", '*', {}, {}};
+  for (std::size_t i = 0; i < knee.front.size(); ++i) {
+    b.x.push_back(knee.front[i].utility);
+    b.y.push_back(knee.ratio[i] * 1e6);
+  }
+  PlotOptions b_opts;
+  b_opts.title = "\nsubplot B — utility earned per energy spent vs utility";
+  b_opts.x_label = "utility";
+  b_opts.y_label = "utility per MJ";
+  std::cout << render_scatter({b}, b_opts);
+
+  // Subplot C: utility-per-energy vs energy.
+  PlotSeries c{"U/E vs energy", '*', {}, {}};
+  for (std::size_t i = 0; i < knee.front.size(); ++i) {
+    c.x.push_back(knee.front[i].energy / 1e6);
+    c.y.push_back(knee.ratio[i] * 1e6);
+  }
+  PlotOptions c_opts;
+  c_opts.title = "\nsubplot C — utility earned per energy spent vs energy";
+  c_opts.x_label = "energy (MJ)";
+  c_opts.y_label = "utility per MJ";
+  std::cout << render_scatter({c}, c_opts);
+
+  std::cout << "\npeak utility-per-energy: " << knee.peak_ratio * 1e6
+            << " utility/MJ\n"
+            << "solid-line (subplot B) utility value:  " << knee.peak.utility
+            << '\n'
+            << "dashed-line (subplot C) energy value:  "
+            << knee.peak.energy / 1e6 << " MJ\n"
+            << "region size (within 2% of peak): " << knee.region.size()
+            << " allocations\n";
+
+  std::cout << "\nCSV energy_J,utility,utility_per_J,in_region\n";
+  CsvWriter csv(std::cout);
+  for (std::size_t i = 0; i < knee.front.size(); ++i) {
+    const bool in_region =
+        std::find(knee.region.begin(), knee.region.end(), i) !=
+        knee.region.end();
+    csv.write_row({format_double(knee.front[i].energy, 1),
+                   format_double(knee.front[i].utility, 3),
+                   format_double(knee.ratio[i], 9),
+                   in_region ? "1" : "0"});
+  }
+  std::cout << "END CSV\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Heterogeneity-class study (extends the paper via its ref [15]): the same
+// bi-objective analysis on the four canonical CVB ETC classes —
+// {high,low} task heterogeneity x {high,low} machine heterogeneity.
+// Machine heterogeneity is what creates room to trade energy for utility:
+// with homogeneous machines (lo machine CV) every mapping costs roughly
+// the same, so fronts collapse; with high machine CV the front widens.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "synth/etc_generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.1).front()) *
+      bench_scale());
+
+  std::cout << "== heterogeneity-class study (CVB ETC/EPC, 20 task types x "
+               "12 machines, 250 tasks, " << generations
+            << " generations) ==\n";
+
+  Rng master(bench_seed());
+  AsciiTable table({"class", "machine het.", "task het.",
+                    "front width (energy max/min)", "front height "
+                    "(utility max/min)", "U/E peak ratio"});
+
+  for (const HeterogeneityClass cls :
+       {HeterogeneityClass::kHiHi, HeterogeneityClass::kHiLo,
+        HeterogeneityClass::kLoHi, HeterogeneityClass::kLoLo}) {
+    Rng rng = master.split();
+    const Matrix etc = cvb_etc_for_class(cls, 20, 12, 120.0, rng);
+    // EPC from the same class at wattage scale; energy heterogeneity
+    // mirrors execution heterogeneity.
+    const Matrix epc = cvb_etc_for_class(cls, 20, 12, 140.0, rng);
+    const EtcHeterogeneity het = measure_heterogeneity(etc);
+
+    std::vector<TaskType> tasks;
+    for (std::size_t t = 0; t < 20; ++t) {
+      tasks.push_back({"t" + std::to_string(t), Category::kGeneral, -1});
+    }
+    std::vector<MachineType> types;
+    std::vector<Machine> machines;
+    for (std::size_t m = 0; m < 12; ++m) {
+      types.push_back({"m" + std::to_string(m), Category::kGeneral});
+      machines.push_back({static_cast<int>(m), "m" + std::to_string(m)});
+    }
+    SystemModel system(std::move(tasks), std::move(types),
+                       std::move(machines), etc, epc);
+
+    const Scenario scenario = make_custom_scenario(
+        to_string(cls), std::move(system), 250, 900.0, master.split()());
+    const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+    Nsga2 ga(problem, bench::figure_config(bench_seed(), 100));
+    ga.initialize({min_energy_allocation(scenario.system, scenario.trace),
+                   min_min_completion_time_allocation(scenario.system,
+                                                      scenario.trace)});
+    ga.iterate(generations);
+    const auto front = ga.front_points();
+    const KneeAnalysis knee = analyze_utility_per_energy(front);
+
+    table.add_row(
+        {to_string(cls), format_double(het.machine_heterogeneity, 3),
+         format_double(het.task_heterogeneity, 3),
+         format_double(front.back().energy / front.front().energy, 3),
+         front.front().utility > 0.0
+             ? format_double(front.back().utility / front.front().utility, 3)
+             : "inf",
+         format_double(knee.peak_ratio * 1e6, 1)});
+  }
+  std::cout << table.render()
+            << "\nExpected shape: hi machine heterogeneity (hi-hi, lo-hi) "
+               "yields wide fronts\n(large max/min energy ratios) — real "
+               "trade-offs to analyze; lo machine\nheterogeneity collapses "
+               "the front toward a point, regardless of task\n"
+               "heterogeneity.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Load sweep (beyond the paper): how the trade-off space deforms as the
+// offered load grows.  Sweeps the dataset-1 system from a lightly loaded
+// trace to heavy overload (the paper's 250-task regime and beyond) and
+// tracks front geometry, utility-bound attainment, and the knee.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "data/historical.hpp"
+#include "sched/bounds.hpp"
+#include "util/table.hpp"
+#include "workload/analysis.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.05).front()) *
+      bench_scale());
+
+  const SystemModel system = historical_system();
+  const TufClassLibrary tufs = standard_tuf_classes(2.0 * 900.0);
+
+  std::cout << "== load sweep (dataset-1 system, 15-minute window, "
+            << generations << " generations each) ==\n";
+
+  AsciiTable table({"tasks", "offered load", "% utility bound @ max-U",
+                    "front width (MJ)", "knee utility/MJ",
+                    "knee energy position"});
+
+  for (const std::size_t tasks : {50UL, 125UL, 250UL, 500UL, 1000UL}) {
+    Rng rng(bench_seed() + tasks);
+    TraceConfig cfg;
+    cfg.num_tasks = tasks;
+    cfg.window_seconds = 900.0;
+    const Trace trace = generate_trace(system, tufs, cfg, rng);
+
+    const WorkloadAnalysis load = analyze_workload(system, trace);
+    const ObjectiveBounds bounds = compute_bounds(system, trace);
+
+    const UtilityEnergyProblem problem(system, trace);
+    Nsga2 ga(problem, bench::figure_config(bench_seed(), 100));
+    ga.initialize({min_energy_allocation(system, trace),
+                   min_min_completion_time_allocation(system, trace)});
+    ga.iterate(generations);
+
+    const auto front = ga.front_points();
+    const KneeAnalysis knee = analyze_utility_per_energy(front);
+    const double width = (front.back().energy - front.front().energy) / 1e6;
+    const double knee_pos =
+        front.back().energy > front.front().energy
+            ? (knee.peak.energy - front.front().energy) /
+                  (front.back().energy - front.front().energy)
+            : 0.0;
+    table.add_row(
+        {std::to_string(tasks), format_double(load.offered_load, 2),
+         format_double(100.0 * front.back().utility /
+                           bounds.utility_upper_contention_free,
+                       1) +
+             "%",
+         format_double(width, 3), format_double(knee.peak_ratio * 1e6, 0),
+         format_double(knee_pos, 2)});
+  }
+  std::cout << table.render()
+            << "\nExpected shape: at light load nearly the whole utility "
+               "bound is reachable,\nthe front is narrow (few real choices) "
+               "and the knee sits mid-front.  Under\noverload attainment "
+               "falls, the front widens, efficiency (utility per MJ)\ndrops, "
+               "and the knee migrates toward the high-energy end — every "
+               "extra\njoule still buys utility because so much remains "
+               "unearned.  The paper's\n250-task regime sits in the middle "
+               "of this sweep.\n";
+  return 0;
+}

@@ -1,0 +1,216 @@
+// Microbenchmarks (google-benchmark) for the framework's hot paths:
+// chromosome evaluation, nondominated sorting, crowding, genetic operators,
+// Gram-Charlier sampling, the greedy seeds, and full NSGA-II generations —
+// including the parallel-evaluation path.
+
+#include <benchmark/benchmark.h>
+
+#include "core/crowding.hpp"
+#include "core/nondominated_sort.hpp"
+#include "core/nsga2.hpp"
+#include "core/operators.hpp"
+#include "core/study.hpp"
+#include "data/historical.hpp"
+#include "des/des_evaluator.hpp"
+#include "synth/gram_charlier.hpp"
+#include "synth/sampler.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace eus;
+
+const Scenario& dataset1() {
+  static const Scenario s = make_dataset1(1);
+  return s;
+}
+
+const Scenario& dataset3() {
+  static const Scenario s = make_dataset3(1);
+  return s;
+}
+
+const Scenario& scenario_for_tasks(std::int64_t tasks) {
+  if (tasks <= 250) return dataset1();
+  static const Scenario s1000 = make_dataset2(1);
+  if (tasks <= 1000) return s1000;
+  return dataset3();
+}
+
+void BM_EvaluateAllocation(benchmark::State& state) {
+  const Scenario& s = scenario_for_tasks(state.range(0));
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Rng rng(7);
+  const Allocation a = random_allocation(problem, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.evaluate(a));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.trace.size()));
+}
+BENCHMARK(BM_EvaluateAllocation)->Arg(250)->Arg(1000)->Arg(4000);
+
+std::vector<EUPoint> random_points(std::size_t n) {
+  Rng rng(9);
+  std::vector<EUPoint> pts(n);
+  for (auto& p : pts) {
+    p.energy = rng.uniform(0.0, 1.0);
+    p.utility = rng.uniform(0.0, 1.0);
+  }
+  return pts;
+}
+
+void BM_DesEvaluate(benchmark::State& state) {
+  // The event-driven evaluator vs the analytic one (BM_EvaluateAllocation):
+  // how much the independent cross-validator costs.
+  const Scenario& s = scenario_for_tasks(state.range(0));
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Rng rng(8);
+  const Allocation a = random_allocation(problem, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(des_evaluate(s.system, s.trace, a));
+  }
+}
+BENCHMARK(BM_DesEvaluate)->Arg(250)->Arg(1000);
+
+void BM_NondominatedSortSweep(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nondominated_sort_sweep(pts));
+  }
+}
+BENCHMARK(BM_NondominatedSortSweep)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_NondominatedSortDeb(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nondominated_sort_deb(pts));
+  }
+}
+BENCHMARK(BM_NondominatedSortDeb)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_CrowdingDistance(benchmark::State& state) {
+  Rng rng(10);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<EUPoint> pts(n);
+  std::vector<std::size_t> front(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i] = {rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    front[i] = i;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crowding_distances(pts, front));
+  }
+}
+BENCHMARK(BM_CrowdingDistance)->Arg(200);
+
+void BM_Crossover(benchmark::State& state) {
+  const Scenario& s = scenario_for_tasks(state.range(0));
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Rng rng(11);
+  Allocation a = random_allocation(problem, rng);
+  Allocation b = random_allocation(problem, rng);
+  for (auto _ : state) {
+    crossover(a, b, rng);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Crossover)->Arg(250)->Arg(4000);
+
+void BM_Mutate(benchmark::State& state) {
+  const Scenario& s = dataset1();
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Rng rng(12);
+  Allocation a = random_allocation(problem, rng);
+  for (auto _ : state) {
+    mutate(a, problem, rng);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Mutate);
+
+void BM_GramCharlierSample(benchmark::State& state) {
+  Moments m{};
+  m.mean = 100.0;
+  m.stddev = 20.0;
+  m.variance = 400.0;
+  m.cv = 0.2;
+  m.skewness = 0.6;
+  m.kurtosis = 3.5;
+  const GramCharlierPdf pdf(m);
+  const TabulatedSampler sampler([&](double x) { return pdf.density(x); },
+                                 1.0, 200.0, 2048);
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.quantile(rng.uniform()));
+  }
+}
+BENCHMARK(BM_GramCharlierSample);
+
+void BM_MinMinSeed(benchmark::State& state) {
+  const Scenario& s = scenario_for_tasks(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        min_min_completion_time_allocation(s.system, s.trace));
+  }
+}
+BENCHMARK(BM_MinMinSeed)->Arg(250)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_Nsga2Generation(benchmark::State& state) {
+  const Scenario& s = scenario_for_tasks(state.range(0));
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Nsga2Config config;
+  config.population_size = 100;
+  config.seed = 3;
+  Nsga2 ga(problem, config);
+  ga.initialize({});
+  for (auto _ : state) {
+    ga.iterate(1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100);  // offspring evaluations
+}
+BENCHMARK(BM_Nsga2Generation)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Nsga2GenerationThreaded(benchmark::State& state) {
+  const Scenario& s = dataset3();
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Nsga2Config config;
+  config.population_size = 100;
+  config.seed = 3;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  Nsga2 ga(problem, config);
+  ga.initialize({});
+  for (auto _ : state) {
+    ga.iterate(1);
+  }
+}
+BENCHMARK(BM_Nsga2GenerationThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SyntheticExpansion(benchmark::State& state) {
+  const SystemModel base = historical_system();
+  ExpansionConfig cfg;
+  cfg.additional_task_types = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> instances(base.num_machine_types() + 4, 1);
+  Rng rng(14);
+  for (auto _ : state) {
+    Rng child = rng.split();
+    benchmark::DoNotOptimize(expand_system(base, cfg, instances, child));
+  }
+}
+BENCHMARK(BM_SyntheticExpansion)
+    ->Arg(25)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

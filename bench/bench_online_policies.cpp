@@ -1,0 +1,107 @@
+// Online-policy study (the paper's stated downstream use, §I/§VI): run
+// dynamic, no-future-knowledge mapping policies over dataset 1's trace and
+// compare them against the offline NSGA-II Pareto front.  The budget-paced
+// policy takes its energy cap from the offline analysis — the knee of the
+// front — exactly the workflow the paper proposes ("energy constraints
+// could then be used in conjunction with a separate online dynamic utility
+// maximization heuristic").
+
+#include <iostream>
+#include <memory>
+
+#include "common.hpp"
+#include "online/simulator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.1).front()) *
+      bench_scale());
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  std::cout << "== online policies vs offline Pareto front (dataset 1) ==\n"
+            << "offline reference: NSGA-II, " << generations
+            << " generations, all four seeds\n";
+
+  // Offline reference front.
+  Nsga2 ga(problem, bench::figure_config(bench_seed(), 100));
+  std::vector<Allocation> seeds;
+  for (const SeedHeuristic h : all_seed_heuristics()) {
+    seeds.push_back(make_seed(h, scenario.system, scenario.trace));
+  }
+  ga.initialize(seeds);
+  ga.iterate(generations);
+  const auto front = ga.front_points();
+  const KneeAnalysis knee = analyze_utility_per_energy(front);
+
+  std::cout << "offline front: energy " << front.front().energy / 1e6 << ".."
+            << front.back().energy / 1e6 << " MJ, utility "
+            << front.front().utility << ".." << front.back().utility
+            << "; knee at " << knee.peak.energy / 1e6 << " MJ\n\n";
+
+  // Online runs.
+  struct Row {
+    std::string name;
+    EUPoint point;
+    std::size_t dropped;
+  };
+  std::vector<Row> rows;
+  const auto run = [&](OnlinePolicy& policy, const OnlineOptions& opts,
+                       const std::string& label) {
+    const OnlineResult r =
+        simulate_online(scenario.system, scenario.trace, policy, opts);
+    rows.push_back({label, {r.energy, r.utility}, r.dropped});
+  };
+
+  OnlineMinEnergy min_energy;
+  OnlineMaxUtility max_utility;
+  OnlineMaxUtilityPerEnergy upe;
+  OnlineMinCompletionTime mct;
+  BudgetPacedUtility paced;
+
+  run(min_energy, {}, min_energy.name());
+  run(max_utility, {}, max_utility.name());
+  run(upe, {}, upe.name());
+  run(mct, {}, mct.name());
+  OnlineOptions knee_budget;
+  knee_budget.energy_budget = knee.peak.energy;
+  knee_budget.allow_dropping = true;
+  run(paced, knee_budget, "budget-paced @ knee budget");
+  OnlineOptions tight;
+  tight.energy_budget = 0.85 * knee.peak.energy;
+  tight.allow_dropping = true;
+  run(paced, tight, "budget-paced @ 85% knee budget");
+
+  // How does each online point compare to the offline front?
+  AsciiTable table({"policy", "energy (MJ)", "utility", "dropped",
+                    "covered by offline front", "utility gap to front at "
+                    "same energy"});
+  for (const auto& row : rows) {
+    // Best offline utility at <= this energy.
+    double best_offline = 0.0;
+    for (const auto& p : front) {
+      if (p.energy <= row.point.energy + 1e-9) best_offline = p.utility;
+    }
+    const bool covered = coverage(front, {row.point}) > 0.5;
+    const double gap = best_offline > 0.0
+                           ? 100.0 * (best_offline - row.point.utility) /
+                                 best_offline
+                           : 0.0;
+    table.add_row({row.name, format_double(row.point.energy / 1e6, 3),
+                   format_double(row.point.utility, 1),
+                   std::to_string(row.dropped),
+                   covered ? "yes" : "NO (beats/escapes it)",
+                   format_double(gap, 1) + "%"});
+  }
+  std::cout << table.render()
+            << "\nExpected shape: every online point is weakly dominated by "
+               "the offline front\n(the front had full future knowledge and "
+               "free task reordering); the\nbudget-paced policy lands near "
+               "the knee's energy while recovering most of\nthe knee's "
+               "utility — the administrator workflow, closed end-to-end.\n";
+  return 0;
+}

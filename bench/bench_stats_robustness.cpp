@@ -1,0 +1,88 @@
+// Statistical robustness of the §VI conclusions: repeat the dataset-1
+// seeded-population study across several independent GA seeds and report
+// mean ± stddev of each population's final normalized hypervolume plus the
+// seeded-beats-random margin.  Guards against single-seed flukes — the
+// paper reports one run per configuration.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const auto generations = static_cast<std::size_t>(
+      static_cast<double>(scaled_checkpoints({10000}, 0.05).front()) *
+      bench_scale());
+  const std::size_t repeats = 5;
+
+  const Scenario scenario = make_dataset1(bench_seed());
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+  const auto specs = paper_population_specs();
+
+  std::cout << "== robustness study (dataset 1, " << generations
+            << " generations x " << repeats << " GA seeds) ==\n";
+
+  // hv[population][repeat]
+  std::vector<std::vector<double>> hv(specs.size());
+  Stopwatch timer;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    Nsga2Config config = bench::figure_config(bench_seed() + 1000 * rep, 100);
+    const StudyResult study =
+        run_seeding_study(problem, config, {generations}, specs);
+    std::vector<std::vector<EUPoint>> all;
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      all.push_back(study.final_front(p));
+    }
+    const EUPoint ref = enclosing_reference(all);
+    double best = 0.0;
+    for (const auto& front : all) {
+      best = std::max(best, hypervolume(front, ref));
+    }
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      hv[p].push_back(hypervolume(all[p], ref) / best);
+    }
+    std::cout << "  repeat " << rep + 1 << "/" << repeats << " done @ "
+              << timer.seconds() << "s\n";
+  }
+
+  AsciiTable table({"population", "mean normalized HV", "stddev", "min",
+                    "max"});
+  std::vector<double> means(specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    double mean = 0.0;
+    for (const double v : hv[p]) mean += v;
+    mean /= static_cast<double>(repeats);
+    double var = 0.0;
+    double lo = hv[p][0], hi = hv[p][0];
+    for (const double v : hv[p]) {
+      var += (v - mean) * (v - mean);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    var /= static_cast<double>(repeats);
+    means[p] = mean;
+    table.add_row({specs[p].name, format_double(mean, 3),
+                   format_double(std::sqrt(var), 3), format_double(lo, 3),
+                   format_double(hi, 3)});
+  }
+  std::cout << table.render();
+
+  // Seeded-vs-random margin across repeats.
+  std::size_t seeded_wins = 0;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    double best_seeded = 0.0;
+    for (std::size_t p = 0; p + 1 < specs.size(); ++p) {
+      best_seeded = std::max(best_seeded, hv[p][rep]);
+    }
+    if (best_seeded >= hv.back()[rep]) ++seeded_wins;
+  }
+  std::cout << "repeats where a seeded population matched or beat random: "
+            << seeded_wins << "/" << repeats << '\n'
+            << "\nExpected shape: small stddevs (conclusions are "
+               "seed-stable) and the seeded\npopulations winning every "
+               "repeat at short budgets.\n";
+  return 0;
+}

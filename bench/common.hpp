@@ -1,0 +1,162 @@
+#pragma once
+
+// Shared harness glue for the figure benches: runs a seeding study over a
+// scenario, prints progress, renders each checkpoint's fronts as an ASCII
+// scatter (the paper's subplots), and emits machine-readable CSV blocks
+// (population, iterations, energy_J, utility) for external plotting.
+//
+// Iteration schedules are the paper's, scaled by a per-bench default times
+// the EUS_SCALE environment knob (EXPERIMENTS.md documents the scaling).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "pareto/knee.hpp"
+#include "pareto/metrics.hpp"
+#include "sched/bounds.hpp"
+#include "util/ascii_plot.hpp"
+#include "workload/analysis.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "util/stopwatch.hpp"
+#include "workload/scenarios.hpp"
+
+namespace eus::bench {
+
+struct FigureSpec {
+  std::string figure;                    ///< e.g. "Figure 3"
+  std::vector<std::size_t> paper_iters;  ///< the paper's checkpoint schedule
+  double default_scale = 1.0;           ///< per-bench shrink factor
+  std::size_t population = 100;         ///< paper's N
+};
+
+inline Nsga2Config figure_config(std::uint64_t seed, std::size_t population) {
+  Nsga2Config config;
+  config.population_size = population;
+  config.mutation_probability = 0.25;
+  config.seed = seed;
+  return config;
+}
+
+/// Runs the five-population study for one scenario and prints everything.
+inline StudyResult run_figure(const FigureSpec& spec,
+                              const Scenario& scenario) {
+  const double scale = spec.default_scale * bench_scale();
+  const auto checkpoints = scaled_checkpoints(spec.paper_iters, scale);
+
+  std::cout << "== " << spec.figure << " — " << scenario.name << " ==\n"
+            << "tasks: " << scenario.trace.size()
+            << ", machines: " << scenario.system.num_machines()
+            << ", window: " << scenario.window_seconds << " s\n"
+            << "paper iterations: ";
+  for (const auto c : spec.paper_iters) std::cout << c << ' ';
+  std::cout << "-> scaled (x" << scale << "): ";
+  for (const auto c : checkpoints) std::cout << c << ' ';
+  std::cout << "(set EUS_SCALE to rescale)\n";
+
+  const WorkloadAnalysis load =
+      analyze_workload(scenario.system, scenario.trace);
+  const ObjectiveBounds bounds =
+      compute_bounds(scenario.system, scenario.trace);
+  std::cout << "offered load: " << format_double(load.offered_load, 2)
+            << "x capacity; bounds: energy >= "
+            << format_double(bounds.energy_lower / 1e6, 3)
+            << " MJ, utility <= "
+            << format_double(bounds.utility_upper_contention_free, 1)
+            << " (contention-free)\n";
+
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+  Stopwatch timer;
+  const StudyResult study = run_seeding_study(
+      problem, figure_config(bench_seed(), spec.population), checkpoints,
+      paper_population_specs(), [&](const std::string& name, std::size_t it) {
+        std::cout << "  [" << timer.seconds() << "s] " << name << " @ " << it
+                  << " iterations\n";
+      });
+
+  // One subplot per checkpoint, all five populations overlaid.
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    std::vector<PlotSeries> series;
+    for (std::size_t p = 0; p < study.population_names.size(); ++p) {
+      PlotSeries s{study.population_names[p], study.markers[p], {}, {}};
+      for (const auto& pt : study.fronts[p][c]) {
+        s.x.push_back(pt.energy / 1e6);
+        s.y.push_back(pt.utility);
+      }
+      series.push_back(std::move(s));
+    }
+    PlotOptions opts;
+    opts.title = "\n" + spec.figure + " subplot — fronts through " +
+                 std::to_string(checkpoints[c]) + " iterations";
+    opts.x_label = "total energy consumed (MJ)";
+    opts.y_label = "total utility earned";
+    std::cout << render_scatter(series, opts);
+  }
+
+  // The circled region (max utility-per-energy) on the final fronts.
+  std::cout << "\nmost-efficient region per population (final checkpoint):\n";
+  for (std::size_t p = 0; p < study.population_names.size(); ++p) {
+    const KneeAnalysis knee =
+        analyze_utility_per_energy(study.final_front(p));
+    std::cout << "  " << study.population_names[p] << ": peak "
+              << knee.peak_ratio * 1e6 << " utility/MJ at "
+              << knee.peak.energy / 1e6 << " MJ, " << knee.peak.utility
+              << " utility\n";
+  }
+
+  // Bound attainment at the final checkpoint.
+  std::cout << "\nutility-bound attainment @ final checkpoint:\n";
+  for (std::size_t p = 0; p < study.population_names.size(); ++p) {
+    const auto& front = study.final_front(p);
+    std::cout << "  " << study.population_names[p] << ": "
+              << format_double(100.0 * front.back().utility /
+                                   bounds.utility_upper_contention_free,
+                               1)
+              << "% of bound, energy floor "
+              << format_double(front.front().energy / bounds.energy_lower, 3)
+              << "x optimal\n";
+  }
+
+  // Convergence summary: hypervolume per population per checkpoint.
+  std::vector<std::vector<EUPoint>> all;
+  for (const auto& per_pop : study.fronts) {
+    for (const auto& f : per_pop) all.push_back(f);
+  }
+  const EUPoint ref = enclosing_reference(all);
+  std::cout << "\nhypervolume (normalized to best final):\n";
+  double best_final = 0.0;
+  for (std::size_t p = 0; p < study.fronts.size(); ++p) {
+    best_final =
+        std::max(best_final, hypervolume(study.final_front(p), ref));
+  }
+  for (std::size_t p = 0; p < study.fronts.size(); ++p) {
+    std::cout << "  " << study.population_names[p] << ":";
+    for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+      std::cout << ' '
+                << format_double(
+                       hypervolume(study.fronts[p][c], ref) / best_final, 3);
+    }
+    std::cout << '\n';
+  }
+
+  // Machine-readable block.
+  std::cout << "\nCSV population,iterations,energy_J,utility\n";
+  CsvWriter csv(std::cout);
+  for (std::size_t p = 0; p < study.fronts.size(); ++p) {
+    for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+      for (const auto& pt : study.fronts[p][c]) {
+        csv.write_row({study.population_names[p],
+                       std::to_string(checkpoints[c]),
+                       format_double(pt.energy, 1),
+                       format_double(pt.utility, 3)});
+      }
+    }
+  }
+  std::cout << "END CSV\ntotal wall time: " << timer.seconds() << " s\n";
+  return study;
+}
+
+}  // namespace eus::bench

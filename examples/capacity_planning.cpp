@@ -1,0 +1,124 @@
+// Capacity planning with the framework: "what changes if we buy more
+// hardware?"  Uses the §III-D2 synthetic generator to build variants of
+// the dataset-2 suite — the baseline Table III breakup, a variant with
+// doubled special-purpose machines, and one with three extra overclocked
+// i7s — and compares the Pareto fronts the same workload produces on each.
+//
+// Run:  ./capacity_planning [generations]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/nsga2.hpp"
+#include "core/study.hpp"
+#include "data/historical.hpp"
+#include "pareto/knee.hpp"
+#include "pareto/metrics.hpp"
+#include "sched/bounds.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+#include "workload/analysis.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace eus;
+
+struct Variant {
+  std::string name;
+  std::vector<std::size_t> instances;  // per machine type, expanded order
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t generations = 400;
+  if (argc > 1) generations = static_cast<std::size_t>(std::atol(argv[1]));
+
+  // One fixed expanded *type* catalog (same ETC/EPC for all variants) so
+  // only the instance counts differ.
+  const std::uint64_t seed = 2013;
+  const ExpandedSystem base = make_expanded_system(seed);
+
+  const std::vector<Variant> variants = {
+      {"baseline (Table III, 30 machines)", table3_instance_counts()},
+      {"+4 special machines (2 each)",
+       {2, 3, 3, 3, 2, 4, 2, 5, 2, 2, 2, 2, 2}},
+      {"+3 overclocked i7 3770K", {2, 3, 3, 3, 2, 4, 2, 8, 2, 1, 1, 1, 1}},
+  };
+
+  // One shared workload (generated against the baseline variant's catalog;
+  // task types are identical across variants so it replays everywhere).
+  Rng rng(seed);
+  TraceConfig trace_cfg;
+  trace_cfg.num_tasks = 500;
+  trace_cfg.window_seconds = 900.0;
+
+  std::cout << "== capacity planning study ==\n";
+
+  std::vector<PlotSeries> series;
+  AsciiTable table({"suite", "machines", "offered load", "min energy (MJ)",
+                    "max utility", "% of utility bound", "knee utility/MJ"});
+  const char markers[] = {'b', '4', 'i'};
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    // Rebuild the system with this variant's instance counts.
+    Rng expansion_rng = Rng(seed).split();
+    const ExpandedSystem expanded = expand_system(
+        historical_system(), ExpansionConfig{}, variants[v].instances,
+        expansion_rng);
+
+    Rng trace_rng(seed + 7);
+    const TufClassLibrary tufs = standard_tuf_classes(2.0 * 900.0);
+    const Trace trace =
+        generate_trace(expanded.model, tufs, trace_cfg, trace_rng);
+
+    const WorkloadAnalysis load = analyze_workload(expanded.model, trace);
+    const ObjectiveBounds bounds = compute_bounds(expanded.model, trace);
+
+    const UtilityEnergyProblem problem(expanded.model, trace);
+    Nsga2Config cfg;
+    cfg.population_size = 80;
+    cfg.seed = seed;
+    Nsga2 ga(problem, cfg);
+    ga.initialize({min_energy_allocation(expanded.model, trace),
+                   min_min_completion_time_allocation(expanded.model, trace)});
+    ga.iterate(generations);
+
+    const auto front = ga.front_points();
+    const KneeAnalysis knee = analyze_utility_per_energy(front);
+    table.add_row(
+        {variants[v].name, std::to_string(expanded.model.num_machines()),
+         format_double(load.offered_load, 2),
+         format_double(front.front().energy / 1e6, 2),
+         format_double(front.back().utility, 0),
+         format_double(100.0 * front.back().utility /
+                           bounds.utility_upper_contention_free,
+                       1) +
+             "%",
+         format_double(knee.peak_ratio * 1e6, 0)});
+
+    PlotSeries s{variants[v].name, markers[v], {}, {}};
+    for (const auto& p : front) {
+      s.x.push_back(p.energy / 1e6);
+      s.y.push_back(p.utility);
+    }
+    series.push_back(std::move(s));
+    std::cout << "  evolved " << variants[v].name << '\n';
+  }
+
+  PlotOptions opts;
+  opts.title = "\nfronts per hardware variant (same 500-task workload)";
+  opts.x_label = "energy (MJ)";
+  opts.y_label = "utility";
+  std::cout << render_scatter(series, opts) << '\n' << table.render();
+
+  std::cout << "\nReading the answer off the fronts: extra special-purpose "
+               "machines only\nhelp the task types they accelerate (cheap "
+               "fast seconds, same watts); more\ngeneral i7s lift the whole "
+               "utility ceiling but raise the energy needed to\nget there.  "
+               "The offered-load column shows how much slack each purchase\n"
+               "buys for the same trace.\n";
+  return 0;
+}

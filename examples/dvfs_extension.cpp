@@ -1,0 +1,90 @@
+// DVFS extension (§VII future work, implemented here): give every task an
+// extra P-state gene and let the NSGA-II trade clock speed for energy.
+// With power ∝ f³, running a task at 0.6x clock costs 1/0.6 more time but
+// only 0.36x the energy — the front should extend *below* the nominal
+// minimum-energy floor.
+//
+// Run:  ./dvfs_extension [generations]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/nsga2.hpp"
+#include "core/study.hpp"
+#include "util/ascii_plot.hpp"
+#include "workload/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eus;
+
+  std::size_t generations = 300;
+  if (argc > 1) generations = static_cast<std::size_t>(std::atol(argv[1]));
+
+  const Scenario scenario = make_dataset1(17);
+
+  // Baseline: nominal frequencies only.
+  const UtilityEnergyProblem nominal(scenario.system, scenario.trace);
+
+  // Extension: three P-states at 0.6 / 0.8 / 1.0 relative clock.
+  EvaluatorOptions opts;
+  opts.dvfs = make_cubic_dvfs({0.6, 0.8, 1.0});
+  const UtilityEnergyProblem dvfs(scenario.system, scenario.trace, opts);
+
+  const auto run = [&](const BiObjectiveProblem& problem,
+                       bool seed_low_power) {
+    Nsga2Config config;
+    config.population_size = 80;
+    config.seed = 17;
+    Nsga2 ga(problem, config);
+    std::vector<Allocation> seeds;
+    Allocation me = min_energy_allocation(scenario.system, scenario.trace);
+    if (seed_low_power && problem.num_pstates() > 0) {
+      Allocation slow = me;
+      slow.pstate.assign(slow.size(), 0);  // lowest clock everywhere
+      seeds.push_back(std::move(slow));
+    }
+    seeds.push_back(std::move(me));
+    ga.initialize(seeds);
+    ga.iterate(generations);
+    return ga.front_points();
+  };
+
+  std::cout << "== DVFS extension study ==\n"
+            << "evolving nominal and DVFS-enabled fronts ("
+            << generations << " generations each)...\n";
+  const auto base_front = run(nominal, false);
+  const auto dvfs_front = run(dvfs, true);
+
+  std::vector<PlotSeries> series;
+  PlotSeries sn{"nominal clocks", 'o', {}, {}};
+  for (const auto& p : base_front) {
+    sn.x.push_back(p.energy / 1e6);
+    sn.y.push_back(p.utility);
+  }
+  PlotSeries sd{"with DVFS P-states", '+', {}, {}};
+  for (const auto& p : dvfs_front) {
+    sd.x.push_back(p.energy / 1e6);
+    sd.y.push_back(p.utility);
+  }
+  series.push_back(std::move(sn));
+  series.push_back(std::move(sd));
+  PlotOptions popts;
+  popts.title = "nominal vs DVFS-enabled Pareto fronts";
+  popts.x_label = "energy (MJ)";
+  popts.y_label = "utility";
+  std::cout << render_scatter(series, popts);
+
+  std::cout << "\nminimum energy nominal: " << base_front.front().energy / 1e6
+            << " MJ\n"
+            << "minimum energy DVFS:    " << dvfs_front.front().energy / 1e6
+            << " MJ  ("
+            << 100.0 * (1.0 -
+                        dvfs_front.front().energy / base_front.front().energy)
+            << "% below the nominal floor)\n"
+            << "max utility nominal:    " << base_front.back().utility << '\n'
+            << "max utility DVFS:       " << dvfs_front.back().utility << '\n';
+  std::cout << "\nDVFS widens the front at the low-energy end: the extra "
+               "gene buys energy\nsavings no machine-mapping choice could "
+               "reach (energy ∝ f² per task).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Online scheduling walkthrough: what actually happens when the paper's
+// offline analysis parameterizes a live dispatcher.  Shows the first few
+// placement decisions in detail, then sweeps energy budgets to trace how a
+// budget-paced online policy moves along the utility/energy trade-off.
+//
+// Run:  ./online_scheduler
+
+#include <iostream>
+
+#include "online/simulator.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  using namespace eus;
+
+  const Scenario scenario = make_dataset1(31);
+  std::cout << "== online dispatcher walkthrough (" << scenario.name
+            << ") ==\n";
+
+  // Part 1: narrate the first decisions of the utility-maximizing policy.
+  OnlineMaxUtility max_utility;
+  const OnlineResult base =
+      simulate_online(scenario.system, scenario.trace, max_utility);
+
+  std::cout << "\nfirst six placements of " << max_utility.name() << ":\n";
+  AsciiTable detail({"task", "type", "arrival (s)", "machine", "start",
+                     "finish", "utility earned"});
+  for (std::size_t i = 0; i < 6 && i < scenario.trace.size(); ++i) {
+    const auto& task = scenario.trace.tasks()[i];
+    const auto& o = base.outcomes[i];
+    detail.add_row(
+        {std::to_string(i),
+         scenario.system.task_types()[task.type].name,
+         format_double(task.arrival, 1),
+         scenario.system.machines()[static_cast<std::size_t>(o.machine)].name,
+         format_double(o.start, 1), format_double(o.finish, 1),
+         format_double(o.utility, 2)});
+  }
+  std::cout << detail.render();
+  std::cout << "whole run: utility " << base.utility << ", energy "
+            << base.energy / 1e6 << " MJ, makespan " << base.makespan
+            << " s\n";
+
+  // Part 2: budget sweep with the paced policy.
+  OnlineMinEnergy min_energy;
+  const double floor =
+      simulate_online(scenario.system, scenario.trace, min_energy).energy;
+  const double ceiling = base.energy;
+
+  std::cout << "\nbudget sweep (floor " << floor / 1e6 << " MJ = online "
+            << "min-energy, ceiling " << ceiling / 1e6
+            << " MJ = online max-utility):\n";
+  BudgetPacedUtility paced;
+  AsciiTable sweep({"budget (MJ)", "energy used (MJ)", "utility",
+                    "% of unconstrained utility", "dropped"});
+  for (const double f : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    OnlineOptions opts;
+    opts.energy_budget = floor + f * (ceiling - floor);
+    opts.allow_dropping = true;
+    const OnlineResult r =
+        simulate_online(scenario.system, scenario.trace, paced, opts);
+    sweep.add_row({format_double(opts.energy_budget / 1e6, 3),
+                   format_double(r.energy / 1e6, 3),
+                   format_double(r.utility, 1),
+                   format_double(100.0 * r.utility / base.utility, 1),
+                   std::to_string(r.dropped)});
+  }
+  std::cout << sweep.render()
+            << "\nThe budget knob traces a utility/energy curve online — "
+               "set it from the\noffline Pareto front's knee (see "
+               "bench_online_policies) and the live\nsystem operates near "
+               "its most efficient point.\n";
+  return 0;
+}

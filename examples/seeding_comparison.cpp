@@ -1,0 +1,97 @@
+// Seeding-heuristic comparison (§V-B / §VI second experiment group): run
+// the four greedy heuristics standalone, show where each lands in objective
+// space, then show how seeded NSGA-II populations evolve versus the
+// all-random control.
+//
+// Run:  ./seeding_comparison [generations]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/study.hpp"
+#include "pareto/metrics.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eus;
+
+  std::size_t generations = 200;
+  if (argc > 1) generations = static_cast<std::size_t>(std::atol(argv[1]));
+
+  const Scenario scenario = make_dataset1(99);
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  // Part 1: the greedy heuristics on their own.
+  std::cout << "== greedy seeds standalone ==\n";
+  AsciiTable table({"heuristic", "energy (MJ)", "utility", "utility/MJ"});
+  for (const SeedHeuristic h : all_seed_heuristics()) {
+    const EUPoint p =
+        problem.evaluate(make_seed(h, scenario.system, scenario.trace));
+    table.add_row({to_string(h), format_double(p.energy / 1e6, 3),
+                   format_double(p.utility, 1),
+                   format_double(p.utility / (p.energy / 1e6), 2)});
+  }
+  std::cout << table.render() << '\n';
+
+  // Part 2: seeded populations vs random through the generations.
+  Nsga2Config config;
+  config.population_size = 60;
+  config.seed = 99;
+  const std::vector<std::size_t> checkpoints = {
+      generations / 10, generations / 3, generations};
+
+  std::cout << "evolving " << extended_population_specs().size()
+            << " populations to " << generations << " generations...\n";
+  const StudyResult study =
+      run_seeding_study(problem, config, checkpoints,
+                        extended_population_specs());
+
+  // Hypervolume league table per checkpoint (shared reference).
+  std::vector<std::vector<EUPoint>> all;
+  for (const auto& per_pop : study.fronts) {
+    for (const auto& f : per_pop) all.push_back(f);
+  }
+  const EUPoint ref = enclosing_reference(all);
+
+  AsciiTable league({"population", "HV @" + std::to_string(checkpoints[0]),
+                     "HV @" + std::to_string(checkpoints[1]),
+                     "HV @" + std::to_string(checkpoints[2]),
+                     "covers random (final)"});
+  const auto& random_final = study.fronts.back()[checkpoints.size() - 1];
+  for (std::size_t p = 0; p < study.population_names.size(); ++p) {
+    std::vector<std::string> row = {study.population_names[p]};
+    for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+      row.push_back(format_double(hypervolume(study.fronts[p][c], ref) / 1e9,
+                                  2));
+    }
+    row.push_back(
+        format_double(coverage(study.final_front(p), random_final), 2));
+    league.add_row(row);
+  }
+  std::cout << "\nhypervolume (x1e9, higher = better front) per checkpoint:\n"
+            << league.render();
+
+  // Final fronts overlaid, paper-style.
+  std::vector<PlotSeries> series;
+  for (std::size_t p = 0; p < study.population_names.size(); ++p) {
+    PlotSeries s{study.population_names[p], study.markers[p], {}, {}};
+    for (const auto& pt : study.final_front(p)) {
+      s.x.push_back(pt.energy / 1e6);
+      s.y.push_back(pt.utility);
+    }
+    series.push_back(std::move(s));
+  }
+  PlotOptions opts;
+  opts.title = "\nfinal fronts (all populations)";
+  opts.x_label = "energy (MJ)";
+  opts.y_label = "utility";
+  std::cout << render_scatter(series, opts);
+
+  std::cout << "\nExpected shape (paper §VI): seeded populations start in "
+               "distinct regions,\nconverge with iterations, and the "
+               "all-four-seeds population behaves like\nthe min-energy "
+               "seeded one.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Synthetic data generation walkthrough (§III-D2): grow the measured 5x9
+// ETC/EPC into progressively larger systems and verify, at each size, that
+// the heterogeneity (mvsk) signature of the real data survives.
+//
+// Run:  ./synthetic_scaling
+
+#include <iostream>
+
+#include "data/historical.hpp"
+#include "synth/generator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eus;
+
+  const SystemModel base = historical_system();
+  std::cout << "== synthetic scaling study ==\n"
+            << "base: " << base.num_task_types() << " task types x "
+            << base.num_machine_types() << " machine types (real data)\n\n";
+
+  const Moments base_moments = [&] {
+    std::vector<double> avgs;
+    for (std::size_t r = 0; r < base.num_task_types(); ++r) {
+      avgs.push_back(base.etc().row_mean_finite(r));
+    }
+    return compute_moments(avgs);
+  }();
+  std::cout << "real row-average ETC signature: mean="
+            << format_double(base_moments.mean, 1)
+            << "s cv=" << format_double(base_moments.cv, 3)
+            << " skew=" << format_double(base_moments.skewness, 3)
+            << " kurt=" << format_double(base_moments.kurtosis, 3) << "\n\n";
+
+  AsciiTable table({"task types", "machine types", "machines", "mean (s)",
+                    "cv", "skew", "kurtosis", "mvsk distance"});
+
+  Rng rng(2013);
+  for (const std::size_t extra : {10UL, 25UL, 55UL, 115UL}) {
+    ExpansionConfig cfg;
+    cfg.additional_task_types = extra;
+    cfg.special_machine_types = 4;
+    std::vector<std::size_t> instances(base.num_machine_types() + 4, 2);
+    for (std::size_t s = 0; s < 4; ++s) {
+      instances[base.num_machine_types() + s] = 1;
+    }
+    Rng child = rng.split();
+    const ExpandedSystem ex = expand_system(base, cfg, instances, child);
+    const FidelityReport report =
+        etc_fidelity(base, ex.model, base.num_machine_types());
+    const Moments& m = report.expanded_row_averages;
+    table.add_row({std::to_string(ex.model.num_task_types()),
+                   std::to_string(ex.model.num_machine_types()),
+                   std::to_string(ex.model.num_machines()),
+                   format_double(m.mean, 1), format_double(m.cv, 3),
+                   format_double(m.skewness, 3),
+                   format_double(m.kurtosis, 3),
+                   format_double(report.distance, 3)});
+  }
+
+  std::cout << "expanded systems (ETC row-average signatures):\n"
+            << table.render()
+            << "\nSmall mvsk distances mean the synthetic populations kept "
+               "the real data's\nheterogeneity — the paper's requirement for "
+               "trusting dataset 2/3 results.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "core/crowding.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace eus {
+
+std::vector<double> crowding_distances(
+    const std::vector<EUPoint>& points,
+    const std::vector<std::size_t>& front) {
+  const std::size_t n = front.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> distance(n, 0.0);
+  if (n <= 2) {
+    std::fill(distance.begin(), distance.end(), kInf);
+    return distance;
+  }
+
+  // positions[k] enumerates front-local indices sorted by objective k.
+  std::vector<std::size_t> by_obj(n);
+  std::iota(by_obj.begin(), by_obj.end(), 0U);
+
+  const auto accumulate = [&](auto key) {
+    std::sort(by_obj.begin(), by_obj.end(),
+              [&](std::size_t a, std::size_t b) {
+                return key(points[front[a]]) < key(points[front[b]]);
+              });
+    const double lo = key(points[front[by_obj.front()]]);
+    const double hi = key(points[front[by_obj.back()]]);
+    distance[by_obj.front()] = kInf;
+    distance[by_obj.back()] = kInf;
+    if (hi <= lo) return;  // degenerate objective: no interior credit
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      const double below = key(points[front[by_obj[i - 1]]]);
+      const double above = key(points[front[by_obj[i + 1]]]);
+      if (distance[by_obj[i]] != kInf) {
+        distance[by_obj[i]] += (above - below) / (hi - lo);
+      }
+    }
+  };
+
+  accumulate([](const EUPoint& p) { return p.energy; });
+  accumulate([](const EUPoint& p) { return p.utility; });
+  return distance;
+}
+
+}  // namespace eus

@@ -1,0 +1,21 @@
+#pragma once
+
+// Crowding distance (Deb et al. 2002): rewards solutions in sparse regions
+// of the objective space so the truncation step keeps an evenly spaced
+// front (§IV-D's "more equally spaced Pareto front").
+
+#include <cstddef>
+#include <vector>
+
+#include "pareto/point.hpp"
+
+namespace eus {
+
+/// Crowding distance of each member of one front.  `front` holds indices
+/// into `points`; the result is aligned with `front`.  Boundary members
+/// (extreme in either objective) get +infinity.  Fronts of <= 2 members are
+/// all-infinite.
+[[nodiscard]] std::vector<double> crowding_distances(
+    const std::vector<EUPoint>& points, const std::vector<std::size_t>& front);
+
+}  // namespace eus

@@ -1,0 +1,54 @@
+#pragma once
+
+// Scalarized hill climbing on allocations — a refinement layer on top of
+// the NSGA-II (a light memetic extension beyond the paper).  Moves are the
+// genetic mutation's ingredients applied greedily: relocate one task to
+// another eligible machine, or swap two tasks' scheduling orders; a move
+// is kept when it improves the weighted objective
+//
+//   score = lambda * utility / u_scale - (1 - lambda) * energy / e_scale,
+//
+// so lambda = 1 climbs pure utility, lambda = 0 descends pure energy, and
+// intermediate values polish interior front points.  Scales default to the
+// start point's own objectives so lambda is meaningful regardless of units.
+
+#include <cstddef>
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace eus {
+
+struct LocalSearchResult {
+  Allocation allocation;
+  EUPoint objectives;
+  std::size_t evaluations = 0;  ///< fitness calls consumed
+  std::size_t improvements = 0;
+};
+
+struct LocalSearchOptions {
+  /// Trade-off direction in [0, 1] (1 = utility, 0 = energy).
+  double lambda = 0.5;
+  /// Fitness-evaluation budget (each proposed move costs one).
+  std::size_t max_evaluations = 200;
+  /// Give up after this many consecutive rejected moves.
+  std::size_t patience = 50;
+};
+
+/// First-improvement stochastic hill climbing from `start`.  Deterministic
+/// given `rng`'s state.  Throws std::invalid_argument on bad options or a
+/// start allocation that does not fit the problem.
+[[nodiscard]] LocalSearchResult local_search(const BiObjectiveProblem& problem,
+                                             Allocation start,
+                                             const LocalSearchOptions& options,
+                                             Rng& rng);
+
+/// Polishes every point of a front (e.g. an Nsga2 rank-0 set): runs
+/// local_search on each with lambda spread evenly from 0 to 1 across the
+/// (energy-ascending) members, and returns the nondominated union of
+/// originals and polished results.
+[[nodiscard]] std::vector<LocalSearchResult> polish_front(
+    const BiObjectiveProblem& problem, const std::vector<Allocation>& front,
+    std::size_t evaluations_each, Rng& rng);
+
+}  // namespace eus

@@ -1,0 +1,153 @@
+#include "core/nondominated_sort.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace eus {
+
+SortedFronts nondominated_sort(const std::vector<EUPoint>& points) {
+  return nondominated_sort_sweep(points);
+}
+
+SortedFronts nondominated_sort_deb(const std::vector<EUPoint>& points) {
+  const std::size_t n = points.size();
+  SortedFronts out;
+  out.rank.assign(n, 0);
+  if (n == 0) return out;
+
+  // Deb's bookkeeping: who I dominate, and how many dominate me.
+  std::vector<std::vector<std::uint32_t>> dominated(n);
+  std::vector<std::uint32_t> dominators(n, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dominates(points[i], points[j])) {
+        dominated[i].push_back(static_cast<std::uint32_t>(j));
+        ++dominators[j];
+      } else if (dominates(points[j], points[i])) {
+        dominated[j].push_back(static_cast<std::uint32_t>(i));
+        ++dominators[i];
+      }
+    }
+  }
+
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dominators[i] == 0) current.push_back(i);
+  }
+
+  while (!current.empty()) {
+    const std::size_t r = out.fronts.size();
+    std::vector<std::size_t> next;
+    for (const std::size_t i : current) {
+      out.rank[i] = r;
+      for (const std::uint32_t j : dominated[i]) {
+        if (--dominators[j] == 0) next.push_back(j);
+      }
+    }
+    out.fronts.push_back(std::move(current));
+    current = std::move(next);
+  }
+
+  // Deterministic presentation: ascending energy within each front.
+  for (auto& front : out.fronts) {
+    std::sort(front.begin(), front.end(), [&](std::size_t a, std::size_t b) {
+      if (points[a].energy != points[b].energy) {
+        return points[a].energy < points[b].energy;
+      }
+      return a < b;
+    });
+  }
+  return out;
+}
+
+SortedFronts nondominated_sort_sweep(const std::vector<EUPoint>& points) {
+  const std::size_t n = points.size();
+  SortedFronts out;
+  out.rank.assign(n, 0);
+  if (n == 0) return out;
+
+  // Sweep order: ascending energy, ties by descending utility, then index.
+  // Any point q processed before p satisfies q.energy <= p.energy, so q
+  // dominates p iff q.utility >= p.utility with strictness in one
+  // objective; exact duplicates never dominate each other.
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (points[a].energy != points[b].energy) {
+      return points[a].energy < points[b].energy;
+    }
+    if (points[a].utility != points[b].utility) {
+      return points[a].utility > points[b].utility;
+    }
+    return a < b;
+  });
+
+  // best[r] = the processed rank-r point that is hardest to escape: maximum
+  // utility, and among those the minimum energy.  best[r].utility is
+  // non-increasing in r, and "some rank-r point dominates p" is monotone in
+  // r (dominance is transitive), so binary search applies.
+  std::vector<EUPoint> best;
+  best.reserve(64);
+
+  const auto rank_dominates = [&](std::size_t r, const EUPoint& p) {
+    const EUPoint& b = best[r];
+    if (b.utility > p.utility) return true;   // b also has energy <= p's
+    if (b.utility < p.utility) return false;
+    // Equal utility: dominates iff strictly less energy.
+    return b.energy < p.energy;
+  };
+
+  for (const std::uint32_t i : order) {
+    const EUPoint& p = points[i];
+    // First rank that does NOT dominate p.
+    std::size_t lo = 0;
+    std::size_t hi = best.size();  // rank == best.size() -> new front
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (rank_dominates(mid, p)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    out.rank[i] = lo;
+    if (lo == best.size()) {
+      best.push_back(p);
+      out.fronts.emplace_back();
+    } else {
+      EUPoint& b = best[lo];
+      if (p.utility > b.utility ||
+          (p.utility == b.utility && p.energy < b.energy)) {
+        b = p;
+      }
+    }
+    out.fronts[lo].push_back(i);
+  }
+
+  // Sweep order within a rank is already ascending energy (ties by
+  // descending utility then index) — matching nondominated_sort_deb's
+  // presentation except for equal-energy ties, which we normalize here.
+  for (auto& front : out.fronts) {
+    std::sort(front.begin(), front.end(), [&](std::size_t a, std::size_t b) {
+      if (points[a].energy != points[b].energy) {
+        return points[a].energy < points[b].energy;
+      }
+      return a < b;
+    });
+  }
+  return out;
+}
+
+std::vector<std::size_t> domination_counts(const std::vector<EUPoint>& points) {
+  const std::size_t n = points.size();
+  std::vector<std::size_t> counts(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && dominates(points[j], points[i])) ++counts[i];
+    }
+  }
+  return counts;
+}
+
+}  // namespace eus

@@ -1,0 +1,45 @@
+#pragma once
+
+// Fast nondominated sorting (Deb et al. 2002, the NSGA-II paper's
+// algorithm) over the bi-objective points.  Rank 0 is the nondominated set
+// ("rank 1" in the paper's prose); each solution's rank counts how many
+// successive fronts must be peeled before it becomes nondominated.
+
+#include <cstddef>
+#include <vector>
+
+#include "pareto/point.hpp"
+
+namespace eus {
+
+struct SortedFronts {
+  /// fronts[r] = indices (into the input) of rank r, ascending energy.
+  std::vector<std::vector<std::size_t>> fronts;
+  /// rank[i] = rank of input point i.
+  std::vector<std::size_t> rank;
+};
+
+/// Nondominated sort.  Dispatches to the O(N log N) bi-objective sweep
+/// (Jensen 2003-style); result is identical to Deb's algorithm.
+[[nodiscard]] SortedFronts nondominated_sort(const std::vector<EUPoint>& points);
+
+/// Deb et al. 2002's O(M N^2) bookkeeping algorithm, kept as the reference
+/// implementation (tests assert it matches the sweep) and for the
+/// microbench comparison.
+[[nodiscard]] SortedFronts nondominated_sort_deb(
+    const std::vector<EUPoint>& points);
+
+/// O(N log N) sweep: process points in (energy asc, utility desc) order;
+/// a point's rank is the first front whose best-so-far point does not
+/// dominate it, found by binary search (dominance is transitive, so the
+/// predicate is monotone across fronts).
+[[nodiscard]] SortedFronts nondominated_sort_sweep(
+    const std::vector<EUPoint>& points);
+
+/// Brute-force per-point rank-by-domination-count used by tests as an
+/// oracle for the *first* front only (the paper's "1 + number of dominating
+/// solutions" notion differs from Deb's peeling for deeper fronts).
+[[nodiscard]] std::vector<std::size_t> domination_counts(
+    const std::vector<EUPoint>& points);
+
+}  // namespace eus

@@ -1,0 +1,194 @@
+#include "core/nsga2.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/crowding.hpp"
+#include "core/nondominated_sort.hpp"
+#include "core/operators.hpp"
+
+namespace eus {
+
+Nsga2::Nsga2(const BiObjectiveProblem& problem, Nsga2Config config)
+    : problem_(&problem), config_(config), rng_(config.seed) {
+  if (config_.population_size < 2 || config_.population_size % 2 != 0) {
+    throw std::invalid_argument("population size must be even and >= 2");
+  }
+  if (config_.mutation_probability < 0.0 ||
+      config_.mutation_probability > 1.0) {
+    throw std::invalid_argument("mutation probability must be in [0,1]");
+  }
+  if (config_.threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
+  }
+}
+
+Nsga2::~Nsga2() = default;
+
+void Nsga2::evaluate_all(std::vector<Individual>& individuals,
+                         std::size_t begin) {
+  const std::size_t count = individuals.size() - begin;
+  const auto eval_one = [&](std::size_t k) {
+    Individual& ind = individuals[begin + k];
+    ind.objectives = problem_->evaluate(ind.genome);
+  };
+  if (pool_) {
+    pool_->parallel_for(count, eval_one);
+  } else {
+    for (std::size_t k = 0; k < count; ++k) eval_one(k);
+  }
+  evaluations_ += count;
+}
+
+void Nsga2::initialize(const std::vector<Allocation>& seeds) {
+  if (initialized_) throw std::logic_error("already initialized");
+  if (seeds.size() > config_.population_size) {
+    throw std::invalid_argument("more seeds than population slots");
+  }
+  const std::size_t genome = problem_->genome_size();
+
+  population_.clear();
+  population_.reserve(config_.population_size);
+  for (const Allocation& seed : seeds) {
+    if (seed.size() != genome ||
+        seed.order.size() != genome) {
+      throw std::invalid_argument("seed genome size mismatch");
+    }
+    population_.push_back({seed, {}, 0, 0.0});
+  }
+  while (population_.size() < config_.population_size) {
+    population_.push_back({random_allocation(*problem_, rng_), {}, 0, 0.0});
+  }
+
+  evaluate_all(population_, 0);
+
+  // Annotate the initial population so front() is meaningful pre-iterate.
+  annotate_and_select(population_);
+  initialized_ = true;
+}
+
+void Nsga2::annotate_and_select(std::vector<Individual>& meta) {
+  const std::size_t n = config_.population_size;
+
+  std::vector<EUPoint> points;
+  points.reserve(meta.size());
+  for (const auto& ind : meta) points.push_back(ind.objectives);
+  const SortedFronts sorted = nondominated_sort(points);
+
+  std::vector<Individual> next;
+  next.reserve(std::min(n, meta.size()));
+  for (const auto& front : sorted.fronts) {
+    const std::vector<double> crowd = crowding_distances(points, front);
+
+    if (next.size() + front.size() <= n || meta.size() <= n) {
+      // Whole rank fits (or we are just annotating an N-sized population).
+      for (std::size_t k = 0; k < front.size(); ++k) {
+        Individual ind = std::move(meta[front[k]]);
+        ind.rank = sorted.rank[front[k]];
+        ind.crowding = crowd[k];
+        next.push_back(std::move(ind));
+        if (next.size() == n && meta.size() <= n) break;
+      }
+      if (next.size() == n) break;
+      continue;
+    }
+
+    // Cut rank: truncate by descending crowding distance (Algorithm 1
+    // step 10), or by ascending energy when crowding is ablated away.
+    std::vector<std::size_t> keep(front.size());
+    std::iota(keep.begin(), keep.end(), 0U);
+    if (config_.use_crowding) {
+      std::sort(keep.begin(), keep.end(), [&](std::size_t a, std::size_t b) {
+        if (crowd[a] != crowd[b]) return crowd[a] > crowd[b];
+        return front[a] < front[b];
+      });
+    }
+    const std::size_t need = n - next.size();
+    keep.resize(need);
+    for (const std::size_t k : keep) {
+      Individual ind = std::move(meta[front[k]]);
+      ind.rank = sorted.rank[front[k]];
+      ind.crowding = crowd[k];
+      next.push_back(std::move(ind));
+    }
+    break;
+  }
+  meta = std::move(next);
+}
+
+void Nsga2::iterate(std::size_t generations) {
+  if (!initialized_) throw std::logic_error("initialize() first");
+  const std::size_t n = config_.population_size;
+
+  for (std::size_t g = 0; g < generations; ++g) {
+    // Step 3-5: offspring via N/2 uniform-pair crossovers + mutation.
+    std::vector<Individual> meta;
+    meta.reserve(2 * n);
+    for (auto& ind : population_) meta.push_back(std::move(ind));
+
+    // Parent pick: uniform (the paper) or crowded binary tournament (Deb).
+    const auto select_parent = [&]() -> std::size_t {
+      if (config_.selection == SelectionMode::kUniform) return rng_.below(n);
+      const std::size_t a = rng_.below(n);
+      const std::size_t b = rng_.below(n);
+      if (meta[a].rank != meta[b].rank) {
+        return meta[a].rank < meta[b].rank ? a : b;
+      }
+      return meta[a].crowding >= meta[b].crowding ? a : b;
+    };
+
+    for (std::size_t pair = 0; pair < n / 2; ++pair) {
+      const std::size_t i = select_parent();
+      std::size_t j = select_parent();
+      while (n > 1 && j == i) j = select_parent();
+
+      Allocation child_a = meta[i].genome;
+      Allocation child_b = meta[j].genome;
+      crossover(child_a, child_b, rng_);
+      if (rng_.chance(config_.mutation_probability)) {
+        mutate(child_a, *problem_, rng_);
+      }
+      if (rng_.chance(config_.mutation_probability)) {
+        mutate(child_b, *problem_, rng_);
+      }
+      if (config_.repair_order_permutation) {
+        repair_order_permutation(child_a);
+        repair_order_permutation(child_b);
+      }
+      meta.push_back({std::move(child_a), {}, 0, 0.0});
+      meta.push_back({std::move(child_b), {}, 0, 0.0});
+    }
+
+    // Only the fresh offspring need evaluating (parents carry theirs).
+    evaluate_all(meta, n);
+
+    // Steps 6-11: elitist environmental selection.
+    annotate_and_select(meta);
+    population_ = std::move(meta);
+    ++generation_;
+    if (observer_) observer_(generation_, population_);
+  }
+}
+
+std::vector<Individual> Nsga2::front() const {
+  std::vector<Individual> out;
+  for (const auto& ind : population_) {
+    if (ind.rank == 0) out.push_back(ind);
+  }
+  std::sort(out.begin(), out.end(), [](const Individual& a, const Individual& b) {
+    if (a.objectives.energy != b.objectives.energy) {
+      return a.objectives.energy < b.objectives.energy;
+    }
+    return a.objectives.utility < b.objectives.utility;
+  });
+  return out;
+}
+
+std::vector<EUPoint> Nsga2::front_points() const {
+  std::vector<EUPoint> out;
+  for (const auto& ind : front()) out.push_back(ind.objectives);
+  return out;
+}
+
+}  // namespace eus

@@ -1,0 +1,129 @@
+#pragma once
+
+// The adapted NSGA-II of §IV-D / Algorithm 1:
+//
+//   1. start from a population of N chromosomes (optionally seeded with
+//      greedy-heuristic allocations, §V-B);
+//   2. each generation: N/2 uniformly-paired crossovers produce N
+//      offspring, each offspring mutates with a configured probability;
+//   3. parents + offspring merge into a 2N meta-population, which is
+//      nondominated-sorted; whole ranks fill the next parent population and
+//      the cut rank is truncated by crowding distance (elitism for free).
+//
+// Population evaluation is embarrassingly parallel and optionally runs on a
+// thread pool.  Everything is deterministic for a fixed seed and thread
+// count (offspring are generated serially; only fitness evaluation — a
+// pure function — is parallel).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "sched/allocation.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eus {
+
+/// How crossover parents are picked from the population.
+enum class SelectionMode {
+  /// The paper's §IV-D choice: two distinct chromosomes uniformly at
+  /// random.
+  kUniform,
+  /// Deb's original NSGA-II binary tournament by crowded comparison
+  /// (lower rank wins; ties broken by larger crowding distance).
+  kCrowdedTournament,
+};
+
+struct Nsga2Config {
+  /// N: chromosomes per population (must be even and >= 2; paper uses 100).
+  std::size_t population_size = 100;
+  /// Parent selection (paper default; see bench_ablation_selection).
+  SelectionMode selection = SelectionMode::kUniform;
+  /// Probability that a fresh offspring is mutated ("selected by
+  /// experimentation" in the paper; see bench_ablation_mutation).
+  double mutation_probability = 0.25;
+  /// Encoding ablation: restore order genes to a strict 0..T-1 permutation
+  /// after every crossover/mutation (see DESIGN.md).
+  bool repair_order_permutation = false;
+  /// Disable the crowding-distance truncation (ablation): the cut rank is
+  /// then truncated in ascending-energy order instead.
+  bool use_crowding = true;
+  /// Worker threads for fitness evaluation; 0 = hardware concurrency,
+  /// 1 = evaluate inline (no pool).
+  std::size_t threads = 1;
+  std::uint64_t seed = 1;
+};
+
+struct Individual {
+  Allocation genome;
+  EUPoint objectives;
+  std::size_t rank = 0;     ///< 0 == nondominated
+  double crowding = 0.0;
+};
+
+/// Observer invoked after every generation with (generation number, the
+/// freshly selected parent population).  Must not outlive its captures; the
+/// population reference is only valid during the call.
+using GenerationObserver =
+    std::function<void(std::size_t, const std::vector<Individual>&)>;
+
+class Nsga2 {
+ public:
+  /// The problem must outlive the algorithm.  Throws on invalid config.
+  Nsga2(const BiObjectiveProblem& problem, Nsga2Config config);
+  ~Nsga2();
+
+  Nsga2(const Nsga2&) = delete;
+  Nsga2& operator=(const Nsga2&) = delete;
+
+  /// Builds the initial population: the given seed chromosomes first (must
+  /// fit within N and match the genome size), the rest uniformly random.
+  /// Must be called exactly once before iterate().
+  void initialize(const std::vector<Allocation>& seeds);
+
+  /// Runs `generations` generations (Algorithm 1 steps 3-11, repeated).
+  void iterate(std::size_t generations);
+
+  /// Installs (or clears, with nullptr) the per-generation observer —
+  /// convergence trackers, archives, live plots.
+  void set_observer(GenerationObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Current parent population, rank/crowding annotations up to date.
+  [[nodiscard]] const std::vector<Individual>& population() const noexcept {
+    return population_;
+  }
+
+  /// The current rank-0 individuals (the evolving Pareto set), ascending
+  /// energy.
+  [[nodiscard]] std::vector<Individual> front() const;
+
+  /// Just the rank-0 objective points, ascending energy.
+  [[nodiscard]] std::vector<EUPoint> front_points() const;
+
+  [[nodiscard]] std::size_t generation() const noexcept { return generation_; }
+  [[nodiscard]] std::uint64_t evaluations() const noexcept {
+    return evaluations_;
+  }
+  [[nodiscard]] const Nsga2Config& config() const noexcept { return config_; }
+
+ private:
+  void evaluate_all(std::vector<Individual>& individuals, std::size_t begin);
+  void annotate_and_select(std::vector<Individual>& meta);
+
+  const BiObjectiveProblem* problem_;
+  Nsga2Config config_;
+  Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 1
+  std::vector<Individual> population_;
+  GenerationObserver observer_;
+  std::size_t generation_ = 0;
+  std::uint64_t evaluations_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace eus

@@ -1,0 +1,88 @@
+#include "core/operators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace eus {
+
+Allocation random_allocation(const BiObjectiveProblem& problem, Rng& rng) {
+  const SystemModel& system = problem.system();
+  const Trace& trace = problem.trace();
+  const std::size_t tasks = trace.size();
+
+  Allocation a;
+  a.machine.resize(tasks);
+  a.order.resize(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const auto& eligible = system.eligible_machines(trace.tasks()[i].type);
+    a.machine[i] = eligible[rng.below(eligible.size())];
+    a.order[i] = static_cast<int>(i);
+  }
+  // Fisher-Yates for the order permutation.
+  for (std::size_t i = tasks; i > 1; --i) {
+    std::swap(a.order[i - 1], a.order[rng.below(i)]);
+  }
+  if (const std::size_t p = problem.num_pstates(); p > 0) {
+    a.pstate.resize(tasks);
+    for (std::size_t i = 0; i < tasks; ++i) {
+      a.pstate[i] = static_cast<int>(rng.below(p));
+    }
+  }
+  return a;
+}
+
+void crossover(Allocation& a, Allocation& b, Rng& rng) {
+  const std::size_t tasks = a.size();
+  if (b.size() != tasks) throw std::invalid_argument("genome size mismatch");
+  if (tasks == 0) return;
+
+  std::size_t i = rng.below(tasks);
+  std::size_t j = rng.below(tasks);
+  if (i > j) std::swap(i, j);
+
+  for (std::size_t g = i; g <= j; ++g) {
+    std::swap(a.machine[g], b.machine[g]);
+    std::swap(a.order[g], b.order[g]);
+  }
+  if (!a.pstate.empty() && !b.pstate.empty()) {
+    for (std::size_t g = i; g <= j; ++g) {
+      std::swap(a.pstate[g], b.pstate[g]);
+    }
+  }
+}
+
+void mutate(Allocation& a, const BiObjectiveProblem& problem, Rng& rng) {
+  const std::size_t tasks = a.size();
+  if (tasks == 0) return;
+  const Trace& trace = problem.trace();
+
+  const std::size_t g = rng.below(tasks);
+  const auto& eligible =
+      problem.system().eligible_machines(trace.tasks()[g].type);
+  a.machine[g] = eligible[rng.below(eligible.size())];
+
+  const std::size_t h = rng.below(tasks);
+  std::swap(a.order[g], a.order[h]);
+
+  if (!a.pstate.empty()) {
+    a.pstate[g] = static_cast<int>(rng.below(problem.num_pstates()));
+  }
+}
+
+void repair_order_permutation(Allocation& a) {
+  const std::size_t tasks = a.size();
+  std::vector<std::uint32_t> sequence(tasks);
+  std::iota(sequence.begin(), sequence.end(), 0U);
+  std::sort(sequence.begin(), sequence.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              return a.order[x] != a.order[y] ? a.order[x] < a.order[y]
+                                              : x < y;
+            });
+  for (std::size_t pos = 0; pos < tasks; ++pos) {
+    a.order[sequence[pos]] = static_cast<int>(pos);
+  }
+}
+
+}  // namespace eus

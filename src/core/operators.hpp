@@ -1,0 +1,38 @@
+#pragma once
+
+// Genetic operators (§IV-D).  A gene is a task: it carries the machine the
+// task runs on and its global scheduling order (plus an optional DVFS
+// P-state).  Crossover swaps a contiguous gene segment between two
+// chromosomes; mutation reassigns one gene's machine and swaps its
+// scheduling order with another gene's.
+
+#include "core/problem.hpp"
+#include "sched/allocation.hpp"
+#include "util/rng.hpp"
+
+namespace eus {
+
+/// Uniformly random complete allocation: each task on a uniformly random
+/// eligible machine, scheduling orders a uniform permutation of 0..T-1,
+/// and (when the problem has P-states) uniformly random P-states.
+[[nodiscard]] Allocation random_allocation(const BiObjectiveProblem& problem,
+                                           Rng& rng);
+
+/// Two-point segment crossover: picks two gene indices i <= j uniformly and
+/// swaps genes [i, j] wholesale (machines, orders, P-states) between the
+/// chromosomes, in place.
+void crossover(Allocation& a, Allocation& b, Rng& rng);
+
+/// The paper's mutation: one uniformly chosen gene moves to a uniformly
+/// chosen *eligible* machine; then its global scheduling order is swapped
+/// with a second uniformly chosen gene's.  With P-states present, the
+/// mutated gene's P-state is also re-drawn.
+void mutate(Allocation& a, const BiObjectiveProblem& problem, Rng& rng);
+
+/// Rewrites `order` into the permutation 0..T-1 that preserves the current
+/// execution sequence (stable by (order, index)).  Optional repair used by
+/// the encoding ablation: segment crossover can duplicate order values, and
+/// this restores the strict-permutation reading of §IV-D.
+void repair_order_permutation(Allocation& a);
+
+}  // namespace eus

@@ -1,0 +1,41 @@
+#include "core/population_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sched/allocation_io.hpp"
+
+namespace eus {
+
+std::string population_to_string(const std::vector<Allocation>& genomes) {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < genomes.size(); ++k) {
+    os << "[genome " << k << "]\n" << allocation_to_csv(genomes[k]);
+  }
+  return os.str();
+}
+
+std::vector<Allocation> population_from_string(const std::string& text) {
+  std::vector<Allocation> genomes;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::string header =
+        "[genome " + std::to_string(genomes.size()) + "]\n";
+    if (text.compare(pos, header.size(), header) != 0) {
+      throw std::runtime_error("expected '" + header.substr(0, header.size() - 1) +
+                               "' at offset " + std::to_string(pos));
+    }
+    pos += header.size();
+    const std::size_t next = text.find("[genome ", pos);
+    const std::size_t end = next == std::string::npos ? text.size() : next;
+    genomes.push_back(allocation_from_csv(text.substr(pos, end - pos)));
+    if (!genomes.front().machine.empty() &&
+        genomes.back().size() != genomes.front().size()) {
+      throw std::runtime_error("inconsistent genome sizes in population");
+    }
+    pos = end;
+  }
+  return genomes;
+}
+
+}  // namespace eus

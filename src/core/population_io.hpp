@@ -1,0 +1,28 @@
+#pragma once
+
+// Population checkpointing: persist the N genomes of an NSGA-II run and
+// resume later (objectives are recomputed on load — they are pure
+// functions of the genome, so nothing else needs saving).  Resuming is
+// just Nsga2::initialize(loaded) with population_size == loaded.size().
+//
+// Format: one "[genome <k>]" header per member, each followed by the
+// allocation CSV of sched/allocation_io.hpp.
+
+#include <string>
+#include <vector>
+
+#include "sched/allocation.hpp"
+
+namespace eus {
+
+/// Serializes the genomes in order.
+[[nodiscard]] std::string population_to_string(
+    const std::vector<Allocation>& genomes);
+
+/// Parses population_to_string output; throws std::runtime_error on
+/// malformed input (missing/misnumbered headers, bad allocation blocks,
+/// inconsistent genome sizes).
+[[nodiscard]] std::vector<Allocation> population_from_string(
+    const std::string& text);
+
+}  // namespace eus

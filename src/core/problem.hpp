@@ -1,0 +1,97 @@
+#pragma once
+
+// The bi-objective resource-allocation problem interface consumed by the
+// NSGA-II.  Objectives are reported as an EUPoint: `energy` is minimized
+// and `utility` maximized (Figure 2's axes).  Problems with different
+// semantics map into that convention (see MakespanEnergyProblem).
+
+#include <cstddef>
+
+#include "pareto/point.hpp"
+#include "sched/evaluator.hpp"
+
+namespace eus {
+
+class BiObjectiveProblem {
+ public:
+  virtual ~BiObjectiveProblem() = default;
+
+  /// Number of genes (== trace size).
+  [[nodiscard]] virtual std::size_t genome_size() const = 0;
+
+  /// Objective values of a complete allocation.  Must be thread-safe.
+  [[nodiscard]] virtual EUPoint evaluate(const Allocation& allocation)
+      const = 0;
+
+  /// Catalog access for genetic operators (eligibility, arrival times).
+  [[nodiscard]] virtual const SystemModel& system() const = 0;
+  [[nodiscard]] virtual const Trace& trace() const = 0;
+
+  /// Number of DVFS P-states a pstate gene may take; 0 disables the gene.
+  [[nodiscard]] virtual std::size_t num_pstates() const { return 0; }
+};
+
+/// The paper's primary problem: maximize total utility earned, minimize
+/// total energy consumed (§IV-B).
+class UtilityEnergyProblem final : public BiObjectiveProblem {
+ public:
+  UtilityEnergyProblem(const SystemModel& system, const Trace& trace,
+                       EvaluatorOptions options = {})
+      : evaluator_(system, trace, std::move(options)) {}
+
+  [[nodiscard]] std::size_t genome_size() const override {
+    return evaluator_.trace().size();
+  }
+  [[nodiscard]] EUPoint evaluate(const Allocation& a) const override {
+    const Evaluation e = evaluator_.evaluate(a);
+    return {e.energy, e.utility};
+  }
+  [[nodiscard]] const SystemModel& system() const override {
+    return evaluator_.system();
+  }
+  [[nodiscard]] const Trace& trace() const override {
+    return evaluator_.trace();
+  }
+  [[nodiscard]] std::size_t num_pstates() const override {
+    return evaluator_.options().dvfs ? evaluator_.options().dvfs->size() : 0;
+  }
+
+  [[nodiscard]] const Evaluator& evaluator() const noexcept {
+    return evaluator_;
+  }
+
+ private:
+  Evaluator evaluator_;
+};
+
+/// The predecessor baseline (Friese et al., INFOCOMP 2012, the paper's
+/// ref [3]): minimize makespan and energy.  Makespan enters the EUPoint as
+/// utility = -makespan so "maximize utility" == "minimize makespan".
+class MakespanEnergyProblem final : public BiObjectiveProblem {
+ public:
+  MakespanEnergyProblem(const SystemModel& system, const Trace& trace,
+                        EvaluatorOptions options = {})
+      : evaluator_(system, trace, std::move(options)) {}
+
+  [[nodiscard]] std::size_t genome_size() const override {
+    return evaluator_.trace().size();
+  }
+  [[nodiscard]] EUPoint evaluate(const Allocation& a) const override {
+    const Evaluation e = evaluator_.evaluate(a);
+    return {e.energy, -e.makespan};
+  }
+  [[nodiscard]] const SystemModel& system() const override {
+    return evaluator_.system();
+  }
+  [[nodiscard]] const Trace& trace() const override {
+    return evaluator_.trace();
+  }
+  [[nodiscard]] std::size_t num_pstates() const override {
+    return evaluator_.options().dvfs ? evaluator_.options().dvfs->size() : 0;
+  }
+
+ private:
+  Evaluator evaluator_;
+};
+
+}  // namespace eus

@@ -1,0 +1,57 @@
+#pragma once
+
+// Weighted-sum simulated annealing — the style of bi-objective solver the
+// paper contrasts itself against in §II ("a weighted sum simulated
+// annealing heuristic ... One run of this heuristic produces a single
+// solution, and different weights can be used to produce different
+// solutions.  This differs from our approach in that ... [NSGA-II] creates
+// a Pareto front containing multiple solutions with one run").
+//
+// Implementing it makes that argument measurable: bench_baseline_sa gives
+// SA the same total evaluation budget as one NSGA-II run, spread across a
+// sweep of weights, and compares the resulting point sets.
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace eus {
+
+struct SaOptions {
+  /// Scalarization weight in [0, 1]: score = lambda*U/u0 - (1-lambda)*E/e0
+  /// with u0/e0 taken from the start point (same convention as
+  /// local_search).
+  double lambda = 0.5;
+  /// Fitness-evaluation budget.
+  std::size_t max_evaluations = 1000;
+  /// Initial temperature as a fraction of |score(start)| (>= 0); the
+  /// classic "accept almost anything at first" regime.
+  double initial_temperature = 0.5;
+  /// Geometric cooling factor per temperature step, in (0, 1).
+  double cooling = 0.95;
+  /// Proposals evaluated at each temperature.
+  std::size_t steps_per_temperature = 20;
+};
+
+struct SaResult {
+  Allocation allocation;   ///< best-ever genome
+  EUPoint objectives;      ///< its objectives
+  std::size_t evaluations = 0;
+  std::size_t accepted = 0;  ///< accepted moves (incl. uphill)
+};
+
+/// Runs one annealing chain from `start`.  Deterministic given rng state.
+/// Throws std::invalid_argument on bad options or start size.
+[[nodiscard]] SaResult simulated_annealing(const BiObjectiveProblem& problem,
+                                           Allocation start,
+                                           const SaOptions& options,
+                                           Rng& rng);
+
+/// The §II workflow: one SA run per weight (evaluations split evenly),
+/// each from its own random start; returns the per-weight best points in
+/// weight order.  This is what a front costs when the solver only yields
+/// one solution per run.
+[[nodiscard]] std::vector<SaResult> weighted_sum_sweep(
+    const BiObjectiveProblem& problem, const std::vector<double>& lambdas,
+    std::size_t total_evaluations, Rng& rng);
+
+}  // namespace eus

@@ -1,0 +1,85 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eus {
+
+std::vector<PopulationSpec> paper_population_specs() {
+  return {
+      {"min-energy seed", 'd', {SeedHeuristic::kMinEnergy}},
+      {"min-min seed", 's', {SeedHeuristic::kMinMinCompletionTime}},
+      {"max-utility seed", 'o', {SeedHeuristic::kMaxUtility}},
+      {"max-utility-per-energy seed",
+       '^',
+       {SeedHeuristic::kMaxUtilityPerEnergy}},
+      {"random", '*', {}},
+  };
+}
+
+std::vector<PopulationSpec> extended_population_specs() {
+  auto specs = paper_population_specs();
+  specs.push_back({"all-four-seeds", '4', all_seed_heuristics()});
+  return specs;
+}
+
+StudyResult run_seeding_study(const BiObjectiveProblem& problem,
+                              const Nsga2Config& base_config,
+                              const std::vector<std::size_t>& checkpoints,
+                              const std::vector<PopulationSpec>& specs,
+                              const StudyProgress& progress) {
+  if (checkpoints.empty()) throw std::invalid_argument("no checkpoints");
+  for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+    if (checkpoints[i] <= checkpoints[i - 1]) {
+      throw std::invalid_argument("checkpoints must be strictly increasing");
+    }
+  }
+
+  StudyResult result;
+  result.checkpoints = checkpoints;
+
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    const PopulationSpec& spec = specs[p];
+    result.population_names.push_back(spec.name);
+    result.markers.push_back(spec.marker);
+
+    Nsga2Config config = base_config;
+    config.seed = base_config.seed + 0x9e37 * (p + 1);  // independent streams
+
+    std::vector<Allocation> seeds;
+    seeds.reserve(spec.seeds.size());
+    for (const SeedHeuristic h : spec.seeds) {
+      seeds.push_back(make_seed(h, problem.system(), problem.trace()));
+    }
+
+    Nsga2 algorithm(problem, config);
+    algorithm.initialize(seeds);
+
+    std::vector<std::vector<EUPoint>> fronts;
+    std::size_t done = 0;
+    for (const std::size_t target : checkpoints) {
+      algorithm.iterate(target - done);
+      done = target;
+      fronts.push_back(algorithm.front_points());
+      if (progress) progress(spec.name, done);
+    }
+    result.fronts.push_back(std::move(fronts));
+  }
+  return result;
+}
+
+std::vector<std::size_t> scaled_checkpoints(
+    std::vector<std::size_t> paper_schedule, double scale) {
+  if (!(scale > 0.0)) throw std::invalid_argument("scale must be positive");
+  std::size_t previous = 0;
+  for (auto& c : paper_schedule) {
+    const double scaled = std::ceil(static_cast<double>(c) * scale);
+    c = static_cast<std::size_t>(std::max(1.0, scaled));
+    if (c <= previous) c = previous + 1;  // keep strictly increasing
+    previous = c;
+  }
+  return paper_schedule;
+}
+
+}  // namespace eus

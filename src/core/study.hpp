@@ -1,0 +1,65 @@
+#pragma once
+
+// The experiment harness behind Figures 3, 4 and 6: one NSGA-II population
+// per seeding strategy (four greedy seeds, an all-random control, and
+// optionally the all-four-seeds variant the paper mentions), evolved
+// through a shared schedule of iteration checkpoints, capturing each
+// population's Pareto front at every checkpoint.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/nsga2.hpp"
+#include "heuristics/seeds.hpp"
+
+namespace eus {
+
+struct PopulationSpec {
+  std::string name;
+  char marker = '*';  ///< scatter-plot marker, mirroring the paper's legend
+  /// Seeds injected into the initial population (empty == all random).
+  std::vector<SeedHeuristic> seeds;
+};
+
+/// The five populations of Figures 3/4/6: min-energy (diamond 'd'),
+/// min-min completion time (square 's'), max-utility (circle 'o'),
+/// max-utility-per-energy (triangle '^'), all-random (star '*').
+[[nodiscard]] std::vector<PopulationSpec> paper_population_specs();
+
+/// paper_population_specs() plus the "all four seeds" population that §VI
+/// reports behaves like the min-energy-seeded one.
+[[nodiscard]] std::vector<PopulationSpec> extended_population_specs();
+
+struct StudyResult {
+  std::vector<std::string> population_names;
+  std::vector<char> markers;
+  std::vector<std::size_t> checkpoints;  ///< cumulative iteration counts
+  /// fronts[p][c]: population p's rank-0 objective points at checkpoint c.
+  std::vector<std::vector<std::vector<EUPoint>>> fronts;
+  /// Final full fronts (same as the last checkpoint, kept for convenience).
+  [[nodiscard]] const std::vector<EUPoint>& final_front(std::size_t p) const {
+    return fronts.at(p).back();
+  }
+};
+
+/// Progress callback: (population name, iterations completed).
+using StudyProgress =
+    std::function<void(const std::string&, std::size_t)>;
+
+/// Runs every population through the checkpoint schedule.  `base_config`'s
+/// seed is perturbed per population so the random fills differ, as in the
+/// paper's independent populations.  Checkpoints must be strictly
+/// increasing and non-empty.
+[[nodiscard]] StudyResult run_seeding_study(
+    const BiObjectiveProblem& problem, const Nsga2Config& base_config,
+    const std::vector<std::size_t>& checkpoints,
+    const std::vector<PopulationSpec>& specs,
+    const StudyProgress& progress = {});
+
+/// Scales the paper's checkpoint schedule (e.g. {100, 1000, 10000, 100000})
+/// by EUS_SCALE, keeping every entry >= 1 and strictly increasing.
+[[nodiscard]] std::vector<std::size_t> scaled_checkpoints(
+    std::vector<std::size_t> paper_schedule, double scale);
+
+}  // namespace eus

@@ -1,0 +1,76 @@
+#include "data/matrix.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace eus {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  for (const auto& row : rows) m.append_row(row);
+  return m;
+}
+
+double Matrix::row_mean_finite(std::size_t r) const {
+  check(r, 0);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double v = (*this)(r, c);
+    if (std::isfinite(v)) {
+      sum += v;
+      ++n;
+    }
+  }
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(n);
+}
+
+std::vector<double> Matrix::row_finite(std::size_t r) const {
+  check(r, 0);
+  std::vector<double> out;
+  out.reserve(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double v = (*this)(r, c);
+    if (std::isfinite(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> Matrix::col_finite(std::size_t c) const {
+  check(0, c);
+  std::vector<double> out;
+  out.reserve(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double v = (*this)(r, c);
+    if (std::isfinite(v)) out.push_back(v);
+  }
+  return out;
+}
+
+void Matrix::append_row(const std::vector<double>& row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  if (row.size() != cols_) throw std::invalid_argument("row width mismatch");
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+void Matrix::append_col(const std::vector<double>& col) {
+  if (rows_ == 0 && cols_ == 0) {
+    rows_ = col.size();
+    data_ = col;
+    cols_ = 1;
+    return;
+  }
+  if (col.size() != rows_) throw std::invalid_argument("col height mismatch");
+  std::vector<double> next;
+  next.reserve(rows_ * (cols_ + 1));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) next.push_back((*this)(r, c));
+    next.push_back(col[r]);
+  }
+  data_ = std::move(next);
+  ++cols_;
+}
+
+}  // namespace eus

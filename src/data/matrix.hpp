@@ -1,0 +1,70 @@
+#pragma once
+
+// Dense row-major matrix of doubles.  Rows index task types, columns index
+// machine types throughout the framework (the paper's ETC/EPC orientation).
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace eus {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data; every row must have equal width.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked access for hot loops.
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Mean of the finite entries of row r; NaN if none.
+  [[nodiscard]] double row_mean_finite(std::size_t r) const;
+
+  /// All finite entries of row r, in column order.
+  [[nodiscard]] std::vector<double> row_finite(std::size_t r) const;
+
+  /// All finite entries of column c, in row order.
+  [[nodiscard]] std::vector<double> col_finite(std::size_t c) const;
+
+  /// Appends a row (width must match cols(), unless the matrix is empty).
+  void append_row(const std::vector<double>& row);
+
+  /// Appends a column (height must match rows(), unless the matrix is empty).
+  void append_col(const std::vector<double>& col);
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace eus

@@ -1,0 +1,81 @@
+#include "data/matrix_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace eus {
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+double parse_cell(const std::string& cell) {
+  const std::string low = to_lower(cell);
+  if (low == "inf" || low == "+inf" || low == "infinity") return kIneligible;
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(cell, &pos);
+  } catch (...) {
+    throw std::runtime_error("non-numeric matrix cell: '" + cell + "'");
+  }
+  if (pos != cell.size()) {
+    throw std::runtime_error("trailing junk in matrix cell: '" + cell + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string matrix_to_csv(const NamedMatrix& m) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+
+  std::vector<std::string> header = {"task"};
+  header.insert(header.end(), m.col_names.begin(), m.col_names.end());
+  writer.write_row(header);
+
+  for (std::size_t r = 0; r < m.values.rows(); ++r) {
+    std::vector<std::string> row = {m.row_names.at(r)};
+    for (std::size_t c = 0; c < m.values.cols(); ++c) {
+      const double v = m.values(r, c);
+      row.push_back(v == kIneligible ? "inf" : format_double(v, 6));
+    }
+    writer.write_row(row);
+  }
+  return os.str();
+}
+
+NamedMatrix matrix_from_csv(const std::string& csv) {
+  const auto rows = parse_csv(csv);
+  if (rows.size() < 2) throw std::runtime_error("matrix CSV needs header + rows");
+  const auto& header = rows.front();
+  if (header.size() < 2) throw std::runtime_error("matrix CSV needs >= 1 column");
+
+  NamedMatrix out;
+  out.col_names.assign(header.begin() + 1, header.end());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != header.size()) {
+      throw std::runtime_error("ragged matrix CSV row");
+    }
+    out.row_names.push_back(row.front());
+    std::vector<double> values;
+    values.reserve(row.size() - 1);
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      values.push_back(parse_cell(row[c]));
+    }
+    out.values.append_row(values);
+  }
+  return out;
+}
+
+}  // namespace eus

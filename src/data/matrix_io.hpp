@@ -1,0 +1,29 @@
+#pragma once
+
+// CSV round-trip for ETC/EPC matrices so users can feed their own measured
+// data into the framework.  Layout: first row is a header ("task" + machine
+// type names), following rows are "task type name, v1, v2, ...".  The token
+// "inf" (case-insensitive) encodes kIneligible.
+
+#include <string>
+#include <vector>
+
+#include "data/matrix.hpp"
+#include "data/types.hpp"
+
+namespace eus {
+
+struct NamedMatrix {
+  std::vector<std::string> row_names;  ///< task type names
+  std::vector<std::string> col_names;  ///< machine type names
+  Matrix values;
+};
+
+/// Serializes to the CSV layout above.
+[[nodiscard]] std::string matrix_to_csv(const NamedMatrix& m);
+
+/// Parses the CSV layout above; throws std::runtime_error on malformed
+/// input (ragged rows, non-numeric cells, missing header).
+[[nodiscard]] NamedMatrix matrix_from_csv(const std::string& csv);
+
+}  // namespace eus

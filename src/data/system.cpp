@@ -1,0 +1,113 @@
+#include "data/system.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace eus {
+
+SystemModel::SystemModel(std::vector<TaskType> task_types,
+                         std::vector<MachineType> machine_types,
+                         std::vector<Machine> machines, Matrix etc, Matrix epc)
+    : task_types_(std::move(task_types)),
+      machine_types_(std::move(machine_types)),
+      machines_(std::move(machines)),
+      etc_(std::move(etc)),
+      epc_(std::move(epc)) {
+  validate();
+  build_eligibility();
+}
+
+void SystemModel::validate() const {
+  if (task_types_.empty()) throw std::invalid_argument("no task types");
+  if (machine_types_.empty()) throw std::invalid_argument("no machine types");
+  if (machines_.empty()) throw std::invalid_argument("no machines");
+  if (etc_.rows() != task_types_.size() ||
+      etc_.cols() != machine_types_.size()) {
+    throw std::invalid_argument("ETC shape mismatch");
+  }
+  if (epc_.rows() != etc_.rows() || epc_.cols() != etc_.cols()) {
+    throw std::invalid_argument("EPC shape mismatch");
+  }
+
+  for (const auto& m : machines_) {
+    if (m.type < 0 ||
+        static_cast<std::size_t>(m.type) >= machine_types_.size()) {
+      throw std::invalid_argument("machine references unknown type");
+    }
+  }
+
+  for (std::size_t t = 0; t < task_types_.size(); ++t) {
+    const auto& tt = task_types_[t];
+    if (tt.category == Category::kSpecial) {
+      if (tt.special_machine_type < 0 ||
+          static_cast<std::size_t>(tt.special_machine_type) >=
+              machine_types_.size()) {
+        throw std::invalid_argument("special task without special machine");
+      }
+      if (machine_types_[static_cast<std::size_t>(tt.special_machine_type)]
+              .category != Category::kSpecial) {
+        throw std::invalid_argument(
+            "special task points at a general machine type");
+      }
+    }
+    bool any = false;
+    for (std::size_t m = 0; m < machine_types_.size(); ++m) {
+      const double tv = etc_(t, m);
+      const double pv = epc_(t, m);
+      if (tv == kIneligible) {
+        // Eligibility rules of §III-C: only special machines may reject
+        // tasks; a general machine must run everything.
+        if (machine_types_[m].category == Category::kGeneral) {
+          throw std::invalid_argument("general machine type marked "
+                                      "ineligible for task type " +
+                                      task_types_[t].name);
+        }
+        continue;
+      }
+      if (!(std::isfinite(tv) && tv > 0.0)) {
+        throw std::invalid_argument("non-positive ETC entry");
+      }
+      if (!(std::isfinite(pv) && pv > 0.0)) {
+        throw std::invalid_argument("non-positive EPC entry");
+      }
+      if (machine_types_[m].category == Category::kSpecial &&
+          (task_types_[t].category != Category::kSpecial ||
+           task_types_[t].special_machine_type != static_cast<int>(m))) {
+        throw std::invalid_argument(
+            "special machine eligible for a task type it does not own");
+      }
+      any = true;
+    }
+    if (!any) {
+      throw std::invalid_argument("task type " + task_types_[t].name +
+                                  " cannot run anywhere");
+    }
+  }
+}
+
+void SystemModel::build_eligibility() {
+  eligible_machines_.assign(task_types_.size(), {});
+  for (std::size_t t = 0; t < task_types_.size(); ++t) {
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      if (eligible(t, m)) {
+        eligible_machines_[t].push_back(static_cast<int>(m));
+      }
+    }
+    if (eligible_machines_[t].empty()) {
+      // Possible when the catalog has types but no instances of them.
+      throw std::invalid_argument("task type " + task_types_[t].name +
+                                  " has no eligible machine instance");
+    }
+  }
+}
+
+std::size_t SystemModel::count_of_type(std::size_t machine_type) const {
+  std::size_t n = 0;
+  for (const auto& m : machines_) {
+    if (static_cast<std::size_t>(m.type) == machine_type) ++n;
+  }
+  return n;
+}
+
+}  // namespace eus

@@ -1,0 +1,100 @@
+#pragma once
+
+// SystemModel: the full description of a heterogeneous compute environment —
+// machine types + instances, task types, and the ETC/EPC matrices (§III).
+// Everything downstream (trace generation, heuristics, NSGA-II evaluation)
+// consumes this one structure.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/matrix.hpp"
+#include "data/types.hpp"
+
+namespace eus {
+
+class SystemModel {
+ public:
+  SystemModel() = default;
+
+  /// Takes ownership of the catalogs and matrices and validates coherence
+  /// (matrix shapes, eligibility rules, positive finite entries).  Throws
+  /// std::invalid_argument on violations.
+  SystemModel(std::vector<TaskType> task_types,
+              std::vector<MachineType> machine_types,
+              std::vector<Machine> machines, Matrix etc, Matrix epc);
+
+  [[nodiscard]] const std::vector<TaskType>& task_types() const noexcept {
+    return task_types_;
+  }
+  [[nodiscard]] const std::vector<MachineType>& machine_types()
+      const noexcept {
+    return machine_types_;
+  }
+  [[nodiscard]] const std::vector<Machine>& machines() const noexcept {
+    return machines_;
+  }
+  [[nodiscard]] std::size_t num_task_types() const noexcept {
+    return task_types_.size();
+  }
+  [[nodiscard]] std::size_t num_machine_types() const noexcept {
+    return machine_types_.size();
+  }
+  [[nodiscard]] std::size_t num_machines() const noexcept {
+    return machines_.size();
+  }
+
+  /// ETC(τ, μ): estimated seconds for task type τ on machine *type* μ;
+  /// kIneligible when the pair cannot execute.
+  [[nodiscard]] const Matrix& etc() const noexcept { return etc_; }
+  /// EPC(τ, μ): average watts for task type τ on machine type μ.
+  [[nodiscard]] const Matrix& epc() const noexcept { return epc_; }
+
+  [[nodiscard]] bool eligible_type(std::size_t task_type,
+                                   std::size_t machine_type) const noexcept {
+    return etc_(task_type, machine_type) != kIneligible;
+  }
+  /// Eligibility against a machine *instance*.
+  [[nodiscard]] bool eligible(std::size_t task_type,
+                              std::size_t machine) const noexcept {
+    return eligible_type(task_type,
+                         static_cast<std::size_t>(machines_[machine].type));
+  }
+
+  /// ETC/EPC/EEC against a machine *instance* (hot-path, unchecked).
+  [[nodiscard]] double etc_on(std::size_t task_type,
+                              std::size_t machine) const noexcept {
+    return etc_(task_type, static_cast<std::size_t>(machines_[machine].type));
+  }
+  [[nodiscard]] double epc_on(std::size_t task_type,
+                              std::size_t machine) const noexcept {
+    return epc_(task_type, static_cast<std::size_t>(machines_[machine].type));
+  }
+  /// Expected Energy Consumption, Eq. (2): ETC × EPC (joules).
+  [[nodiscard]] double eec_on(std::size_t task_type,
+                              std::size_t machine) const noexcept {
+    return etc_on(task_type, machine) * epc_on(task_type, machine);
+  }
+
+  /// Machine instances a task type may run on, precomputed at construction.
+  [[nodiscard]] const std::vector<int>& eligible_machines(
+      std::size_t task_type) const {
+    return eligible_machines_.at(task_type);
+  }
+
+  /// Number of machine instances of the given type.
+  [[nodiscard]] std::size_t count_of_type(std::size_t machine_type) const;
+
+ private:
+  void validate() const;
+  void build_eligibility();
+
+  std::vector<TaskType> task_types_;
+  std::vector<MachineType> machine_types_;
+  std::vector<Machine> machines_;
+  Matrix etc_;
+  Matrix epc_;
+  std::vector<std::vector<int>> eligible_machines_;
+};
+
+}  // namespace eus

@@ -1,0 +1,44 @@
+#pragma once
+
+// Catalog types shared across the framework: heterogeneous machine types,
+// task types, and concrete machine instances (§III of the paper).
+
+#include <limits>
+#include <string>
+
+namespace eus {
+
+/// Sentinel ETC value for (task type, machine type) pairs that cannot
+/// execute together (e.g. a general-purpose task on a special-purpose
+/// machine).
+inline constexpr double kIneligible = std::numeric_limits<double>::infinity();
+
+/// General-purpose hardware/tasks run anything/anywhere (within the paper's
+/// rules); special-purpose machines accelerate a small task subset ~10x.
+enum class Category { kGeneral, kSpecial };
+
+[[nodiscard]] constexpr const char* to_string(Category c) noexcept {
+  return c == Category::kGeneral ? "general" : "special";
+}
+
+struct MachineType {
+  std::string name;
+  Category category = Category::kGeneral;
+};
+
+struct TaskType {
+  std::string name;
+  Category category = Category::kGeneral;
+  /// For special-purpose task types: index of the machine *type* that
+  /// accelerates this task type; -1 for general-purpose task types.
+  int special_machine_type = -1;
+};
+
+/// A concrete machine instance in the suite (dataset 2/3 have several
+/// instances per type, per Table III).
+struct Machine {
+  int type = 0;      ///< index into SystemModel::machine_types
+  std::string name;  ///< instance label, e.g. "Intel Core i7 3770K #2"
+};
+
+}  // namespace eus

@@ -1,0 +1,121 @@
+#include "des/des_evaluator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "des/event_queue.hpp"
+
+namespace eus {
+
+DesResult des_evaluate(const SystemModel& system, const Trace& trace,
+                       const Allocation& allocation,
+                       const EvaluatorOptions& options) {
+  const Evaluator validator(system, trace, options);
+  validator.validate(allocation);
+
+  const std::size_t tasks = trace.size();
+  const std::size_t machines = system.num_machines();
+
+  DesResult result;
+  result.outcomes.resize(tasks);
+  result.machines.resize(machines);
+
+  // Per-machine queues in (order, index) sequence.
+  std::vector<std::vector<std::uint32_t>> queues(machines);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    queues[static_cast<std::size_t>(allocation.machine[i])].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  for (auto& q : queues) {
+    std::sort(q.begin(), q.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const int oa = allocation.order[a];
+      const int ob = allocation.order[b];
+      return oa != ob ? oa < ob : a < b;
+    });
+  }
+  std::vector<std::size_t> cursor(machines, 0);
+
+  const bool use_dvfs = options.dvfs.has_value() && !allocation.pstate.empty();
+
+  EventQueue events;
+  double total_wait = 0.0;
+  std::size_t executed = 0;
+
+  // Machine process: attempt to start the next queued task at now().
+  const std::function<void(std::size_t)> try_start = [&](std::size_t m) {
+    while (cursor[m] < queues[m].size()) {
+      const std::uint32_t i = queues[m][cursor[m]];
+      const TaskInstance& task = trace.tasks()[i];
+      const double now = events.now();
+      if (task.arrival > now) {
+        // Sleep until the head-of-queue task arrives (§IV-D idle rule).
+        events.schedule(task.arrival, [&, m] { try_start(m); });
+        return;
+      }
+
+      double exec = system.etc_on(task.type, m);
+      double power = system.epc_on(task.type, m);
+      if (use_dvfs) {
+        const auto p = static_cast<std::size_t>(allocation.pstate[i]);
+        exec *= options.dvfs->time_multiplier(p);
+        power *= options.dvfs->power_multiplier(p);
+      }
+      const double start = now;
+      const double finish = start + exec;
+      const double utility = trace.tuf_of(i).value(finish - task.arrival);
+
+      if (options.drop_worthless_tasks && utility <= options.drop_threshold) {
+        ++result.totals.dropped;
+        result.outcomes[i] =
+            TaskOutcome{allocation.machine[i], 0.0, 0.0, 0.0, 0.0, true};
+        ++cursor[m];
+        continue;  // same instant, next task
+      }
+
+      const double energy = exec * power;
+      result.totals.utility += utility;
+      result.totals.energy += energy;
+      result.totals.makespan = std::max(result.totals.makespan, finish);
+      result.outcomes[i] =
+          TaskOutcome{allocation.machine[i], start, finish, utility, energy,
+                      false};
+
+      MachineStats& stats = result.machines[m];
+      stats.busy_time += exec;
+      stats.last_finish = finish;
+      ++stats.tasks_run;
+      stats.timeline.push_back({i, start, finish});
+
+      total_wait += start - task.arrival;
+      ++executed;
+
+      ++cursor[m];
+      events.schedule(finish, [&, m] { try_start(m); });
+      return;  // completion event chains the next start
+    }
+  };
+
+  for (std::size_t m = 0; m < machines; ++m) {
+    if (!queues[m].empty()) {
+      events.schedule(0.0, [&, m] { try_start(m); });
+    }
+  }
+  result.events_fired = events.run();
+
+  if (!options.idle_watts.empty()) {
+    for (std::size_t m = 0; m < machines; ++m) {
+      const MachineStats& stats = result.machines[m];
+      if (stats.last_finish <= 0.0) continue;
+      const auto type = static_cast<std::size_t>(system.machines()[m].type);
+      result.totals.idle_energy +=
+          options.idle_watts[type] * (stats.last_finish - stats.busy_time);
+    }
+    result.totals.energy += result.totals.idle_energy;
+  }
+
+  result.mean_queue_wait =
+      executed > 0 ? total_wait / static_cast<double>(executed) : 0.0;
+  return result;
+}
+
+}  // namespace eus

@@ -1,0 +1,51 @@
+#pragma once
+
+// Event-driven re-implementation of the §IV-D scheduling semantics: each
+// machine is a process that walks its order-sorted queue, sleeping until
+// the next task's arrival when necessary, firing completion events that
+// chain the next start.  Feature parity with the analytic Evaluator
+// (dropping, DVFS, idle power) — the two implementations share no
+// scheduling code, so agreement on random inputs is strong evidence both
+// are right (see test_des).
+//
+// The DES also gathers instrumentation the analytic path does not:
+// per-machine busy time, queue waits, and a full machine timeline.
+
+#include <vector>
+
+#include "sched/evaluator.hpp"
+
+namespace eus {
+
+/// One executed span on a machine's timeline.
+struct TimelineEntry {
+  std::size_t task = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct MachineStats {
+  double busy_time = 0.0;
+  double last_finish = 0.0;   ///< 0 when never used
+  std::size_t tasks_run = 0;
+  std::vector<TimelineEntry> timeline;  ///< chronological
+};
+
+struct DesResult {
+  Evaluation totals;
+  std::vector<TaskOutcome> outcomes;     ///< indexed by trace task
+  std::vector<MachineStats> machines;    ///< indexed by machine instance
+  /// Mean of (start - arrival) over executed tasks: how long tasks sat in
+  /// the system before starting (machine busy and/or order-induced waits).
+  double mean_queue_wait = 0.0;
+  std::size_t events_fired = 0;
+};
+
+/// Runs the event simulation.  Validates the allocation first (same rules
+/// as Evaluator::validate).
+[[nodiscard]] DesResult des_evaluate(const SystemModel& system,
+                                     const Trace& trace,
+                                     const Allocation& allocation,
+                                     const EvaluatorOptions& options = {});
+
+}  // namespace eus

@@ -1,0 +1,40 @@
+#include "des/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace eus {
+
+void EventQueue::schedule(double when, Callback fn) {
+  if (when < now_) {
+    throw std::invalid_argument("cannot schedule an event in the past");
+  }
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventQueue::run() {
+  std::size_t fired = 0;
+  while (!events_.empty()) {
+    // Move the callback out before popping so it may schedule new events.
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t EventQueue::run_until(double until) {
+  std::size_t fired = 0;
+  while (!events_.empty() && events_.top().when <= until) {
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace eus

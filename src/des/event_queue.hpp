@@ -1,0 +1,59 @@
+#pragma once
+
+// A minimal discrete-event simulation kernel: a time-ordered queue of
+// callbacks with deterministic FIFO tie-breaking at equal timestamps.
+// src/des builds an independent, event-driven implementation of the
+// scheduling semantics on top of this, used to cross-validate the analytic
+// evaluator (tests assert bit-equal objectives on random allocations).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace eus {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()); events at
+  /// equal times fire in scheduling order.  Throws std::invalid_argument
+  /// on time travel.
+  void schedule(double when, Callback fn);
+
+  /// Current simulation time (0 before the first event fires).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return events_.size();
+  }
+
+  /// Pops and fires events until the queue drains.  Returns the number of
+  /// events fired.  Callbacks may schedule further events.
+  std::size_t run();
+
+  /// Fires events with time <= `until` (inclusive); later events remain
+  /// queued and now() advances to the last fired event's time.
+  std::size_t run_until(double until);
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace eus

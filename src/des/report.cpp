@@ -1,0 +1,85 @@
+#include "des/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace eus {
+
+std::string utilization_report(const SystemModel& system,
+                               const DesResult& result) {
+  AsciiTable table({"machine", "tasks", "busy (s)", "last finish (s)",
+                    "utilization", "energy share"});
+  double total_energy = 0.0;
+  std::vector<double> energy(result.machines.size(), 0.0);
+  for (const auto& o : result.outcomes) {
+    if (!o.dropped && o.machine >= 0) {
+      energy[static_cast<std::size_t>(o.machine)] += o.energy;
+      total_energy += o.energy;
+    }
+  }
+  for (std::size_t m = 0; m < result.machines.size(); ++m) {
+    const MachineStats& stats = result.machines[m];
+    const double util =
+        stats.last_finish > 0.0 ? stats.busy_time / stats.last_finish : 0.0;
+    table.add_row(
+        {system.machines()[m].name, std::to_string(stats.tasks_run),
+         format_double(stats.busy_time, 0),
+         format_double(stats.last_finish, 0),
+         format_double(100.0 * util, 1) + "%",
+         total_energy > 0.0
+             ? format_double(100.0 * energy[m] / total_energy, 1) + "%"
+             : "-"});
+  }
+  return table.render();
+}
+
+std::string gantt_chart(const SystemModel& system, const DesResult& result,
+                        const GanttOptions& options) {
+  const double horizon =
+      options.until > 0.0 ? options.until : result.totals.makespan;
+  std::ostringstream os;
+  if (horizon <= 0.0) {
+    os << "(empty schedule)\n";
+    return os.str();
+  }
+  const std::size_t width = std::max<std::size_t>(options.width, 10);
+
+  std::size_t name_width = 0;
+  for (const auto& m : system.machines()) {
+    name_width = std::max(name_width, m.name.size());
+  }
+  name_width = std::min<std::size_t>(name_width, 32);
+
+  const auto column = [&](double t) {
+    const double f = std::clamp(t / horizon, 0.0, 1.0);
+    return static_cast<std::size_t>(f * static_cast<double>(width - 1));
+  };
+
+  for (std::size_t m = 0; m < result.machines.size(); ++m) {
+    const MachineStats& stats = result.machines[m];
+    std::string row(width, ' ');
+    if (stats.last_finish > 0.0) {
+      const std::size_t powered_end = column(stats.last_finish);
+      for (std::size_t c = 0; c <= powered_end; ++c) row[c] = options.idle;
+      for (const auto& span : stats.timeline) {
+        const std::size_t from = column(span.start);
+        const std::size_t to = column(span.finish);
+        for (std::size_t c = from; c <= to; ++c) row[c] = options.busy;
+      }
+    }
+    std::string name = system.machines()[m].name;
+    if (name.size() > name_width) name = name.substr(0, name_width);
+    os << name << std::string(name_width - name.size(), ' ') << " |" << row
+       << "|\n";
+  }
+  os << std::string(name_width, ' ') << "  0"
+     << std::string(width > 12 ? width - 12 : 1, ' ')
+     << format_double(horizon, 0) << " s\n"
+     << std::string(name_width, ' ') << "  (" << options.busy << " busy, "
+     << options.idle << " powered idle)\n";
+  return os.str();
+}
+
+}  // namespace eus

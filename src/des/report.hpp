@@ -1,0 +1,32 @@
+#pragma once
+
+// Human-readable schedule reports built on the DES instrumentation:
+// per-machine utilization tables and an ASCII Gantt chart.  Used by the
+// examples so an administrator can inspect *what a front point actually
+// does* before deploying it.
+
+#include <string>
+
+#include "des/des_evaluator.hpp"
+
+namespace eus {
+
+/// Per-machine utilization table: tasks run, busy seconds, last finish,
+/// utilization (busy / last finish), share of total energy.
+[[nodiscard]] std::string utilization_report(const SystemModel& system,
+                                             const DesResult& result);
+
+struct GanttOptions {
+  std::size_t width = 72;     ///< character columns for the time axis
+  double until = 0.0;         ///< right edge; 0 = the makespan
+  char busy = '#';
+  char idle = '.';
+};
+
+/// One row per machine; '#' spans execution, '.' spans powered idle time
+/// (before the machine's last finish), spaces after the queue drains.
+[[nodiscard]] std::string gantt_chart(const SystemModel& system,
+                                      const DesResult& result,
+                                      const GanttOptions& options = {});
+
+}  // namespace eus

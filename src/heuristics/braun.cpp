@@ -1,0 +1,187 @@
+#include "heuristics/braun.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace eus {
+namespace {
+
+Allocation arrival_order_allocation(std::size_t tasks) {
+  Allocation a;
+  a.machine.assign(tasks, -1);
+  a.order.resize(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) a.order[i] = static_cast<int>(i);
+  return a;
+}
+
+/// Best (machine, completion) for a task given current queue state.
+struct Best {
+  int machine = -1;
+  double completion = std::numeric_limits<double>::infinity();
+  double second = std::numeric_limits<double>::infinity();
+};
+
+Best best_completion(const SystemModel& system,
+                     const std::vector<double>& available,
+                     const TaskInstance& task) {
+  Best b;
+  for (const int m : system.eligible_machines(task.type)) {
+    const auto mi = static_cast<std::size_t>(m);
+    const double start = std::max(available[mi], task.arrival);
+    const double finish = start + system.etc_on(task.type, mi);
+    if (finish < b.completion) {
+      b.second = b.completion;
+      b.completion = finish;
+      b.machine = m;
+    } else if (finish < b.second) {
+      b.second = finish;
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+Allocation met_allocation(const SystemModel& system, const Trace& trace) {
+  Allocation a = arrival_order_allocation(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::size_t type = trace.tasks()[i].type;
+    double best = std::numeric_limits<double>::infinity();
+    for (const int m : system.eligible_machines(type)) {
+      const double etc = system.etc_on(type, static_cast<std::size_t>(m));
+      if (etc < best) {
+        best = etc;
+        a.machine[i] = m;
+      }
+    }
+  }
+  return a;
+}
+
+Allocation olb_allocation(const SystemModel& system, const Trace& trace) {
+  Allocation a = arrival_order_allocation(trace.size());
+  std::vector<double> available(system.num_machines(), 0.0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& task = trace.tasks()[i];
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const int m : system.eligible_machines(task.type)) {
+      if (available[static_cast<std::size_t>(m)] < earliest) {
+        earliest = available[static_cast<std::size_t>(m)];
+        a.machine[i] = m;
+      }
+    }
+    const auto mi = static_cast<std::size_t>(a.machine[i]);
+    const double start = std::max(available[mi], task.arrival);
+    available[mi] = start + system.etc_on(task.type, mi);
+  }
+  return a;
+}
+
+Allocation max_min_completion_time_allocation(const SystemModel& system,
+                                              const Trace& trace) {
+  const std::size_t tasks = trace.size();
+  Allocation a;
+  a.machine.assign(tasks, -1);
+  a.order.assign(tasks, 0);
+  std::vector<double> available(system.num_machines(), 0.0);
+  std::vector<bool> mapped(tasks, false);
+
+  for (std::size_t step = 0; step < tasks; ++step) {
+    // Stage 1: every unmapped task's minimum completion; stage 2: map the
+    // task whose minimum completion is the LARGEST.
+    std::size_t pick = tasks;
+    Best pick_best;
+    double latest = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < tasks; ++i) {
+      if (mapped[i]) continue;
+      const Best b = best_completion(system, available, trace.tasks()[i]);
+      if (b.completion > latest) {
+        latest = b.completion;
+        pick = i;
+        pick_best = b;
+      }
+    }
+    if (pick == tasks) throw std::logic_error("max-min found no task");
+    mapped[pick] = true;
+    a.machine[pick] = pick_best.machine;
+    a.order[pick] = static_cast<int>(step);
+    available[static_cast<std::size_t>(pick_best.machine)] =
+        pick_best.completion;
+  }
+  return a;
+}
+
+Allocation sufferage_allocation(const SystemModel& system,
+                                const Trace& trace) {
+  const std::size_t tasks = trace.size();
+  Allocation a;
+  a.machine.assign(tasks, -1);
+  a.order.assign(tasks, 0);
+  std::vector<double> available(system.num_machines(), 0.0);
+  std::vector<bool> mapped(tasks, false);
+
+  for (std::size_t step = 0; step < tasks; ++step) {
+    std::size_t pick = tasks;
+    Best pick_best;
+    double max_sufferage = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < tasks; ++i) {
+      if (mapped[i]) continue;
+      const Best b = best_completion(system, available, trace.tasks()[i]);
+      // Tasks with a single eligible machine suffer "infinitely": map them
+      // first (their second-best is +inf).
+      const double sufferage = b.second - b.completion;
+      if (sufferage > max_sufferage ||
+          (sufferage == max_sufferage && pick != tasks &&
+           b.completion < pick_best.completion)) {
+        max_sufferage = sufferage;
+        pick = i;
+        pick_best = b;
+      }
+    }
+    if (pick == tasks) throw std::logic_error("sufferage found no task");
+    mapped[pick] = true;
+    a.machine[pick] = pick_best.machine;
+    a.order[pick] = static_cast<int>(step);
+    available[static_cast<std::size_t>(pick_best.machine)] =
+        pick_best.completion;
+  }
+  return a;
+}
+
+const char* to_string(BatchHeuristic h) noexcept {
+  switch (h) {
+    case BatchHeuristic::kMet:
+      return "met";
+    case BatchHeuristic::kOlb:
+      return "olb";
+    case BatchHeuristic::kMaxMin:
+      return "max-min-completion-time";
+    case BatchHeuristic::kSufferage:
+      return "sufferage";
+  }
+  return "unknown";
+}
+
+Allocation make_batch_seed(BatchHeuristic h, const SystemModel& system,
+                           const Trace& trace) {
+  switch (h) {
+    case BatchHeuristic::kMet:
+      return met_allocation(system, trace);
+    case BatchHeuristic::kOlb:
+      return olb_allocation(system, trace);
+    case BatchHeuristic::kMaxMin:
+      return max_min_completion_time_allocation(system, trace);
+    case BatchHeuristic::kSufferage:
+      return sufferage_allocation(system, trace);
+  }
+  throw std::invalid_argument("unknown batch heuristic");
+}
+
+std::vector<BatchHeuristic> all_batch_heuristics() {
+  return {BatchHeuristic::kMet, BatchHeuristic::kOlb, BatchHeuristic::kMaxMin,
+          BatchHeuristic::kSufferage};
+}
+
+}  // namespace eus

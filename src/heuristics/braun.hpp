@@ -1,0 +1,45 @@
+#pragma once
+
+// Additional classic static mapping heuristics from Braun, Siegel et al.'s
+// eleven-heuristic comparison (the paper's ref [24]) and Maheswaran et
+// al.'s dynamic-mapping study (ref [26]).  They complement the §V-B seeds:
+// more diverse starting points for the NSGA-II and more baselines for the
+// benches.
+//
+//  * MET  — minimum execution time: each task to its fastest machine,
+//           ignoring queues (can overload one machine badly).
+//  * OLB  — opportunistic load balancing: each task to the machine that
+//           becomes available soonest, ignoring execution times.
+//  * Max-Min — like Min-Min, but stage 2 maps the task whose *best*
+//           completion is latest first (big tasks placed early).
+//  * Sufferage — maps the task that would "suffer" most if denied its best
+//           machine (largest second-best minus best completion gap).
+
+#include "sched/allocation.hpp"
+#include "workload/trace.hpp"
+
+namespace eus {
+
+[[nodiscard]] Allocation met_allocation(const SystemModel& system,
+                                        const Trace& trace);
+
+[[nodiscard]] Allocation olb_allocation(const SystemModel& system,
+                                        const Trace& trace);
+
+[[nodiscard]] Allocation max_min_completion_time_allocation(
+    const SystemModel& system, const Trace& trace);
+
+[[nodiscard]] Allocation sufferage_allocation(const SystemModel& system,
+                                              const Trace& trace);
+
+enum class BatchHeuristic { kMet, kOlb, kMaxMin, kSufferage };
+
+[[nodiscard]] const char* to_string(BatchHeuristic h) noexcept;
+
+[[nodiscard]] Allocation make_batch_seed(BatchHeuristic h,
+                                         const SystemModel& system,
+                                         const Trace& trace);
+
+[[nodiscard]] std::vector<BatchHeuristic> all_batch_heuristics();
+
+}  // namespace eus

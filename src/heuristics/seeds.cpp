@@ -1,0 +1,200 @@
+#include "heuristics/seeds.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace eus {
+namespace {
+
+Allocation identity_order_allocation(std::size_t tasks) {
+  Allocation a;
+  a.machine.assign(tasks, -1);
+  a.order.resize(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) a.order[i] = static_cast<int>(i);
+  return a;
+}
+
+}  // namespace
+
+Allocation min_energy_allocation(const SystemModel& system,
+                                 const Trace& trace) {
+  Allocation a = identity_order_allocation(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::size_t type = trace.tasks()[i].type;
+    double best = std::numeric_limits<double>::infinity();
+    int choice = -1;
+    for (const int m : system.eligible_machines(type)) {
+      const double eec = system.eec_on(type, static_cast<std::size_t>(m));
+      if (eec < best) {
+        best = eec;
+        choice = m;
+      }
+    }
+    a.machine[i] = choice;
+  }
+  return a;
+}
+
+Allocation max_utility_allocation(const SystemModel& system,
+                                  const Trace& trace) {
+  Allocation a = identity_order_allocation(trace.size());
+  std::vector<double> available(system.num_machines(), 0.0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& task = trace.tasks()[i];
+    double best_utility = -1.0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    int choice = -1;
+    for (const int m : system.eligible_machines(task.type)) {
+      const auto mi = static_cast<std::size_t>(m);
+      const double start = std::max(available[mi], task.arrival);
+      const double finish = start + system.etc_on(task.type, mi);
+      const double utility = trace.tuf_of(i).value(finish - task.arrival);
+      // Tie-break on earlier finish so zero-utility stretches still prefer
+      // keeping queues short.
+      if (utility > best_utility ||
+          (utility == best_utility && finish < best_finish)) {
+        best_utility = utility;
+        best_finish = finish;
+        choice = m;
+      }
+    }
+    a.machine[i] = choice;
+    available[static_cast<std::size_t>(choice)] = best_finish;
+  }
+  return a;
+}
+
+Allocation max_utility_per_energy_allocation(const SystemModel& system,
+                                             const Trace& trace) {
+  Allocation a = identity_order_allocation(trace.size());
+  std::vector<double> available(system.num_machines(), 0.0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& task = trace.tasks()[i];
+    double best_ratio = -1.0;
+    double best_energy = std::numeric_limits<double>::infinity();
+    double chosen_finish = 0.0;
+    int choice = -1;
+    for (const int m : system.eligible_machines(task.type)) {
+      const auto mi = static_cast<std::size_t>(m);
+      const double start = std::max(available[mi], task.arrival);
+      const double finish = start + system.etc_on(task.type, mi);
+      const double utility = trace.tuf_of(i).value(finish - task.arrival);
+      const double energy = system.eec_on(task.type, mi);
+      const double ratio = utility / energy;
+      // Maximize utility-per-joule; among equal ratios (notably the
+      // all-zero-utility case) fall back to the cheaper machine (§V-B3).
+      if (ratio > best_ratio ||
+          (ratio == best_ratio && energy < best_energy)) {
+        best_ratio = ratio;
+        best_energy = energy;
+        chosen_finish = finish;
+        choice = m;
+      }
+    }
+    a.machine[i] = choice;
+    available[static_cast<std::size_t>(choice)] = chosen_finish;
+  }
+  return a;
+}
+
+Allocation min_min_completion_time_allocation(const SystemModel& system,
+                                              const Trace& trace) {
+  const std::size_t tasks = trace.size();
+  Allocation a;
+  a.machine.assign(tasks, -1);
+  a.order.assign(tasks, 0);
+
+  std::vector<double> available(system.num_machines(), 0.0);
+  std::vector<bool> mapped(tasks, false);
+
+  // Cache of each unmapped task's current best (machine, completion);
+  // entries are recomputed lazily when their machine's queue moved.
+  struct Best {
+    int machine = -1;
+    double completion = std::numeric_limits<double>::infinity();
+  };
+  std::vector<Best> best(tasks);
+
+  const auto recompute = [&](std::size_t i) {
+    const auto& task = trace.tasks()[i];
+    Best b;
+    for (const int m : system.eligible_machines(task.type)) {
+      const auto mi = static_cast<std::size_t>(m);
+      const double start = std::max(available[mi], task.arrival);
+      const double finish = start + system.etc_on(task.type, mi);
+      if (finish < b.completion) {
+        b.completion = finish;
+        b.machine = m;
+      }
+    }
+    best[i] = b;
+  };
+  for (std::size_t i = 0; i < tasks; ++i) recompute(i);
+
+  for (std::size_t step = 0; step < tasks; ++step) {
+    // Stage 2: the overall minimum completion pair.
+    std::size_t pick = tasks;
+    double pick_completion = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < tasks; ++i) {
+      if (!mapped[i] && best[i].completion < pick_completion) {
+        pick_completion = best[i].completion;
+        pick = i;
+      }
+    }
+    if (pick == tasks) throw std::logic_error("min-min found no task");
+
+    mapped[pick] = true;
+    a.machine[pick] = best[pick].machine;
+    a.order[pick] = static_cast<int>(step);  // execute in mapping sequence
+    const auto moved = static_cast<std::size_t>(best[pick].machine);
+    available[moved] = pick_completion;
+
+    // Stage 1 refresh: only tasks whose cached best used the moved machine
+    // can have changed (queues only grow, so other entries stay valid).
+    for (std::size_t i = 0; i < tasks; ++i) {
+      if (!mapped[i] && static_cast<std::size_t>(best[i].machine) == moved) {
+        recompute(i);
+      }
+    }
+  }
+  return a;
+}
+
+const char* to_string(SeedHeuristic h) noexcept {
+  switch (h) {
+    case SeedHeuristic::kMinEnergy:
+      return "min-energy";
+    case SeedHeuristic::kMaxUtility:
+      return "max-utility";
+    case SeedHeuristic::kMaxUtilityPerEnergy:
+      return "max-utility-per-energy";
+    case SeedHeuristic::kMinMinCompletionTime:
+      return "min-min-completion-time";
+  }
+  return "unknown";
+}
+
+Allocation make_seed(SeedHeuristic h, const SystemModel& system,
+                     const Trace& trace) {
+  switch (h) {
+    case SeedHeuristic::kMinEnergy:
+      return min_energy_allocation(system, trace);
+    case SeedHeuristic::kMaxUtility:
+      return max_utility_allocation(system, trace);
+    case SeedHeuristic::kMaxUtilityPerEnergy:
+      return max_utility_per_energy_allocation(system, trace);
+    case SeedHeuristic::kMinMinCompletionTime:
+      return min_min_completion_time_allocation(system, trace);
+  }
+  throw std::invalid_argument("unknown seed heuristic");
+}
+
+std::vector<SeedHeuristic> all_seed_heuristics() {
+  return {SeedHeuristic::kMinEnergy, SeedHeuristic::kMaxUtility,
+          SeedHeuristic::kMaxUtilityPerEnergy,
+          SeedHeuristic::kMinMinCompletionTime};
+}
+
+}  // namespace eus

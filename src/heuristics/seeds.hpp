@@ -1,0 +1,52 @@
+#pragma once
+
+// The paper's four greedy seeding heuristics (§V-B).  Each produces a
+// complete Allocation that the NSGA-II can inject into an initial
+// population.  All are deterministic and cheap relative to the GA.
+
+#include <string>
+
+#include "sched/allocation.hpp"
+#include "workload/trace.hpp"
+
+namespace eus {
+
+/// Single-stage greedy, tasks in arrival order: each task goes to the
+/// machine with the smallest EEC.  Provably reaches the minimum possible
+/// total energy (energy is timing-independent, §V-B1).
+[[nodiscard]] Allocation min_energy_allocation(const SystemModel& system,
+                                               const Trace& trace);
+
+/// Single-stage greedy, tasks in arrival order: each task goes to the
+/// machine maximizing the utility it would earn given current queue
+/// completion times (§V-B2).  No optimality guarantee.
+[[nodiscard]] Allocation max_utility_allocation(const SystemModel& system,
+                                                const Trace& trace);
+
+/// Single-stage greedy: maximize utility earned per joule spent; falls back
+/// to minimum energy when no machine earns positive utility (§V-B3).
+[[nodiscard]] Allocation max_utility_per_energy_allocation(
+    const SystemModel& system, const Trace& trace);
+
+/// Two-stage greedy Min-Min (§V-B4, after Ibarra & Kim): stage 1 finds each
+/// unmapped task's best-completion machine; stage 2 maps the task/machine
+/// pair with the globally smallest completion time; repeat.
+[[nodiscard]] Allocation min_min_completion_time_allocation(
+    const SystemModel& system, const Trace& trace);
+
+enum class SeedHeuristic {
+  kMinEnergy,
+  kMaxUtility,
+  kMaxUtilityPerEnergy,
+  kMinMinCompletionTime,
+};
+
+[[nodiscard]] const char* to_string(SeedHeuristic h) noexcept;
+
+[[nodiscard]] Allocation make_seed(SeedHeuristic h, const SystemModel& system,
+                                   const Trace& trace);
+
+/// All four heuristics, in the enum's order.
+[[nodiscard]] std::vector<SeedHeuristic> all_seed_heuristics();
+
+}  // namespace eus

@@ -1,0 +1,122 @@
+#include "online/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace eus {
+namespace {
+
+struct Choice {
+  int machine = -1;
+  double finish = 0.0;
+  double utility = 0.0;
+  double energy = 0.0;
+};
+
+enum class TieBreak { kEnergyThenFinish, kFinishThenEnergy };
+
+/// Evaluates every eligible machine for the arriving task and returns the
+/// one maximizing `score`, breaking score ties per `tie`.
+template <typename Score>
+Choice pick(const OnlineContext& ctx, const TaskInstance& task,
+            const TimeUtilityFunction& tuf, Score&& score,
+            TieBreak tie = TieBreak::kEnergyThenFinish) {
+  const SystemModel& system = *ctx.system;
+  Choice best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const int m : system.eligible_machines(task.type)) {
+    const auto mi = static_cast<std::size_t>(m);
+    const double start =
+        std::max((*ctx.machine_available)[mi], task.arrival);
+    Choice c;
+    c.machine = m;
+    c.finish = start + system.etc_on(task.type, mi);
+    c.utility = tuf.value(c.finish - task.arrival);
+    c.energy = system.eec_on(task.type, mi);
+    const double s = score(c);
+    bool take = best.machine < 0;
+    if (!take && s > best_score) take = true;
+    if (!take && s == best_score) {
+      if (tie == TieBreak::kEnergyThenFinish) {
+        take = c.energy < best.energy ||
+               (c.energy == best.energy && c.finish < best.finish);
+      } else {
+        take = c.finish < best.finish ||
+               (c.finish == best.finish && c.energy < best.energy);
+      }
+    }
+    if (take) {
+      best = c;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int OnlineMinEnergy::place(const OnlineContext& ctx, const TaskInstance& task,
+                           const TimeUtilityFunction& tuf) {
+  return pick(ctx, task, tuf, [](const Choice& c) { return -c.energy; })
+      .machine;
+}
+
+int OnlineMaxUtility::place(const OnlineContext& ctx,
+                            const TaskInstance& task,
+                            const TimeUtilityFunction& tuf) {
+  // Tie-break on earlier finish, mirroring §V-B2's offline heuristic
+  // (so this policy reproduces max_utility_allocation exactly).
+  return pick(ctx, task, tuf, [](const Choice& c) { return c.utility; },
+              TieBreak::kFinishThenEnergy)
+      .machine;
+}
+
+int OnlineMaxUtilityPerEnergy::place(const OnlineContext& ctx,
+                                     const TaskInstance& task,
+                                     const TimeUtilityFunction& tuf) {
+  return pick(ctx, task, tuf,
+              [](const Choice& c) { return c.utility / c.energy; })
+      .machine;
+}
+
+int OnlineMinCompletionTime::place(const OnlineContext& ctx,
+                                   const TaskInstance& task,
+                                   const TimeUtilityFunction& tuf) {
+  return pick(ctx, task, tuf, [](const Choice& c) { return -c.finish; })
+      .machine;
+}
+
+int BudgetPacedUtility::place(const OnlineContext& ctx,
+                              const TaskInstance& task,
+                              const TimeUtilityFunction& tuf) {
+  if (ctx.energy_budget <= 0.0) {
+    // No budget: plain utility maximization (identical to OnlineMaxUtility).
+    return pick(ctx, task, tuf, [](const Choice& c) { return c.utility; },
+                TieBreak::kFinishThenEnergy)
+        .machine;
+  }
+  const double remaining = ctx.energy_budget - ctx.energy_spent;
+
+  // Pro-rata pace: by the k-th of K expected tasks we intend to have spent
+  // k/K of the budget.
+  const double expected =
+      ctx.tasks_expected > 0
+          ? ctx.energy_budget * static_cast<double>(ctx.tasks_seen) /
+                static_cast<double>(ctx.tasks_expected)
+          : ctx.energy_budget;
+
+  const Choice greedy =
+      pick(ctx, task, tuf, [](const Choice& c) { return c.utility; });
+  if (ctx.energy_spent + greedy.energy <= expected) return greedy.machine;
+
+  const Choice efficient = pick(
+      ctx, task, tuf, [](const Choice& c) { return c.utility / c.energy; });
+  if (efficient.energy <= remaining) return efficient.machine;
+
+  // Last resort: the cheapest machine (may still overrun; the simulator
+  // decides whether to drop instead).
+  return pick(ctx, task, tuf, [](const Choice& c) { return -c.energy; })
+      .machine;
+}
+
+}  // namespace eus

@@ -1,0 +1,97 @@
+#pragma once
+
+// Online (dynamic) mapping policies.  The paper's framework is explicitly
+// offline/post-mortem, but its stated purpose is to parameterize *online*
+// heuristics: "These energy constraints could then be used in conjunction
+// with a separate online dynamic utility maximization heuristic" (§VI).
+// This module provides that other half: policies that see tasks only as
+// they arrive — no future knowledge — and an event simulator to drive them.
+
+#include <string>
+
+#include "data/system.hpp"
+#include "tuf/time_utility_function.hpp"
+#include "workload/trace.hpp"
+
+namespace eus {
+
+/// Everything a policy may inspect at decision time.  All state refers to
+/// "now" (the arriving task's arrival instant); nothing about future
+/// arrivals is visible.
+struct OnlineContext {
+  const SystemModel* system = nullptr;
+  double now = 0.0;
+  /// When each machine instance's queue drains (>= now means busy).
+  const std::vector<double>* machine_available = nullptr;
+  double energy_spent = 0.0;
+  /// Total-energy cap for the run; <= 0 means unconstrained.
+  double energy_budget = 0.0;
+  /// Tasks seen so far including the current one / expected total (the
+  /// administrator knows the historical arrival rate).
+  std::size_t tasks_seen = 0;
+  std::size_t tasks_expected = 0;
+};
+
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Chooses the machine instance for the arriving task, or -1 to decline
+  /// it (only honored when the simulator allows dropping).  Must pick from
+  /// system->eligible_machines(task.type).
+  [[nodiscard]] virtual int place(const OnlineContext& ctx,
+                                  const TaskInstance& task,
+                                  const TimeUtilityFunction& tuf) = 0;
+};
+
+/// Greedy minimum-EEC placement — the online twin of §V-B1.
+class OnlineMinEnergy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "online-min-energy"; }
+  [[nodiscard]] int place(const OnlineContext& ctx, const TaskInstance& task,
+                          const TimeUtilityFunction& tuf) override;
+};
+
+/// Greedy maximum-utility placement — the online twin of §V-B2.
+class OnlineMaxUtility final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "online-max-utility"; }
+  [[nodiscard]] int place(const OnlineContext& ctx, const TaskInstance& task,
+                          const TimeUtilityFunction& tuf) override;
+};
+
+/// Greedy maximum utility-per-joule — the online twin of §V-B3.
+class OnlineMaxUtilityPerEnergy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "online-max-utility-per-energy";
+  }
+  [[nodiscard]] int place(const OnlineContext& ctx, const TaskInstance& task,
+                          const TimeUtilityFunction& tuf) override;
+};
+
+/// Minimum completion time (MCT, Maheswaran et al. 1999): the classic
+/// dynamic-mapping baseline.
+class OnlineMinCompletionTime final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "online-mct"; }
+  [[nodiscard]] int place(const OnlineContext& ctx, const TaskInstance& task,
+                          const TimeUtilityFunction& tuf) override;
+};
+
+/// The paper's intended composite: maximize utility while pacing energy
+/// against a budget derived from the offline Pareto analysis.  While the
+/// run is under its pro-rata energy pace it behaves like max-utility; once
+/// ahead of pace it behaves like max-utility-per-energy; when a placement
+/// would overshoot the whole budget it falls back to min-energy.
+class BudgetPacedUtility final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "budget-paced-utility";
+  }
+  [[nodiscard]] int place(const OnlineContext& ctx, const TaskInstance& task,
+                          const TimeUtilityFunction& tuf) override;
+};
+
+}  // namespace eus

@@ -1,0 +1,109 @@
+#include "online/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+int cheapest_machine(const SystemModel& system, std::size_t type) {
+  int best = -1;
+  double best_eec = std::numeric_limits<double>::infinity();
+  for (const int m : system.eligible_machines(type)) {
+    const double eec = system.eec_on(type, static_cast<std::size_t>(m));
+    if (eec < best_eec) {
+      best_eec = eec;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+OnlineResult simulate_online(const SystemModel& system, const Trace& trace,
+                             OnlinePolicy& policy,
+                             const OnlineOptions& options) {
+  trace.validate_against(system);
+
+  OnlineResult result;
+  result.outcomes.resize(trace.size());
+  result.allocation.machine.assign(trace.size(), 0);
+  result.allocation.order.resize(trace.size());
+
+  std::vector<double> available(system.num_machines(), 0.0);
+
+  OnlineContext ctx;
+  ctx.system = &system;
+  ctx.machine_available = &available;
+  ctx.energy_budget = options.energy_budget;
+  ctx.tasks_expected = trace.size();
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TaskInstance& task = trace.tasks()[i];
+    const TimeUtilityFunction& tuf = trace.tuf_of(i);
+    ctx.now = task.arrival;
+    ctx.energy_spent = result.energy;
+    ctx.tasks_seen = i + 1;
+    result.allocation.order[i] = static_cast<int>(i);  // arrival order
+
+    int machine = policy.place(ctx, task, tuf);
+    if (machine >= 0 &&
+        !system.eligible(task.type, static_cast<std::size_t>(machine))) {
+      throw std::invalid_argument("policy chose an ineligible machine");
+    }
+
+    bool drop = false;
+    if (machine < 0) {
+      if (!options.allow_dropping) {
+        throw std::invalid_argument(
+            "policy declined a task but dropping is disabled");
+      }
+      drop = true;
+      machine = cheapest_machine(system, task.type);
+    } else if (options.energy_budget > 0.0) {
+      const double eec =
+          system.eec_on(task.type, static_cast<std::size_t>(machine));
+      if (result.energy + eec > options.energy_budget) {
+        // Retry the cheapest machine before giving up on the task.
+        const int cheap = cheapest_machine(system, task.type);
+        const double cheap_eec =
+            system.eec_on(task.type, static_cast<std::size_t>(cheap));
+        if (result.energy + cheap_eec <= options.energy_budget) {
+          machine = cheap;
+        } else if (options.allow_dropping) {
+          drop = true;
+          machine = cheap;
+        } else {
+          machine = cheap;
+          result.budget_overrun = true;
+        }
+      }
+    }
+
+    result.allocation.machine[i] = machine;
+    if (drop) {
+      ++result.dropped;
+      result.outcomes[i] = TaskOutcome{machine, 0.0, 0.0, 0.0, 0.0, true};
+      continue;
+    }
+
+    const auto mi = static_cast<std::size_t>(machine);
+    const double start = std::max(available[mi], task.arrival);
+    const double exec = system.etc_on(task.type, mi);
+    const double finish = start + exec;
+    available[mi] = finish;
+
+    const double utility = tuf.value(finish - task.arrival);
+    const double energy = system.eec_on(task.type, mi);
+    result.utility += utility;
+    result.energy += energy;
+    result.makespan = std::max(result.makespan, finish);
+    result.outcomes[i] =
+        TaskOutcome{machine, start, finish, utility, energy, false};
+  }
+  return result;
+}
+
+}  // namespace eus

@@ -1,0 +1,45 @@
+#pragma once
+
+// The online (dynamic) scheduling simulator: replays a trace in arrival
+// order, consulting an OnlinePolicy at each arrival with no knowledge of
+// the future, and accounting utility/energy exactly like the offline
+// evaluator.  An online run is therefore directly comparable to — and can
+// be converted into — an offline Allocation (machines as chosen, global
+// scheduling order == arrival order).
+
+#include <vector>
+
+#include "online/policy.hpp"
+#include "sched/evaluator.hpp"
+
+namespace eus {
+
+struct OnlineOptions {
+  /// Total-energy cap; <= 0 disables budgeting.  When a placement would
+  /// exceed the cap the simulator retries the cheapest eligible machine,
+  /// then drops the task if dropping is allowed (else places it and
+  /// records the overrun).
+  double energy_budget = 0.0;
+  bool allow_dropping = false;
+};
+
+struct OnlineResult {
+  double utility = 0.0;
+  double energy = 0.0;
+  double makespan = 0.0;
+  std::size_t dropped = 0;
+  bool budget_overrun = false;
+  std::vector<TaskOutcome> outcomes;  ///< indexed by trace task
+  /// The run re-expressed as an offline allocation (dropped tasks mapped
+  /// to their cheapest machine for shape; see `dropped` flags).
+  Allocation allocation;
+};
+
+/// Runs `policy` over the trace.  Throws std::invalid_argument if the
+/// policy returns an ineligible machine, or -1 while dropping is disabled.
+[[nodiscard]] OnlineResult simulate_online(const SystemModel& system,
+                                           const Trace& trace,
+                                           OnlinePolicy& policy,
+                                           const OnlineOptions& options = {});
+
+}  // namespace eus

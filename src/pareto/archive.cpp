@@ -1,0 +1,86 @@
+#include "pareto/archive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace eus {
+
+bool ParetoArchive::insert(const EUPoint& p, std::size_t tag) {
+  // Reject if dominated by or equal to any member.  Members are sorted by
+  // energy; only members with energy <= p.energy can dominate it.
+  for (const auto& e : entries_) {
+    if (e.point.energy > p.energy) break;
+    if (dominates(e.point, p) || e.point == p) return false;
+  }
+
+  // Evict members p dominates (they have energy >= p.energy).
+  std::erase_if(entries_, [&](const Entry& e) { return dominates(p, e.point); });
+
+  const auto at = std::lower_bound(
+      entries_.begin(), entries_.end(), p, [](const Entry& e, const EUPoint& q) {
+        return e.point.energy < q.energy;
+      });
+  entries_.insert(at, Entry{p, tag});
+
+  if (capacity_ > 0 && entries_.size() > capacity_) prune();
+  return true;
+}
+
+std::size_t ParetoArchive::insert_all(const std::vector<EUPoint>& points,
+                                      std::size_t tag) {
+  std::size_t added = 0;
+  for (const auto& p : points) {
+    if (insert(p, tag)) ++added;
+  }
+  return added;
+}
+
+std::vector<EUPoint> ParetoArchive::points() const {
+  std::vector<EUPoint> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.point);
+  return out;
+}
+
+bool ParetoArchive::covers(const EUPoint& p) const {
+  for (const auto& e : entries_) {
+    if (e.point.energy > p.energy) break;
+    if (dominates(e.point, p) || e.point == p) return true;
+  }
+  return false;
+}
+
+void ParetoArchive::prune() {
+  // Drop the interior member with the smallest crowding credit (sum of the
+  // normalized gaps to its neighbours along the energy-sorted front).
+  const std::size_t n = entries_.size();
+  const double e_span =
+      std::max(entries_.back().point.energy - entries_.front().point.energy,
+               1e-300);
+  const double u_span =
+      std::max(entries_.back().point.utility - entries_.front().point.utility,
+               1e-300);
+
+  std::size_t victim = 0;
+  double smallest = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double credit =
+        (entries_[i + 1].point.energy - entries_[i - 1].point.energy) /
+            e_span +
+        (entries_[i + 1].point.utility - entries_[i - 1].point.utility) /
+            u_span;
+    if (credit < smallest) {
+      smallest = credit;
+      victim = i;
+    }
+  }
+  if (victim != 0) {
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+  } else if (!entries_.empty()) {
+    // n <= 2 with capacity 1: keep the higher-utility extreme.
+    entries_.erase(entries_.begin());
+  }
+}
+
+}  // namespace eus

@@ -1,0 +1,80 @@
+#include "pareto/attainment.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "pareto/front.hpp"
+
+namespace eus {
+namespace {
+
+constexpr double kNone = -std::numeric_limits<double>::infinity();
+
+/// Highest utility this (cleaned, energy-ascending) front reaches with
+/// energy <= x; kNone when even its cheapest point costs more than x.
+double best_utility_within(const std::vector<EUPoint>& front, double x) {
+  double best = kNone;
+  for (const auto& p : front) {
+    if (p.energy > x) break;
+    best = p.utility;  // utilities ascend along the cleaned front
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t attainment_count(const std::vector<std::vector<EUPoint>>& fronts,
+                             const EUPoint& p) {
+  std::size_t count = 0;
+  for (const auto& raw : fronts) {
+    for (const auto& q : raw) {
+      if (q.energy <= p.energy && q.utility >= p.utility) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<EUPoint> attainment_front(
+    const std::vector<std::vector<EUPoint>>& fronts, std::size_t k) {
+  if (fronts.empty()) {
+    throw std::invalid_argument("attainment needs >= 1 front");
+  }
+  if (k < 1 || k > fronts.size()) {
+    throw std::invalid_argument("k must lie in [1, number of fronts]");
+  }
+
+  std::vector<std::vector<EUPoint>> clean;
+  clean.reserve(fronts.size());
+  std::vector<double> energies;
+  for (const auto& raw : fronts) {
+    clean.push_back(pareto_front(raw));
+    if (clean.back().empty()) {
+      throw std::invalid_argument("attainment fronts must be non-empty");
+    }
+    for (const auto& p : clean.back()) energies.push_back(p.energy);
+  }
+  std::sort(energies.begin(), energies.end());
+  energies.erase(std::unique(energies.begin(), energies.end()),
+                 energies.end());
+
+  // At each candidate energy, the k-th largest per-run achievable utility.
+  std::vector<EUPoint> boundary;
+  std::vector<double> per_run(clean.size());
+  for (const double x : energies) {
+    for (std::size_t r = 0; r < clean.size(); ++r) {
+      per_run[r] = best_utility_within(clean[r], x);
+    }
+    std::nth_element(per_run.begin(),
+                     per_run.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     per_run.end(), std::greater<double>());
+    const double u = per_run[k - 1];
+    if (u != kNone) boundary.push_back({x, u});
+  }
+  return pareto_front(boundary);
+}
+
+}  // namespace eus

@@ -1,0 +1,31 @@
+#pragma once
+
+// Empirical attainment: summarize K repeated runs' Pareto fronts by the
+// region of objective space that at least k of them reached.  The
+// k%-attainment front generalizes "best run" (k = 1) and "every run"
+// (k = K) and is the standard way to report stochastic multi-objective
+// solvers beyond a single-seed anecdote.
+
+#include <cstddef>
+#include <vector>
+
+#include "pareto/point.hpp"
+
+namespace eus {
+
+/// The k-of-K attainment front of `fronts` (each front any point set; they
+/// are cleaned internally).  A point is *attained* by a run when some
+/// member of that run's front weakly dominates it.  The result is the
+/// nondominated staircase of points attained by at least `k` runs —
+/// ascending in energy, like every front in the library.
+///
+/// Throws std::invalid_argument when `fronts` is empty, any front is
+/// empty, or k is outside [1, fronts.size()].
+[[nodiscard]] std::vector<EUPoint> attainment_front(
+    const std::vector<std::vector<EUPoint>>& fronts, std::size_t k);
+
+/// How many of the runs attain point `p` (weak dominance).
+[[nodiscard]] std::size_t attainment_count(
+    const std::vector<std::vector<EUPoint>>& fronts, const EUPoint& p);
+
+}  // namespace eus

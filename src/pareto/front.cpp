@@ -1,0 +1,61 @@
+#include "pareto/front.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace eus {
+
+std::vector<std::size_t> nondominated_indices(
+    const std::vector<EUPoint>& points) {
+  // Sweep in ascending energy (ties: descending utility).  A point is
+  // nondominated iff its utility strictly exceeds every smaller-energy
+  // point's utility — except exact duplicates, which are kept.
+  std::vector<std::size_t> idx(points.size());
+  std::iota(idx.begin(), idx.end(), 0U);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].energy != points[b].energy) {
+      return points[a].energy < points[b].energy;
+    }
+    if (points[a].utility != points[b].utility) {
+      return points[a].utility > points[b].utility;
+    }
+    return a < b;
+  });
+
+  std::vector<std::size_t> front;
+  double best_utility = -std::numeric_limits<double>::infinity();
+  EUPoint last_kept{std::numeric_limits<double>::quiet_NaN(),
+                    std::numeric_limits<double>::quiet_NaN()};
+  for (const std::size_t i : idx) {
+    const EUPoint& p = points[i];
+    if (p.utility > best_utility) {
+      front.push_back(i);
+      best_utility = p.utility;
+      last_kept = p;
+    } else if (p.energy == last_kept.energy &&
+               p.utility == last_kept.utility) {
+      front.push_back(i);  // duplicate of a nondominated point
+    }
+  }
+  return front;
+}
+
+std::vector<EUPoint> pareto_front(const std::vector<EUPoint>& points) {
+  std::vector<EUPoint> out;
+  for (const std::size_t i : nondominated_indices(points)) {
+    out.push_back(points[i]);
+  }
+  return out;
+}
+
+bool is_mutually_nondominated(const std::vector<EUPoint>& points) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i != j && dominates(points[i], points[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eus

@@ -1,0 +1,27 @@
+#pragma once
+
+// Pareto-front extraction and representation.
+
+#include <cstddef>
+#include <vector>
+
+#include "pareto/point.hpp"
+
+namespace eus {
+
+/// Indices of the nondominated members of `points` (rank-1 set), in
+/// ascending-energy order.  Duplicates of a nondominated point are all
+/// kept.  O(n log n).
+[[nodiscard]] std::vector<std::size_t> nondominated_indices(
+    const std::vector<EUPoint>& points);
+
+/// The nondominated points themselves, ascending in energy (and therefore
+/// non-decreasing in utility along the front).
+[[nodiscard]] std::vector<EUPoint> pareto_front(
+    const std::vector<EUPoint>& points);
+
+/// True iff no member of `points` dominates another (i.e. it is a valid
+/// mutually-nondominated set).
+[[nodiscard]] bool is_mutually_nondominated(const std::vector<EUPoint>& points);
+
+}  // namespace eus

@@ -1,0 +1,62 @@
+#include "pareto/knee.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pareto/front.hpp"
+
+namespace eus {
+
+KneeAnalysis analyze_utility_per_energy(const std::vector<EUPoint>& points,
+                                        double region_tolerance) {
+  KneeAnalysis out;
+  out.front = pareto_front(points);
+  if (out.front.empty()) return out;
+
+  out.ratio.reserve(out.front.size());
+  for (const auto& p : out.front) {
+    if (!(p.energy > 0.0)) {
+      throw std::invalid_argument("utility-per-energy needs positive energy");
+    }
+    out.ratio.push_back(p.utility / p.energy);
+  }
+
+  for (std::size_t i = 1; i < out.ratio.size(); ++i) {
+    if (out.ratio[i] > out.ratio[out.peak_index]) out.peak_index = i;
+  }
+  out.peak = out.front[out.peak_index];
+  out.peak_ratio = out.ratio[out.peak_index];
+
+  const double floor = out.peak_ratio * (1.0 - region_tolerance);
+  for (std::size_t i = 0; i < out.ratio.size(); ++i) {
+    if (out.ratio[i] >= floor) out.region.push_back(i);
+  }
+  return out;
+}
+
+std::size_t chord_knee_index(const std::vector<EUPoint>& points) {
+  const std::vector<EUPoint> front = pareto_front(points);
+  if (front.size() < 3) return 0;
+
+  const EUPoint& lo = front.front();
+  const EUPoint& hi = front.back();
+  const double e_span = std::max(hi.energy - lo.energy, 1e-300);
+  const double u_span = std::max(hi.utility - lo.utility, 1e-300);
+
+  // Normalized chord from (0,0) to (1,1); distance of each normalized
+  // front point above it.
+  std::size_t best = 0;
+  double best_distance = -1.0;
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const double x = (front[i].energy - lo.energy) / e_span;
+    const double y = (front[i].utility - lo.utility) / u_span;
+    const double distance = (y - x) / std::sqrt(2.0);
+    if (distance > best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace eus

@@ -1,0 +1,45 @@
+#pragma once
+
+// The Figure-5 analysis: locate the region of a Pareto front where utility
+// earned *per unit energy spent* peaks — "the location where the system is
+// operating as efficiently as possible" (§VI).  Subplot B of the figure is
+// U/E vs utility, subplot C is U/E vs energy; the peak of both identifies
+// the circled region on the front.
+
+#include <cstddef>
+#include <vector>
+
+#include "pareto/point.hpp"
+
+namespace eus {
+
+struct KneeAnalysis {
+  /// Front points ascending in energy (the input, cleaned).
+  std::vector<EUPoint> front;
+  /// utility/energy ratio per front point (same order).
+  std::vector<double> ratio;
+  /// Index of the peak-ratio point.
+  std::size_t peak_index = 0;
+  /// The peak point and its ratio.
+  EUPoint peak{};
+  double peak_ratio = 0.0;
+  /// Indices whose ratio is within `region_tolerance` of the peak — the
+  /// "circled region" of Figures 3-6.
+  std::vector<std::size_t> region;
+};
+
+/// Runs the analysis; `region_tolerance` is the relative ratio slack that
+/// delimits the efficient-operation region (default 2%).  Points with
+/// non-positive energy are rejected (std::invalid_argument); an empty
+/// input yields an empty analysis.
+[[nodiscard]] KneeAnalysis analyze_utility_per_energy(
+    const std::vector<EUPoint>& points, double region_tolerance = 0.02);
+
+/// An alternative knee definition for comparison with the paper's U/E
+/// peak: the front point farthest (perpendicular, in normalized objective
+/// space) above the chord joining the front's two extremes — "maximum
+/// bulge".  Returns the index into pareto_front(points); 0 for fronts of
+/// fewer than three points.  Same preconditions as the U/E analysis.
+[[nodiscard]] std::size_t chord_knee_index(const std::vector<EUPoint>& points);
+
+}  // namespace eus

@@ -1,0 +1,140 @@
+#include "pareto/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "pareto/front.hpp"
+
+namespace eus {
+
+double hypervolume(const std::vector<EUPoint>& front,
+                   const EUPoint& reference) {
+  const std::vector<EUPoint> clean = pareto_front(front);
+  if (clean.empty()) return 0.0;
+  for (const auto& p : clean) {
+    if (p.energy > reference.energy || p.utility < reference.utility) {
+      throw std::invalid_argument(
+          "reference point must be weakly dominated by the whole front");
+    }
+  }
+  // clean is ascending in energy and utility.  Sweep right-to-left: the
+  // best (highest-utility) point owns the slab from its energy to the
+  // previous point's energy.
+  double volume = 0.0;
+  double right_edge = reference.energy;
+  for (auto it = clean.rbegin(); it != clean.rend(); ++it) {
+    volume += (right_edge - it->energy) * (it->utility - reference.utility);
+    right_edge = it->energy;
+  }
+  return volume;
+}
+
+double coverage(const std::vector<EUPoint>& a, const std::vector<EUPoint>& b) {
+  if (b.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (const auto& pb : b) {
+    for (const auto& pa : a) {
+      if (dominates(pa, pb) || pa == pb) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(b.size());
+}
+
+double spread(const std::vector<EUPoint>& front) {
+  std::vector<EUPoint> clean = pareto_front(front);
+  if (clean.size() < 2) return 0.0;
+
+  // Normalize both axes to [0,1] so the Euclidean gaps are comparable.
+  const double e_lo = clean.front().energy;
+  const double e_hi = clean.back().energy;
+  const double u_lo = clean.front().utility;
+  const double u_hi = clean.back().utility;
+  const double e_span = e_hi > e_lo ? e_hi - e_lo : 1.0;
+  const double u_span = u_hi > u_lo ? u_hi - u_lo : 1.0;
+
+  std::vector<double> gaps;
+  gaps.reserve(clean.size() - 1);
+  for (std::size_t i = 1; i < clean.size(); ++i) {
+    const double de = (clean[i].energy - clean[i - 1].energy) / e_span;
+    const double du = (clean[i].utility - clean[i - 1].utility) / u_span;
+    gaps.push_back(std::hypot(de, du));
+  }
+  double mean = 0.0;
+  for (const double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  if (mean <= 0.0) return 0.0;
+
+  double deviation = 0.0;
+  for (const double g : gaps) deviation += std::abs(g - mean);
+  return deviation / (static_cast<double>(gaps.size()) * mean);
+}
+
+double epsilon_indicator(const std::vector<EUPoint>& a,
+                         const std::vector<EUPoint>& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("epsilon indicator needs non-empty sets");
+  }
+  double worst = -std::numeric_limits<double>::infinity();
+  for (const auto& pb : b) {
+    // Smallest shift that makes some member of A weakly dominate pb.
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& pa : a) {
+      const double need =
+          std::max(pa.energy - pb.energy, pb.utility - pa.utility);
+      best = std::min(best, need);
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+double generational_distance(const std::vector<EUPoint>& front,
+                             const std::vector<EUPoint>& reference) {
+  if (front.empty() || reference.empty()) {
+    throw std::invalid_argument("generational distance needs non-empty sets");
+  }
+  double total = 0.0;
+  for (const auto& p : front) {
+    double nearest = std::numeric_limits<double>::infinity();
+    for (const auto& r : reference) {
+      nearest = std::min(
+          nearest, std::hypot(p.energy - r.energy, p.utility - r.utility));
+    }
+    total += nearest;
+  }
+  return total / static_cast<double>(front.size());
+}
+
+double inverted_generational_distance(const std::vector<EUPoint>& front,
+                                      const std::vector<EUPoint>& reference) {
+  return generational_distance(reference, front);
+}
+
+EUPoint enclosing_reference(const std::vector<std::vector<EUPoint>>& sets,
+                            double margin) {
+  double e_max = -std::numeric_limits<double>::infinity();
+  double u_min = std::numeric_limits<double>::infinity();
+  double e_min = std::numeric_limits<double>::infinity();
+  double u_max = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& set : sets) {
+    for (const auto& p : set) {
+      e_max = std::max(e_max, p.energy);
+      e_min = std::min(e_min, p.energy);
+      u_min = std::min(u_min, p.utility);
+      u_max = std::max(u_max, p.utility);
+      any = true;
+    }
+  }
+  if (!any) return {1.0, 0.0};
+  const double e_pad = margin * std::max(e_max - e_min, 1e-12);
+  const double u_pad = margin * std::max(u_max - u_min, 1e-12);
+  return {e_max + e_pad, u_min - u_pad};
+}
+
+}  // namespace eus

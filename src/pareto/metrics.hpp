@@ -1,0 +1,57 @@
+#pragma once
+
+// Quality indicators for comparing Pareto fronts: hypervolume (2-D exact),
+// Zitzler's coverage C-metric, and Deb's spread Δ.  Used by the benches to
+// quantify the seed-vs-random conclusions of §VI.
+
+#include <vector>
+
+#include "pareto/point.hpp"
+
+namespace eus {
+
+/// Exact 2-D hypervolume of the region dominated by `front` and bounded by
+/// `reference` (which must be weakly dominated by every front point:
+/// reference.energy >= each energy, reference.utility <= each utility).
+/// Dominated members of `front` are ignored.  Returns 0 for empty input.
+[[nodiscard]] double hypervolume(const std::vector<EUPoint>& front,
+                                 const EUPoint& reference);
+
+/// Zitzler's C(A, B): the fraction of B weakly dominated by at least one
+/// member of A.  C(A,B)=1 means A covers all of B; not symmetric.
+/// Returns 0 when B is empty.
+[[nodiscard]] double coverage(const std::vector<EUPoint>& a,
+                              const std::vector<EUPoint>& b);
+
+/// Deb's spread Δ over the front (lower = more uniform spacing).  Needs at
+/// least two distinct points; returns 0 otherwise.
+[[nodiscard]] double spread(const std::vector<EUPoint>& front);
+
+/// Reference point enclosing every point of every listed set, padded by
+/// `margin` (relative).  Handy for comparable hypervolumes across
+/// checkpoints.
+[[nodiscard]] EUPoint enclosing_reference(
+    const std::vector<std::vector<EUPoint>>& sets, double margin = 0.05);
+
+/// Additive epsilon indicator I_eps+(A, B): the smallest shift e such that
+/// every b in B is weakly dominated by some a in A moved e toward "worse"
+/// in both objectives (a.energy - e <= b.energy is NOT the direction —
+/// formally: min e s.t. for all b, exists a with a.energy - e <= b.energy
+/// and a.utility + e >= b.utility).  0 when A already covers B; negative
+/// values mean A strictly dominates B everywhere.  Throws on empty inputs.
+[[nodiscard]] double epsilon_indicator(const std::vector<EUPoint>& a,
+                                       const std::vector<EUPoint>& b);
+
+/// Generational distance: average Euclidean distance from each member of
+/// `front` to its nearest member of `reference` (lower = closer).  Throws
+/// on empty inputs.  Objectives are used unnormalized — normalize upstream
+/// if the scales differ wildly.
+[[nodiscard]] double generational_distance(
+    const std::vector<EUPoint>& front, const std::vector<EUPoint>& reference);
+
+/// Inverted generational distance: generational_distance(reference, front)
+/// — measures coverage of the reference by the front.
+[[nodiscard]] double inverted_generational_distance(
+    const std::vector<EUPoint>& front, const std::vector<EUPoint>& reference);
+
+}  // namespace eus

@@ -1,0 +1,32 @@
+#pragma once
+
+// The framework's objective space (Figure 2): energy on the x-axis
+// (minimize), utility on the y-axis (maximize).  "Good" lives in the upper
+// left.  Problems with other semantics (e.g. the makespan-energy baseline)
+// map their second objective into `utility` as a to-be-maximized value.
+
+namespace eus {
+
+struct EUPoint {
+  double energy = 0.0;   ///< minimize
+  double utility = 0.0;  ///< maximize
+
+  friend bool operator==(const EUPoint&, const EUPoint&) = default;
+};
+
+/// Pareto dominance per §IV-C: a dominates b iff a is no worse in both
+/// objectives and strictly better in at least one.
+[[nodiscard]] constexpr bool dominates(const EUPoint& a,
+                                       const EUPoint& b) noexcept {
+  const bool no_worse = a.energy <= b.energy && a.utility >= b.utility;
+  const bool better = a.energy < b.energy || a.utility > b.utility;
+  return no_worse && better;
+}
+
+/// Neither dominates the other (both may also be equal).
+[[nodiscard]] constexpr bool incomparable(const EUPoint& a,
+                                          const EUPoint& b) noexcept {
+  return !dominates(a, b) && !dominates(b, a);
+}
+
+}  // namespace eus

@@ -1,0 +1,72 @@
+#include "sched/allocation_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace eus {
+namespace {
+
+int parse_int(const std::string& text, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos != text.size()) throw std::runtime_error("");
+    return v;
+  } catch (...) {
+    throw std::runtime_error(std::string("bad ") + what + ": '" + text + "'");
+  }
+}
+
+}  // namespace
+
+std::string allocation_to_csv(const Allocation& allocation) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  const bool has_pstate = !allocation.pstate.empty();
+  if (has_pstate) {
+    csv.write_row({"task", "machine", "order", "pstate"});
+  } else {
+    csv.write_row({"task", "machine", "order"});
+  }
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(i),
+                                    std::to_string(allocation.machine[i]),
+                                    std::to_string(allocation.order[i])};
+    if (has_pstate) row.push_back(std::to_string(allocation.pstate[i]));
+    csv.write_row(row);
+  }
+  return os.str();
+}
+
+Allocation allocation_from_csv(const std::string& csv) {
+  const auto rows = parse_csv(csv);
+  if (rows.empty()) throw std::runtime_error("empty allocation CSV");
+  const auto& header = rows.front();
+  bool has_pstate = false;
+  if (header == std::vector<std::string>{"task", "machine", "order",
+                                         "pstate"}) {
+    has_pstate = true;
+  } else if (header != std::vector<std::string>{"task", "machine", "order"}) {
+    throw std::runtime_error("unrecognized allocation CSV header");
+  }
+
+  Allocation a;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != header.size()) {
+      throw std::runtime_error("ragged allocation CSV row");
+    }
+    const int task = parse_int(row[0], "task id");
+    if (task != static_cast<int>(r) - 1) {
+      throw std::runtime_error("task ids must be 0..T-1 in order");
+    }
+    a.machine.push_back(parse_int(row[1], "machine"));
+    a.order.push_back(parse_int(row[2], "order"));
+    if (has_pstate) a.pstate.push_back(parse_int(row[3], "pstate"));
+  }
+  return a;
+}
+
+}  // namespace eus

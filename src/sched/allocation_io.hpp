@@ -1,0 +1,23 @@
+#pragma once
+
+// Allocation persistence: the deployable artifact of the whole analysis is
+// a concrete task→machine mapping with its scheduling order.  This CSV
+// form (task,machine,order[,pstate]) is what an administrator exports from
+// the front and hands to a dispatcher.
+
+#include <string>
+
+#include "sched/allocation.hpp"
+
+namespace eus {
+
+/// Serializes as "task,machine,order[,pstate]" rows with a header.  The
+/// pstate column appears only when the allocation carries P-states.
+[[nodiscard]] std::string allocation_to_csv(const Allocation& allocation);
+
+/// Parses allocation_to_csv() output; throws std::runtime_error on
+/// malformed input (bad header, ragged rows, non-integer cells, task ids
+/// out of order).
+[[nodiscard]] Allocation allocation_from_csv(const std::string& csv);
+
+}  // namespace eus

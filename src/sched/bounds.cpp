@@ -1,0 +1,31 @@
+#include "sched/bounds.hpp"
+
+#include <limits>
+
+namespace eus {
+
+ObjectiveBounds compute_bounds(const SystemModel& system,
+                               const Trace& trace) {
+  trace.validate_against(system);
+  ObjectiveBounds bounds;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& task = trace.tasks()[i];
+    const TimeUtilityFunction& tuf = trace.tuf_of(i);
+
+    double min_eec = std::numeric_limits<double>::infinity();
+    double best_utility = 0.0;
+    for (const int m : system.eligible_machines(task.type)) {
+      const auto mi = static_cast<std::size_t>(m);
+      min_eec = std::min(min_eec, system.eec_on(task.type, mi));
+      // Contention-free: start at arrival, finish after the bare ETC.
+      best_utility =
+          std::max(best_utility, tuf.value(system.etc_on(task.type, mi)));
+    }
+    bounds.energy_lower += min_eec;
+    bounds.utility_upper_instant += tuf.value(0.0);
+    bounds.utility_upper_contention_free += best_utility;
+  }
+  return bounds;
+}
+
+}  // namespace eus

@@ -1,0 +1,30 @@
+#pragma once
+
+// Analytic bounds on the objective space.  The benches report achieved
+// values as fractions of these, which makes runs comparable across
+// datasets and seeds.
+//
+//  * Energy lower bound — Σ_t min eligible EEC: exact (energy is
+//    timing-independent, so per-task greedy is globally optimal; §V-B1).
+//  * Utility upper bounds — two relaxations:
+//      - instant:     every task completes the moment it arrives (the
+//                     Trace::utility_upper_bound value);
+//      - contention-free: every task runs alone on its best-utility
+//                     machine (completes at arrival + min eligible ETC) —
+//                     tighter, still optimistic because queues are ignored.
+
+#include "workload/trace.hpp"
+
+namespace eus {
+
+struct ObjectiveBounds {
+  double energy_lower = 0.0;           ///< joules; achievable exactly
+  double utility_upper_instant = 0.0;  ///< loose
+  double utility_upper_contention_free = 0.0;  ///< tighter, >= any schedule
+};
+
+/// Computes all bounds in one pass over the trace.
+[[nodiscard]] ObjectiveBounds compute_bounds(const SystemModel& system,
+                                             const Trace& trace);
+
+}  // namespace eus

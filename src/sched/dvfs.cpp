@@ -1,0 +1,35 @@
+#include "sched/dvfs.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace eus {
+
+DvfsModel::DvfsModel(std::vector<PState> pstates)
+    : pstates_(std::move(pstates)) {
+  if (pstates_.empty()) throw std::invalid_argument("empty P-state table");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pstates_.size(); ++i) {
+    const auto& p = pstates_[i];
+    if (!(p.freq_scale > 0.0) || !(p.power_scale > 0.0)) {
+      throw std::invalid_argument("P-state scales must be positive");
+    }
+    const double dist = std::abs(p.freq_scale - 1.0);
+    if (dist < best) {
+      best = dist;
+      nominal_ = i;
+    }
+  }
+}
+
+DvfsModel make_cubic_dvfs(const std::vector<double>& freqs) {
+  std::vector<PState> states;
+  states.reserve(freqs.size());
+  for (const double f : freqs) {
+    states.push_back({f, f * f * f});
+  }
+  return DvfsModel(std::move(states));
+}
+
+}  // namespace eus

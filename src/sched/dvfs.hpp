@@ -1,0 +1,50 @@
+#pragma once
+
+// Dynamic voltage & frequency scaling model — one of the paper's two
+// stated future-work directions (§VII), implemented here as an optional
+// evaluator extension.  A P-state scales a task's execution time by
+// 1/freq_scale and its power draw by power_scale; with the classic
+// power ∝ f^3 envelope, running slower trades utility for energy.
+
+#include <cstddef>
+#include <vector>
+
+namespace eus {
+
+struct PState {
+  double freq_scale = 1.0;   ///< relative clock (1.0 == nominal); > 0
+  double power_scale = 1.0;  ///< relative power draw at this clock; > 0
+};
+
+class DvfsModel {
+ public:
+  /// Throws std::invalid_argument on an empty table or non-positive scales.
+  explicit DvfsModel(std::vector<PState> pstates);
+
+  [[nodiscard]] const std::vector<PState>& pstates() const noexcept {
+    return pstates_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return pstates_.size(); }
+
+  /// Index of the nominal (freq_scale closest to 1.0) state.
+  [[nodiscard]] std::size_t nominal_index() const noexcept {
+    return nominal_;
+  }
+
+  [[nodiscard]] double time_multiplier(std::size_t p) const {
+    return 1.0 / pstates_.at(p).freq_scale;
+  }
+  [[nodiscard]] double power_multiplier(std::size_t p) const {
+    return pstates_.at(p).power_scale;
+  }
+
+ private:
+  std::vector<PState> pstates_;
+  std::size_t nominal_ = 0;
+};
+
+/// P-states at the given relative clocks with power ∝ freq³ (so energy per
+/// task ∝ freq²: lower clocks save energy, cost time).
+[[nodiscard]] DvfsModel make_cubic_dvfs(const std::vector<double>& freqs);
+
+}  // namespace eus

@@ -1,0 +1,170 @@
+#include "sched/evaluator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace eus {
+
+Evaluator::Evaluator(const SystemModel& system, const Trace& trace,
+                     EvaluatorOptions options)
+    : system_(&system), trace_(&trace), options_(std::move(options)) {
+  trace.validate_against(system);
+  if (!options_.idle_watts.empty()) {
+    if (options_.idle_watts.size() != system.num_machine_types()) {
+      throw std::invalid_argument("idle_watts must cover every machine type");
+    }
+    for (const double w : options_.idle_watts) {
+      if (!(w >= 0.0)) throw std::invalid_argument("negative idle wattage");
+    }
+  }
+}
+
+void Evaluator::validate(const Allocation& allocation) const {
+  const std::size_t tasks = trace_->size();
+  if (allocation.machine.size() != tasks ||
+      allocation.order.size() != tasks) {
+    throw std::invalid_argument("allocation size mismatch");
+  }
+  if (!allocation.pstate.empty() && allocation.pstate.size() != tasks) {
+    throw std::invalid_argument("pstate size mismatch");
+  }
+  if (!allocation.pstate.empty() && !options_.dvfs) {
+    throw std::invalid_argument("pstates present but no DVFS model");
+  }
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const int m = allocation.machine[i];
+    if (m < 0 || static_cast<std::size_t>(m) >= system_->num_machines()) {
+      throw std::invalid_argument("machine index out of range");
+    }
+    if (!system_->eligible(trace_->tasks()[i].type,
+                           static_cast<std::size_t>(m))) {
+      throw std::invalid_argument("task mapped to ineligible machine");
+    }
+    if (!allocation.pstate.empty()) {
+      const int p = allocation.pstate[i];
+      if (p < 0 || static_cast<std::size_t>(p) >= options_.dvfs->size()) {
+        throw std::invalid_argument("pstate index out of range");
+      }
+    }
+  }
+}
+
+template <typename PerTask>
+Evaluation Evaluator::run(const Allocation& allocation,
+                          PerTask&& per_task) const {
+  const std::size_t tasks = trace_->size();
+  const auto& instances = trace_->tasks();
+
+  // Execution sequence: global scheduling order, ties broken by index
+  // (stable), independent of arrival times (§IV-D).  Orders produced by the
+  // genetic operators always stay within [0, T), so a stable counting sort
+  // covers the hot path; arbitrary user-supplied orders fall back to a
+  // comparison sort.  Scratch is thread_local: evaluate() runs concurrently
+  // on the population-evaluation pool.
+  thread_local std::vector<std::uint32_t> sequence;
+  sequence.resize(tasks);
+  bool orders_in_range = true;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const int o = allocation.order[i];
+    if (o < 0 || static_cast<std::size_t>(o) >= tasks) {
+      orders_in_range = false;
+      break;
+    }
+  }
+  if (orders_in_range) {
+    thread_local std::vector<std::uint32_t> offsets;
+    offsets.assign(tasks + 1, 0);
+    for (std::size_t i = 0; i < tasks; ++i) {
+      ++offsets[static_cast<std::size_t>(allocation.order[i]) + 1];
+    }
+    for (std::size_t k = 1; k <= tasks; ++k) offsets[k] += offsets[k - 1];
+    // Visiting tasks in index order keeps equal-order ties index-stable.
+    for (std::size_t i = 0; i < tasks; ++i) {
+      sequence[offsets[static_cast<std::size_t>(allocation.order[i])]++] =
+          static_cast<std::uint32_t>(i);
+    }
+  } else {
+    std::iota(sequence.begin(), sequence.end(), 0U);
+    std::sort(sequence.begin(), sequence.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const int oa = allocation.order[a];
+                const int ob = allocation.order[b];
+                return oa != ob ? oa < ob : a < b;
+              });
+  }
+
+  thread_local std::vector<double> available;
+  available.assign(system_->num_machines(), 0.0);
+  const bool use_dvfs =
+      options_.dvfs.has_value() && !allocation.pstate.empty();
+  const bool use_idle = !options_.idle_watts.empty();
+  thread_local std::vector<double> busy;
+  if (use_idle) busy.assign(system_->num_machines(), 0.0);
+
+  Evaluation total;
+  for (const std::uint32_t i : sequence) {
+    const auto& task = instances[i];
+    const auto m = static_cast<std::size_t>(allocation.machine[i]);
+
+    double exec = system_->etc_on(task.type, m);
+    double power = system_->epc_on(task.type, m);
+    if (use_dvfs) {
+      const auto p = static_cast<std::size_t>(allocation.pstate[i]);
+      exec *= options_.dvfs->time_multiplier(p);
+      power *= options_.dvfs->power_multiplier(p);
+    }
+
+    const double start = std::max(available[m], task.arrival);
+    const double finish = start + exec;
+    const double utility = trace_->tuf_of(i).value(finish - task.arrival);
+
+    if (options_.drop_worthless_tasks &&
+        utility <= options_.drop_threshold) {
+      ++total.dropped;
+      per_task(i, TaskOutcome{allocation.machine[i], 0.0, 0.0, 0.0, 0.0,
+                              true});
+      continue;
+    }
+
+    available[m] = finish;
+    if (use_idle) busy[m] += exec;
+    const double energy = exec * power;  // EEC, Eq. (2)
+    total.utility += utility;
+    total.energy += energy;
+    total.makespan = std::max(total.makespan, finish);
+    per_task(i, TaskOutcome{allocation.machine[i], start, finish, utility,
+                            energy, false});
+  }
+
+  if (use_idle) {
+    // A used machine is powered from t = 0 until its queue drains; gaps
+    // (waiting for arrivals) bill at the machine type's idle wattage.
+    for (std::size_t m = 0; m < available.size(); ++m) {
+      if (available[m] <= 0.0) continue;  // never used
+      const auto type =
+          static_cast<std::size_t>(system_->machines()[m].type);
+      const double idle_time = available[m] - busy[m];
+      total.idle_energy += options_.idle_watts.at(type) * idle_time;
+    }
+    total.energy += total.idle_energy;
+  }
+  return total;
+}
+
+Evaluation Evaluator::evaluate(const Allocation& allocation) const {
+  return run(allocation, [](std::uint32_t, const TaskOutcome&) {});
+}
+
+std::pair<Evaluation, std::vector<TaskOutcome>> Evaluator::detail(
+    const Allocation& allocation) const {
+  validate(allocation);
+  std::vector<TaskOutcome> outcomes(trace_->size());
+  Evaluation total = run(allocation, [&](std::uint32_t i,
+                                         const TaskOutcome& o) {
+    outcomes[i] = o;
+  });
+  return {total, std::move(outcomes)};
+}
+
+}  // namespace eus

@@ -1,0 +1,92 @@
+#pragma once
+
+// The offline scheduling simulator (§IV-B): replays an allocation against
+// the trace and reports total utility earned (Eq. 1), total energy consumed
+// (Eq. 2-3), and makespan.  Tasks on each machine run in global-scheduling-
+// order sequence; a machine sits idle until a task's arrival if its order
+// puts the task at the head early (§IV-D).
+//
+// Extensions beyond the paper's evaluation (its §VII future work):
+//  * task dropping — tasks whose utility at their achievable completion
+//    would not exceed a threshold are skipped (no time, no energy);
+//  * DVFS — an optional P-state per task scales ETC and EPC.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sched/allocation.hpp"
+#include "sched/dvfs.hpp"
+#include "workload/trace.hpp"
+
+namespace eus {
+
+struct EvaluatorOptions {
+  bool drop_worthless_tasks = false;
+  /// A task is dropped when its utility at completion would be <= this.
+  double drop_threshold = 0.0;
+  /// When set, Allocation::pstate is honored (empty pstate == nominal).
+  std::optional<DvfsModel> dvfs;
+  /// Idle power per machine *type* in watts (empty = the paper's model,
+  /// which bills busy energy only).  A machine that runs at least one task
+  /// additionally draws its idle power over the gaps between time 0 and
+  /// its last task's finish; unused machines draw nothing (assumed
+  /// powered down).  With idle power, packing work onto fewer machines
+  /// can beat pure per-task EEC minimization.
+  std::vector<double> idle_watts;
+};
+
+/// Aggregate objectives of one allocation.
+struct Evaluation {
+  double utility = 0.0;   ///< U, Eq. (1) — maximize
+  double energy = 0.0;    ///< total joules (busy + idle) — minimize
+  double idle_energy = 0.0;  ///< idle-power share of `energy` (joules)
+  double makespan = 0.0;  ///< latest finish time, seconds
+  std::size_t dropped = 0;
+};
+
+/// Per-task timeline entry (slow path, for reports/examples).
+struct TaskOutcome {
+  int machine = -1;
+  double start = 0.0;
+  double finish = 0.0;
+  double utility = 0.0;
+  double energy = 0.0;
+  bool dropped = false;
+};
+
+class Evaluator {
+ public:
+  /// Both referents must outlive the evaluator.
+  Evaluator(const SystemModel& system, const Trace& trace,
+            EvaluatorOptions options = {});
+
+  /// Fast path: objectives only.  Thread-safe (no shared mutable state);
+  /// call it concurrently from the population-evaluation pool.
+  [[nodiscard]] Evaluation evaluate(const Allocation& allocation) const;
+
+  /// Slow path: the full per-task timeline plus the aggregate.
+  [[nodiscard]] std::pair<Evaluation, std::vector<TaskOutcome>> detail(
+      const Allocation& allocation) const;
+
+  /// Throws std::invalid_argument when the allocation's shape is wrong,
+  /// a machine index is out of range, a task is mapped to an ineligible
+  /// machine, or a P-state index is invalid.
+  void validate(const Allocation& allocation) const;
+
+  [[nodiscard]] const SystemModel& system() const noexcept { return *system_; }
+  [[nodiscard]] const Trace& trace() const noexcept { return *trace_; }
+  [[nodiscard]] const EvaluatorOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  template <typename PerTask>
+  Evaluation run(const Allocation& allocation, PerTask&& per_task) const;
+
+  const SystemModel* system_;
+  const Trace* trace_;
+  EvaluatorOptions options_;
+};
+
+}  // namespace eus

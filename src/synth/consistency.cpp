@@ -1,0 +1,105 @@
+#include "synth/consistency.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+/// -1 / 0 / +1: a uniformly faster, mixed, or uniformly slower than b.
+int pair_order(const Matrix& etc, std::size_t a, std::size_t b) {
+  bool a_wins = false;
+  bool b_wins = false;
+  for (std::size_t t = 0; t < etc.rows(); ++t) {
+    if (etc(t, a) < etc(t, b)) a_wins = true;
+    if (etc(t, b) < etc(t, a)) b_wins = true;
+  }
+  if (a_wins && b_wins) return 0;
+  return a_wins ? -1 : 1;  // ties count as consistent either way
+}
+
+}  // namespace
+
+const char* to_string(Consistency c) noexcept {
+  switch (c) {
+    case Consistency::kConsistent:
+      return "consistent";
+    case Consistency::kSemiConsistent:
+      return "semi-consistent";
+    case Consistency::kInconsistent:
+      return "inconsistent";
+  }
+  return "unknown";
+}
+
+ConsistencyReport classify_consistency(const Matrix& etc) {
+  if (etc.empty()) throw std::invalid_argument("empty ETC");
+  const std::size_t machines = etc.cols();
+
+  ConsistencyReport report;
+  if (machines < 2 || etc.rows() < 2) {
+    report.classification = Consistency::kConsistent;
+    report.consistent_pair_fraction = 1.0;
+    report.largest_consistent_subset = machines;
+    return report;
+  }
+
+  // Pairwise total-order matrix.
+  std::vector<std::vector<int>> order(machines,
+                                      std::vector<int>(machines, 0));
+  std::size_t consistent_pairs = 0;
+  std::size_t total_pairs = 0;
+  for (std::size_t a = 0; a < machines; ++a) {
+    for (std::size_t b = a + 1; b < machines; ++b) {
+      const int o = pair_order(etc, a, b);
+      order[a][b] = o;
+      order[b][a] = -o;
+      ++total_pairs;
+      if (o != 0) ++consistent_pairs;
+    }
+  }
+  report.consistent_pair_fraction =
+      static_cast<double>(consistent_pairs) /
+      static_cast<double>(total_pairs);
+
+  // Largest mutually consistent subset via greedy growth from each seed
+  // machine (exact max-clique is overkill for suite-sized inputs; greedy
+  // from every seed is a solid lower bound and exact for interval-like
+  // structures such as speed-ordered suites).
+  for (std::size_t seed = 0; seed < machines; ++seed) {
+    std::vector<std::size_t> subset = {seed};
+    for (std::size_t cand = 0; cand < machines; ++cand) {
+      if (cand == seed) continue;
+      const bool compatible =
+          std::all_of(subset.begin(), subset.end(), [&](std::size_t m) {
+            return order[m][cand] != 0;
+          });
+      if (compatible) subset.push_back(cand);
+    }
+    report.largest_consistent_subset =
+        std::max(report.largest_consistent_subset, subset.size());
+  }
+
+  if (consistent_pairs == total_pairs) {
+    report.classification = Consistency::kConsistent;
+  } else if (report.largest_consistent_subset >= 3) {
+    report.classification = Consistency::kSemiConsistent;
+  } else {
+    report.classification = Consistency::kInconsistent;
+  }
+  return report;
+}
+
+Matrix make_consistent(const Matrix& etc) {
+  if (etc.empty()) throw std::invalid_argument("empty ETC");
+  Matrix out = etc;
+  std::vector<double> row(etc.cols());
+  for (std::size_t t = 0; t < etc.rows(); ++t) {
+    for (std::size_t m = 0; m < etc.cols(); ++m) row[m] = etc(t, m);
+    std::sort(row.begin(), row.end());
+    for (std::size_t m = 0; m < etc.cols(); ++m) out(t, m) = row[m];
+  }
+  return out;
+}
+
+}  // namespace eus

@@ -1,0 +1,40 @@
+#pragma once
+
+// ETC consistency classification (Ali, Siegel et al. 2000, the paper's
+// ref [15]): a matrix is *consistent* when machine superiority is total —
+// if machine A beats B on one task it beats it on every task; fully
+// *inconsistent* when no such order exists; *semi-consistent* when a
+// machine subset is consistent.  Real suites (and the bundled historical
+// data) are inconsistent, which is what makes mapping non-trivial.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/matrix.hpp"
+
+namespace eus {
+
+enum class Consistency { kConsistent, kSemiConsistent, kInconsistent };
+
+[[nodiscard]] const char* to_string(Consistency c) noexcept;
+
+struct ConsistencyReport {
+  Consistency classification = Consistency::kInconsistent;
+  /// Fraction of machine pairs with a total order across all tasks
+  /// (1.0 == fully consistent).
+  double consistent_pair_fraction = 0.0;
+  /// Largest machine subset that is mutually consistent (>= 1).
+  std::size_t largest_consistent_subset = 1;
+};
+
+/// Classifies `etc` (ineligible +inf entries are not supported here — pass
+/// the general-machine submatrix).  A matrix with one machine or one task
+/// is trivially consistent.  Throws std::invalid_argument on empty input.
+[[nodiscard]] ConsistencyReport classify_consistency(const Matrix& etc);
+
+/// Ali et al.'s construction of a consistent matrix from any matrix: sort
+/// each row independently so column 0 is always the fastest machine.
+/// Preserves each task's multiset of execution times.
+[[nodiscard]] Matrix make_consistent(const Matrix& etc);
+
+}  // namespace eus

@@ -1,0 +1,121 @@
+#include "synth/etc_generators.hpp"
+
+#include <stdexcept>
+
+#include "synth/moments.hpp"
+
+namespace eus {
+
+Matrix range_based_etc(const RangeBasedParams& params, Rng& rng) {
+  if (params.tasks == 0 || params.machines == 0) {
+    throw std::invalid_argument("range-based ETC needs tasks and machines");
+  }
+  if (params.task_range <= 1.0 || params.machine_range <= 1.0) {
+    throw std::invalid_argument("range-based bounds must exceed 1");
+  }
+  Matrix etc(params.tasks, params.machines);
+  for (std::size_t i = 0; i < params.tasks; ++i) {
+    const double tau = rng.uniform(1.0, params.task_range);
+    for (std::size_t j = 0; j < params.machines; ++j) {
+      etc(i, j) = tau * rng.uniform(1.0, params.machine_range);
+    }
+  }
+  return etc;
+}
+
+Matrix cvb_etc(const CvbParams& params, Rng& rng) {
+  if (params.tasks == 0 || params.machines == 0) {
+    throw std::invalid_argument("CVB ETC needs tasks and machines");
+  }
+  if (!(params.task_mean > 0.0) || !(params.task_cv > 0.0) ||
+      !(params.machine_cv > 0.0)) {
+    throw std::invalid_argument("CVB parameters must be positive");
+  }
+  const double alpha_task = 1.0 / (params.task_cv * params.task_cv);
+  const double beta_task = params.task_mean / alpha_task;
+  const double alpha_machine =
+      1.0 / (params.machine_cv * params.machine_cv);
+
+  Matrix etc(params.tasks, params.machines);
+  for (std::size_t i = 0; i < params.tasks; ++i) {
+    const double q = rng.gamma(alpha_task, beta_task);
+    const double beta_machine = q / alpha_machine;
+    for (std::size_t j = 0; j < params.machines; ++j) {
+      etc(i, j) = rng.gamma(alpha_machine, beta_machine);
+    }
+  }
+  return etc;
+}
+
+const char* to_string(HeterogeneityClass c) noexcept {
+  switch (c) {
+    case HeterogeneityClass::kHiHi:
+      return "hi-hi";
+    case HeterogeneityClass::kHiLo:
+      return "hi-lo";
+    case HeterogeneityClass::kLoHi:
+      return "lo-hi";
+    case HeterogeneityClass::kLoLo:
+      return "lo-lo";
+  }
+  return "unknown";
+}
+
+Matrix cvb_etc_for_class(HeterogeneityClass c, std::size_t tasks,
+                         std::size_t machines, double task_mean, Rng& rng) {
+  constexpr double kHigh = 0.9;
+  constexpr double kLow = 0.1;
+  CvbParams params;
+  params.tasks = tasks;
+  params.machines = machines;
+  params.task_mean = task_mean;
+  switch (c) {
+    case HeterogeneityClass::kHiHi:
+      params.task_cv = kHigh;
+      params.machine_cv = kHigh;
+      break;
+    case HeterogeneityClass::kHiLo:
+      params.task_cv = kHigh;
+      params.machine_cv = kLow;
+      break;
+    case HeterogeneityClass::kLoHi:
+      params.task_cv = kLow;
+      params.machine_cv = kHigh;
+      break;
+    case HeterogeneityClass::kLoLo:
+      params.task_cv = kLow;
+      params.machine_cv = kLow;
+      break;
+  }
+  return cvb_etc(params, rng);
+}
+
+EtcHeterogeneity measure_heterogeneity(const Matrix& etc) {
+  if (etc.empty()) throw std::invalid_argument("empty ETC");
+  EtcHeterogeneity out;
+
+  std::size_t rows_counted = 0;
+  for (std::size_t r = 0; r < etc.rows(); ++r) {
+    const auto values = etc.row_finite(r);
+    if (values.size() < 2) continue;
+    out.machine_heterogeneity += compute_moments(values).cv;
+    ++rows_counted;
+  }
+  if (rows_counted > 0) {
+    out.machine_heterogeneity /= static_cast<double>(rows_counted);
+  }
+
+  std::size_t cols_counted = 0;
+  for (std::size_t c = 0; c < etc.cols(); ++c) {
+    const auto values = etc.col_finite(c);
+    if (values.size() < 2) continue;
+    out.task_heterogeneity += compute_moments(values).cv;
+    ++cols_counted;
+  }
+  if (cols_counted > 0) {
+    out.task_heterogeneity /= static_cast<double>(cols_counted);
+  }
+  return out;
+}
+
+}  // namespace eus

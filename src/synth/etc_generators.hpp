@@ -1,0 +1,71 @@
+#pragma once
+
+// The two classic synthetic ETC/EPC generation methods of Ali, Siegel,
+// Maheswaran, Hensgen & Ali (2000) — the paper's ref [15] for modeling
+// "various heterogeneous systems" — plus the Al-Qawasmeh et al. (2011,
+// ref [21]) aggregate heterogeneity measures used to characterize them.
+//
+// Range-based: ETC(i,j) = U(1, R_task) * U(1, R_machine), one inner draw
+// per cell.  Coefficient-of-variation-based (CVB): per-task mean q_i ~
+// Gamma with CV V_task, cell ETC(i,j) ~ Gamma(mean q_i, CV V_machine).
+// The four canonical heterogeneity classes combine {high, low} task
+// heterogeneity with {high, low} machine heterogeneity.
+
+#include "data/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace eus {
+
+struct RangeBasedParams {
+  std::size_t tasks = 0;
+  std::size_t machines = 0;
+  /// Upper bound of the per-task uniform draw (task heterogeneity knob).
+  double task_range = 100.0;
+  /// Upper bound of the per-cell uniform draw (machine heterogeneity knob).
+  double machine_range = 10.0;
+};
+
+/// Ali et al.'s range-based method.  All entries in
+/// [1, task_range * machine_range).
+[[nodiscard]] Matrix range_based_etc(const RangeBasedParams& params, Rng& rng);
+
+struct CvbParams {
+  std::size_t tasks = 0;
+  std::size_t machines = 0;
+  /// Mean of the per-task gamma (overall execution-time scale).
+  double task_mean = 100.0;
+  /// Coefficient of variation across tasks (task heterogeneity knob).
+  double task_cv = 0.5;
+  /// Coefficient of variation across machines (machine heterogeneity knob).
+  double machine_cv = 0.5;
+};
+
+/// Ali et al.'s CVB method.  E[entry] == task_mean.
+[[nodiscard]] Matrix cvb_etc(const CvbParams& params, Rng& rng);
+
+/// Canonical heterogeneity class.
+enum class HeterogeneityClass { kHiHi, kHiLo, kLoHi, kLoLo };
+
+[[nodiscard]] const char* to_string(HeterogeneityClass c) noexcept;
+
+/// CVB matrix with the conventional CV settings for the class
+/// (high = 0.9, low = 0.1) at the given size/scale.
+[[nodiscard]] Matrix cvb_etc_for_class(HeterogeneityClass c,
+                                       std::size_t tasks,
+                                       std::size_t machines, double task_mean,
+                                       Rng& rng);
+
+/// Al-Qawasmeh-style aggregate heterogeneity measures of an ETC matrix
+/// (ineligible entries excluded).
+struct EtcHeterogeneity {
+  /// Mean over tasks (rows) of the CV across machines — machine
+  /// heterogeneity: how differently one task runs across the suite.
+  double machine_heterogeneity = 0.0;
+  /// Mean over machines (columns) of the CV across tasks — task
+  /// heterogeneity: how varied the workload looks to one machine.
+  double task_heterogeneity = 0.0;
+};
+
+[[nodiscard]] EtcHeterogeneity measure_heterogeneity(const Matrix& etc);
+
+}  // namespace eus

@@ -1,0 +1,214 @@
+#include "synth/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "synth/gram_charlier.hpp"
+#include "synth/sampler.hpp"
+
+namespace eus {
+namespace {
+
+/// Builds a positive-support sampler targeting the sample's mvsk.  When the
+/// sample is (near-)degenerate the Gram-Charlier machinery would divide by
+/// zero, so we fall back to a point mass at the mean.
+class MvskSampler {
+ public:
+  MvskSampler(std::span<const double> values, const ExpansionConfig& cfg) {
+    const Moments m = compute_moments(values);
+    if (m.stddev <= 1e-12 * std::abs(m.mean) || m.stddev <= 0.0) {
+      constant_ = m.mean;
+      return;
+    }
+    const GramCharlierPdf pdf(m);
+    const double lo =
+        std::max(m.mean * 1e-3, m.mean - cfg.grid_sigmas * m.stddev);
+    const double hi = m.mean + cfg.grid_sigmas * m.stddev;
+    sampler_.emplace([pdf](double x) { return pdf.density(x); }, lo, hi,
+                     cfg.grid_points);
+  }
+
+  [[nodiscard]] double draw(Rng& rng) const {
+    if (!sampler_) return constant_;
+    return sampler_->quantile(rng.uniform());
+  }
+
+ private:
+  std::optional<TabulatedSampler> sampler_;
+  double constant_ = 0.0;
+};
+
+/// Runs §III-D2 steps 1-2 on one matrix: returns a (base+new tasks) x
+/// (base machine types) matrix whose first rows are the originals.
+Matrix expand_matrix(const Matrix& base, std::size_t new_rows,
+                     const ExpansionConfig& cfg, Rng& rng) {
+  const std::size_t rows = base.rows();
+  const std::size_t cols = base.cols();
+
+  // Step 1: sample row averages for the new task types.
+  std::vector<double> base_row_avgs(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    base_row_avgs[r] = base.row_mean_finite(r);
+  }
+  const MvskSampler row_avg_sampler(base_row_avgs, cfg);
+
+  std::vector<double> new_row_avgs(new_rows);
+  for (double& v : new_row_avgs) v = row_avg_sampler.draw(rng);
+
+  // Step 2: per machine type, sample execution-time ratios for the new
+  // task types from that machine's real-ratio signature.
+  Matrix out(rows + new_rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) out(r, c) = base(r, c);
+  }
+
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::vector<double> ratios(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      ratios[r] = base(r, c) / base_row_avgs[r];
+    }
+    const MvskSampler ratio_sampler(ratios, cfg);
+    for (std::size_t k = 0; k < new_rows; ++k) {
+      const double ratio = ratio_sampler.draw(rng);
+      out(rows + k, c) = ratio * new_row_avgs[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ExpandedSystem expand_system(const SystemModel& base,
+                             const ExpansionConfig& cfg,
+                             const std::vector<std::size_t>& instances_per_type,
+                             Rng& rng) {
+  for (const auto& mt : base.machine_types()) {
+    if (mt.category != Category::kGeneral) {
+      throw std::invalid_argument("expansion base must be all-general");
+    }
+  }
+  if (cfg.min_tasks_per_special < 1 ||
+      cfg.max_tasks_per_special < cfg.min_tasks_per_special) {
+    throw std::invalid_argument("bad tasks-per-special range");
+  }
+  if (!(cfg.speedup > 0.0)) throw std::invalid_argument("bad speedup");
+
+  const std::size_t base_types = base.num_machine_types();
+  const std::size_t total_machine_types =
+      base_types + cfg.special_machine_types;
+  if (instances_per_type.size() != total_machine_types) {
+    throw std::invalid_argument("instances_per_type size mismatch");
+  }
+  for (const std::size_t n : instances_per_type) {
+    if (n == 0) throw std::invalid_argument("every type needs >= 1 instance");
+  }
+
+  const std::size_t total_tasks =
+      base.num_task_types() + cfg.additional_task_types;
+  if (cfg.special_machine_types * cfg.max_tasks_per_special > total_tasks) {
+    throw std::invalid_argument("not enough task types for special machines");
+  }
+
+  // Steps 1-2, independently for ETC and EPC (per the paper).
+  Matrix etc = expand_matrix(base.etc(), cfg.additional_task_types, cfg, rng);
+  Matrix epc = expand_matrix(base.epc(), cfg.additional_task_types, cfg, rng);
+
+  // Task catalog: originals + synthesized.
+  std::vector<TaskType> task_types = base.task_types();
+  for (std::size_t k = 0; k < cfg.additional_task_types; ++k) {
+    task_types.push_back({"synthetic-task-" + std::to_string(k + 1),
+                          Category::kGeneral, -1});
+  }
+
+  // Machine-type catalog: originals + special A, B, C, ...
+  std::vector<MachineType> machine_types = base.machine_types();
+  for (std::size_t s = 0; s < cfg.special_machine_types; ++s) {
+    machine_types.push_back(
+        {"Special-purpose machine " + std::string(1, char('A' + s)),
+         Category::kSpecial});
+  }
+
+  // Step 3: assign disjoint accelerated task sets to the special machines
+  // and extend both matrices with the special columns.
+  std::vector<std::size_t> pool(total_tasks);
+  std::iota(pool.begin(), pool.end(), 0);
+  // Fisher-Yates shuffle driven by our Rng.
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.below(i)]);
+  }
+
+  ExpandedSystem result{SystemModel{}, {}};
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < cfg.special_machine_types; ++s) {
+    const std::size_t count =
+        cfg.min_tasks_per_special +
+        rng.below(cfg.max_tasks_per_special - cfg.min_tasks_per_special + 1);
+    std::vector<double> etc_col(total_tasks, kIneligible);
+    std::vector<double> epc_col(total_tasks, 1.0);  // unused where ineligible
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t t = pool[cursor++];
+      // Average execution time / power across the *general* machine types.
+      double etc_avg = 0.0, epc_avg = 0.0;
+      for (std::size_t c = 0; c < base_types; ++c) {
+        etc_avg += etc(t, c);
+        epc_avg += epc(t, c);
+      }
+      etc_avg /= static_cast<double>(base_types);
+      epc_avg /= static_cast<double>(base_types);
+      etc_col[t] = etc_avg / cfg.speedup;  // 10x faster...
+      epc_col[t] = epc_avg;                // ...at undiminished power (§III-D2)
+      task_types[t].category = Category::kSpecial;
+      task_types[t].special_machine_type = static_cast<int>(base_types + s);
+      result.special_task_types.push_back(t);
+    }
+    etc.append_col(etc_col);
+    epc.append_col(epc_col);
+  }
+
+  // Machine instances per Table-III-style breakup.
+  std::vector<Machine> machines;
+  for (std::size_t ty = 0; ty < total_machine_types; ++ty) {
+    for (std::size_t k = 0; k < instances_per_type[ty]; ++k) {
+      std::string name = machine_types[ty].name;
+      if (instances_per_type[ty] > 1) {
+        name += " #" + std::to_string(k + 1);
+      }
+      machines.push_back({static_cast<int>(ty), std::move(name)});
+    }
+  }
+
+  result.model =
+      SystemModel(std::move(task_types), std::move(machine_types),
+                  std::move(machines), std::move(etc), std::move(epc));
+  return result;
+}
+
+FidelityReport etc_fidelity(const SystemModel& base,
+                            const SystemModel& expanded,
+                            std::size_t num_base_machine_types) {
+  const auto row_avgs = [&](const SystemModel& sys, std::size_t cols) {
+    std::vector<double> avgs;
+    avgs.reserve(sys.num_task_types());
+    for (std::size_t r = 0; r < sys.num_task_types(); ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < cols; ++c) sum += sys.etc()(r, c);
+      avgs.push_back(sum / static_cast<double>(cols));
+    }
+    return avgs;
+  };
+
+  FidelityReport report;
+  report.base_row_averages =
+      compute_moments(row_avgs(base, base.num_machine_types()));
+  report.expanded_row_averages =
+      compute_moments(row_avgs(expanded, num_base_machine_types));
+  report.distance =
+      mvsk_distance(report.base_row_averages, report.expanded_row_averages);
+  return report;
+}
+
+}  // namespace eus

@@ -1,0 +1,71 @@
+#pragma once
+
+// The paper's §III-D2 synthetic-data procedure: grow a small measured
+// ETC/EPC pair into a larger system while preserving its heterogeneity
+// (mvsk) signature, then add 10x special-purpose machine types.
+//
+// Pipeline (run identically for ETC and for EPC):
+//   1. Row averages of the real task types -> mvsk -> Gram-Charlier PDF ->
+//      sample row averages for the new task types.
+//   2. Per real machine type: execution-time *ratios* (entry / row average)
+//      of the real task types -> mvsk -> Gram-Charlier PDF -> sample a
+//      ratio for each new task type on that machine; new entry = ratio x
+//      new row average.
+//   3. Special-purpose machine types: pick 2-3 task types each; their ETC
+//      on the special machine is the task's average execution time / 10;
+//      their EPC is the average power (NOT divided by 10).  All other task
+//      types are ineligible there.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/system.hpp"
+#include "synth/moments.hpp"
+#include "util/rng.hpp"
+
+namespace eus {
+
+struct ExpansionConfig {
+  /// New task types to synthesize on top of the base ones (paper: 25).
+  std::size_t additional_task_types = 25;
+  /// Special-purpose machine types to create (paper: 4, named A..D).
+  std::size_t special_machine_types = 4;
+  /// Task types accelerated per special machine (paper: "two to three").
+  std::size_t min_tasks_per_special = 2;
+  std::size_t max_tasks_per_special = 3;
+  /// Execution-time speedup on the owning special machine (paper: ~10x).
+  double speedup = 10.0;
+  /// Gram-Charlier tabulation controls.
+  double grid_sigmas = 5.0;
+  std::size_t grid_points = 2048;
+};
+
+struct ExpandedSystem {
+  SystemModel model;
+  /// Indices (into model.task_types()) that became special-purpose.
+  std::vector<std::size_t> special_task_types;
+};
+
+/// Expands `base` (a fully general-purpose system, e.g. the historical
+/// 5x9) per the config.  `instances_per_type` gives the machine-instance
+/// count for every machine type of the *expanded* catalog, ordered as
+/// [base general types..., special types...]; its size must equal
+/// base.num_machine_types() + cfg.special_machine_types and every entry
+/// must be >= 1.  All randomness comes from `rng`.
+[[nodiscard]] ExpandedSystem expand_system(
+    const SystemModel& base, const ExpansionConfig& cfg,
+    const std::vector<std::size_t>& instances_per_type, Rng& rng);
+
+/// Fidelity report: mvsk of the base vs expanded row-average populations
+/// (used by bench_synth_fidelity and the property tests).
+struct FidelityReport {
+  Moments base_row_averages;
+  Moments expanded_row_averages;
+  double distance = 0.0;  ///< mvsk_distance between the two
+};
+
+[[nodiscard]] FidelityReport etc_fidelity(const SystemModel& base,
+                                          const SystemModel& expanded,
+                                          std::size_t num_base_machine_types);
+
+}  // namespace eus

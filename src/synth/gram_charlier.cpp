@@ -1,0 +1,44 @@
+#include "synth/gram_charlier.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+double normal_pdf(double z) noexcept {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double hermite3(double z) noexcept { return z * z * z - 3.0 * z; }
+
+double hermite4(double z) noexcept {
+  return z * z * z * z - 6.0 * z * z + 3.0;
+}
+
+}  // namespace
+
+GramCharlierPdf::GramCharlierPdf(const Moments& target)
+    : mean_(target.mean),
+      stddev_(target.stddev),
+      skew_term_(target.skewness / 6.0),
+      kurtosis_term_((target.kurtosis - 3.0) / 24.0) {
+  if (!(stddev_ > 0.0) || !std::isfinite(stddev_)) {
+    throw std::invalid_argument("Gram-Charlier needs positive stddev");
+  }
+}
+
+double GramCharlierPdf::raw(double x) const noexcept {
+  const double z = (x - mean_) / stddev_;
+  const double correction =
+      1.0 + skew_term_ * hermite3(z) + kurtosis_term_ * hermite4(z);
+  return normal_pdf(z) / stddev_ * correction;
+}
+
+double GramCharlierPdf::density(double x) const noexcept {
+  const double v = raw(x);
+  return v > 0.0 ? v : 0.0;
+}
+
+}  // namespace eus

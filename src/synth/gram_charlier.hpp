@@ -1,0 +1,39 @@
+#pragma once
+
+// Gram-Charlier type-A expansion (Kendall, 1945): a probability density
+// built from a target mean/stddev/skewness/kurtosis,
+//
+//   f(x) = phi(z)/sigma * [1 + g1/6 * He3(z) + (g2 - 3)/24 * He4(z)],
+//   z = (x - mu)/sigma,
+//
+// with He_n the probabilist Hermite polynomials.  The raw expansion can dip
+// negative for strong skew/kurtosis; density() clamps at zero, and the
+// tabulated sampler renormalizes, which is the standard practical fix.
+
+#include "synth/moments.hpp"
+
+namespace eus {
+
+class GramCharlierPdf {
+ public:
+  /// Targets the sample's mean/stddev/skewness/kurtosis.  Requires a
+  /// positive stddev.
+  explicit GramCharlierPdf(const Moments& target);
+
+  /// Clamped (>= 0) unnormalized density at x.
+  [[nodiscard]] double density(double x) const noexcept;
+
+  /// The raw (possibly negative) expansion value at x — exposed for tests.
+  [[nodiscard]] double raw(double x) const noexcept;
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+
+ private:
+  double mean_;
+  double stddev_;
+  double skew_term_;      ///< g1 / 6
+  double kurtosis_term_;  ///< (g2 - 3) / 24
+};
+
+}  // namespace eus

@@ -1,0 +1,54 @@
+#include "synth/moments.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eus {
+
+Moments compute_moments(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("moments of empty sample");
+  const auto n = static_cast<double>(values.size());
+
+  Moments m;
+  for (const double v : values) m.mean += v;
+  m.mean /= n;
+
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (const double v : values) {
+    const double d = v - m.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+
+  m.variance = m2;
+  m.stddev = std::sqrt(m2);
+  m.cv = m.mean != 0.0 ? m.stddev / std::abs(m.mean) : 0.0;
+
+  if (values.size() < 3 || m2 <= 0.0) {
+    m.skewness = 0.0;
+    m.kurtosis = 3.0;
+  } else {
+    m.skewness = m3 / std::pow(m2, 1.5);
+    m.kurtosis = m4 / (m2 * m2);
+  }
+  return m;
+}
+
+double mvsk_distance(const Moments& reference, const Moments& candidate) {
+  const auto component = [](double ref, double cand) {
+    const double scale = std::abs(ref) < 0.1 ? 1.0 : std::abs(ref);
+    const double d = (cand - ref) / scale;
+    return d * d;
+  };
+  const double sum = component(reference.mean, candidate.mean) +
+                     component(reference.cv, candidate.cv) +
+                     component(reference.skewness, candidate.skewness) +
+                     component(reference.kurtosis, candidate.kurtosis);
+  return std::sqrt(sum / 4.0);
+}
+
+}  // namespace eus

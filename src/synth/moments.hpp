@@ -1,0 +1,33 @@
+#pragma once
+
+// Sample-moment statistics: the paper's "mvsk" heterogeneity signature
+// (mean, variation, skewness, kurtosis) from Al-Qawasmeh et al., used both
+// to characterize ETC/EPC data and to parameterize the Gram-Charlier
+// synthetic generator.
+
+#include <span>
+
+namespace eus {
+
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance (divides by n)
+  double stddev = 0.0;
+  double cv = 0.0;        ///< coefficient of variation stddev/mean
+  double skewness = 0.0;  ///< standardized third central moment
+  double kurtosis = 0.0;  ///< standardized fourth central moment (normal = 3)
+};
+
+/// Computes population moments of `values`.  Requires at least one value;
+/// with fewer than three, skewness/kurtosis are reported as 0/3 (normal).
+/// Degenerate (zero-variance) samples also report 0/3.
+[[nodiscard]] Moments compute_moments(std::span<const double> values);
+
+/// Root-mean-square relative difference over {mean, cv, skewness,
+/// kurtosis} — the fidelity score used to verify that synthetic data
+/// preserves a source signature (0 == identical).  Components with |ref|
+/// < 0.1 are compared absolutely to avoid division blow-ups.
+[[nodiscard]] double mvsk_distance(const Moments& reference,
+                                   const Moments& candidate);
+
+}  // namespace eus

@@ -1,0 +1,53 @@
+#include "synth/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eus {
+
+TabulatedSampler::TabulatedSampler(
+    const std::function<double(double)>& density, double lo, double hi,
+    std::size_t points) {
+  if (!(hi > lo) || !std::isfinite(lo) || !std::isfinite(hi)) {
+    throw std::invalid_argument("sampler range must be finite and non-empty");
+  }
+  if (points < 2) throw std::invalid_argument("sampler needs >= 2 points");
+
+  grid_.resize(points);
+  std::vector<double> pdf(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    grid_[i] = lo + step * static_cast<double>(i);
+    const double d = density(grid_[i]);
+    if (!(d >= 0.0) || !std::isfinite(d)) {
+      throw std::invalid_argument("density must be finite and >= 0");
+    }
+    pdf[i] = d;
+  }
+
+  cdf_.resize(points);
+  cdf_[0] = 0.0;
+  for (std::size_t i = 1; i < points; ++i) {
+    cdf_[i] = cdf_[i - 1] + 0.5 * (pdf[i - 1] + pdf[i]) * step;
+  }
+  const double total = cdf_.back();
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("density integrates to zero on range");
+  }
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;
+}
+
+double TabulatedSampler::quantile(double u) const noexcept {
+  u = std::clamp(u, 0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+  if (idx == 0) return grid_.front();
+  const double c0 = cdf_[idx - 1];
+  const double c1 = cdf_[idx];
+  const double f = c1 > c0 ? (u - c0) / (c1 - c0) : 0.0;
+  return grid_[idx - 1] + f * (grid_[idx] - grid_[idx - 1]);
+}
+
+}  // namespace eus

@@ -1,0 +1,40 @@
+#pragma once
+
+// Inverse-CDF sampling from an arbitrary 1-D density via tabulation.  Used
+// to draw row-average execution times and per-machine execution-time ratios
+// from Gram-Charlier densities (§III-D2), restricted to the positive axis
+// (execution times, powers, and ratios are all positive quantities).
+
+#include <functional>
+#include <vector>
+
+namespace eus {
+
+class TabulatedSampler {
+ public:
+  /// Tabulates `density` (need not be normalized; must be >= 0) on
+  /// `points` equally spaced abscissae over [lo, hi] and builds the
+  /// trapezoidal CDF.  Throws std::invalid_argument when the range is
+  /// empty/invalid or the density integrates to (numerically) zero.
+  TabulatedSampler(const std::function<double(double)>& density, double lo,
+                   double hi, std::size_t points = 2048);
+
+  /// Quantile function: maps u in [0,1] to a sample value by linear
+  /// interpolation of the inverse CDF.
+  [[nodiscard]] double quantile(double u) const noexcept;
+
+  /// Draws with any U(0,1) source.
+  template <typename Uniform01>
+  [[nodiscard]] double sample(Uniform01&& uniform01) const {
+    return quantile(uniform01());
+  }
+
+  [[nodiscard]] double lo() const noexcept { return grid_.front(); }
+  [[nodiscard]] double hi() const noexcept { return grid_.back(); }
+
+ private:
+  std::vector<double> grid_;
+  std::vector<double> cdf_;  ///< normalized, non-decreasing, cdf_[0] == 0
+};
+
+}  // namespace eus

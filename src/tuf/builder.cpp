@@ -1,0 +1,126 @@
+#include "tuf/builder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eus {
+
+TufBuilder& TufBuilder::interval_absolute(double duration, double begin_value,
+                                          double end_value,
+                                          TufInterval::Shape shape,
+                                          double urgency_modifier) {
+  if (!(priority_ > 0.0)) {
+    throw std::invalid_argument("set priority before absolute intervals");
+  }
+  TufInterval iv;
+  iv.duration = duration;
+  iv.begin_fraction = begin_value / priority_;
+  iv.end_fraction = end_value / priority_;
+  iv.shape = shape;
+  iv.urgency_modifier = urgency_modifier;
+  intervals_.push_back(iv);
+  return *this;
+}
+
+TimeUtilityFunction make_linear_decay_tuf(double priority, double grace,
+                                          double decay, double urgency) {
+  TufBuilder b;
+  b.priority(priority).urgency(urgency);
+  if (grace > 0.0) {
+    b.interval({grace, 1.0, 1.0, 1.0, TufInterval::Shape::kConstant});
+  }
+  b.interval({decay, 1.0, 0.0, 1.0, TufInterval::Shape::kLinear});
+  return b.build();
+}
+
+TimeUtilityFunction make_exponential_decay_tuf(double priority, double horizon,
+                                               double floor_fraction,
+                                               double urgency) {
+  if (!(floor_fraction > 0.0 && floor_fraction < 1.0)) {
+    throw std::invalid_argument("floor_fraction must lie in (0,1)");
+  }
+  TufBuilder b;
+  b.priority(priority).urgency(urgency);
+  b.interval(
+      {horizon, 1.0, floor_fraction, 1.0, TufInterval::Shape::kExponential});
+  // After the horizon the task is worthless.
+  b.interval({horizon * 1e-3, floor_fraction, 0.0, 1.0,
+              TufInterval::Shape::kLinear});
+  return b.build();
+}
+
+TimeUtilityFunction make_hard_deadline_tuf(double priority, double deadline,
+                                           double urgency) {
+  TufBuilder b;
+  b.priority(priority).urgency(urgency);
+  b.interval({deadline, 1.0, 1.0, 1.0, TufInterval::Shape::kConstant});
+  // Effectively instantaneous drop to zero at the deadline (the nominal
+  // width scales with the deadline so the whole function scales linearly).
+  b.interval({deadline * 1e-6, 0.0, 0.0, 1.0, TufInterval::Shape::kConstant});
+  return b.build();
+}
+
+TimeUtilityFunction make_step_tuf(double priority, double total_duration,
+                                  int steps, double urgency) {
+  if (steps < 1) throw std::invalid_argument("steps must be >= 1");
+  TufBuilder b;
+  b.priority(priority).urgency(urgency);
+  const double span = total_duration / steps;
+  for (int s = 0; s < steps; ++s) {
+    const double level =
+        static_cast<double>(steps - s) / static_cast<double>(steps);
+    b.interval({span, level, level, 1.0, TufInterval::Shape::kConstant});
+  }
+  b.interval({total_duration * 1e-3, 0.0, 0.0, 1.0,
+              TufInterval::Shape::kConstant});
+  return b.build();
+}
+
+TimeUtilityFunction make_piecewise_tuf(
+    const std::vector<std::pair<double, double>>& samples, double urgency) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument("piecewise TUF needs >= 2 samples");
+  }
+  if (samples.front().first != 0.0) {
+    throw std::invalid_argument("piecewise TUF must start at t = 0");
+  }
+  const double priority = samples.front().second;
+  if (!(priority > 0.0) || !std::isfinite(priority)) {
+    throw std::invalid_argument("piecewise TUF needs a positive t=0 value");
+  }
+
+  TufBuilder b;
+  b.priority(priority).urgency(urgency);
+  for (std::size_t k = 1; k < samples.size(); ++k) {
+    const auto [t0, v0] = samples[k - 1];
+    const auto [t1, v1] = samples[k];
+    if (!(t1 > t0)) {
+      throw std::invalid_argument("piecewise TUF times must increase");
+    }
+    if (v1 > v0) {
+      throw std::invalid_argument("piecewise TUF values must not increase");
+    }
+    if (v1 < 0.0) {
+      throw std::invalid_argument("piecewise TUF values must be >= 0");
+    }
+    b.interval_absolute(t1 - t0, v0, v1,
+                        v0 == v1 ? TufInterval::Shape::kConstant
+                                 : TufInterval::Shape::kLinear);
+  }
+  return b.build();
+}
+
+TimeUtilityFunction make_figure1_tuf() {
+  // Max utility 16.  Plateau at 16 until t=10, linear 14 -> 10 over
+  // (10, 30] (value(20) = 12), linear 9 -> 5 over (30, 64]
+  // (value(47) = 7), then zero from t = 80 on.
+  TufBuilder b;
+  b.priority(16.0).urgency(1.0);
+  b.interval_absolute(10.0, 16.0, 16.0, TufInterval::Shape::kConstant);
+  b.interval_absolute(20.0, 14.0, 10.0, TufInterval::Shape::kLinear);
+  b.interval_absolute(34.0, 9.0, 5.0, TufInterval::Shape::kLinear);
+  b.interval_absolute(16.0, 4.0, 0.0, TufInterval::Shape::kLinear);
+  return b.build();
+}
+
+}  // namespace eus

@@ -1,0 +1,91 @@
+#pragma once
+
+// Fluent construction of TimeUtilityFunctions, plus the standard shapes
+// used by the workload generator and the paper's Figure 1 example.
+
+#include <vector>
+
+#include "tuf/time_utility_function.hpp"
+
+namespace eus {
+
+class TufBuilder {
+ public:
+  /// Sets the maximum utility (must be positive).
+  TufBuilder& priority(double p) noexcept {
+    priority_ = p;
+    return *this;
+  }
+
+  /// Sets the global decay-rate multiplier (>1 == more urgent).
+  TufBuilder& urgency(double u) noexcept {
+    urgency_ = u;
+    return *this;
+  }
+
+  /// Appends an interval expressed as fractions of priority.
+  TufBuilder& interval(TufInterval iv) {
+    intervals_.push_back(iv);
+    return *this;
+  }
+
+  /// Appends an interval expressed in absolute utility values; requires
+  /// priority() to have been set first (fractions are begin/end ÷ priority).
+  TufBuilder& interval_absolute(
+      double duration, double begin_value, double end_value,
+      TufInterval::Shape shape = TufInterval::Shape::kLinear,
+      double urgency_modifier = 1.0);
+
+  /// Validates and builds; throws std::invalid_argument on bad parameters.
+  [[nodiscard]] TimeUtilityFunction build() const {
+    return TimeUtilityFunction(priority_, urgency_, intervals_);
+  }
+
+ private:
+  double priority_ = 1.0;
+  double urgency_ = 1.0;
+  std::vector<TufInterval> intervals_;
+};
+
+/// Priority held for `grace` seconds, then linear decay to zero over
+/// `decay` seconds (a soft deadline at grace + decay).
+[[nodiscard]] TimeUtilityFunction make_linear_decay_tuf(double priority,
+                                                        double grace,
+                                                        double decay,
+                                                        double urgency = 1.0);
+
+/// Exponential decay from priority toward `floor_fraction`*priority over
+/// `half_life`-style horizon, then a drop to zero — the "utility erodes
+/// fast, then the task is worthless" profile.
+[[nodiscard]] TimeUtilityFunction make_exponential_decay_tuf(
+    double priority, double horizon, double floor_fraction = 0.05,
+    double urgency = 1.0);
+
+/// Full priority until the deadline, then zero (hard deadline).
+[[nodiscard]] TimeUtilityFunction make_hard_deadline_tuf(double priority,
+                                                         double deadline,
+                                                         double urgency = 1.0);
+
+/// Stair-step characteristic class: `steps` constant plateaus of equal
+/// duration descending from priority to zero.
+[[nodiscard]] TimeUtilityFunction make_step_tuf(double priority,
+                                                double total_duration,
+                                                int steps,
+                                                double urgency = 1.0);
+
+/// The sample function plotted in Figure 1 of the paper: a multi-interval
+/// class whose value is 12 at completion time 20 and 7 at completion time
+/// 47 (maximum utility 16, worthless after t = 80).
+[[nodiscard]] TimeUtilityFunction make_figure1_tuf();
+
+/// Builds a TUF from empirical (elapsed, utility) samples — e.g. policy
+/// curves sketched by an administrator or mined from accounting data.
+/// Samples must start at t = 0 with the maximum (positive) value, be
+/// strictly increasing in time, non-increasing in value, and non-negative;
+/// the function interpolates linearly between samples and holds the final
+/// value afterwards.  Throws std::invalid_argument otherwise.
+[[nodiscard]] TimeUtilityFunction make_piecewise_tuf(
+    const std::vector<std::pair<double, double>>& samples,
+    double urgency = 1.0);
+
+}  // namespace eus

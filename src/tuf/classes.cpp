@@ -1,0 +1,64 @@
+#include "tuf/classes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tuf/builder.hpp"
+
+namespace eus {
+
+TufClassLibrary::TufClassLibrary(std::vector<TufClass> classes)
+    : classes_(std::move(classes)) {
+  if (classes_.empty()) throw std::invalid_argument("empty TUF library");
+  double total = 0.0;
+  for (const auto& c : classes_) {
+    if (!(c.weight > 0.0)) throw std::invalid_argument("TUF weight <= 0");
+    total += c.weight;
+  }
+  cumulative_.reserve(classes_.size());
+  double acc = 0.0;
+  for (const auto& c : classes_) {
+    acc += c.weight / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t TufClassLibrary::sample_index(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+TufClassLibrary standard_tuf_classes(double time_scale) {
+  if (!(time_scale > 0.0)) {
+    throw std::invalid_argument("time_scale must be positive");
+  }
+  const double ts = time_scale;
+  std::vector<TufClass> classes;
+
+  // Routine work: generous grace then a slow linear fade.
+  classes.push_back({"routine-low", 3.0,
+                     make_linear_decay_tuf(2.0, 0.25 * ts, 1.5 * ts)});
+  classes.push_back({"routine-medium", 2.0,
+                     make_linear_decay_tuf(4.0, 0.20 * ts, 1.2 * ts)});
+
+  // Urgent work: value erodes quickly from the moment of arrival.
+  classes.push_back({"urgent-medium", 2.0,
+                     make_exponential_decay_tuf(8.0, 0.8 * ts, 0.05, 1.5)});
+  classes.push_back({"urgent-high", 1.0,
+                     make_exponential_decay_tuf(16.0, 0.6 * ts, 0.05, 2.0)});
+
+  // Deadline work: full value until a cut-off, nothing after.
+  classes.push_back({"deadline-high", 1.0,
+                     make_hard_deadline_tuf(12.0, 0.75 * ts)});
+
+  // Stepped characteristic class mirroring Figure 1's interval structure.
+  classes.push_back({"stepped-medium", 1.0,
+                     make_step_tuf(6.0, 1.0 * ts, 4)});
+
+  return TufClassLibrary(std::move(classes));
+}
+
+}  // namespace eus

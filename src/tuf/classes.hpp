@@ -1,0 +1,53 @@
+#pragma once
+
+// Administrator-defined TUF policy classes (§IV-B1: parameters are policy
+// decisions set per system).  The workload generator draws one class per
+// task; a class combines a priority level, an urgency level, and a
+// characteristic-class shape.
+
+#include <string>
+#include <vector>
+
+#include "tuf/time_utility_function.hpp"
+#include "util/rng.hpp"
+
+namespace eus {
+
+struct TufClass {
+  std::string name;
+  double weight = 1.0;  ///< relative draw probability (> 0)
+  TimeUtilityFunction function;
+};
+
+class TufClassLibrary {
+ public:
+  explicit TufClassLibrary(std::vector<TufClass> classes);
+
+  [[nodiscard]] const std::vector<TufClass>& classes() const noexcept {
+    return classes_;
+  }
+
+  /// Draws a class index proportionally to the weights.
+  [[nodiscard]] std::size_t sample_index(Rng& rng) const;
+
+  /// Draws a class and returns its function.
+  [[nodiscard]] const TimeUtilityFunction& sample(Rng& rng) const {
+    return classes_[sample_index(rng)].function;
+  }
+
+  [[nodiscard]] const TimeUtilityFunction& at(std::size_t i) const {
+    return classes_.at(i).function;
+  }
+
+ private:
+  std::vector<TufClass> classes_;
+  std::vector<double> cumulative_;  ///< normalized cumulative weights
+};
+
+/// The default policy mix used by the bench harness: 3 priority levels x
+/// {routine linear-decay, urgent exponential-decay, hard-deadline} shapes,
+/// with decay horizons proportional to `time_scale` (seconds — pick the
+/// trace window or a multiple of the mean execution time).
+[[nodiscard]] TufClassLibrary standard_tuf_classes(double time_scale);
+
+}  // namespace eus

@@ -1,0 +1,105 @@
+#include "tuf/time_utility_function.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+constexpr double kFractionTolerance = 1e-12;
+
+void validate_interval(const TufInterval& iv) {
+  if (!(iv.duration > 0.0) || !std::isfinite(iv.duration)) {
+    throw std::invalid_argument("TUF interval duration must be positive");
+  }
+  if (!(iv.urgency_modifier > 0.0) || !std::isfinite(iv.urgency_modifier)) {
+    throw std::invalid_argument("TUF urgency modifier must be positive");
+  }
+  if (iv.begin_fraction < -kFractionTolerance ||
+      iv.begin_fraction > 1.0 + kFractionTolerance ||
+      iv.end_fraction < -kFractionTolerance ||
+      iv.end_fraction > 1.0 + kFractionTolerance) {
+    throw std::invalid_argument("TUF fractions must lie in [0, 1]");
+  }
+  if (iv.end_fraction > iv.begin_fraction + kFractionTolerance) {
+    throw std::invalid_argument("TUF interval must not increase");
+  }
+  if (iv.shape == TufInterval::Shape::kExponential &&
+      iv.end_fraction <= 0.0) {
+    throw std::invalid_argument(
+        "exponential TUF interval needs a positive end fraction");
+  }
+  if (iv.shape == TufInterval::Shape::kConstant &&
+      std::abs(iv.begin_fraction - iv.end_fraction) > kFractionTolerance) {
+    throw std::invalid_argument(
+        "constant TUF interval needs begin == end fraction");
+  }
+}
+
+}  // namespace
+
+TimeUtilityFunction::TimeUtilityFunction(double priority, double urgency,
+                                         std::vector<TufInterval> intervals)
+    : priority_(priority),
+      urgency_(urgency),
+      intervals_(std::move(intervals)) {
+  if (!(priority_ > 0.0) || !std::isfinite(priority_)) {
+    throw std::invalid_argument("TUF priority must be positive");
+  }
+  if (!(urgency_ > 0.0) || !std::isfinite(urgency_)) {
+    throw std::invalid_argument("TUF urgency must be positive");
+  }
+
+  double prev_end = 1.0;
+  double t = 0.0;
+  boundaries_.reserve(intervals_.size());
+  for (const auto& iv : intervals_) {
+    validate_interval(iv);
+    if (iv.begin_fraction > prev_end + kFractionTolerance) {
+      throw std::invalid_argument(
+          "TUF must be monotonically non-increasing across intervals");
+    }
+    prev_end = iv.end_fraction;
+    t += iv.duration / (urgency_ * iv.urgency_modifier);
+    boundaries_.push_back(t);
+  }
+}
+
+double TimeUtilityFunction::value(double elapsed) const noexcept {
+  if (elapsed < 0.0) elapsed = 0.0;
+  double start = 0.0;
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    const double end = boundaries_[i];
+    if (elapsed < end) {
+      const auto& iv = intervals_[i];
+      const double span = end - start;
+      const double f = span > 0.0 ? (elapsed - start) / span : 1.0;
+      switch (iv.shape) {
+        case TufInterval::Shape::kConstant:
+          return priority_ * iv.begin_fraction;
+        case TufInterval::Shape::kLinear:
+          return priority_ *
+                 (iv.begin_fraction +
+                  (iv.end_fraction - iv.begin_fraction) * f);
+        case TufInterval::Shape::kExponential: {
+          // b * (e/b)^f decays from b to e over the interval.
+          const double ratio = iv.end_fraction / iv.begin_fraction;
+          return priority_ * iv.begin_fraction * std::pow(ratio, f);
+        }
+      }
+    }
+    start = end;
+  }
+  return residual();
+}
+
+double TimeUtilityFunction::residual() const noexcept {
+  if (intervals_.empty()) return priority_;
+  return priority_ * intervals_.back().end_fraction;
+}
+
+double TimeUtilityFunction::horizon() const noexcept {
+  return boundaries_.empty() ? 0.0 : boundaries_.back();
+}
+
+}  // namespace eus

@@ -1,0 +1,78 @@
+#pragma once
+
+// Time-utility functions (TUFs), §IV-B1 / Figure 1 of the paper, following
+// the priority / urgency / utility-characteristic-class model of Briceno et
+// al. (HCW 2011):
+//
+//  * priority   — the maximum utility the task can earn,
+//  * urgency    — a global decay-rate multiplier (>1 compresses the
+//                 function in time, i.e. utility is lost faster),
+//  * class      — a sequence of discrete intervals, each spanning a nominal
+//                 duration and carrying begin/end fractions of priority, a
+//                 decay shape, and a per-interval urgency modifier.
+//
+// The resulting function of elapsed time (completion time - arrival time)
+// is monotonically non-increasing; this invariant is validated at
+// construction.  Hard deadlines are modeled with a final fraction of zero.
+
+#include <cstddef>
+#include <vector>
+
+namespace eus {
+
+struct TufInterval {
+  /// Nominal seconds this interval spans; the *effective* span is
+  /// duration / (urgency * urgency_modifier).
+  double duration = 0.0;
+  /// Fraction of priority at the interval's start (in [0,1]).
+  double begin_fraction = 1.0;
+  /// Fraction of priority approached at the interval's end (in [0,1],
+  /// <= begin_fraction).
+  double end_fraction = 1.0;
+  /// Per-interval decay-rate modifier (>0); the characteristic class's knob.
+  double urgency_modifier = 1.0;
+
+  enum class Shape {
+    kConstant,     ///< holds begin_fraction for the whole interval
+    kLinear,       ///< straight line from begin to end fraction
+    kExponential,  ///< exponential decay reaching end exactly at the end
+  };
+  Shape shape = Shape::kLinear;
+};
+
+class TimeUtilityFunction {
+ public:
+  /// Validates and freezes the function.  Throws std::invalid_argument if
+  /// any parameter is out of range or the function would not be
+  /// monotonically non-increasing.  `intervals` may be empty, in which case
+  /// the function is the constant `priority`.
+  TimeUtilityFunction(double priority, double urgency,
+                      std::vector<TufInterval> intervals);
+
+  /// Utility earned when the task completes `elapsed` seconds after its
+  /// arrival.  Negative elapsed is treated as 0.  Beyond the last interval
+  /// the final end fraction persists.
+  [[nodiscard]] double value(double elapsed) const noexcept;
+
+  [[nodiscard]] double priority() const noexcept { return priority_; }
+  [[nodiscard]] double urgency() const noexcept { return urgency_; }
+  [[nodiscard]] const std::vector<TufInterval>& intervals() const noexcept {
+    return intervals_;
+  }
+
+  /// Utility that remains after every interval has elapsed (0 for hard
+  /// deadlines).
+  [[nodiscard]] double residual() const noexcept;
+
+  /// Total effective time span of all intervals (seconds).
+  [[nodiscard]] double horizon() const noexcept;
+
+ private:
+  double priority_;
+  double urgency_;
+  std::vector<TufInterval> intervals_;
+  /// Effective (urgency-scaled) end time of each interval, precomputed.
+  std::vector<double> boundaries_;
+};
+
+}  // namespace eus

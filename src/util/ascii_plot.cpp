@@ -1,0 +1,86 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace eus {
+
+std::string render_scatter(const std::vector<PlotSeries>& series,
+                           const PlotOptions& options) {
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  std::size_t points = 0;
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      ++points;
+    }
+  }
+  if (points == 0) {
+    os << "(no data)\n";
+    return os.str();
+  }
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  const std::size_t w = std::max<std::size_t>(options.width, 8);
+  const std::size_t h = std::max<std::size_t>(options.height, 4);
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      const double fx = (s.x[i] - xmin) / (xmax - xmin);
+      const double fy = (s.y[i] - ymin) / (ymax - ymin);
+      const auto cx = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(w - 1)));
+      const auto cy = static_cast<std::size_t>(
+          std::lround(fy * static_cast<double>(h - 1)));
+      canvas[h - 1 - cy][cx] = s.marker;  // row 0 is the top
+    }
+  }
+
+  const std::string ytop = format_double(ymax, 2);
+  const std::string ybot = format_double(ymin, 2);
+  const std::size_t gutter = std::max(ytop.size(), ybot.size()) + 1;
+
+  for (std::size_t row = 0; row < h; ++row) {
+    std::string label;
+    if (row == 0) label = ytop;
+    else if (row == h - 1) label = ybot;
+    os << std::string(gutter - label.size(), ' ') << label << '|'
+       << canvas[row] << '\n';
+  }
+  os << std::string(gutter, ' ') << '+' << std::string(w, '-') << '\n';
+  const std::string xlo = format_double(xmin, 2);
+  const std::string xhi = format_double(xmax, 2);
+  os << std::string(gutter + 1, ' ') << xlo
+     << std::string(w > xlo.size() + xhi.size()
+                        ? w - xlo.size() - xhi.size()
+                        : 1,
+                    ' ')
+     << xhi << '\n';
+  os << std::string(gutter + 1, ' ') << options.x_label
+     << "  (y: " << options.y_label << ")\n";
+
+  // Legend.
+  for (const auto& s : series) {
+    os << "  " << s.marker << " = " << s.name << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace eus

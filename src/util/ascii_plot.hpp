@@ -1,0 +1,35 @@
+#pragma once
+
+// Terminal scatter plot.  Bench binaries render Pareto fronts with this so
+// a reader can eyeball the trade-off curves (Figures 3-6) without leaving
+// the console; the same data is also exported as CSV for real plotting.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eus {
+
+struct PlotSeries {
+  std::string name;
+  char marker = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  std::size_t width = 72;   ///< plot area columns (excluding axis gutter)
+  std::size_t height = 22;  ///< plot area rows
+  std::string x_label = "x";
+  std::string y_label = "y";
+  std::string title;
+};
+
+/// Renders the series onto one shared canvas with auto-scaled axes.  Later
+/// series overwrite earlier ones on collisions.  Returns the multi-line
+/// string (with trailing newline); empty series lists produce a title-only
+/// stub.
+[[nodiscard]] std::string render_scatter(const std::vector<PlotSeries>& series,
+                                         const PlotOptions& options);
+
+}  // namespace eus

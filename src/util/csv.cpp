@@ -1,0 +1,115 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace eus {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& cell) {
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << (needs_quoting(cells[i]) ? quote(cells[i]) : cells[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& cells,
+                                  int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (const double v : cells) text.push_back(format_double(v, precision));
+  write_row(text);
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char ch = content[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;  // the next cell exists even if empty
+        break;
+      case '\r':
+        break;  // swallowed; \n terminates the row
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell += ch;
+        cell_started = true;
+    }
+  }
+  if (cell_started || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file: " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::filesystem::path& path,
+                const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write file: " + path.string());
+  out << content;
+  if (!out) throw std::runtime_error("write failed: " + path.string());
+}
+
+}  // namespace eus

@@ -1,0 +1,39 @@
+#pragma once
+
+// Tiny CSV writer/reader used by the bench harness to export Pareto-front
+// series for external plotting, and by the data layer to round-trip ETC/EPC
+// matrices.  Values containing commas/quotes/newlines are quoted per RFC
+// 4180.
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eus {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row_numeric(const std::vector<double>& cells, int precision = 6);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Parses CSV content into rows of cells.  Handles quoted fields, embedded
+/// quotes (doubled), and both \n and \r\n line endings.  A trailing newline
+/// does not produce an empty final row.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    const std::string& content);
+
+/// Reads a whole file; throws std::runtime_error when unreadable.
+[[nodiscard]] std::string read_file(const std::filesystem::path& path);
+
+/// Writes a whole file; throws std::runtime_error on failure.
+void write_file(const std::filesystem::path& path, const std::string& content);
+
+}  // namespace eus

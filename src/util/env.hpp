@@ -1,0 +1,31 @@
+#pragma once
+
+// Environment-variable configuration knobs for the bench harness.
+//
+// The paper runs NSGA-II for up to 10^6 iterations; on small hosts the
+// benches scale their checkpoint schedules by EUS_SCALE (a positive double,
+// default chosen per bench).  EUS_SEED overrides the master seed.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace eus {
+
+/// Raw lookup; std::nullopt when unset or empty.
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+
+/// Parses a double from the environment; falls back when unset/invalid.
+[[nodiscard]] double env_double(const char* name, double fallback);
+
+/// Parses an integer from the environment; falls back when unset/invalid.
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// The global iteration-scale knob (EUS_SCALE, default 1.0, clamped > 0).
+[[nodiscard]] double bench_scale();
+
+/// The global master seed (EUS_SEED, default 20130520 — the IPDPSW'13
+/// workshop date).
+[[nodiscard]] std::uint64_t bench_seed();
+
+}  // namespace eus

@@ -1,0 +1,72 @@
+#pragma once
+
+// Deterministic, splittable random number generation.
+//
+// All stochastic components of the framework (trace generation, synthetic
+// data sampling, genetic operators) draw from eus::Rng so that every
+// experiment is reproducible from a single master seed.  Rng is a
+// UniformRandomBitGenerator and can therefore be used with the <random>
+// distributions, but the member helpers below avoid libstdc++
+// distribution-state pitfalls and are preferred inside the library.
+
+#include <cstdint>
+#include <limits>
+
+namespace eus {
+
+/// xoshiro256** PRNG seeded via SplitMix64.  Fast, high quality, and
+/// trivially copyable so populations can snapshot generator state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` using SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Derives an independent child stream.  Children produced by successive
+  /// calls are distinct, and the parent's own sequence is advanced, so a
+  /// parent can both split and keep generating.
+  [[nodiscard]] Rng split() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n).  Uses Lemire's unbiased multiply-shift
+  /// rejection method.  Requires n > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare: stateless & simple).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Exponential with the given rate (lambda > 0).
+  [[nodiscard]] double exponential(double rate) noexcept;
+
+  /// Gamma(shape k > 0, scale theta > 0) via Marsaglia-Tsang squeeze
+  /// (with the standard shape<1 boost).  Mean = k*theta, CV = 1/sqrt(k).
+  [[nodiscard]] double gamma(double shape, double scale) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace eus

@@ -1,0 +1,29 @@
+#pragma once
+
+// Monotonic wall-clock stopwatch for harness reporting.
+
+#include <chrono>
+
+namespace eus {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace eus

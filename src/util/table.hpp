@@ -1,0 +1,39 @@
+#pragma once
+
+// ASCII table rendering for bench/example output.  The paper's tables
+// (I, II, III) are reprinted with this.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eus {
+
+class AsciiTable {
+ public:
+  /// `header` defines the column count; rows must match it.
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& row, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Renders with a box-drawing-free ASCII style:
+  ///   +-----+-----+
+  ///   | col | col |
+  ///   +-----+-----+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by tables/CSV).
+[[nodiscard]] std::string format_double(double v, int precision = 3);
+
+}  // namespace eus

@@ -1,0 +1,80 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace eus {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  const std::size_t blocks = std::min(count, workers_.size() * 4);
+  const std::size_t chunk = (count + blocks - 1) / blocks;
+
+  std::atomic<std::size_t> remaining{blocks};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t begin = b * chunk;
+      const std::size_t end = std::min(count, begin + chunk);
+      queue_.emplace([&, begin, end] {
+        try {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          const std::lock_guard elock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          const std::lock_guard dlock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace eus

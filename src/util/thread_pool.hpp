@@ -1,0 +1,48 @@
+#pragma once
+
+// Minimal work-stealing-free thread pool used to evaluate NSGA-II
+// populations in parallel.  The pool is created once per algorithm run and
+// reused across generations; parallel_for blocks until the whole index range
+// has been processed so generation barriers stay implicit.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace eus {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).  A pool of size 1 still runs tasks on the worker thread,
+  /// preserving identical code paths on single-core hosts.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, count), partitioned into contiguous
+  /// blocks across the workers, and returns once all are done.  fn must be
+  /// safe to call concurrently for distinct i.  Exceptions thrown by fn
+  /// propagate to the caller (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace eus

@@ -1,0 +1,96 @@
+#include "workload/analysis.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace eus {
+
+WorkloadAnalysis analyze_workload(const SystemModel& system,
+                                  const Trace& trace) {
+  trace.validate_against(system);
+  WorkloadAnalysis a;
+  a.tasks = trace.size();
+  a.type_counts.assign(system.num_task_types(), 0);
+  a.class_utility.assign(trace.tuf_classes().classes().size(), 0.0);
+  if (trace.size() == 0) return a;
+
+  a.window = trace.window();
+
+  // Interarrival statistics.
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t gaps = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double gap =
+        trace.tasks()[i].arrival - trace.tasks()[i - 1].arrival;
+    sum += gap;
+    sum_sq += gap * gap;
+    ++gaps;
+  }
+  if (gaps > 0) {
+    a.mean_interarrival = sum / static_cast<double>(gaps);
+    const double var =
+        sum_sq / static_cast<double>(gaps) -
+        a.mean_interarrival * a.mean_interarrival;
+    a.cv_interarrival = a.mean_interarrival > 0.0
+                            ? std::sqrt(std::max(var, 0.0)) /
+                                  a.mean_interarrival
+                            : 0.0;
+  }
+
+  // Work content and mixes.
+  double total_work = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& task = trace.tasks()[i];
+    ++a.type_counts[task.type];
+    a.class_utility[task.tuf_class] += trace.tuf_of(i).value(0.0);
+
+    double mean_etc = 0.0;
+    const auto& eligible = system.eligible_machines(task.type);
+    for (const int m : eligible) {
+      mean_etc += system.etc_on(task.type, static_cast<std::size_t>(m));
+    }
+    total_work += mean_etc / static_cast<double>(eligible.size());
+  }
+  a.mean_task_work = total_work / static_cast<double>(trace.size());
+  if (a.window > 0.0) {
+    a.offered_load = total_work / (static_cast<double>(system.num_machines()) *
+                                   a.window);
+  }
+  return a;
+}
+
+std::string workload_report(const SystemModel& system, const Trace& trace) {
+  const WorkloadAnalysis a = analyze_workload(system, trace);
+  std::ostringstream os;
+  os << "workload: " << a.tasks << " tasks over "
+     << format_double(a.window, 0) << " s\n"
+     << "  interarrival: mean " << format_double(a.mean_interarrival, 2)
+     << " s, cv " << format_double(a.cv_interarrival, 2)
+     << " (Poisson ~ 1)\n"
+     << "  mean work per task: " << format_double(a.mean_task_work, 1)
+     << " s, offered load: " << format_double(a.offered_load, 2)
+     << " x suite capacity\n";
+
+  AsciiTable types({"task type", "count"});
+  for (std::size_t t = 0; t < a.type_counts.size(); ++t) {
+    if (a.type_counts[t] > 0) {
+      types.add_row({system.task_types()[t].name,
+                     std::to_string(a.type_counts[t])});
+    }
+  }
+  os << types.render();
+
+  AsciiTable classes({"TUF class", "max utility at stake"});
+  for (std::size_t c = 0; c < a.class_utility.size(); ++c) {
+    if (a.class_utility[c] > 0.0) {
+      classes.add_row({trace.tuf_classes().classes()[c].name,
+                       format_double(a.class_utility[c], 1)});
+    }
+  }
+  os << classes.render();
+  return os.str();
+}
+
+}  // namespace eus

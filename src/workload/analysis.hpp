@@ -1,0 +1,39 @@
+#pragma once
+
+// Workload characterization: the numbers an administrator checks before
+// trusting any scheduling study — how loaded is the suite, how bursty are
+// the arrivals, what's in the mix.
+
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace eus {
+
+struct WorkloadAnalysis {
+  std::size_t tasks = 0;
+  double window = 0.0;          ///< last arrival (seconds)
+  double mean_interarrival = 0.0;
+  double cv_interarrival = 0.0;  ///< ~1 for Poisson
+  /// Offered load: total mean work (row-average ETC per task) divided by
+  /// (machines x window).  > 1 means the trace cannot finish within its
+  /// own window even with perfect packing.
+  double offered_load = 0.0;
+  /// Mean work seconds per task (row-average ETC over eligible machines).
+  double mean_task_work = 0.0;
+  /// Task count per task type (indexed by type).
+  std::vector<std::size_t> type_counts;
+  /// Max utility at stake per TUF class (indexed by class).
+  std::vector<double> class_utility;
+};
+
+/// Characterizes `trace` against `system`.  Works for empty traces (all
+/// zeros).
+[[nodiscard]] WorkloadAnalysis analyze_workload(const SystemModel& system,
+                                                const Trace& trace);
+
+/// Renders the analysis as an ASCII block (for examples/benches).
+[[nodiscard]] std::string workload_report(const SystemModel& system,
+                                          const Trace& trace);
+
+}  // namespace eus

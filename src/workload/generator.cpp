@@ -1,0 +1,116 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eus {
+
+std::vector<double> poisson_arrivals(std::size_t count, double window,
+                                     Rng& rng) {
+  if (!(window > 0.0)) throw std::invalid_argument("window must be positive");
+  std::vector<double> times(count);
+  for (double& t : times) t = rng.uniform(0.0, window);
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::vector<double> bursty_arrivals(std::size_t count, double window,
+                                    double burst_factor, Rng& rng) {
+  if (!(window > 0.0)) throw std::invalid_argument("window must be positive");
+  if (!(burst_factor >= 1.0)) {
+    throw std::invalid_argument("burst_factor must be >= 1");
+  }
+  const auto bursts = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(static_cast<double>(count) / burst_factor)));
+  std::vector<double> centers(bursts);
+  for (double& c : centers) c = rng.uniform(0.0, window);
+
+  const double jitter =
+      window / (8.0 * static_cast<double>(bursts));  // tight clusters
+  std::vector<double> times(count);
+  for (double& t : times) {
+    const double center = centers[rng.below(bursts)];
+    t = std::clamp(center + rng.normal(0.0, jitter), 0.0, window);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::vector<double> periodic_arrivals(std::size_t count, double window) {
+  if (!(window > 0.0)) throw std::invalid_argument("window must be positive");
+  std::vector<double> times(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    times[i] = window * static_cast<double>(i) / static_cast<double>(
+                                                     std::max<std::size_t>(
+                                                         count, 1));
+  }
+  return times;
+}
+
+const char* to_string(ArrivalProcess p) noexcept {
+  switch (p) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+    case ArrivalProcess::kPeriodic:
+      return "periodic";
+  }
+  return "unknown";
+}
+
+Trace generate_trace(const SystemModel& system,
+                     const TufClassLibrary& tuf_classes,
+                     const TraceConfig& config, Rng& rng) {
+  if (config.num_tasks == 0) throw std::invalid_argument("num_tasks == 0");
+
+  std::vector<double> weights = config.type_weights;
+  if (weights.empty()) {
+    weights.assign(system.num_task_types(), 1.0);
+  }
+  if (weights.size() != system.num_task_types()) {
+    throw std::invalid_argument("type_weights size mismatch");
+  }
+  std::vector<double> cumulative(weights.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) throw std::invalid_argument("negative type weight");
+    total += weights[i];
+    cumulative[i] = total;
+  }
+  if (!(total > 0.0)) throw std::invalid_argument("all-zero type weights");
+
+  std::vector<double> arrivals;
+  switch (config.arrivals) {
+    case ArrivalProcess::kPoisson:
+      arrivals = poisson_arrivals(config.num_tasks, config.window_seconds,
+                                  rng);
+      break;
+    case ArrivalProcess::kBursty:
+      arrivals = bursty_arrivals(config.num_tasks, config.window_seconds,
+                                 config.burst_factor, rng);
+      break;
+    case ArrivalProcess::kPeriodic:
+      arrivals = periodic_arrivals(config.num_tasks, config.window_seconds);
+      break;
+  }
+
+  std::vector<TaskInstance> tasks;
+  tasks.reserve(config.num_tasks);
+  for (const double arrival : arrivals) {
+    const double u = rng.uniform(0.0, total);
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), u);
+    const auto type = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                 static_cast<std::ptrdiff_t>(weights.size()) - 1));
+    tasks.push_back({type, arrival, tuf_classes.sample_index(rng)});
+  }
+
+  Trace trace(std::move(tasks), tuf_classes);
+  trace.validate_against(system);
+  return trace;
+}
+
+}  // namespace eus

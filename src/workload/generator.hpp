@@ -1,0 +1,60 @@
+#pragma once
+
+// Trace synthesis: Poisson arrivals over a window, task types drawn from a
+// categorical mix, TUF classes drawn from a policy library.  This stands in
+// for the ESSC operational traces the paper models (see DESIGN.md
+// substitution 2).
+
+#include <cstddef>
+#include <vector>
+
+#include "tuf/classes.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace eus {
+
+/// `count` arrival times of a homogeneous Poisson process on [0, window],
+/// conditioned on exactly `count` arrivals (i.e. sorted U(0, window)
+/// draws), which is the standard exact construction.
+[[nodiscard]] std::vector<double> poisson_arrivals(std::size_t count,
+                                                   double window, Rng& rng);
+
+/// Bursty arrivals: tasks cluster around ~count/burst_factor uniformly
+/// placed burst centers with tight Gaussian jitter.  Interarrival CV > 1
+/// (overdispersed vs Poisson) for burst_factor > 1; models the batch-y
+/// submission patterns operational traces exhibit.  Requires
+/// burst_factor >= 1.
+[[nodiscard]] std::vector<double> bursty_arrivals(std::size_t count,
+                                                  double window,
+                                                  double burst_factor,
+                                                  Rng& rng);
+
+/// Deterministic evenly spaced arrivals (i * window / count): interarrival
+/// CV ~ 0, the underdispersed extreme.
+[[nodiscard]] std::vector<double> periodic_arrivals(std::size_t count,
+                                                    double window);
+
+enum class ArrivalProcess { kPoisson, kBursty, kPeriodic };
+
+[[nodiscard]] const char* to_string(ArrivalProcess p) noexcept;
+
+struct TraceConfig {
+  std::size_t num_tasks = 0;
+  double window_seconds = 0.0;
+  /// Relative draw weight per task type; empty = uniform over all types.
+  std::vector<double> type_weights;
+  /// Arrival-time process (paper model: Poisson).
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// Mean tasks per burst for kBursty (>= 1).
+  double burst_factor = 8.0;
+};
+
+/// Generates a trace against `system`'s task catalog.  Throws
+/// std::invalid_argument on bad config (zero tasks/window, weight size
+/// mismatch, all-zero weights).
+[[nodiscard]] Trace generate_trace(const SystemModel& system,
+                                   const TufClassLibrary& tuf_classes,
+                                   const TraceConfig& config, Rng& rng);
+
+}  // namespace eus

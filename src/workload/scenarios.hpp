@@ -1,0 +1,48 @@
+#pragma once
+
+// The paper's three experimental scenarios (§V-A):
+//
+//   dataset 1 — the real 5x9 historical data, one machine per type,
+//               250 tasks arriving over 15 minutes;
+//   dataset 2 — synthetic expansion (30 task types, 13 machine types,
+//               30 machines per Table III), 1000 tasks over 15 minutes;
+//   dataset 3 — same expanded system, 4000 tasks over one hour.
+//
+// Scenario construction is fully deterministic given the seed.
+
+#include <string>
+
+#include "data/system.hpp"
+#include "synth/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace eus {
+
+struct Scenario {
+  std::string name;
+  SystemModel system;
+  Trace trace;
+  double window_seconds = 0.0;
+};
+
+/// Table III machine-instance counts for the expanded system, ordered
+/// [nine general types in Table I order..., special A..D].
+[[nodiscard]] std::vector<std::size_t> table3_instance_counts();
+
+[[nodiscard]] Scenario make_dataset1(std::uint64_t seed);
+[[nodiscard]] Scenario make_dataset2(std::uint64_t seed);
+[[nodiscard]] Scenario make_dataset3(std::uint64_t seed);
+
+/// The expanded (dataset 2/3) system alone — exposed for benches that only
+/// need the machine/task catalogs (e.g. the Table III printer).
+[[nodiscard]] ExpandedSystem make_expanded_system(std::uint64_t seed);
+
+/// Builds a scenario over an arbitrary system (used by examples/tests to
+/// make small custom studies).
+[[nodiscard]] Scenario make_custom_scenario(std::string name,
+                                            SystemModel system,
+                                            std::size_t num_tasks,
+                                            double window_seconds,
+                                            std::uint64_t seed);
+
+}  // namespace eus

@@ -1,0 +1,45 @@
+#include "workload/trace.hpp"
+
+#include <stdexcept>
+
+namespace eus {
+
+Trace::Trace(std::vector<TaskInstance> tasks, TufClassLibrary tuf_classes)
+    : tasks_(std::move(tasks)), tuf_classes_(std::move(tuf_classes)) {
+  double prev = 0.0;
+  for (const auto& t : tasks_) {
+    if (t.arrival < 0.0) throw std::invalid_argument("negative arrival");
+    if (t.arrival < prev) {
+      throw std::invalid_argument("trace must be sorted by arrival");
+    }
+    if (t.tuf_class >= tuf_classes_.classes().size()) {
+      throw std::invalid_argument("task references unknown TUF class");
+    }
+    prev = t.arrival;
+  }
+}
+
+double Trace::utility_upper_bound() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    total += tuf_of(i).value(0.0);
+  }
+  return total;
+}
+
+double Trace::window() const noexcept {
+  return tasks_.empty() ? 0.0 : tasks_.back().arrival;
+}
+
+void Trace::validate_against(const SystemModel& system) const {
+  for (const auto& t : tasks_) {
+    if (t.type >= system.num_task_types()) {
+      throw std::invalid_argument("task references unknown task type");
+    }
+    if (system.eligible_machines(t.type).empty()) {
+      throw std::invalid_argument("task type has no eligible machines");
+    }
+  }
+}
+
+}  // namespace eus

@@ -1,0 +1,58 @@
+#pragma once
+
+// A workload trace: the recorded arrivals of typed tasks over a time window
+// (§III-C).  The paper performs *post-mortem static* allocation — the whole
+// trace, including every arrival time, is known up front — so a Trace is an
+// immutable value consumed by heuristics and the NSGA-II evaluator.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/system.hpp"
+#include "tuf/classes.hpp"
+
+namespace eus {
+
+struct TaskInstance {
+  std::size_t type = 0;       ///< index into SystemModel::task_types
+  double arrival = 0.0;       ///< seconds from trace start
+  std::size_t tuf_class = 0;  ///< index into the trace's TufClassLibrary
+};
+
+class Trace {
+ public:
+  /// Tasks must be sorted by arrival (ties allowed) and reference valid TUF
+  /// classes; throws std::invalid_argument otherwise.
+  Trace(std::vector<TaskInstance> tasks, TufClassLibrary tuf_classes);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const std::vector<TaskInstance>& tasks() const noexcept {
+    return tasks_;
+  }
+  [[nodiscard]] const TaskInstance& task(std::size_t i) const {
+    return tasks_.at(i);
+  }
+  [[nodiscard]] const TufClassLibrary& tuf_classes() const noexcept {
+    return tuf_classes_;
+  }
+
+  /// The TUF governing task i (hot path, unchecked).
+  [[nodiscard]] const TimeUtilityFunction& tuf_of(std::size_t i) const noexcept {
+    return tuf_classes_.classes()[tasks_[i].tuf_class].function;
+  }
+
+  /// Maximum total utility if every task completed instantly on arrival.
+  [[nodiscard]] double utility_upper_bound() const noexcept;
+
+  /// Latest arrival time in the trace (0 when empty).
+  [[nodiscard]] double window() const noexcept;
+
+  /// Checks that every task's type exists and is executable in `system`.
+  void validate_against(const SystemModel& system) const;
+
+ private:
+  std::vector<TaskInstance> tasks_;
+  TufClassLibrary tuf_classes_;
+};
+
+}  // namespace eus

@@ -1,0 +1,153 @@
+#include "workload/trace_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace eus {
+namespace {
+
+const char* shape_token(TufInterval::Shape s) {
+  switch (s) {
+    case TufInterval::Shape::kConstant:
+      return "const";
+    case TufInterval::Shape::kLinear:
+      return "lin";
+    case TufInterval::Shape::kExponential:
+      return "exp";
+  }
+  return "lin";
+}
+
+TufInterval::Shape parse_shape(const std::string& token) {
+  if (token == "const") return TufInterval::Shape::kConstant;
+  if (token == "lin") return TufInterval::Shape::kLinear;
+  if (token == "exp") return TufInterval::Shape::kExponential;
+  throw std::runtime_error("unknown TUF interval shape: " + token);
+}
+
+std::string intervals_to_string(const std::vector<TufInterval>& intervals) {
+  std::ostringstream os;
+  for (const auto& iv : intervals) {
+    os << '{' << format_double(iv.duration, 9) << ';'
+       << format_double(iv.begin_fraction, 9) << ';'
+       << format_double(iv.end_fraction, 9) << ';'
+       << format_double(iv.urgency_modifier, 9) << ';'
+       << shape_token(iv.shape) << '}';
+  }
+  return os.str();
+}
+
+double parse_number(const std::string& text, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::runtime_error("");
+    return v;
+  } catch (...) {
+    throw std::runtime_error(std::string("bad ") + what + ": '" + text + "'");
+  }
+}
+
+std::vector<TufInterval> parse_intervals(const std::string& text) {
+  std::vector<TufInterval> intervals;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    if (text[pos] != '{') throw std::runtime_error("expected '{' in intervals");
+    const std::size_t close = text.find('}', pos);
+    if (close == std::string::npos) {
+      throw std::runtime_error("unterminated TUF interval");
+    }
+    const std::string body = text.substr(pos + 1, close - pos - 1);
+    std::vector<std::string> fields;
+    std::istringstream ss(body);
+    std::string field;
+    while (std::getline(ss, field, ';')) fields.push_back(field);
+    if (fields.size() != 5) {
+      throw std::runtime_error("TUF interval needs 5 fields: " + body);
+    }
+    TufInterval iv;
+    iv.duration = parse_number(fields[0], "duration");
+    iv.begin_fraction = parse_number(fields[1], "begin fraction");
+    iv.end_fraction = parse_number(fields[2], "end fraction");
+    iv.urgency_modifier = parse_number(fields[3], "urgency modifier");
+    iv.shape = parse_shape(fields[4]);
+    intervals.push_back(iv);
+    pos = close + 1;
+  }
+  return intervals;
+}
+
+}  // namespace
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+
+  os << "[tuf-classes]\n";
+  csv.write_row({"name", "weight", "priority", "urgency", "intervals"});
+  for (const auto& c : trace.tuf_classes().classes()) {
+    csv.write_row({c.name, format_double(c.weight, 9),
+                   format_double(c.function.priority(), 9),
+                   format_double(c.function.urgency(), 9),
+                   intervals_to_string(c.function.intervals())});
+  }
+
+  os << "[tasks]\n";
+  csv.write_row({"type", "arrival", "tuf_class"});
+  for (const auto& t : trace.tasks()) {
+    csv.write_row({std::to_string(t.type), format_double(t.arrival, 9),
+                   std::to_string(t.tuf_class)});
+  }
+  return os.str();
+}
+
+Trace trace_from_string(const std::string& text) {
+  // Split into the two sections first (sections are plain lines, bodies are
+  // CSV).
+  const std::size_t classes_at = text.find("[tuf-classes]");
+  const std::size_t tasks_at = text.find("[tasks]");
+  if (classes_at == std::string::npos || tasks_at == std::string::npos ||
+      tasks_at < classes_at) {
+    throw std::runtime_error("trace file needs [tuf-classes] then [tasks]");
+  }
+  const std::string classes_csv = text.substr(
+      classes_at + std::string("[tuf-classes]\n").size(),
+      tasks_at - classes_at - std::string("[tuf-classes]\n").size());
+  const std::string tasks_csv =
+      text.substr(tasks_at + std::string("[tasks]\n").size());
+
+  const auto class_rows = parse_csv(classes_csv);
+  if (class_rows.size() < 2) {
+    throw std::runtime_error("no TUF classes in trace file");
+  }
+  std::vector<TufClass> classes;
+  for (std::size_t r = 1; r < class_rows.size(); ++r) {
+    const auto& row = class_rows[r];
+    if (row.size() != 5) throw std::runtime_error("bad TUF class row");
+    classes.push_back(
+        {row[0], parse_number(row[1], "weight"),
+         TimeUtilityFunction(parse_number(row[2], "priority"),
+                             parse_number(row[3], "urgency"),
+                             parse_intervals(row[4]))});
+  }
+
+  const auto task_rows = parse_csv(tasks_csv);
+  if (task_rows.empty()) throw std::runtime_error("no task header");
+  std::vector<TaskInstance> tasks;
+  for (std::size_t r = 1; r < task_rows.size(); ++r) {
+    const auto& row = task_rows[r];
+    if (row.size() != 3) throw std::runtime_error("bad task row");
+    TaskInstance t;
+    t.type = static_cast<std::size_t>(parse_number(row[0], "task type"));
+    t.arrival = parse_number(row[1], "arrival");
+    t.tuf_class = static_cast<std::size_t>(parse_number(row[2], "tuf class"));
+    tasks.push_back(t);
+  }
+
+  return Trace(std::move(tasks), TufClassLibrary(std::move(classes)));
+}
+
+}  // namespace eus

@@ -1,0 +1,33 @@
+#pragma once
+
+// Trace persistence: save/load a full workload trace — task instances plus
+// the TUF class library governing them — as two CSV blocks in one file, so
+// users can capture traces from their own systems and replay them through
+// the framework.
+//
+// Format (one file, two sections):
+//
+//   [tuf-classes]
+//   name,weight,priority,urgency,intervals
+//   urgent-high,1,16,2,"{0.6;1;0.05;1;exp}{0.0006;0.05;0;1;lin}"
+//   [tasks]
+//   type,arrival,tuf_class
+//   3,12.25,0
+//
+// Interval tuples are {duration;begin;end;modifier;shape} with shape one of
+// const/lin/exp.
+
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace eus {
+
+/// Serializes the trace (and its TUF library) to the format above.
+[[nodiscard]] std::string trace_to_string(const Trace& trace);
+
+/// Parses trace_to_string() output; throws std::runtime_error on malformed
+/// input (unknown sections, bad numbers, invalid TUFs, unsorted arrivals).
+[[nodiscard]] Trace trace_from_string(const std::string& text);
+
+}  // namespace eus

@@ -1,0 +1,143 @@
+#include "pareto/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pareto/front.hpp"
+#include "util/rng.hpp"
+
+namespace eus {
+namespace {
+
+TEST(Archive, StartsEmpty) {
+  const ParetoArchive a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0U);
+}
+
+TEST(Archive, InsertsNondominated) {
+  ParetoArchive a;
+  EXPECT_TRUE(a.insert({5.0, 5.0}));
+  EXPECT_TRUE(a.insert({3.0, 3.0}));
+  EXPECT_TRUE(a.insert({7.0, 7.0}));
+  EXPECT_EQ(a.size(), 3U);
+}
+
+TEST(Archive, RejectsDominated) {
+  ParetoArchive a;
+  EXPECT_TRUE(a.insert({3.0, 10.0}));
+  EXPECT_FALSE(a.insert({4.0, 9.0}));
+  EXPECT_FALSE(a.insert({3.0, 10.0}));  // duplicate
+  EXPECT_EQ(a.size(), 1U);
+}
+
+TEST(Archive, EvictsNewlyDominated) {
+  ParetoArchive a;
+  EXPECT_TRUE(a.insert({4.0, 5.0}, 1));
+  EXPECT_TRUE(a.insert({6.0, 6.0}, 2));
+  // Dominates both.
+  EXPECT_TRUE(a.insert({3.0, 7.0}, 3));
+  ASSERT_EQ(a.size(), 1U);
+  EXPECT_EQ(a.entries()[0].tag, 3U);
+}
+
+TEST(Archive, KeepsSortedByEnergy) {
+  ParetoArchive a;
+  a.insert({9.0, 9.0});
+  a.insert({1.0, 1.0});
+  a.insert({5.0, 5.0});
+  const auto pts = a.points();
+  ASSERT_EQ(pts.size(), 3U);
+  EXPECT_DOUBLE_EQ(pts[0].energy, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].energy, 5.0);
+  EXPECT_DOUBLE_EQ(pts[2].energy, 9.0);
+}
+
+TEST(Archive, AlwaysMutuallyNondominated) {
+  ParetoArchive a;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    a.insert({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  }
+  EXPECT_TRUE(is_mutually_nondominated(a.points()));
+}
+
+TEST(Archive, MatchesBatchFrontExtraction) {
+  Rng rng(4);
+  std::vector<EUPoint> pts;
+  ParetoArchive a;
+  for (int i = 0; i < 300; ++i) {
+    // Coarse grid so duplicates occur (archive keeps one copy).
+    const EUPoint p{static_cast<double>(rng.below(20)),
+                    static_cast<double>(rng.below(20))};
+    pts.push_back(p);
+    a.insert(p);
+  }
+  // Deduplicate the batch front for comparison.
+  std::vector<EUPoint> expected = pareto_front(pts);
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  EXPECT_EQ(a.points(), expected);
+}
+
+TEST(Archive, InsertAllCountsAdditions) {
+  ParetoArchive a;
+  const std::size_t added =
+      a.insert_all({{1.0, 1.0}, {2.0, 2.0}, {2.0, 1.5}}, 7);
+  EXPECT_EQ(added, 2U);  // third is dominated by {2,2}... wait inserted after
+  EXPECT_EQ(a.size(), 2U);
+  for (const auto& e : a.entries()) EXPECT_EQ(e.tag, 7U);
+}
+
+TEST(Archive, Covers) {
+  ParetoArchive a;
+  a.insert({3.0, 10.0});
+  EXPECT_TRUE(a.covers({3.0, 10.0}));
+  EXPECT_TRUE(a.covers({4.0, 9.0}));
+  EXPECT_FALSE(a.covers({2.0, 5.0}));
+  EXPECT_FALSE(a.covers({3.0, 11.0}));
+}
+
+TEST(Archive, CapacityBoundRespected) {
+  ParetoArchive a(5);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    a.insert({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+    EXPECT_LE(a.size(), 5U);
+  }
+  // Domination evictions and pruning can leave the archive below capacity
+  // (pruned points are gone for good), but never above it or empty.
+  EXPECT_GE(a.size(), 2U);
+  EXPECT_TRUE(is_mutually_nondominated(a.points()));
+}
+
+TEST(Archive, PruningKeepsExtremes) {
+  ParetoArchive a(3);
+  a.insert({1.0, 1.0});
+  a.insert({10.0, 10.0});
+  a.insert({5.0, 5.0});
+  a.insert({5.2, 5.3});  // crowds the middle
+  ASSERT_EQ(a.size(), 3U);
+  const auto pts = a.points();
+  EXPECT_DOUBLE_EQ(pts.front().energy, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().energy, 10.0);
+}
+
+TEST(Archive, CapacityOneKeepsSomething) {
+  ParetoArchive a(1);
+  a.insert({1.0, 1.0});
+  a.insert({2.0, 2.0});
+  EXPECT_EQ(a.size(), 1U);
+}
+
+TEST(Archive, UnboundedNeverPrunes) {
+  ParetoArchive a;
+  for (int i = 0; i < 100; ++i) {
+    a.insert({static_cast<double>(i), static_cast<double>(i)});
+  }
+  EXPECT_EQ(a.size(), 100U);
+}
+
+}  // namespace
+}  // namespace eus

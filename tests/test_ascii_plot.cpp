@@ -1,0 +1,84 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace eus {
+namespace {
+
+TEST(AsciiPlot, EmptySeriesListYieldsStub) {
+  const std::string out = render_scatter({}, {});
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesDataYieldsStub) {
+  PlotSeries s{"empty", 'x', {}, {}};
+  const std::string out = render_scatter({s}, {});
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiPlot, TitleAppears) {
+  PlotOptions opts;
+  opts.title = "Pareto front";
+  PlotSeries s{"front", '*', {1.0}, {2.0}};
+  const std::string out = render_scatter({s}, opts);
+  EXPECT_EQ(out.find("Pareto front"), 0U);
+}
+
+TEST(AsciiPlot, MarkerAppearsInCanvas) {
+  PlotSeries s{"a", '@', {0.0, 1.0}, {0.0, 1.0}};
+  const std::string out = render_scatter({s}, {});
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(AsciiPlot, LegendListsAllSeries) {
+  PlotSeries s1{"first", '1', {0.0}, {0.0}};
+  PlotSeries s2{"second", '2', {1.0}, {1.0}};
+  const std::string out = render_scatter({s1, s2}, {});
+  EXPECT_NE(out.find("1 = first"), std::string::npos);
+  EXPECT_NE(out.find("2 = second"), std::string::npos);
+}
+
+TEST(AsciiPlot, AxisLabelsAppear) {
+  PlotOptions opts;
+  opts.x_label = "energy (MJ)";
+  opts.y_label = "utility";
+  PlotSeries s{"a", '*', {1.0, 2.0}, {3.0, 4.0}};
+  const std::string out = render_scatter({s}, opts);
+  EXPECT_NE(out.find("energy (MJ)"), std::string::npos);
+  EXPECT_NE(out.find("utility"), std::string::npos);
+}
+
+TEST(AsciiPlot, NonFinitePointsSkipped) {
+  PlotSeries s{"a", '*',
+               {1.0, std::numeric_limits<double>::quiet_NaN()},
+               {2.0, 3.0}};
+  const std::string out = render_scatter({s}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, AllNonFiniteYieldsStub) {
+  const double inf = std::numeric_limits<double>::infinity();
+  PlotSeries s{"a", '*', {inf}, {1.0}};
+  const std::string out = render_scatter({s}, {});
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiPlot, SinglePointDoesNotDivideByZero) {
+  PlotSeries s{"a", '*', {5.0}, {5.0}};
+  const std::string out = render_scatter({s}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, RangeLabelsReflectData) {
+  PlotSeries s{"a", '*', {10.0, 20.0}, {100.0, 200.0}};
+  const std::string out = render_scatter({s}, {});
+  EXPECT_NE(out.find("200.00"), std::string::npos);  // y max
+  EXPECT_NE(out.find("100.00"), std::string::npos);  // y min
+  EXPECT_NE(out.find("10.00"), std::string::npos);   // x min
+  EXPECT_NE(out.find("20.00"), std::string::npos);   // x max
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,111 @@
+#include "pareto/attainment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pareto/front.hpp"
+#include "util/rng.hpp"
+
+namespace eus {
+namespace {
+
+TEST(Attainment, Validation) {
+  EXPECT_THROW((void)attainment_front({}, 1), std::invalid_argument);
+  EXPECT_THROW((void)attainment_front({{{1.0, 1.0}}}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)attainment_front({{{1.0, 1.0}}}, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)attainment_front({{{1.0, 1.0}}, {}}, 1),
+               std::invalid_argument);
+}
+
+TEST(Attainment, SingleRunIsItsOwnFront) {
+  const std::vector<EUPoint> f = {{1.0, 2.0}, {3.0, 5.0}, {2.0, 5.0}};
+  const auto a = attainment_front({f}, 1);
+  EXPECT_EQ(a, pareto_front(f));
+}
+
+TEST(Attainment, KOneIsTheUnionFront) {
+  // k=1: attained by at least one run == the combined best front.
+  const std::vector<EUPoint> r1 = {{1.0, 3.0}, {4.0, 8.0}};
+  const std::vector<EUPoint> r2 = {{2.0, 6.0}, {5.0, 9.0}};
+  const auto a = attainment_front({r1, r2}, 1);
+  std::vector<EUPoint> combined = r1;
+  combined.insert(combined.end(), r2.begin(), r2.end());
+  EXPECT_EQ(a, pareto_front(combined));
+}
+
+TEST(Attainment, KAllIsTheGuaranteedRegion) {
+  // k=K: only what every run reached.  Run 2 never reaches utility 8 at
+  // energy 4, so the 2-of-2 front is dominated by run 1's everywhere.
+  const std::vector<EUPoint> r1 = {{1.0, 3.0}, {4.0, 8.0}};
+  const std::vector<EUPoint> r2 = {{2.0, 2.0}, {4.0, 6.0}};
+  const auto a = attainment_front({r1, r2}, 2);
+  // At energy 2: run1 gives 3, run2 gives 2 -> worst 2.  At 4: 8 vs 6 -> 6.
+  EXPECT_EQ(a, (std::vector<EUPoint>{{2.0, 2.0}, {4.0, 6.0}}));
+}
+
+TEST(Attainment, MedianBetweenExtremes) {
+  Rng rng(9);
+  std::vector<std::vector<EUPoint>> runs;
+  for (int r = 0; r < 5; ++r) {
+    std::vector<EUPoint> f;
+    for (int i = 0; i < 30; ++i) {
+      f.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+    }
+    runs.push_back(pareto_front(f));
+  }
+  const auto best = attainment_front(runs, 1);
+  const auto median = attainment_front(runs, 3);
+  const auto all = attainment_front(runs, 5);
+  // Monotone nesting: every k-front is covered by the (k-1)-front.
+  const auto covered_by = [](const std::vector<EUPoint>& outer,
+                             const std::vector<EUPoint>& inner) {
+    for (const auto& p : inner) {
+      bool ok = false;
+      for (const auto& q : outer) {
+        if (q.energy <= p.energy && q.utility >= p.utility) ok = true;
+      }
+      if (!ok) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(covered_by(best, median));
+  EXPECT_TRUE(covered_by(median, all));
+  EXPECT_TRUE(is_mutually_nondominated(best));
+  EXPECT_TRUE(is_mutually_nondominated(median));
+  EXPECT_TRUE(is_mutually_nondominated(all));
+}
+
+TEST(Attainment, FrontPointsActuallyAttained) {
+  Rng rng(10);
+  std::vector<std::vector<EUPoint>> runs;
+  for (int r = 0; r < 4; ++r) {
+    std::vector<EUPoint> f;
+    for (int i = 0; i < 20; ++i) {
+      f.push_back({static_cast<double>(rng.below(15)),
+                   static_cast<double>(rng.below(15))});
+    }
+    runs.push_back(f);
+  }
+  for (std::size_t k = 1; k <= runs.size(); ++k) {
+    for (const auto& p : attainment_front(runs, k)) {
+      EXPECT_GE(attainment_count(runs, p), k) << "k=" << k;
+    }
+  }
+}
+
+TEST(AttainmentCount, WeakDominanceSemantics) {
+  const std::vector<std::vector<EUPoint>> runs = {
+      {{1.0, 5.0}},
+      {{2.0, 4.0}},
+  };
+  EXPECT_EQ(attainment_count(runs, {1.0, 5.0}), 1U);   // exactly run 1
+  EXPECT_EQ(attainment_count(runs, {2.0, 4.0}), 2U);   // both reach it
+  EXPECT_EQ(attainment_count(runs, {0.5, 1.0}), 0U);   // cheaper than all
+  EXPECT_EQ(attainment_count(runs, {3.0, 1.0}), 2U);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/nsga2.hpp"
+#include "core/operators.hpp"
+#include "data/historical.hpp"
+#include "heuristics/seeds.hpp"
+#include "sched/bounds.hpp"
+#include "tuf/builder.hpp"
+#include "workload/analysis.hpp"
+#include "workload/generator.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 1.0, make_linear_decay_tuf(10.0, 0.0, 1500.0)});
+  classes.push_back({"h", 1.0, make_hard_deadline_tuf(20.0, 1200.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+struct Fixture {
+  SystemModel system = historical_system();
+  Trace trace;
+
+  explicit Fixture(std::size_t n = 80)
+      : trace(make_trace(system, n)) {}
+
+  static Trace make_trace(const SystemModel& sys, std::size_t n) {
+    Rng rng(71);
+    TraceConfig cfg;
+    cfg.num_tasks = n;
+    cfg.window_seconds = 900.0;
+    return generate_trace(sys, library(), cfg, rng);
+  }
+};
+
+TEST(Bounds, EnergyLowerBoundMatchesMinEnergySeed) {
+  const Fixture fx;
+  const ObjectiveBounds b = compute_bounds(fx.system, fx.trace);
+  const Evaluator ev(fx.system, fx.trace);
+  const double seed_energy =
+      ev.evaluate(min_energy_allocation(fx.system, fx.trace)).energy;
+  EXPECT_NEAR(b.energy_lower, seed_energy, 1e-9);
+}
+
+TEST(Bounds, UtilityBoundsOrdered) {
+  const Fixture fx;
+  const ObjectiveBounds b = compute_bounds(fx.system, fx.trace);
+  EXPECT_LE(b.utility_upper_contention_free, b.utility_upper_instant);
+  EXPECT_GT(b.utility_upper_contention_free, 0.0);
+  EXPECT_DOUBLE_EQ(b.utility_upper_instant, fx.trace.utility_upper_bound());
+}
+
+TEST(Bounds, NoScheduleExceedsContentionFreeBound) {
+  const Fixture fx;
+  const ObjectiveBounds b = compute_bounds(fx.system, fx.trace);
+  const UtilityEnergyProblem problem(fx.system, fx.trace);
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const EUPoint p = problem.evaluate(random_allocation(problem, rng));
+    EXPECT_LE(p.utility, b.utility_upper_contention_free + 1e-9);
+    EXPECT_GE(p.energy, b.energy_lower - 1e-9);
+  }
+  // Evolved fronts obey them too.
+  Nsga2Config cfg;
+  cfg.population_size = 20;
+  cfg.seed = 4;
+  Nsga2 ga(problem, cfg);
+  ga.initialize({});
+  ga.iterate(40);
+  for (const auto& p : ga.front_points()) {
+    EXPECT_LE(p.utility, b.utility_upper_contention_free + 1e-9);
+    EXPECT_GE(p.energy, b.energy_lower - 1e-9);
+  }
+}
+
+TEST(Bounds, EmptyTraceAllZero) {
+  const SystemModel sys = historical_system();
+  const Trace trace({}, library());
+  const ObjectiveBounds b = compute_bounds(sys, trace);
+  EXPECT_DOUBLE_EQ(b.energy_lower, 0.0);
+  EXPECT_DOUBLE_EQ(b.utility_upper_instant, 0.0);
+  EXPECT_DOUBLE_EQ(b.utility_upper_contention_free, 0.0);
+}
+
+TEST(Analysis, CountsAndWindow) {
+  const Fixture fx;
+  const WorkloadAnalysis a = analyze_workload(fx.system, fx.trace);
+  EXPECT_EQ(a.tasks, 80U);
+  EXPECT_LE(a.window, 900.0);
+  std::size_t total = 0;
+  for (const auto c : a.type_counts) total += c;
+  EXPECT_EQ(total, 80U);
+}
+
+TEST(Analysis, PoissonInterarrivalCvNearOne) {
+  const SystemModel sys = historical_system();
+  Rng rng(81);
+  TraceConfig cfg;
+  cfg.num_tasks = 5000;
+  cfg.window_seconds = 10000.0;
+  const Trace trace = generate_trace(sys, library(), cfg, rng);
+  const WorkloadAnalysis a = analyze_workload(sys, trace);
+  EXPECT_NEAR(a.cv_interarrival, 1.0, 0.1);
+  EXPECT_NEAR(a.mean_interarrival, 10000.0 / 5000.0, 0.1);
+}
+
+TEST(Analysis, OfferedLoadMatchesHandComputation) {
+  // Single-task trace: offered load = mean ETC / (machines * window).
+  const SystemModel sys = historical_system();
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 1.0, make_linear_decay_tuf(1.0, 0.0, 100.0)});
+  const TufClassLibrary lib(std::move(classes));
+  const Trace trace({{0, 0.0, 0}, {0, 100.0, 0}}, lib);
+  const WorkloadAnalysis a = analyze_workload(sys, trace);
+  const double mean_etc = sys.etc().row_mean_finite(0);
+  EXPECT_NEAR(a.mean_task_work, mean_etc, 1e-9);
+  EXPECT_NEAR(a.offered_load, 2.0 * mean_etc / (9.0 * 100.0), 1e-9);
+}
+
+TEST(Analysis, EmptyTraceSafe) {
+  const SystemModel sys = historical_system();
+  const Trace trace({}, library());
+  const WorkloadAnalysis a = analyze_workload(sys, trace);
+  EXPECT_EQ(a.tasks, 0U);
+  EXPECT_DOUBLE_EQ(a.offered_load, 0.0);
+}
+
+TEST(Analysis, ReportMentionsTypesAndClasses) {
+  const Fixture fx;
+  const std::string report = workload_report(fx.system, fx.trace);
+  EXPECT_NE(report.find("offered load"), std::string::npos);
+  EXPECT_NE(report.find("C-Ray"), std::string::npos);
+  EXPECT_NE(report.find("max utility at stake"), std::string::npos);
+}
+
+TEST(Analysis, PaperScenariosAreOverloaded) {
+  // The paper's regime: far more work than the window can hold, which is
+  // what makes the utility/energy trade-off bite.
+  const SystemModel sys = historical_system();
+  Rng rng(91);
+  TraceConfig cfg;
+  cfg.num_tasks = 250;
+  cfg.window_seconds = 900.0;
+  const Trace trace = generate_trace(sys, library(), cfg, rng);
+  const WorkloadAnalysis a = analyze_workload(sys, trace);
+  EXPECT_GT(a.offered_load, 1.5);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,102 @@
+#include "synth/consistency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/historical.hpp"
+#include "synth/etc_generators.hpp"
+
+namespace eus {
+namespace {
+
+TEST(Consistency, RejectsEmpty) {
+  EXPECT_THROW((void)classify_consistency(Matrix{}), std::invalid_argument);
+  EXPECT_THROW((void)make_consistent(Matrix{}), std::invalid_argument);
+}
+
+TEST(Consistency, TrivialCasesConsistent) {
+  EXPECT_EQ(classify_consistency(Matrix(1, 5, 1.0)).classification,
+            Consistency::kConsistent);
+  EXPECT_EQ(classify_consistency(Matrix(5, 1, 1.0)).classification,
+            Consistency::kConsistent);
+}
+
+TEST(Consistency, SpeedOrderedMatrixIsConsistent) {
+  // Column m is uniformly (m+1)x slower than column 0.
+  Matrix etc(4, 3);
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      etc(t, m) = (static_cast<double>(t) + 1.0) * (static_cast<double>(m) + 1.0);
+    }
+  }
+  const ConsistencyReport r = classify_consistency(etc);
+  EXPECT_EQ(r.classification, Consistency::kConsistent);
+  EXPECT_DOUBLE_EQ(r.consistent_pair_fraction, 1.0);
+  EXPECT_EQ(r.largest_consistent_subset, 3U);
+}
+
+TEST(Consistency, CrossedMatrixIsInconsistent) {
+  const Matrix etc = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});
+  const ConsistencyReport r = classify_consistency(etc);
+  EXPECT_EQ(r.classification, Consistency::kInconsistent);
+  EXPECT_DOUBLE_EQ(r.consistent_pair_fraction, 0.0);
+}
+
+TEST(Consistency, SemiConsistentDetected) {
+  // Machines 0-2 speed-ordered; machine 3 crossed against all of them.
+  const Matrix etc = Matrix::from_rows({
+      {1.0, 2.0, 3.0, 10.0},
+      {2.0, 4.0, 6.0, 1.0},
+  });
+  const ConsistencyReport r = classify_consistency(etc);
+  EXPECT_EQ(r.classification, Consistency::kSemiConsistent);
+  EXPECT_EQ(r.largest_consistent_subset, 3U);
+  EXPECT_LT(r.consistent_pair_fraction, 1.0);
+}
+
+TEST(Consistency, HistoricalMatrixIsNotFullyConsistent) {
+  const ConsistencyReport r = classify_consistency(historical_etc());
+  EXPECT_NE(r.classification, Consistency::kConsistent);
+  EXPECT_LT(r.consistent_pair_fraction, 1.0);
+  // But most Intel pairs are speed-ordered: far from fully crossed.
+  EXPECT_GT(r.consistent_pair_fraction, 0.5);
+}
+
+TEST(Consistency, MakeConsistentProducesConsistent) {
+  const Matrix fixed = make_consistent(historical_etc());
+  EXPECT_EQ(classify_consistency(fixed).classification,
+            Consistency::kConsistent);
+}
+
+TEST(Consistency, MakeConsistentPreservesRowMultisets) {
+  const Matrix original = historical_etc();
+  const Matrix fixed = make_consistent(original);
+  for (std::size_t t = 0; t < original.rows(); ++t) {
+    auto a = original.row_finite(t);
+    auto b = fixed.row_finite(t);
+    std::sort(a.begin(), a.end());
+    EXPECT_EQ(a, b);  // fixed rows are already ascending
+    EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+  }
+}
+
+TEST(Consistency, CvbMatricesAreInconsistent) {
+  Rng rng(5);
+  CvbParams p;
+  p.tasks = 30;
+  p.machines = 10;
+  p.task_cv = 0.5;
+  p.machine_cv = 0.5;
+  const ConsistencyReport r = classify_consistency(cvb_etc(p, rng));
+  EXPECT_NE(r.classification, Consistency::kConsistent);
+}
+
+TEST(Consistency, Names) {
+  EXPECT_STREQ(to_string(Consistency::kConsistent), "consistent");
+  EXPECT_STREQ(to_string(Consistency::kSemiConsistent), "semi-consistent");
+  EXPECT_STREQ(to_string(Consistency::kInconsistent), "inconsistent");
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,90 @@
+#include "core/crowding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace eus {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Crowding, EmptyFront) {
+  EXPECT_TRUE(crowding_distances({}, {}).empty());
+}
+
+TEST(Crowding, OneOrTwoMembersAllInfinite) {
+  const std::vector<EUPoint> pts = {{1.0, 1.0}, {2.0, 2.0}};
+  const auto d1 = crowding_distances(pts, {0});
+  ASSERT_EQ(d1.size(), 1U);
+  EXPECT_EQ(d1[0], kInf);
+  const auto d2 = crowding_distances(pts, {0, 1});
+  EXPECT_EQ(d2[0], kInf);
+  EXPECT_EQ(d2[1], kInf);
+}
+
+TEST(Crowding, BoundariesInfinite) {
+  const std::vector<EUPoint> pts = {
+      {0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}, {10.0, 10.0}};
+  const auto d = crowding_distances(pts, {0, 1, 2, 3});
+  EXPECT_EQ(d[0], kInf);
+  EXPECT_EQ(d[3], kInf);
+  EXPECT_NE(d[1], kInf);
+  EXPECT_NE(d[2], kInf);
+}
+
+TEST(Crowding, InteriorValuesMatchDebFormula) {
+  // Front along a line: energy 0,1,3,10; utility equal to energy.
+  const std::vector<EUPoint> pts = {
+      {0.0, 0.0}, {1.0, 1.0}, {3.0, 3.0}, {10.0, 10.0}};
+  const auto d = crowding_distances(pts, {0, 1, 2, 3});
+  // Member 1: (3-0)/10 per objective = 0.6 total.
+  EXPECT_NEAR(d[1], 0.6, 1e-12);
+  // Member 2: (10-1)/10 per objective = 1.8 total.
+  EXPECT_NEAR(d[2], 1.8, 1e-12);
+}
+
+TEST(Crowding, IsolatedPointsScoreHigher) {
+  // Member 2 sits in a sparse region.
+  const std::vector<EUPoint> pts = {
+      {0.0, 0.0}, {0.1, 0.1}, {5.0, 5.0}, {9.9, 9.9}, {10.0, 10.0}};
+  const std::vector<std::size_t> front = {0, 1, 2, 3, 4};
+  const auto d = crowding_distances(pts, front);
+  EXPECT_GT(d[2], d[1]);
+  EXPECT_GT(d[2], d[3]);
+}
+
+TEST(Crowding, FrontIndicesIndirect) {
+  // The front refers to scattered positions in `points`.
+  const std::vector<EUPoint> pts = {
+      {99.0, 99.0},  // not in front
+      {0.0, 0.0}, {1.0, 1.0}, {10.0, 10.0},
+  };
+  const auto d = crowding_distances(pts, {1, 2, 3});
+  ASSERT_EQ(d.size(), 3U);
+  EXPECT_EQ(d[0], kInf);
+  EXPECT_NE(d[1], kInf);
+  EXPECT_EQ(d[2], kInf);
+}
+
+TEST(Crowding, DegenerateObjectiveNoNaN) {
+  // All utilities equal: the utility axis contributes nothing but must not
+  // produce NaN from 0/0.
+  const std::vector<EUPoint> pts = {
+      {0.0, 5.0}, {1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+  const auto d = crowding_distances(pts, {0, 1, 2, 3});
+  for (const double v : d) EXPECT_FALSE(std::isnan(v));
+  EXPECT_NEAR(d[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Crowding, AllIdenticalPointsFinite) {
+  const std::vector<EUPoint> pts = {
+      {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const auto d = crowding_distances(pts, {0, 1, 2, 3});
+  for (const double v : d) EXPECT_FALSE(std::isnan(v));
+}
+
+}  // namespace
+}  // namespace eus

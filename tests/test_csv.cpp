@@ -1,0 +1,108 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace eus {
+namespace {
+
+std::string write_rows(const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  for (const auto& r : rows) w.write_row(r);
+  return os.str();
+}
+
+TEST(CsvWriter, PlainRow) {
+  EXPECT_EQ(write_rows({{"a", "b", "c"}}), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesCommas) {
+  EXPECT_EQ(write_rows({{"a,b", "c"}}), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedQuotes) {
+  EXPECT_EQ(write_rows({{"say \"hi\""}}), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  EXPECT_EQ(write_rows({{"two\nlines"}}), "\"two\nlines\"\n");
+}
+
+TEST(CsvWriter, NumericRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row_numeric({1.5, 2.25}, 2);
+  EXPECT_EQ(os.str(), "1.50,2.25\n");
+}
+
+TEST(ParseCsv, SimpleRows) {
+  const auto rows = parse_csv("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, NoTrailingNewline) {
+  const auto rows = parse_csv("a,b");
+  ASSERT_EQ(rows.size(), 1U);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsv, CrLfLineEndings) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(ParseCsv, QuotedFieldWithComma) {
+  const auto rows = parse_csv("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1U);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "c");
+}
+
+TEST(ParseCsv, DoubledQuoteInsideQuoted) {
+  const auto rows = parse_csv("\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1U);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(ParseCsv, EmptyCells) {
+  const auto rows = parse_csv("a,,c\n,\n");
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", ""}));
+}
+
+TEST(ParseCsv, EmptyInput) {
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+TEST(ParseCsv, RoundTripsWriterOutput) {
+  const std::vector<std::vector<std::string>> original = {
+      {"plain", "with,comma", "with \"quote\""},
+      {"second\nrow", "", "x"},
+  };
+  const auto parsed = parse_csv(write_rows(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(FileIo, RoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "eus_csv_test.txt";
+  write_file(path, "hello\nworld");
+  EXPECT_EQ(read_file(path), "hello\nworld");
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, ReadMissingThrows) {
+  EXPECT_THROW(read_file("/nonexistent/truly/missing.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,157 @@
+#include "des/des_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/operators.hpp"
+#include "core/problem.hpp"
+#include "data/historical.hpp"
+#include "heuristics/seeds.hpp"
+#include "tuf/builder.hpp"
+#include "workload/generator.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary mixed_library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 2.0, make_linear_decay_tuf(10.0, 0.0, 1500.0)});
+  classes.push_back({"h", 1.0, make_hard_deadline_tuf(20.0, 1200.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+struct Fixture {
+  SystemModel system = historical_system();
+  Trace trace;
+
+  explicit Fixture(std::size_t n = 60, std::uint64_t seed = 41)
+      : trace(make_trace(system, n, seed)) {}
+
+  static Trace make_trace(const SystemModel& sys, std::size_t n,
+                          std::uint64_t seed) {
+    Rng rng(seed);
+    TraceConfig cfg;
+    cfg.num_tasks = n;
+    cfg.window_seconds = 900.0;
+    return generate_trace(sys, mixed_library(), cfg, rng);
+  }
+};
+
+void expect_equal(const Evaluation& a, const Evaluation& b) {
+  EXPECT_DOUBLE_EQ(a.utility, b.utility);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_DOUBLE_EQ(a.idle_energy, b.idle_energy);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.dropped, b.dropped);
+}
+
+TEST(Des, MatchesAnalyticEvaluatorOnSeeds) {
+  const Fixture fx;
+  const Evaluator analytic(fx.system, fx.trace);
+  for (const SeedHeuristic h : all_seed_heuristics()) {
+    const Allocation a = make_seed(h, fx.system, fx.trace);
+    expect_equal(des_evaluate(fx.system, fx.trace, a).totals,
+                 analytic.evaluate(a));
+  }
+}
+
+TEST(Des, PerTaskOutcomesMatchAnalyticDetail) {
+  const Fixture fx;
+  const Evaluator analytic(fx.system, fx.trace);
+  const Allocation a =
+      min_min_completion_time_allocation(fx.system, fx.trace);
+  const auto [totals, detail] = analytic.detail(a);
+  const DesResult des = des_evaluate(fx.system, fx.trace, a);
+  ASSERT_EQ(des.outcomes.size(), detail.size());
+  for (std::size_t i = 0; i < detail.size(); ++i) {
+    EXPECT_DOUBLE_EQ(des.outcomes[i].start, detail[i].start) << i;
+    EXPECT_DOUBLE_EQ(des.outcomes[i].finish, detail[i].finish) << i;
+    EXPECT_DOUBLE_EQ(des.outcomes[i].utility, detail[i].utility) << i;
+    EXPECT_EQ(des.outcomes[i].machine, detail[i].machine) << i;
+  }
+}
+
+TEST(Des, MachineTimelinesAreSequentialAndChronological) {
+  const Fixture fx;
+  const Allocation a = max_utility_allocation(fx.system, fx.trace);
+  const DesResult des = des_evaluate(fx.system, fx.trace, a);
+  std::size_t total_runs = 0;
+  for (const auto& m : des.machines) {
+    double prev_finish = 0.0;
+    double busy = 0.0;
+    for (const auto& span : m.timeline) {
+      EXPECT_GE(span.start, prev_finish);
+      EXPECT_GT(span.finish, span.start);
+      prev_finish = span.finish;
+      busy += span.finish - span.start;
+    }
+    EXPECT_NEAR(busy, m.busy_time, 1e-9);
+    EXPECT_EQ(m.timeline.size(), m.tasks_run);
+    total_runs += m.tasks_run;
+  }
+  EXPECT_EQ(total_runs, fx.trace.size());
+}
+
+TEST(Des, QueueWaitNonNegative) {
+  const Fixture fx;
+  const Allocation a = min_energy_allocation(fx.system, fx.trace);
+  const DesResult des = des_evaluate(fx.system, fx.trace, a);
+  EXPECT_GE(des.mean_queue_wait, 0.0);
+  // Min-energy overloads the cheapest machines: waits must be substantial.
+  EXPECT_GT(des.mean_queue_wait, 1.0);
+}
+
+TEST(Des, EventCountIsBounded) {
+  // Each executed task fires exactly one completion event; plus at most one
+  // initial event per used machine and one arrival-sleep per wait.
+  const Fixture fx;
+  const Allocation a = max_utility_allocation(fx.system, fx.trace);
+  const DesResult des = des_evaluate(fx.system, fx.trace, a);
+  EXPECT_GE(des.events_fired, fx.trace.size());
+  EXPECT_LE(des.events_fired, 3 * fx.trace.size() + fx.system.num_machines());
+}
+
+TEST(Des, ValidatesAllocation) {
+  const Fixture fx;
+  EXPECT_THROW(
+      (void)des_evaluate(fx.system, fx.trace, make_trivial_allocation(3)),
+      std::invalid_argument);
+}
+
+class DesCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesCrossValidation, RandomAllocationsAgreeBitExactly) {
+  // The strongest check in the suite: two independent implementations of
+  // the scheduling semantics (analytic replay vs event simulation) agree
+  // exactly on random genomes, with every option combination.
+  const Fixture fx(50, GetParam());
+  Rng rng(GetParam() * 13 + 5);
+
+  EvaluatorOptions plain;
+  EvaluatorOptions dropping;
+  dropping.drop_worthless_tasks = true;
+  dropping.drop_threshold = 0.5;
+  EvaluatorOptions dvfs;
+  dvfs.dvfs = make_cubic_dvfs({0.6, 0.8, 1.0});
+  EvaluatorOptions idle;
+  idle.idle_watts.assign(fx.system.num_machine_types(), 15.0);
+  EvaluatorOptions everything = dvfs;
+  everything.drop_worthless_tasks = true;
+  everything.idle_watts.assign(fx.system.num_machine_types(), 10.0);
+
+  for (const EvaluatorOptions& options :
+       {plain, dropping, dvfs, idle, everything}) {
+    const Evaluator analytic(fx.system, fx.trace, options);
+    const UtilityEnergyProblem problem(fx.system, fx.trace, options);
+    for (int round = 0; round < 3; ++round) {
+      const Allocation a = random_allocation(problem, rng);
+      expect_equal(des_evaluate(fx.system, fx.trace, a, options).totals,
+                   analytic.evaluate(a));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesCrossValidation,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace eus

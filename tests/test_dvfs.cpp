@@ -1,0 +1,53 @@
+#include "sched/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+TEST(Dvfs, RejectsEmptyTable) {
+  EXPECT_THROW(DvfsModel({}), std::invalid_argument);
+}
+
+TEST(Dvfs, RejectsNonPositiveScales) {
+  EXPECT_THROW(DvfsModel({{0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(DvfsModel({{1.0, -1.0}}), std::invalid_argument);
+}
+
+TEST(Dvfs, NominalIsClosestToUnity) {
+  const DvfsModel m({{0.6, 0.2}, {0.8, 0.5}, {1.0, 1.0}});
+  EXPECT_EQ(m.nominal_index(), 2U);
+  const DvfsModel n({{1.2, 1.7}, {0.95, 0.9}});
+  EXPECT_EQ(n.nominal_index(), 1U);
+}
+
+TEST(Dvfs, Multipliers) {
+  const DvfsModel m({{0.5, 0.25}});
+  EXPECT_DOUBLE_EQ(m.time_multiplier(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.power_multiplier(0), 0.25);
+  EXPECT_THROW((void)m.time_multiplier(3), std::out_of_range);
+}
+
+TEST(Dvfs, CubicModelPowerLaw) {
+  const DvfsModel m = make_cubic_dvfs({0.5, 1.0});
+  EXPECT_DOUBLE_EQ(m.pstates()[0].power_scale, 0.125);
+  EXPECT_DOUBLE_EQ(m.pstates()[1].power_scale, 1.0);
+}
+
+TEST(Dvfs, CubicModelEnergyDropsWithFrequency) {
+  // Energy multiplier = time_multiplier * power_multiplier = f^2.
+  const DvfsModel m = make_cubic_dvfs({0.6, 0.8, 1.0});
+  double prev = 0.0;
+  for (std::size_t p = 0; p < m.size(); ++p) {
+    const double energy = m.time_multiplier(p) * m.power_multiplier(p);
+    EXPECT_GT(energy, prev);
+    prev = energy;
+    EXPECT_NEAR(energy, m.pstates()[p].freq_scale * m.pstates()[p].freq_scale,
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace eus

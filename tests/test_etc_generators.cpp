@@ -1,0 +1,201 @@
+#include "synth/etc_generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/historical.hpp"
+#include "synth/moments.hpp"
+
+namespace eus {
+namespace {
+
+TEST(RngGamma, MomentsMatch) {
+  Rng rng(1);
+  const double shape = 4.0, scale = 2.5;
+  const int n = 200000;
+  std::vector<double> draws(n);
+  for (double& d : draws) d = rng.gamma(shape, scale);
+  const Moments m = compute_moments(draws);
+  EXPECT_NEAR(m.mean, shape * scale, 0.05);              // 10
+  EXPECT_NEAR(m.variance, shape * scale * scale, 0.3);   // 25
+  EXPECT_NEAR(m.cv, 1.0 / std::sqrt(shape), 0.01);       // 0.5
+  EXPECT_NEAR(m.skewness, 2.0 / std::sqrt(shape), 0.05);  // 1.0
+}
+
+TEST(RngGamma, ShapeBelowOne) {
+  Rng rng(2);
+  const double shape = 0.5, scale = 3.0;
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = rng.gamma(shape, scale);
+    EXPECT_GT(d, 0.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, shape * scale, 0.05);
+}
+
+TEST(RangeBased, ShapeAndBounds) {
+  Rng rng(3);
+  RangeBasedParams p;
+  p.tasks = 40;
+  p.machines = 12;
+  p.task_range = 50.0;
+  p.machine_range = 5.0;
+  const Matrix etc = range_based_etc(p, rng);
+  EXPECT_EQ(etc.rows(), 40U);
+  EXPECT_EQ(etc.cols(), 12U);
+  for (std::size_t r = 0; r < etc.rows(); ++r) {
+    for (std::size_t c = 0; c < etc.cols(); ++c) {
+      EXPECT_GE(etc(r, c), 1.0);
+      EXPECT_LT(etc(r, c), 250.0);
+    }
+  }
+}
+
+TEST(RangeBased, RejectsBadParams) {
+  Rng rng(4);
+  RangeBasedParams p;
+  p.tasks = 0;
+  p.machines = 5;
+  EXPECT_THROW(range_based_etc(p, rng), std::invalid_argument);
+  p.tasks = 5;
+  p.task_range = 1.0;
+  EXPECT_THROW(range_based_etc(p, rng), std::invalid_argument);
+}
+
+TEST(RangeBased, RowsShareTaskFactor) {
+  // Entries of one row divided by each other stay within the machine
+  // range ratio bounds.
+  Rng rng(5);
+  RangeBasedParams p;
+  p.tasks = 10;
+  p.machines = 8;
+  p.task_range = 1000.0;
+  p.machine_range = 3.0;
+  const Matrix etc = range_based_etc(p, rng);
+  for (std::size_t r = 0; r < etc.rows(); ++r) {
+    for (std::size_t c = 1; c < etc.cols(); ++c) {
+      const double ratio = etc(r, c) / etc(r, 0);
+      EXPECT_GT(ratio, 1.0 / 3.0);
+      EXPECT_LT(ratio, 3.0);
+    }
+  }
+}
+
+TEST(Cvb, MeanMatchesTarget) {
+  Rng rng(6);
+  CvbParams p;
+  p.tasks = 300;
+  p.machines = 30;
+  p.task_mean = 80.0;
+  p.task_cv = 0.4;
+  p.machine_cv = 0.3;
+  const Matrix etc = cvb_etc(p, rng);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < etc.rows(); ++r) {
+    for (std::size_t c = 0; c < etc.cols(); ++c) sum += etc(r, c);
+  }
+  EXPECT_NEAR(sum / (300.0 * 30.0), 80.0, 3.0);
+}
+
+TEST(Cvb, RejectsBadParams) {
+  Rng rng(7);
+  CvbParams p;
+  p.tasks = 5;
+  p.machines = 5;
+  p.task_cv = 0.0;
+  EXPECT_THROW(cvb_etc(p, rng), std::invalid_argument);
+}
+
+TEST(Cvb, MachineCvControlsRowVariation) {
+  Rng rng(8);
+  CvbParams lo;
+  lo.tasks = 200;
+  lo.machines = 20;
+  lo.machine_cv = 0.1;
+  CvbParams hi = lo;
+  hi.machine_cv = 0.9;
+  const EtcHeterogeneity h_lo = measure_heterogeneity(cvb_etc(lo, rng));
+  const EtcHeterogeneity h_hi = measure_heterogeneity(cvb_etc(hi, rng));
+  EXPECT_GT(h_hi.machine_heterogeneity, 3.0 * h_lo.machine_heterogeneity);
+}
+
+TEST(Cvb, TaskCvControlsColumnVariation) {
+  Rng rng(9);
+  CvbParams lo;
+  lo.tasks = 200;
+  lo.machines = 20;
+  lo.task_cv = 0.1;
+  lo.machine_cv = 0.1;
+  CvbParams hi = lo;
+  hi.task_cv = 0.9;
+  const EtcHeterogeneity h_lo = measure_heterogeneity(cvb_etc(lo, rng));
+  const EtcHeterogeneity h_hi = measure_heterogeneity(cvb_etc(hi, rng));
+  EXPECT_GT(h_hi.task_heterogeneity, 2.0 * h_lo.task_heterogeneity);
+}
+
+TEST(HeterogeneityClasses, NamesDistinct) {
+  EXPECT_STREQ(to_string(HeterogeneityClass::kHiHi), "hi-hi");
+  EXPECT_STREQ(to_string(HeterogeneityClass::kLoLo), "lo-lo");
+}
+
+TEST(HeterogeneityClasses, MeasuredOrdering) {
+  Rng rng(10);
+  const auto measure = [&](HeterogeneityClass c) {
+    return measure_heterogeneity(
+        cvb_etc_for_class(c, 150, 16, 100.0, rng));
+  };
+  const auto hihi = measure(HeterogeneityClass::kHiHi);
+  const auto hilo = measure(HeterogeneityClass::kHiLo);
+  const auto lohi = measure(HeterogeneityClass::kLoHi);
+  const auto lolo = measure(HeterogeneityClass::kLoLo);
+
+  // Machine heterogeneity responds to the machine CV knob...
+  EXPECT_GT(hihi.machine_heterogeneity, hilo.machine_heterogeneity);
+  EXPECT_GT(lohi.machine_heterogeneity, lolo.machine_heterogeneity);
+  // ...and task heterogeneity to the task CV knob.
+  EXPECT_GT(hihi.task_heterogeneity, lohi.task_heterogeneity);
+  EXPECT_GT(hilo.task_heterogeneity, lolo.task_heterogeneity);
+}
+
+TEST(MeasureHeterogeneity, KnownMatrix) {
+  // Rows are scalar multiples of each other: column CVs all equal; row CVs
+  // all equal.
+  const Matrix etc = Matrix::from_rows({
+      {10.0, 20.0, 30.0},
+      {20.0, 40.0, 60.0},
+  });
+  const EtcHeterogeneity h = measure_heterogeneity(etc);
+  const double row_cv =
+      compute_moments(std::vector<double>{10.0, 20.0, 30.0}).cv;
+  const double col_cv =
+      compute_moments(std::vector<double>{10.0, 20.0}).cv;
+  EXPECT_NEAR(h.machine_heterogeneity, row_cv, 1e-12);
+  EXPECT_NEAR(h.task_heterogeneity, col_cv, 1e-12);
+}
+
+TEST(MeasureHeterogeneity, SkipsIneligibleEntries) {
+  const Matrix etc = Matrix::from_rows({
+      {10.0, 20.0, kIneligible},
+      {20.0, 40.0, kIneligible},
+  });
+  const EtcHeterogeneity h = measure_heterogeneity(etc);
+  EXPECT_NEAR(h.machine_heterogeneity,
+              compute_moments(std::vector<double>{10.0, 20.0}).cv, 1e-12);
+}
+
+TEST(MeasureHeterogeneity, HistoricalDataIsInconsistentlyHeterogeneous) {
+  const EtcHeterogeneity h = measure_heterogeneity(historical_etc());
+  EXPECT_GT(h.machine_heterogeneity, 0.05);
+  EXPECT_GT(h.task_heterogeneity, 0.1);
+}
+
+TEST(MeasureHeterogeneity, RejectsEmpty) {
+  EXPECT_THROW((void)measure_heterogeneity(Matrix{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eus

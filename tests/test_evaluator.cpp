@@ -1,0 +1,348 @@
+#include "sched/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tuf/builder.hpp"
+
+namespace eus {
+namespace {
+
+// Two general machines: machine 0 fast & hungry (10 s, 100 W), machine 1
+// slow & frugal (20 s, 40 W), single task type.
+SystemModel two_machine_system() {
+  std::vector<TaskType> tasks = {{"t", Category::kGeneral, -1}};
+  std::vector<MachineType> machines = {{"fast", Category::kGeneral},
+                                       {"slow", Category::kGeneral}};
+  std::vector<Machine> instances = {{0, "fast"}, {1, "slow"}};
+  const Matrix etc = Matrix::from_rows({{10.0, 20.0}});
+  const Matrix epc = Matrix::from_rows({{100.0, 40.0}});
+  return SystemModel(tasks, machines, instances, etc, epc);
+}
+
+TufClassLibrary linear_library() {
+  // Utility 100 decaying linearly to 0 over 100 s from arrival.
+  std::vector<TufClass> classes;
+  classes.push_back({"linear", 1.0, make_linear_decay_tuf(100.0, 0.0, 100.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+Trace three_task_trace() {
+  return Trace({{0, 0.0, 0}, {0, 5.0, 0}, {0, 50.0, 0}}, linear_library());
+}
+
+Allocation all_on(int machine, std::size_t n) {
+  Allocation a;
+  a.machine.assign(n, machine);
+  a.order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) a.order[i] = static_cast<int>(i);
+  return a;
+}
+
+TEST(Evaluator, SingleTaskTimeline) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace({{0, 3.0, 0}}, linear_library());
+  const Evaluator ev(sys, trace);
+  const auto [total, detail] = ev.detail(all_on(0, 1));
+  EXPECT_DOUBLE_EQ(detail[0].start, 3.0);   // waits for arrival
+  EXPECT_DOUBLE_EQ(detail[0].finish, 13.0);
+  EXPECT_DOUBLE_EQ(detail[0].energy, 10.0 * 100.0);
+  EXPECT_DOUBLE_EQ(detail[0].utility, 100.0 * (1.0 - 10.0 / 100.0));
+  EXPECT_DOUBLE_EQ(total.makespan, 13.0);
+}
+
+TEST(Evaluator, QueueingSequencesByOrder) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  const auto [total, detail] = ev.detail(all_on(0, 3));
+  // Order 0,1,2: back-to-back except task 2 waits for its arrival at 50.
+  EXPECT_DOUBLE_EQ(detail[0].finish, 10.0);
+  EXPECT_DOUBLE_EQ(detail[1].start, 10.0);
+  EXPECT_DOUBLE_EQ(detail[1].finish, 20.0);
+  EXPECT_DOUBLE_EQ(detail[2].start, 50.0);
+  EXPECT_DOUBLE_EQ(detail[2].finish, 60.0);
+  EXPECT_DOUBLE_EQ(total.energy, 3.0 * 1000.0);
+  EXPECT_DOUBLE_EQ(total.makespan, 60.0);
+}
+
+TEST(Evaluator, OrderOverridesArrivalSequence) {
+  // Reverse the global scheduling order: the machine idles until the last
+  // arrival because the highest-priority (lowest order) task arrives last
+  // (§IV-D: "the machine sits idle until this condition is met").
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  Allocation a = all_on(0, 3);
+  a.order = {2, 1, 0};
+  const auto [total, detail] = ev.detail(a);
+  EXPECT_DOUBLE_EQ(detail[2].start, 50.0);
+  EXPECT_DOUBLE_EQ(detail[2].finish, 60.0);
+  EXPECT_DOUBLE_EQ(detail[1].start, 60.0);
+  EXPECT_DOUBLE_EQ(detail[0].start, 70.0);
+  EXPECT_DOUBLE_EQ(total.makespan, 80.0);
+}
+
+TEST(Evaluator, TieBreaksOnTaskIndex) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  Allocation a = all_on(0, 3);
+  a.order = {0, 0, 0};  // duplicated orders: crossover can produce these
+  const auto [total, detail] = ev.detail(a);
+  EXPECT_DOUBLE_EQ(detail[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(detail[1].start, 10.0);
+  EXPECT_DOUBLE_EQ(detail[2].start, 50.0);
+  EXPECT_GT(total.utility, 0.0);
+}
+
+TEST(Evaluator, ParallelMachinesIndependentQueues) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  Allocation a = all_on(0, 3);
+  a.machine = {0, 1, 0};
+  const auto [total, detail] = ev.detail(a);
+  EXPECT_DOUBLE_EQ(detail[0].finish, 10.0);
+  EXPECT_DOUBLE_EQ(detail[1].start, 5.0);    // own queue on machine 1
+  EXPECT_DOUBLE_EQ(detail[1].finish, 25.0);
+  EXPECT_DOUBLE_EQ(detail[2].start, 50.0);
+  EXPECT_DOUBLE_EQ(total.energy, 1000.0 + 800.0 + 1000.0);
+}
+
+TEST(Evaluator, EnergyIndependentOfTiming) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  Allocation a = all_on(0, 3);
+  Allocation b = all_on(0, 3);
+  b.order = {2, 0, 1};
+  EXPECT_DOUBLE_EQ(ev.evaluate(a).energy, ev.evaluate(b).energy);
+}
+
+TEST(Evaluator, UtilityDecaysWithLateness) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  const Evaluation fast = ev.evaluate(all_on(0, 3));
+  const Evaluation slow = ev.evaluate(all_on(1, 3));
+  EXPECT_GT(fast.utility, slow.utility);
+  EXPECT_GT(fast.energy, slow.energy);  // the central trade-off
+}
+
+TEST(Evaluator, EvaluateMatchesDetailAggregate) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  Allocation a = all_on(0, 3);
+  a.machine = {0, 1, 0};
+  a.order = {1, 2, 0};
+  const Evaluation fast_path = ev.evaluate(a);
+  const auto [agg, detail] = ev.detail(a);
+  EXPECT_DOUBLE_EQ(fast_path.utility, agg.utility);
+  EXPECT_DOUBLE_EQ(fast_path.energy, agg.energy);
+  EXPECT_DOUBLE_EQ(fast_path.makespan, agg.makespan);
+}
+
+TEST(Evaluator, ValidateRejectsShapeMismatch) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  EXPECT_THROW(ev.validate(all_on(0, 2)), std::invalid_argument);
+}
+
+TEST(Evaluator, ValidateRejectsBadMachine) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  Allocation a = all_on(0, 3);
+  a.machine[1] = 9;
+  EXPECT_THROW(ev.validate(a), std::invalid_argument);
+  a.machine[1] = -1;
+  EXPECT_THROW(ev.validate(a), std::invalid_argument);
+}
+
+TEST(Evaluator, ValidateRejectsPstatesWithoutModel) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  Allocation a = all_on(0, 3);
+  a.pstate = {0, 0, 0};
+  EXPECT_THROW(ev.validate(a), std::invalid_argument);
+}
+
+TEST(Evaluator, DroppingSkipsWorthlessTasks) {
+  const SystemModel sys = two_machine_system();
+  // Second task's utility fully decays before it can complete.
+  TufClassLibrary lib = linear_library();
+  const Trace trace({{0, 0.0, 0}, {0, 0.0, 0}}, lib);
+  EvaluatorOptions opts;
+  opts.drop_worthless_tasks = true;
+  opts.drop_threshold = 85.0;  // second task would finish at 20 -> utility 80
+  const Evaluator ev(sys, trace, opts);
+  const auto [total, detail] = ev.detail(all_on(0, 2));
+  EXPECT_EQ(total.dropped, 1U);
+  EXPECT_TRUE(detail[1].dropped);
+  EXPECT_DOUBLE_EQ(total.energy, 1000.0);  // dropped task consumes nothing
+  EXPECT_DOUBLE_EQ(total.utility, 90.0);
+}
+
+TEST(Evaluator, DroppingFreesTheMachineForLaterTasks) {
+  const SystemModel sys = two_machine_system();
+  // Middle task is doomed (hard deadline at 5 s, execution takes 10 s):
+  // dropping it lets the third task start at 10 instead of 20.
+  std::vector<TufClass> classes;
+  classes.push_back({"linear", 1.0, make_linear_decay_tuf(100.0, 0.0, 100.0)});
+  classes.push_back({"doomed", 1.0, make_hard_deadline_tuf(50.0, 5.0)});
+  const TufClassLibrary lib(std::move(classes));
+  const Trace trace({{0, 0.0, 0}, {0, 0.0, 1}, {0, 0.0, 0}}, lib);
+  EvaluatorOptions opts;
+  opts.drop_worthless_tasks = true;
+  opts.drop_threshold = 0.0;
+  const Evaluator ev(sys, trace, opts);
+  const auto [total, detail] = ev.detail(all_on(0, 3));
+  EXPECT_EQ(total.dropped, 1U);
+  EXPECT_TRUE(detail[1].dropped);
+  EXPECT_FALSE(detail[2].dropped);
+  EXPECT_DOUBLE_EQ(detail[2].start, 10.0);
+  EXPECT_DOUBLE_EQ(detail[2].utility, 80.0);
+}
+
+TEST(Evaluator, NoDroppingByDefault) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace({{0, 0.0, 0}, {0, 0.0, 0}}, linear_library());
+  const Evaluator ev(sys, trace);
+  EXPECT_EQ(ev.evaluate(all_on(0, 2)).dropped, 0U);
+}
+
+TEST(Evaluator, DvfsScalesTimeAndPower) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace({{0, 0.0, 0}}, linear_library());
+  EvaluatorOptions opts;
+  opts.dvfs = make_cubic_dvfs({0.5, 1.0});
+  const Evaluator ev(sys, trace, opts);
+
+  Allocation a = all_on(0, 1);
+  a.pstate = {0};  // half clock
+  const auto [total, detail] = ev.detail(a);
+  EXPECT_DOUBLE_EQ(detail[0].finish, 20.0);           // 10 s / 0.5
+  EXPECT_DOUBLE_EQ(detail[0].energy, 20.0 * 12.5);    // 100 W * 0.125
+  EXPECT_DOUBLE_EQ(detail[0].utility, 80.0);
+
+  a.pstate = {1};  // nominal
+  const Evaluation nominal = ev.evaluate(a);
+  EXPECT_DOUBLE_EQ(nominal.energy, 1000.0);
+  EXPECT_GT(nominal.utility, total.utility);
+  EXPECT_LT(total.energy, nominal.energy);  // DVFS saves energy
+}
+
+TEST(Evaluator, DvfsEmptyPstateMeansNominal) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace({{0, 0.0, 0}}, linear_library());
+  EvaluatorOptions opts;
+  opts.dvfs = make_cubic_dvfs({0.5, 1.0});
+  const Evaluator ev(sys, trace, opts);
+  const Evaluation e = ev.evaluate(all_on(0, 1));
+  EXPECT_DOUBLE_EQ(e.energy, 1000.0);
+}
+
+TEST(Evaluator, DvfsValidateRejectsBadPstateIndex) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace({{0, 0.0, 0}}, linear_library());
+  EvaluatorOptions opts;
+  opts.dvfs = make_cubic_dvfs({0.5, 1.0});
+  const Evaluator ev(sys, trace, opts);
+  Allocation a = all_on(0, 1);
+  a.pstate = {5};
+  EXPECT_THROW(ev.validate(a), std::invalid_argument);
+}
+
+TEST(Evaluator, OutOfRangeOrdersMatchEquivalentInRangeOrders) {
+  // Orders act as priorities: any values with the same relative ordering
+  // must produce the same schedule (exercises the comparison-sort fallback
+  // behind the counting-sort fast path).
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  Allocation in_range = all_on(0, 3);
+  in_range.order = {2, 0, 1};
+  Allocation wild = all_on(0, 3);
+  wild.order = {1000000, -5, 3};
+  const Evaluation a = ev.evaluate(in_range);
+  const Evaluation b = ev.evaluate(wild);
+  EXPECT_DOUBLE_EQ(a.utility, b.utility);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Evaluator, IdlePowerBillsGapsOnUsedMachines) {
+  const SystemModel sys = two_machine_system();
+  // Task arrives at t=50: machine 0 idles 50 s before running 10 s.
+  const Trace trace({{0, 50.0, 0}}, linear_library());
+  EvaluatorOptions opts;
+  opts.idle_watts = {20.0, 4.0};
+  const Evaluator ev(sys, trace, opts);
+  const Evaluation e = ev.evaluate(all_on(0, 1));
+  EXPECT_DOUBLE_EQ(e.idle_energy, 20.0 * 50.0);
+  EXPECT_DOUBLE_EQ(e.energy, 1000.0 + 1000.0);  // busy 10s*100W + idle
+}
+
+TEST(Evaluator, IdlePowerIgnoresUnusedMachines) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace({{0, 0.0, 0}}, linear_library());
+  EvaluatorOptions opts;
+  opts.idle_watts = {20.0, 1e9};  // machine 1 never used: must not bill
+  const Evaluator ev(sys, trace, opts);
+  const Evaluation e = ev.evaluate(all_on(0, 1));
+  EXPECT_DOUBLE_EQ(e.idle_energy, 0.0);  // back-to-back, no gap
+  EXPECT_DOUBLE_EQ(e.energy, 1000.0);
+}
+
+TEST(Evaluator, IdlePowerChangesConsolidationIncentive) {
+  // Two identical tasks arriving together.  Busy-only model: spreading
+  // across both machines and stacking on one cost the same busy energy on
+  // machine 0 vs splitting (1000+800).  With idle power, the spread run
+  // bills no idle (both machines busy from 0), but a *delayed* second task
+  // creates a gap only under spreading.
+  const SystemModel sys = two_machine_system();
+  const Trace trace({{0, 0.0, 0}, {0, 30.0, 0}}, linear_library());
+  EvaluatorOptions opts;
+  opts.idle_watts = {50.0, 50.0};
+  const Evaluator ev(sys, trace, opts);
+
+  Allocation stacked = all_on(0, 2);       // 0..10, 30..40 on machine 0
+  Allocation spread = all_on(0, 2);
+  spread.machine = {0, 1};                 // 0..10 on m0, 30..50 on m1
+
+  const Evaluation st = ev.evaluate(stacked);
+  // Stacked: gap 10..30 on machine 0 -> 20 s * 50 W idle.
+  EXPECT_DOUBLE_EQ(st.idle_energy, 1000.0);
+  const Evaluation sp = ev.evaluate(spread);
+  // Spread: m0 no gap; m1 powered 0..50, busy 20 -> 30 s * 50 W idle.
+  EXPECT_DOUBLE_EQ(sp.idle_energy, 1500.0);
+}
+
+TEST(Evaluator, IdleWattsValidation) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace({{0, 0.0, 0}}, linear_library());
+  EvaluatorOptions bad_size;
+  bad_size.idle_watts = {1.0};
+  EXPECT_THROW(Evaluator(sys, trace, bad_size), std::invalid_argument);
+  EvaluatorOptions negative;
+  negative.idle_watts = {1.0, -1.0};
+  EXPECT_THROW(Evaluator(sys, trace, negative), std::invalid_argument);
+}
+
+TEST(Evaluator, EmptyTraceEvaluatesToZero) {
+  const SystemModel sys = two_machine_system();
+  const Trace trace({}, linear_library());
+  const Evaluator ev(sys, trace);
+  const Evaluation e = ev.evaluate(Allocation{});
+  EXPECT_DOUBLE_EQ(e.utility, 0.0);
+  EXPECT_DOUBLE_EQ(e.energy, 0.0);
+  EXPECT_DOUBLE_EQ(e.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace eus

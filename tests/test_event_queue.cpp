@@ -1,0 +1,93 @@
+#include "des/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace eus {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_EQ(q.run(), 0U);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  EXPECT_EQ(q.run(), 3U);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFireFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore) {
+  EventQueue q;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(q.now());
+    if (times.size() < 4) q.schedule(q.now() + 1.5, chain);
+  };
+  q.schedule(0.5, chain);
+  EXPECT_EQ(q.run(), 4U);
+  EXPECT_EQ(times, (std::vector<double>{0.5, 2.0, 3.5, 5.0}));
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule(5.0, [&] {
+    EXPECT_THROW(q.schedule(4.0, [] {}), std::invalid_argument);
+  });
+  q.run();
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed) {
+  EventQueue q;
+  int count = 0;
+  q.schedule(2.0, [&] {
+    if (++count < 3) q.schedule(q.now(), [&] { ++count; });
+  });
+  q.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  EXPECT_EQ(q.run_until(2.0), 2U);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.pending(), 1U);
+  EXPECT_EQ(q.run(), 1U);
+  EXPECT_EQ(fired.size(), 3U);
+}
+
+TEST(EventQueue, PendingCountTracksQueue) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2U);
+  q.run();
+  EXPECT_EQ(q.pending(), 0U);
+}
+
+}  // namespace
+}  // namespace eus

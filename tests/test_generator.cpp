@@ -1,0 +1,201 @@
+#include "synth/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/historical.hpp"
+
+namespace eus {
+namespace {
+
+std::vector<std::size_t> paper_counts() {
+  return {2, 3, 3, 3, 2, 4, 2, 5, 2, 1, 1, 1, 1};
+}
+
+ExpandedSystem expand_default(std::uint64_t seed = 11) {
+  Rng rng(seed);
+  return expand_system(historical_system(), ExpansionConfig{}, paper_counts(),
+                       rng);
+}
+
+TEST(Generator, PaperShapes) {
+  const ExpandedSystem ex = expand_default();
+  EXPECT_EQ(ex.model.num_task_types(), 30U);     // 5 real + 25 synthetic
+  EXPECT_EQ(ex.model.num_machine_types(), 13U);  // 9 general + 4 special
+  EXPECT_EQ(ex.model.num_machines(), 30U);       // Table III total
+}
+
+TEST(Generator, OriginalDataPreservedVerbatim) {
+  const ExpandedSystem ex = expand_default();
+  const Matrix& etc = historical_etc();
+  const Matrix& epc = historical_epc();
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 9; ++c) {
+      EXPECT_DOUBLE_EQ(ex.model.etc()(r, c), etc(r, c));
+      EXPECT_DOUBLE_EQ(ex.model.epc()(r, c), epc(r, c));
+    }
+  }
+}
+
+TEST(Generator, SyntheticEntriesPositiveOnGeneralMachines) {
+  const ExpandedSystem ex = expand_default();
+  for (std::size_t r = 0; r < 30; ++r) {
+    for (std::size_t c = 0; c < 9; ++c) {
+      EXPECT_TRUE(std::isfinite(ex.model.etc()(r, c)));
+      EXPECT_GT(ex.model.etc()(r, c), 0.0);
+      EXPECT_GT(ex.model.epc()(r, c), 0.0);
+    }
+  }
+}
+
+TEST(Generator, SpecialMachinesOwnTwoToThreeTasks) {
+  const ExpandedSystem ex = expand_default();
+  for (std::size_t mt = 9; mt < 13; ++mt) {
+    std::size_t eligible = 0;
+    for (std::size_t t = 0; t < 30; ++t) {
+      if (ex.model.eligible_type(t, mt)) ++eligible;
+    }
+    EXPECT_GE(eligible, 2U);
+    EXPECT_LE(eligible, 3U);
+  }
+}
+
+TEST(Generator, SpecialTasksDisjointAcrossMachines) {
+  const ExpandedSystem ex = expand_default();
+  std::set<std::size_t> seen(ex.special_task_types.begin(),
+                             ex.special_task_types.end());
+  EXPECT_EQ(seen.size(), ex.special_task_types.size());
+}
+
+TEST(Generator, SpecialEtcIsRowAverageOverSpeedup) {
+  const ExpandedSystem ex = expand_default();
+  for (const std::size_t t : ex.special_task_types) {
+    const int mt = ex.model.task_types()[t].special_machine_type;
+    ASSERT_GE(mt, 9);
+    double avg = 0.0;
+    for (std::size_t c = 0; c < 9; ++c) avg += ex.model.etc()(t, c);
+    avg /= 9.0;
+    EXPECT_NEAR(ex.model.etc()(t, static_cast<std::size_t>(mt)), avg / 10.0,
+                1e-9);
+  }
+}
+
+TEST(Generator, SpecialEpcNotDividedByTen) {
+  // §III-D2: "When calculating EPC values, the average power consumption
+  // across the machines is not divided by ten."
+  const ExpandedSystem ex = expand_default();
+  for (const std::size_t t : ex.special_task_types) {
+    const int mt = ex.model.task_types()[t].special_machine_type;
+    double avg = 0.0;
+    for (std::size_t c = 0; c < 9; ++c) avg += ex.model.epc()(t, c);
+    avg /= 9.0;
+    EXPECT_NEAR(ex.model.epc()(t, static_cast<std::size_t>(mt)), avg, 1e-9);
+  }
+}
+
+TEST(Generator, SpecialMachineIsFasterThanEveryGeneralMachine) {
+  const ExpandedSystem ex = expand_default();
+  for (const std::size_t t : ex.special_task_types) {
+    const auto mt = static_cast<std::size_t>(
+        ex.model.task_types()[t].special_machine_type);
+    const double special = ex.model.etc()(t, mt);
+    for (std::size_t c = 0; c < 9; ++c) {
+      EXPECT_LT(special, ex.model.etc()(t, c));
+    }
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const ExpandedSystem a = expand_default(5);
+  const ExpandedSystem b = expand_default(5);
+  EXPECT_EQ(a.model.etc(), b.model.etc());
+  EXPECT_EQ(a.model.epc(), b.model.epc());
+  EXPECT_EQ(a.special_task_types, b.special_task_types);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const ExpandedSystem a = expand_default(5);
+  const ExpandedSystem b = expand_default(6);
+  EXPECT_NE(a.model.etc(), b.model.etc());
+}
+
+TEST(Generator, InstanceBreakupMatchesRequest) {
+  const ExpandedSystem ex = expand_default();
+  const auto counts = paper_counts();
+  for (std::size_t ty = 0; ty < counts.size(); ++ty) {
+    EXPECT_EQ(ex.model.count_of_type(ty), counts[ty]);
+  }
+}
+
+TEST(Generator, RejectsWrongInstanceVectorSize) {
+  Rng rng(1);
+  EXPECT_THROW(expand_system(historical_system(), ExpansionConfig{},
+                             {1, 2, 3}, rng),
+               std::invalid_argument);
+}
+
+TEST(Generator, RejectsZeroInstanceCount) {
+  Rng rng(1);
+  auto counts = paper_counts();
+  counts[3] = 0;
+  EXPECT_THROW(
+      expand_system(historical_system(), ExpansionConfig{}, counts, rng),
+      std::invalid_argument);
+}
+
+TEST(Generator, RejectsTooManySpecialTasksForPool) {
+  Rng rng(1);
+  ExpansionConfig cfg;
+  cfg.additional_task_types = 0;  // only 5 task types
+  cfg.special_machine_types = 4;
+  cfg.min_tasks_per_special = 2;
+  cfg.max_tasks_per_special = 2;  // needs 8 > 5
+  std::vector<std::size_t> counts(13, 1);
+  EXPECT_THROW(expand_system(historical_system(), cfg, counts, rng),
+               std::invalid_argument);
+}
+
+TEST(Generator, RejectsNonGeneralBase) {
+  const ExpandedSystem ex = expand_default();
+  Rng rng(1);
+  std::vector<std::size_t> counts(17, 1);
+  EXPECT_THROW(expand_system(ex.model, ExpansionConfig{}, counts, rng),
+               std::invalid_argument);
+}
+
+TEST(Generator, FidelityDistanceSmall) {
+  // The headline §III-D2 claim: the synthetic row-average population keeps
+  // the historical mvsk signature.  With 25 draws the sample moments
+  // wobble, so accept a generous but meaningful bound.
+  const SystemModel base = historical_system();
+  double best = 1e9;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const ExpandedSystem ex = expand_default(seed);
+    const FidelityReport report = etc_fidelity(base, ex.model, 9);
+    best = std::min(best, report.distance);
+    EXPECT_LT(report.distance, 1.5) << "seed " << seed;
+    // Mean should always be in the right ballpark.
+    EXPECT_NEAR(report.expanded_row_averages.mean,
+                report.base_row_averages.mean,
+                0.6 * report.base_row_averages.mean);
+  }
+  EXPECT_LT(best, 0.8);
+}
+
+TEST(Generator, LargerExpansionStillValid) {
+  Rng rng(2);
+  ExpansionConfig cfg;
+  cfg.additional_task_types = 95;
+  cfg.special_machine_types = 6;
+  std::vector<std::size_t> counts(15, 2);
+  const ExpandedSystem ex =
+      expand_system(historical_system(), cfg, counts, rng);
+  EXPECT_EQ(ex.model.num_task_types(), 100U);
+  EXPECT_EQ(ex.model.num_machines(), 30U);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,119 @@
+#include "synth/gram_charlier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+Moments normal_target(double mean, double stddev) {
+  Moments m{};
+  m.mean = mean;
+  m.stddev = stddev;
+  m.variance = stddev * stddev;
+  m.cv = stddev / std::abs(mean);
+  m.skewness = 0.0;
+  m.kurtosis = 3.0;
+  return m;
+}
+
+TEST(GramCharlier, RejectsZeroStddev) {
+  EXPECT_THROW(GramCharlierPdf(normal_target(1.0, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(GramCharlier, NormalTargetReducesToGaussian) {
+  const GramCharlierPdf pdf(normal_target(0.0, 1.0));
+  const double at_zero = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  EXPECT_NEAR(pdf.density(0.0), at_zero, 1e-12);
+  EXPECT_NEAR(pdf.density(1.0), at_zero * std::exp(-0.5), 1e-12);
+  // Symmetric when skew == 0.
+  EXPECT_NEAR(pdf.density(-1.3), pdf.density(1.3), 1e-12);
+}
+
+TEST(GramCharlier, ScalesWithStddev) {
+  const GramCharlierPdf narrow(normal_target(5.0, 1.0));
+  const GramCharlierPdf wide(normal_target(5.0, 2.0));
+  EXPECT_NEAR(narrow.density(5.0), 2.0 * wide.density(5.0), 1e-12);
+}
+
+TEST(GramCharlier, PositiveSkewShiftsMassRight) {
+  Moments m = normal_target(0.0, 1.0);
+  m.skewness = 0.8;
+  const GramCharlierPdf pdf(m);
+  // He3(z) changes sign at z = sqrt(3): positive skew fattens the *far*
+  // right tail (|z| > sqrt(3)) at the expense of the far left.
+  EXPECT_GT(pdf.density(2.5), pdf.density(-2.5));
+}
+
+TEST(GramCharlier, NegativeSkewShiftsMassLeft) {
+  Moments m = normal_target(0.0, 1.0);
+  m.skewness = -0.8;
+  const GramCharlierPdf pdf(m);
+  EXPECT_LT(pdf.density(2.5), pdf.density(-2.5));
+}
+
+TEST(GramCharlier, ExcessKurtosisFattensTails) {
+  Moments heavy = normal_target(0.0, 1.0);
+  heavy.kurtosis = 5.0;
+  const GramCharlierPdf fat(heavy);
+  const GramCharlierPdf normal(normal_target(0.0, 1.0));
+  EXPECT_GT(fat.density(3.0), normal.density(3.0));
+}
+
+TEST(GramCharlier, DensityClampsNegativeLobes) {
+  Moments extreme = normal_target(0.0, 1.0);
+  extreme.skewness = 3.0;  // strong enough to drive raw() negative somewhere
+  const GramCharlierPdf pdf(extreme);
+  bool found_negative_raw = false;
+  for (double x = -5.0; x <= 5.0; x += 0.01) {
+    if (pdf.raw(x) < 0.0) found_negative_raw = true;
+    EXPECT_GE(pdf.density(x), 0.0);
+  }
+  EXPECT_TRUE(found_negative_raw);
+}
+
+TEST(GramCharlier, IntegratesToApproximatelyOneForMildMoments) {
+  Moments m = normal_target(10.0, 2.0);
+  m.skewness = 0.4;
+  m.kurtosis = 3.5;
+  const GramCharlierPdf pdf(m);
+  double integral = 0.0;
+  const double step = 0.001;
+  for (double x = 0.0; x <= 20.0; x += step) {
+    integral += pdf.density(x) * step;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(GramCharlier, RecoversTargetMomentsForMildInputs) {
+  Moments m = normal_target(100.0, 15.0);
+  m.skewness = 0.5;
+  m.kurtosis = 3.2;
+  const GramCharlierPdf pdf(m);
+
+  // Numerically integrate moments of the clamped density.
+  double mass = 0.0, mean = 0.0;
+  const double step = 0.01;
+  for (double x = 0.0; x <= 200.0; x += step) {
+    const double d = pdf.density(x) * step;
+    mass += d;
+    mean += x * d;
+  }
+  mean /= mass;
+  double m2 = 0.0, m3 = 0.0;
+  for (double x = 0.0; x <= 200.0; x += step) {
+    const double d = pdf.density(x) * step / mass;
+    m2 += (x - mean) * (x - mean) * d;
+    m3 += std::pow(x - mean, 3.0) * d;
+  }
+  EXPECT_NEAR(mean, 100.0, 0.5);
+  EXPECT_NEAR(std::sqrt(m2), 15.0, 0.5);
+  EXPECT_NEAR(m3 / std::pow(m2, 1.5), 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace eus

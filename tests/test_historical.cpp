@@ -1,0 +1,105 @@
+#include "data/historical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eus {
+namespace {
+
+TEST(Historical, TableIDimensions) {
+  EXPECT_EQ(historical_machine_types().size(), 9U);  // Table I
+  EXPECT_EQ(historical_task_types().size(), 5U);     // Table II
+}
+
+TEST(Historical, MatrixShapesAre5x9) {
+  EXPECT_EQ(historical_etc().rows(), 5U);
+  EXPECT_EQ(historical_etc().cols(), 9U);
+  EXPECT_EQ(historical_epc().rows(), 5U);
+  EXPECT_EQ(historical_epc().cols(), 9U);
+}
+
+TEST(Historical, AllMachinesGeneralPurpose) {
+  for (const auto& m : historical_machine_types()) {
+    EXPECT_EQ(m.category, Category::kGeneral);
+  }
+}
+
+TEST(Historical, AllTasksGeneralPurpose) {
+  for (const auto& t : historical_task_types()) {
+    EXPECT_EQ(t.category, Category::kGeneral);
+    EXPECT_EQ(t.special_machine_type, -1);
+  }
+}
+
+TEST(Historical, TableINamesPresent) {
+  const auto& m = historical_machine_types();
+  EXPECT_EQ(m[0].name, "AMD A8-3870K");
+  EXPECT_EQ(m[5].name, "Intel Core i7 3960X");
+  EXPECT_EQ(m[8].name, "Intel Core i7 3770K @ 4.3 GHz");
+}
+
+TEST(Historical, TableIINamesPresent) {
+  const auto& t = historical_task_types();
+  EXPECT_EQ(t[0].name, "C-Ray");
+  EXPECT_EQ(t[4].name, "Timed Linux Kernel Compilation");
+}
+
+TEST(Historical, AllEntriesPositiveFinite) {
+  const Matrix& etc = historical_etc();
+  const Matrix& epc = historical_epc();
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 9; ++c) {
+      EXPECT_TRUE(std::isfinite(etc(r, c)) && etc(r, c) > 0.0);
+      EXPECT_TRUE(std::isfinite(epc(r, c)) && epc(r, c) > 0.0);
+    }
+  }
+}
+
+TEST(Historical, MachineHeterogeneityPresent) {
+  // Machine type A may be faster than B on one task and slower on another
+  // (§III-B): verify the matrix is *inconsistent* in the Ali et al. sense
+  // for the A8 (quad core) vs i3 (dual core) pair.
+  const Matrix& etc = historical_etc();
+  // A8 (col 0) is faster than i3 (col 2) for well-threaded C-Ray...
+  EXPECT_LT(etc(0, 0), etc(0, 2));
+  // ...but slower for the lightly threaded Warsow.
+  EXPECT_GT(etc(2, 0), etc(2, 2));
+}
+
+TEST(Historical, OverclockedVariantsAreFaster) {
+  const Matrix& etc = historical_etc();
+  for (std::size_t task = 0; task < 5; ++task) {
+    EXPECT_LT(etc(task, 6), etc(task, 5));  // 3960X @4.2 < 3960X
+    EXPECT_LT(etc(task, 8), etc(task, 7));  // 3770K @4.3 < 3770K
+  }
+}
+
+TEST(Historical, OverclockedVariantsDrawMorePower) {
+  const Matrix& epc = historical_epc();
+  for (std::size_t task = 0; task < 5; ++task) {
+    EXPECT_GT(epc(task, 6), epc(task, 5));
+    EXPECT_GT(epc(task, 8), epc(task, 7));
+  }
+}
+
+TEST(Historical, SystemHasOneMachinePerType) {
+  const SystemModel sys = historical_system();
+  EXPECT_EQ(sys.num_machines(), 9U);
+  for (std::size_t ty = 0; ty < 9; ++ty) {
+    EXPECT_EQ(sys.count_of_type(ty), 1U);
+  }
+}
+
+TEST(Historical, SystemValidates) {
+  // Construction runs the SystemModel validator; reaching here means the
+  // reconstruction satisfies every §III eligibility/positivity rule.
+  const SystemModel sys = historical_system();
+  EXPECT_EQ(sys.num_task_types(), 5U);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(sys.eligible_machines(t).size(), 9U);
+  }
+}
+
+}  // namespace
+}  // namespace eus

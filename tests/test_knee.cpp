@@ -1,0 +1,142 @@
+#include "pareto/knee.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+// A concave front: utility = sqrt(energy) * 10 over energy in [1, 100].
+// Ratio u/e = 10/sqrt(e) is maximized at the lowest-energy point.
+std::vector<EUPoint> concave_front() {
+  std::vector<EUPoint> pts;
+  for (int e = 1; e <= 100; ++e) {
+    pts.push_back({static_cast<double>(e), 10.0 * std::sqrt(e)});
+  }
+  return pts;
+}
+
+// A front with an interior efficiency peak: utility ramps steeply then
+// saturates (the shape of Figures 3-6).
+std::vector<EUPoint> saturating_front() {
+  std::vector<EUPoint> pts;
+  for (int i = 1; i <= 100; ++i) {
+    const double e = i;
+    const double u = 100.0 * (1.0 - std::exp(-(e - 1.0) / 15.0));
+    pts.push_back({e, u});
+  }
+  return pts;
+}
+
+TEST(Knee, EmptyInputYieldsEmptyAnalysis) {
+  const KneeAnalysis k = analyze_utility_per_energy({});
+  EXPECT_TRUE(k.front.empty());
+  EXPECT_TRUE(k.region.empty());
+}
+
+TEST(Knee, RejectsNonPositiveEnergy) {
+  EXPECT_THROW(analyze_utility_per_energy({{0.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Knee, RatiosMatchDefinition) {
+  const KneeAnalysis k = analyze_utility_per_energy(concave_front());
+  ASSERT_EQ(k.ratio.size(), k.front.size());
+  for (std::size_t i = 0; i < k.front.size(); ++i) {
+    EXPECT_DOUBLE_EQ(k.ratio[i], k.front[i].utility / k.front[i].energy);
+  }
+}
+
+TEST(Knee, ConcaveFrontPeaksAtLowEnergyEnd) {
+  const KneeAnalysis k = analyze_utility_per_energy(concave_front());
+  EXPECT_EQ(k.peak_index, 0U);
+  EXPECT_DOUBLE_EQ(k.peak.energy, 1.0);
+}
+
+TEST(Knee, SaturatingFrontHasInteriorPeak) {
+  const KneeAnalysis k = analyze_utility_per_energy(saturating_front());
+  EXPECT_GT(k.peak_index, 0U);
+  EXPECT_LT(k.peak_index, k.front.size() - 1);
+  // The ratio 100(1-e^{-(e-1)/15})/e rises from ~0 at e=1, peaks around
+  // e ≈ 6-7, and falls thereafter.
+  EXPECT_NEAR(k.peak.energy, 6.5, 3.0);
+}
+
+TEST(Knee, PeakRatioIsMaximal) {
+  const KneeAnalysis k = analyze_utility_per_energy(saturating_front());
+  for (const double r : k.ratio) EXPECT_LE(r, k.peak_ratio);
+}
+
+TEST(Knee, RegionContainsPeak) {
+  const KneeAnalysis k = analyze_utility_per_energy(saturating_front());
+  EXPECT_NE(std::find(k.region.begin(), k.region.end(), k.peak_index),
+            k.region.end());
+}
+
+TEST(Knee, RegionGrowsWithTolerance) {
+  const auto tight = analyze_utility_per_energy(saturating_front(), 0.01);
+  const auto loose = analyze_utility_per_energy(saturating_front(), 0.20);
+  EXPECT_GE(loose.region.size(), tight.region.size());
+}
+
+TEST(Knee, RegionMembersAllWithinTolerance) {
+  const double tol = 0.05;
+  const KneeAnalysis k = analyze_utility_per_energy(saturating_front(), tol);
+  for (const std::size_t i : k.region) {
+    EXPECT_GE(k.ratio[i], k.peak_ratio * (1.0 - tol) - 1e-12);
+  }
+}
+
+TEST(Knee, DominatedInputsCleanedFirst) {
+  std::vector<EUPoint> pts = saturating_front();
+  pts.push_back({50.0, 1.0});  // deeply dominated
+  const KneeAnalysis k = analyze_utility_per_energy(pts);
+  for (const auto& p : k.front) {
+    EXPECT_FALSE(p.energy == 50.0 && p.utility == 1.0);
+  }
+}
+
+TEST(ChordKnee, SmallFrontsReturnZero) {
+  EXPECT_EQ(chord_knee_index({}), 0U);
+  EXPECT_EQ(chord_knee_index({{1.0, 1.0}}), 0U);
+  EXPECT_EQ(chord_knee_index({{1.0, 1.0}, {2.0, 2.0}}), 0U);
+}
+
+TEST(ChordKnee, FindsTheBulge) {
+  // A sharp elbow at (2, 9) between extremes (1,1) and (10,10).
+  const std::vector<EUPoint> pts = {{1.0, 1.0}, {2.0, 9.0}, {10.0, 10.0}};
+  EXPECT_EQ(chord_knee_index(pts), 1U);
+}
+
+TEST(ChordKnee, SaturatingFrontKneeNearRampEnd) {
+  const KneeAnalysis upe = analyze_utility_per_energy(saturating_front());
+  const std::size_t chord = chord_knee_index(saturating_front());
+  // Both definitions land on the ramp-to-plateau transition; the chord
+  // knee sits at or beyond the U/E peak (it ignores the origin).
+  EXPECT_GE(chord, 1U);
+  EXPECT_LE(upe.front[chord].energy, 60.0);
+  EXPECT_GE(upe.front[chord].energy, upe.peak.energy - 5.0);
+}
+
+TEST(ChordKnee, StraightLineFrontPicksAnEnd) {
+  std::vector<EUPoint> pts;
+  for (int i = 0; i <= 10; ++i) {
+    pts.push_back({1.0 + i, 1.0 + i});
+  }
+  // Zero bulge everywhere: any point is acceptable; must not crash and
+  // must return a valid index.
+  EXPECT_LT(chord_knee_index(pts), pts.size());
+}
+
+TEST(Knee, SinglePointAnalysis) {
+  const KneeAnalysis k = analyze_utility_per_energy({{4.0, 8.0}});
+  EXPECT_EQ(k.peak_index, 0U);
+  EXPECT_DOUBLE_EQ(k.peak_ratio, 2.0);
+  EXPECT_EQ(k.region.size(), 1U);
+}
+
+}  // namespace
+}  // namespace eus

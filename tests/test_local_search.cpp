@@ -1,0 +1,186 @@
+#include "core/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/operators.hpp"
+#include "data/historical.hpp"
+#include "heuristics/seeds.hpp"
+#include "pareto/front.hpp"
+#include "tuf/builder.hpp"
+#include "workload/generator.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary mixed_library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 1.0, make_linear_decay_tuf(10.0, 0.0, 1500.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+struct Fixture {
+  SystemModel system = historical_system();
+  Trace trace;
+  UtilityEnergyProblem problem;
+
+  explicit Fixture(std::size_t n = 50)
+      : trace(make_trace(system, n)), problem(system, trace) {}
+
+  static Trace make_trace(const SystemModel& sys, std::size_t n) {
+    Rng rng(23);
+    TraceConfig cfg;
+    cfg.num_tasks = n;
+    cfg.window_seconds = 900.0;
+    return generate_trace(sys, mixed_library(), cfg, rng);
+  }
+};
+
+TEST(LocalSearch, RejectsBadLambda) {
+  const Fixture fx;
+  Rng rng(1);
+  LocalSearchOptions opts;
+  opts.lambda = 1.5;
+  EXPECT_THROW((void)local_search(fx.problem,
+                                  make_trivial_allocation(fx.trace.size()),
+                                  opts, rng),
+               std::invalid_argument);
+}
+
+TEST(LocalSearch, RejectsSizeMismatch) {
+  const Fixture fx;
+  Rng rng(2);
+  EXPECT_THROW(
+      (void)local_search(fx.problem, make_trivial_allocation(3), {}, rng),
+      std::invalid_argument);
+}
+
+TEST(LocalSearch, NeverWorsensTheScalarizedScore) {
+  const Fixture fx;
+  Rng rng(3);
+  const Allocation start = random_allocation(fx.problem, rng);
+  const EUPoint before = fx.problem.evaluate(start);
+
+  for (const double lambda : {0.0, 0.5, 1.0}) {
+    Rng search_rng(4);
+    LocalSearchOptions opts;
+    opts.lambda = lambda;
+    opts.max_evaluations = 150;
+    const LocalSearchResult r =
+        local_search(fx.problem, start, opts, search_rng);
+    const double u_scale = std::max(std::abs(before.utility), 1.0);
+    const double e_scale = std::max(std::abs(before.energy), 1.0);
+    const double score_before = lambda * before.utility / u_scale -
+                                (1.0 - lambda) * before.energy / e_scale;
+    const double score_after = lambda * r.objectives.utility / u_scale -
+                               (1.0 - lambda) * r.objectives.energy / e_scale;
+    EXPECT_GE(score_after, score_before - 1e-12) << "lambda " << lambda;
+  }
+}
+
+TEST(LocalSearch, LambdaZeroDescendsEnergy) {
+  const Fixture fx;
+  Rng rng(5);
+  const Allocation start = random_allocation(fx.problem, rng);
+  const double before = fx.problem.evaluate(start).energy;
+  LocalSearchOptions opts;
+  opts.lambda = 0.0;
+  opts.max_evaluations = 400;
+  const LocalSearchResult r = local_search(fx.problem, start, opts, rng);
+  EXPECT_LT(r.objectives.energy, before);
+}
+
+TEST(LocalSearch, LambdaOneClimbsUtility) {
+  const Fixture fx;
+  Rng rng(6);
+  const Allocation start = random_allocation(fx.problem, rng);
+  const double before = fx.problem.evaluate(start).utility;
+  LocalSearchOptions opts;
+  opts.lambda = 1.0;
+  opts.max_evaluations = 400;
+  const LocalSearchResult r = local_search(fx.problem, start, opts, rng);
+  EXPECT_GT(r.objectives.utility, before);
+}
+
+TEST(LocalSearch, RespectsEvaluationBudget) {
+  const Fixture fx;
+  Rng rng(7);
+  LocalSearchOptions opts;
+  opts.max_evaluations = 25;
+  opts.patience = 1000;
+  const LocalSearchResult r = local_search(
+      fx.problem, random_allocation(fx.problem, rng), opts, rng);
+  EXPECT_LE(r.evaluations, 25U);
+}
+
+TEST(LocalSearch, ResultRemainsValid) {
+  const Fixture fx;
+  Rng rng(8);
+  LocalSearchOptions opts;
+  opts.max_evaluations = 300;
+  const LocalSearchResult r = local_search(
+      fx.problem, random_allocation(fx.problem, rng), opts, rng);
+  EXPECT_NO_THROW(fx.problem.evaluator().validate(r.allocation));
+  // Reported objectives are truthful.
+  const EUPoint check = fx.problem.evaluate(r.allocation);
+  EXPECT_DOUBLE_EQ(check.energy, r.objectives.energy);
+  EXPECT_DOUBLE_EQ(check.utility, r.objectives.utility);
+}
+
+TEST(LocalSearch, CannotBreakMinEnergyOptimality) {
+  // The min-energy allocation is the provable energy optimum; a lambda-0
+  // search may reshuffle but can never find lower energy.
+  const Fixture fx;
+  Rng rng(9);
+  const Allocation seed = min_energy_allocation(fx.system, fx.trace);
+  const double floor = fx.problem.evaluate(seed).energy;
+  LocalSearchOptions opts;
+  opts.lambda = 0.0;
+  opts.max_evaluations = 300;
+  const LocalSearchResult r = local_search(fx.problem, seed, opts, rng);
+  EXPECT_NEAR(r.objectives.energy, floor, 1e-9);
+}
+
+TEST(PolishFront, ImprovesOrKeepsEveryMember) {
+  const Fixture fx;
+  Rng rng(10);
+  std::vector<Allocation> front;
+  std::vector<EUPoint> before;
+  for (int i = 0; i < 5; ++i) {
+    front.push_back(random_allocation(fx.problem, rng));
+    before.push_back(fx.problem.evaluate(front.back()));
+  }
+  const auto polished = polish_front(fx.problem, front, 100, rng);
+  ASSERT_EQ(polished.size(), front.size());
+  // The polished set, unioned with the originals, must weakly dominate the
+  // originals overall.
+  std::vector<EUPoint> union_points = before;
+  for (const auto& r : polished) union_points.push_back(r.objectives);
+  const auto new_front = pareto_front(union_points);
+  for (const auto& b : before) {
+    bool covered = false;
+    for (const auto& f : new_front) {
+      if (f == b || dominates(f, b)) covered = true;
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(PolishFront, EmptyFrontIsNoop) {
+  const Fixture fx;
+  Rng rng(11);
+  EXPECT_TRUE(polish_front(fx.problem, {}, 50, rng).empty());
+}
+
+TEST(PolishFront, SingleMemberUsesMidLambda) {
+  const Fixture fx;
+  Rng rng(12);
+  const auto polished = polish_front(
+      fx.problem, {random_allocation(fx.problem, rng)}, 50, rng);
+  EXPECT_EQ(polished.size(), 1U);
+  EXPECT_GE(polished[0].evaluations, 1U);
+}
+
+}  // namespace
+}  // namespace eus

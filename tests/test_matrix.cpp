@@ -1,0 +1,117 @@
+#include "data/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0U);
+  EXPECT_EQ(m.cols(), 0U);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 7.0);
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 3U);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m.at(r, c), 7.0);
+  }
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 2U);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, AtIsWritable) {
+  Matrix m(1, 1);
+  m.at(0, 0) = 42.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 42.0);
+}
+
+TEST(Matrix, RowMeanFinite) {
+  const Matrix m = Matrix::from_rows({{2.0, 4.0, kInf}});
+  EXPECT_DOUBLE_EQ(m.row_mean_finite(0), 3.0);
+}
+
+TEST(Matrix, RowMeanAllInfiniteIsNaN) {
+  const Matrix m = Matrix::from_rows({{kInf, kInf}});
+  EXPECT_TRUE(std::isnan(m.row_mean_finite(0)));
+}
+
+TEST(Matrix, RowFiniteFilters) {
+  const Matrix m = Matrix::from_rows({{1.0, kInf, 3.0}});
+  EXPECT_EQ(m.row_finite(0), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Matrix, ColFiniteFilters) {
+  const Matrix m = Matrix::from_rows({{1.0}, {kInf}, {5.0}});
+  EXPECT_EQ(m.col_finite(0), (std::vector<double>{1.0, 5.0}));
+}
+
+TEST(Matrix, AppendRowGrows) {
+  Matrix m;
+  m.append_row({1.0, 2.0});
+  m.append_row({3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, AppendRowWidthMismatchThrows) {
+  Matrix m(1, 2);
+  EXPECT_THROW(m.append_row({1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, AppendColGrows) {
+  Matrix m = Matrix::from_rows({{1.0}, {2.0}});
+  m.append_col({10.0, 20.0});
+  EXPECT_EQ(m.cols(), 2U);
+  EXPECT_DOUBLE_EQ(m(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 20.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);  // original data preserved
+}
+
+TEST(Matrix, AppendColToEmpty) {
+  Matrix m;
+  m.append_col({1.0, 2.0, 3.0});
+  EXPECT_EQ(m.rows(), 3U);
+  EXPECT_EQ(m.cols(), 1U);
+  EXPECT_DOUBLE_EQ(m(2, 0), 3.0);
+}
+
+TEST(Matrix, AppendColHeightMismatchThrows) {
+  Matrix m(2, 1);
+  EXPECT_THROW(m.append_col({1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, EqualityCompares) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}});
+  const Matrix b = Matrix::from_rows({{1.0, 2.0}});
+  const Matrix c = Matrix::from_rows({{1.0, 3.0}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace eus

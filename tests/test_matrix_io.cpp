@@ -1,0 +1,85 @@
+#include "data/matrix_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/historical.hpp"
+
+namespace eus {
+namespace {
+
+NamedMatrix sample() {
+  NamedMatrix m;
+  m.row_names = {"t1", "t2"};
+  m.col_names = {"m1", "m2", "m3"};
+  m.values = Matrix::from_rows({{1.5, 2.0, kIneligible}, {3.0, 4.5, 6.0}});
+  return m;
+}
+
+TEST(MatrixIo, SerializeHasHeaderAndRows) {
+  const std::string csv = matrix_to_csv(sample());
+  EXPECT_EQ(csv.find("task,m1,m2,m3\n"), 0U);
+  EXPECT_NE(csv.find("t1,"), std::string::npos);
+  EXPECT_NE(csv.find("inf"), std::string::npos);
+}
+
+TEST(MatrixIo, RoundTrip) {
+  const NamedMatrix original = sample();
+  const NamedMatrix parsed = matrix_from_csv(matrix_to_csv(original));
+  EXPECT_EQ(parsed.row_names, original.row_names);
+  EXPECT_EQ(parsed.col_names, original.col_names);
+  ASSERT_EQ(parsed.values.rows(), original.values.rows());
+  ASSERT_EQ(parsed.values.cols(), original.values.cols());
+  for (std::size_t r = 0; r < original.values.rows(); ++r) {
+    for (std::size_t c = 0; c < original.values.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(parsed.values(r, c), original.values(r, c));
+    }
+  }
+}
+
+TEST(MatrixIo, ParsesInfVariants) {
+  const NamedMatrix m =
+      matrix_from_csv("task,m1,m2,m3\nt,inf,INF,Infinity\n");
+  EXPECT_EQ(m.values(0, 0), kIneligible);
+  EXPECT_EQ(m.values(0, 1), kIneligible);
+  EXPECT_EQ(m.values(0, 2), kIneligible);
+}
+
+TEST(MatrixIo, RejectsMissingHeader) {
+  EXPECT_THROW(matrix_from_csv("only-one-line"), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsRaggedRows) {
+  EXPECT_THROW(matrix_from_csv("task,m1,m2\nt,1.0\n"), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsNonNumericCell) {
+  EXPECT_THROW(matrix_from_csv("task,m1\nt,banana\n"), std::runtime_error);
+}
+
+TEST(MatrixIo, RejectsTrailingJunk) {
+  EXPECT_THROW(matrix_from_csv("task,m1\nt,1.5abc\n"), std::runtime_error);
+}
+
+TEST(MatrixIo, QuotedNamesWithCommasSurvive) {
+  NamedMatrix m;
+  m.row_names = {"task, with comma"};
+  m.col_names = {"machine \"quoted\""};
+  m.values = Matrix::from_rows({{2.0}});
+  const NamedMatrix parsed = matrix_from_csv(matrix_to_csv(m));
+  EXPECT_EQ(parsed.row_names[0], "task, with comma");
+  EXPECT_EQ(parsed.col_names[0], "machine \"quoted\"");
+}
+
+TEST(MatrixIo, HistoricalEtcRoundTrips) {
+  NamedMatrix m;
+  for (const auto& t : historical_task_types()) m.row_names.push_back(t.name);
+  for (const auto& mt : historical_machine_types()) {
+    m.col_names.push_back(mt.name);
+  }
+  m.values = historical_etc();
+  const NamedMatrix parsed = matrix_from_csv(matrix_to_csv(m));
+  EXPECT_EQ(parsed.values, historical_etc());
+}
+
+}  // namespace
+}  // namespace eus

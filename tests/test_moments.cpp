@@ -1,0 +1,108 @@
+#include "synth/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eus {
+namespace {
+
+TEST(Moments, ThrowsOnEmpty) {
+  EXPECT_THROW((void)compute_moments({}), std::invalid_argument);
+}
+
+TEST(Moments, SingleValue) {
+  const std::vector<double> v = {5.0};
+  const Moments m = compute_moments(v);
+  EXPECT_DOUBLE_EQ(m.mean, 5.0);
+  EXPECT_DOUBLE_EQ(m.variance, 0.0);
+  EXPECT_DOUBLE_EQ(m.cv, 0.0);
+  EXPECT_DOUBLE_EQ(m.skewness, 0.0);
+  EXPECT_DOUBLE_EQ(m.kurtosis, 3.0);
+}
+
+TEST(Moments, KnownSmallSample) {
+  const std::vector<double> v = {2.0, 4.0, 6.0, 8.0};
+  const Moments m = compute_moments(v);
+  EXPECT_DOUBLE_EQ(m.mean, 5.0);
+  EXPECT_DOUBLE_EQ(m.variance, 5.0);  // population variance
+  EXPECT_NEAR(m.stddev, std::sqrt(5.0), 1e-12);
+  EXPECT_NEAR(m.cv, std::sqrt(5.0) / 5.0, 1e-12);
+  EXPECT_NEAR(m.skewness, 0.0, 1e-12);  // symmetric
+}
+
+TEST(Moments, SymmetricSampleZeroSkew) {
+  const std::vector<double> v = {-3.0, -1.0, 0.0, 1.0, 3.0};
+  EXPECT_NEAR(compute_moments(v).skewness, 0.0, 1e-12);
+}
+
+TEST(Moments, RightSkewPositive) {
+  const std::vector<double> v = {1.0, 1.0, 1.0, 1.0, 10.0};
+  EXPECT_GT(compute_moments(v).skewness, 1.0);
+}
+
+TEST(Moments, LeftSkewNegative) {
+  const std::vector<double> v = {-10.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_LT(compute_moments(v).skewness, -1.0);
+}
+
+TEST(Moments, UniformSampleKurtosisNearNineFifths) {
+  Rng rng(7);
+  std::vector<double> v(200000);
+  for (double& x : v) x = rng.uniform();
+  const Moments m = compute_moments(v);
+  EXPECT_NEAR(m.mean, 0.5, 0.005);
+  EXPECT_NEAR(m.variance, 1.0 / 12.0, 0.002);
+  EXPECT_NEAR(m.kurtosis, 1.8, 0.05);  // uniform kurtosis = 9/5
+  EXPECT_NEAR(m.skewness, 0.0, 0.05);
+}
+
+TEST(Moments, NormalSampleKurtosisNearThree) {
+  Rng rng(8);
+  std::vector<double> v(200000);
+  for (double& x : v) x = rng.normal(10.0, 2.0);
+  const Moments m = compute_moments(v);
+  EXPECT_NEAR(m.mean, 10.0, 0.05);
+  EXPECT_NEAR(m.cv, 0.2, 0.01);
+  EXPECT_NEAR(m.skewness, 0.0, 0.05);
+  EXPECT_NEAR(m.kurtosis, 3.0, 0.1);
+}
+
+TEST(Moments, DegenerateSampleReportsNormalShape) {
+  const std::vector<double> v = {4.0, 4.0, 4.0};
+  const Moments m = compute_moments(v);
+  EXPECT_DOUBLE_EQ(m.skewness, 0.0);
+  EXPECT_DOUBLE_EQ(m.kurtosis, 3.0);
+}
+
+TEST(MvskDistance, IdenticalIsZero) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const Moments m = compute_moments(v);
+  EXPECT_DOUBLE_EQ(mvsk_distance(m, m), 0.0);
+}
+
+TEST(MvskDistance, GrowsWithMeanShift) {
+  const Moments a = compute_moments(std::vector<double>{1.0, 2.0, 3.0});
+  const Moments b = compute_moments(std::vector<double>{2.0, 4.0, 6.0});
+  const Moments c = compute_moments(std::vector<double>{4.0, 8.0, 12.0});
+  EXPECT_GT(mvsk_distance(a, c), mvsk_distance(a, b));
+}
+
+TEST(MvskDistance, StableForSmallReferenceComponents) {
+  // Near-zero reference components use absolute comparison: no blow-up.
+  Moments a{};
+  a.mean = 0.01;
+  a.cv = 0.0;
+  a.skewness = 0.0;
+  a.kurtosis = 3.0;
+  Moments b = a;
+  b.skewness = 0.05;
+  EXPECT_LT(mvsk_distance(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace eus

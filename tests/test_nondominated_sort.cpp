@@ -1,0 +1,191 @@
+#include "core/nondominated_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pareto/front.hpp"
+#include "util/rng.hpp"
+
+namespace eus {
+namespace {
+
+std::vector<EUPoint> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EUPoint> pts(n);
+  for (auto& p : pts) {
+    p.energy = rng.uniform(0.0, 100.0);
+    p.utility = rng.uniform(0.0, 100.0);
+  }
+  return pts;
+}
+
+TEST(NondominatedSort, EmptyInput) {
+  const SortedFronts s = nondominated_sort({});
+  EXPECT_TRUE(s.fronts.empty());
+  EXPECT_TRUE(s.rank.empty());
+}
+
+TEST(NondominatedSort, SinglePointRankZero) {
+  const SortedFronts s = nondominated_sort({{1.0, 1.0}});
+  ASSERT_EQ(s.fronts.size(), 1U);
+  EXPECT_EQ(s.rank[0], 0U);
+}
+
+TEST(NondominatedSort, ChainOfDominance) {
+  // p0 dominates p1 dominates p2 (less energy and more utility down the
+  // chain): three fronts of one point each.
+  const std::vector<EUPoint> pts = {{1.0, 10.0}, {2.0, 9.0}, {3.0, 8.0}};
+  const SortedFronts s = nondominated_sort(pts);
+  ASSERT_EQ(s.fronts.size(), 3U);
+  EXPECT_EQ(s.rank[0], 0U);
+  EXPECT_EQ(s.rank[1], 1U);
+  EXPECT_EQ(s.rank[2], 2U);
+}
+
+TEST(NondominatedSort, AllIncomparableSingleFront) {
+  const std::vector<EUPoint> pts = {
+      {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}, {4.0, 4.0}};
+  const SortedFronts s = nondominated_sort(pts);
+  ASSERT_EQ(s.fronts.size(), 1U);
+  EXPECT_EQ(s.fronts[0].size(), 4U);
+}
+
+TEST(NondominatedSort, FirstFrontMatchesParetoExtraction) {
+  const auto pts = random_points(200, 31);
+  const SortedFronts s = nondominated_sort(pts);
+  const auto expected = nondominated_indices(pts);
+  ASSERT_FALSE(s.fronts.empty());
+  EXPECT_EQ(s.fronts[0], expected);  // both ascending-energy ordered
+}
+
+TEST(NondominatedSort, FirstFrontMembersHaveZeroDominators) {
+  const auto pts = random_points(150, 32);
+  const SortedFronts s = nondominated_sort(pts);
+  const auto counts = domination_counts(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(s.rank[i] == 0, counts[i] == 0);
+  }
+}
+
+TEST(NondominatedSort, RanksArePeelingDepths) {
+  // Peeling property: removing fronts 0..r-1 makes front r nondominated.
+  const auto pts = random_points(120, 33);
+  const SortedFronts s = nondominated_sort(pts);
+  for (std::size_t r = 0; r < s.fronts.size(); ++r) {
+    std::vector<EUPoint> remaining;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (s.rank[i] >= r) remaining.push_back(pts[i]);
+    }
+    const auto idx = nondominated_indices(remaining);
+    EXPECT_EQ(idx.size(), s.fronts[r].size()) << "rank " << r;
+  }
+}
+
+TEST(NondominatedSort, EveryPointAssignedExactlyOnce) {
+  const auto pts = random_points(97, 34);
+  const SortedFronts s = nondominated_sort(pts);
+  std::size_t total = 0;
+  for (const auto& f : s.fronts) total += f.size();
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(NondominatedSort, HigherRankNeverDominatesLower) {
+  const auto pts = random_points(80, 35);
+  const SortedFronts s = nondominated_sort(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (s.rank[i] > s.rank[j]) {
+        EXPECT_FALSE(dominates(pts[i], pts[j]));
+      }
+    }
+  }
+}
+
+TEST(NondominatedSort, WithinFrontMutuallyNondominated) {
+  const auto pts = random_points(80, 36);
+  const SortedFronts s = nondominated_sort(pts);
+  for (const auto& f : s.fronts) {
+    std::vector<EUPoint> members;
+    for (const std::size_t i : f) members.push_back(pts[i]);
+    EXPECT_TRUE(is_mutually_nondominated(members));
+  }
+}
+
+TEST(NondominatedSort, DuplicatePointsShareRankZeroWhenOptimal) {
+  const std::vector<EUPoint> pts = {{1.0, 1.0}, {1.0, 1.0}, {2.0, 0.5}};
+  const SortedFronts s = nondominated_sort(pts);
+  EXPECT_EQ(s.rank[0], 0U);
+  EXPECT_EQ(s.rank[1], 0U);
+  EXPECT_EQ(s.rank[2], 1U);
+}
+
+class SweepVsDeb : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SweepVsDeb, IdenticalResults) {
+  // The O(N log N) sweep must agree exactly with Deb's reference algorithm
+  // — ranks and per-front presentation order — including on inputs dense
+  // with duplicates and ties.
+  Rng rng(GetParam());
+  std::vector<EUPoint> pts(220);
+  for (auto& p : pts) {
+    p.energy = static_cast<double>(rng.below(15));   // coarse: many ties
+    p.utility = static_cast<double>(rng.below(15));
+  }
+  const SortedFronts sweep = nondominated_sort_sweep(pts);
+  const SortedFronts deb = nondominated_sort_deb(pts);
+  ASSERT_EQ(sweep.rank, deb.rank);
+  ASSERT_EQ(sweep.fronts.size(), deb.fronts.size());
+  for (std::size_t r = 0; r < deb.fronts.size(); ++r) {
+    EXPECT_EQ(sweep.fronts[r], deb.fronts[r]) << "front " << r;
+  }
+}
+
+TEST_P(SweepVsDeb, IdenticalOnContinuousPoints) {
+  Rng rng(GetParam() * 7 + 1);
+  std::vector<EUPoint> pts(300);
+  for (auto& p : pts) {
+    p.energy = rng.uniform(0.0, 1.0);
+    p.utility = rng.uniform(0.0, 1.0);
+  }
+  const SortedFronts sweep = nondominated_sort_sweep(pts);
+  const SortedFronts deb = nondominated_sort_deb(pts);
+  EXPECT_EQ(sweep.rank, deb.rank);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepVsDeb,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SweepSort, AllDuplicatesSingleFront) {
+  const std::vector<EUPoint> pts(10, EUPoint{2.0, 3.0});
+  const SortedFronts s = nondominated_sort_sweep(pts);
+  ASSERT_EQ(s.fronts.size(), 1U);
+  EXPECT_EQ(s.fronts[0].size(), 10U);
+}
+
+TEST(SweepSort, EqualEnergyColumn) {
+  // Same energy, strictly decreasing utility: each point dominates the
+  // next, giving n singleton fronts.
+  std::vector<EUPoint> pts;
+  for (int i = 0; i < 6; ++i) pts.push_back({1.0, 10.0 - i});
+  const SortedFronts s = nondominated_sort_sweep(pts);
+  EXPECT_EQ(s.fronts.size(), 6U);
+}
+
+TEST(SweepSort, EqualUtilityRow) {
+  std::vector<EUPoint> pts;
+  for (int i = 0; i < 6; ++i) pts.push_back({1.0 + i, 10.0});
+  const SortedFronts s = nondominated_sort_sweep(pts);
+  EXPECT_EQ(s.fronts.size(), 6U);
+}
+
+TEST(DominationCounts, PaperRankIsOnePlusCount) {
+  // §IV-D: "A solution's rank can be found by taking 1 + the number of
+  // solutions that dominate it."
+  const std::vector<EUPoint> pts = {{1.0, 10.0}, {2.0, 9.0}, {3.0, 8.0}};
+  const auto counts = domination_counts(pts);
+  EXPECT_EQ(counts[0], 0U);
+  EXPECT_EQ(counts[1], 1U);
+  EXPECT_EQ(counts[2], 2U);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,236 @@
+#include "online/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/historical.hpp"
+#include "heuristics/seeds.hpp"
+#include "tuf/builder.hpp"
+#include "workload/generator.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary mixed_library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 2.0, make_linear_decay_tuf(10.0, 0.0, 1500.0)});
+  classes.push_back({"h", 1.0, make_hard_deadline_tuf(25.0, 1200.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+struct Fixture {
+  SystemModel system = historical_system();
+  Trace trace;
+
+  explicit Fixture(std::size_t n = 80, std::uint64_t seed = 3)
+      : trace(make_trace(system, n, seed)) {}
+
+  static Trace make_trace(const SystemModel& sys, std::size_t n,
+                          std::uint64_t seed) {
+    Rng rng(seed);
+    TraceConfig cfg;
+    cfg.num_tasks = n;
+    cfg.window_seconds = 900.0;
+    return generate_trace(sys, mixed_library(), cfg, rng);
+  }
+};
+
+TEST(OnlineSimulator, MinEnergyPolicyMatchesOfflineGreedy) {
+  // The offline §V-B1 heuristic processes tasks in arrival order with the
+  // same queue semantics, so its online twin must reproduce it exactly.
+  const Fixture fx;
+  OnlineMinEnergy policy;
+  const OnlineResult r = simulate_online(fx.system, fx.trace, policy);
+  const Allocation offline = min_energy_allocation(fx.system, fx.trace);
+  EXPECT_EQ(r.allocation.machine, offline.machine);
+  EXPECT_EQ(r.allocation.order, offline.order);
+}
+
+TEST(OnlineSimulator, MaxUtilityPolicyMatchesOfflineGreedy) {
+  const Fixture fx;
+  OnlineMaxUtility policy;
+  const OnlineResult r = simulate_online(fx.system, fx.trace, policy);
+  const Allocation offline = max_utility_allocation(fx.system, fx.trace);
+  EXPECT_EQ(r.allocation.machine, offline.machine);
+  EXPECT_EQ(r.allocation.order, offline.order);
+}
+
+TEST(OnlineSimulator, ResultConsistentWithOfflineEvaluator) {
+  // Replaying the produced allocation through the offline evaluator must
+  // reproduce the online accounting exactly (no dropping, no budget).
+  const Fixture fx;
+  for (const auto make :
+       {+[]() -> OnlinePolicy* { return new OnlineMaxUtility; },
+        +[]() -> OnlinePolicy* { return new OnlineMinCompletionTime; },
+        +[]() -> OnlinePolicy* { return new OnlineMaxUtilityPerEnergy; }}) {
+    std::unique_ptr<OnlinePolicy> policy(make());
+    const OnlineResult r = simulate_online(fx.system, fx.trace, *policy);
+    const Evaluator ev(fx.system, fx.trace);
+    const Evaluation off = ev.evaluate(r.allocation);
+    EXPECT_NEAR(r.utility, off.utility, 1e-9) << policy->name();
+    EXPECT_NEAR(r.energy, off.energy, 1e-9) << policy->name();
+    EXPECT_NEAR(r.makespan, off.makespan, 1e-9) << policy->name();
+  }
+}
+
+TEST(OnlineSimulator, MinEnergyIsEnergyFloor) {
+  const Fixture fx;
+  OnlineMinEnergy min_energy;
+  OnlineMaxUtility max_utility;
+  OnlineMinCompletionTime mct;
+  const double floor =
+      simulate_online(fx.system, fx.trace, min_energy).energy;
+  EXPECT_GE(simulate_online(fx.system, fx.trace, max_utility).energy, floor);
+  EXPECT_GE(simulate_online(fx.system, fx.trace, mct).energy, floor);
+}
+
+TEST(OnlineSimulator, MaxUtilityEarnsMostAmongGreedyPolicies) {
+  const Fixture fx(150);
+  OnlineMinEnergy min_energy;
+  OnlineMaxUtility max_utility;
+  const double u_min =
+      simulate_online(fx.system, fx.trace, min_energy).utility;
+  const double u_max =
+      simulate_online(fx.system, fx.trace, max_utility).utility;
+  EXPECT_GT(u_max, u_min);
+}
+
+TEST(OnlineSimulator, BudgetRespectedWithDropping) {
+  const Fixture fx(120);
+  OnlineMaxUtility policy;
+  const double unconstrained =
+      simulate_online(fx.system, fx.trace, policy).energy;
+
+  OnlineOptions opts;
+  opts.energy_budget = 0.5 * unconstrained;
+  opts.allow_dropping = true;
+  const OnlineResult r = simulate_online(fx.system, fx.trace, policy, opts);
+  EXPECT_LE(r.energy, opts.energy_budget + 1e-9);
+  EXPECT_GT(r.dropped, 0U);
+  EXPECT_FALSE(r.budget_overrun);
+}
+
+TEST(OnlineSimulator, BudgetOverrunFlaggedWithoutDropping) {
+  const Fixture fx(60);
+  OnlineMaxUtility policy;
+  OnlineOptions opts;
+  opts.energy_budget = 1.0;  // absurdly small
+  opts.allow_dropping = false;
+  const OnlineResult r = simulate_online(fx.system, fx.trace, policy, opts);
+  EXPECT_TRUE(r.budget_overrun);
+  EXPECT_GT(r.energy, opts.energy_budget);
+  EXPECT_EQ(r.dropped, 0U);
+}
+
+TEST(OnlineSimulator, BudgetPacedPolicyStaysNearBudget) {
+  const Fixture fx(150);
+  OnlineMinEnergy min_energy;
+  OnlineMaxUtility max_utility;
+  const double floor = simulate_online(fx.system, fx.trace, min_energy).energy;
+  const double ceiling =
+      simulate_online(fx.system, fx.trace, max_utility).energy;
+
+  BudgetPacedUtility paced;
+  OnlineOptions opts;
+  opts.energy_budget = 0.5 * (floor + ceiling);
+  opts.allow_dropping = true;
+  const OnlineResult r = simulate_online(fx.system, fx.trace, paced, opts);
+  EXPECT_LE(r.energy, opts.energy_budget + 1e-9);
+  // Pacing should beat naive min-energy on utility at this budget.
+  const double u_floor =
+      simulate_online(fx.system, fx.trace, min_energy).utility;
+  EXPECT_GE(r.utility, u_floor);
+}
+
+TEST(OnlineSimulator, BudgetPacedWithoutBudgetIsPureUtility) {
+  const Fixture fx;
+  BudgetPacedUtility paced;
+  OnlineMaxUtility max_utility;
+  const OnlineResult a = simulate_online(fx.system, fx.trace, paced);
+  const OnlineResult b = simulate_online(fx.system, fx.trace, max_utility);
+  EXPECT_NEAR(a.utility, b.utility, 1e-9);
+  EXPECT_NEAR(a.energy, b.energy, 1e-9);
+}
+
+TEST(OnlineSimulator, DroppedTasksEarnAndCostNothing) {
+  const Fixture fx(60);
+  OnlineMaxUtility policy;
+  OnlineOptions opts;
+  opts.energy_budget = 2e6;
+  opts.allow_dropping = true;
+  const OnlineResult r = simulate_online(fx.system, fx.trace, policy, opts);
+  double utility = 0.0, energy = 0.0;
+  for (const auto& o : r.outcomes) {
+    if (o.dropped) {
+      EXPECT_DOUBLE_EQ(o.utility, 0.0);
+      EXPECT_DOUBLE_EQ(o.energy, 0.0);
+    }
+    utility += o.utility;
+    energy += o.energy;
+  }
+  EXPECT_NEAR(utility, r.utility, 1e-9);
+  EXPECT_NEAR(energy, r.energy, 1e-9);
+}
+
+TEST(OnlineSimulator, RejectsIneligiblePolicyChoice) {
+  // A hostile policy pointing every task at machine 0 of a system where
+  // task "sp" cannot run there.
+  class Hostile final : public OnlinePolicy {
+   public:
+    [[nodiscard]] std::string name() const override { return "hostile"; }
+    [[nodiscard]] int place(const OnlineContext&, const TaskInstance&,
+                            const TimeUtilityFunction&) override {
+      return 1;  // the special machine
+    }
+  };
+  std::vector<TaskType> tasks = {{"g", Category::kGeneral, -1},
+                                 {"sp", Category::kSpecial, 1}};
+  std::vector<MachineType> types = {{"gm", Category::kGeneral},
+                                    {"sm", Category::kSpecial}};
+  std::vector<Machine> machines = {{0, "gm"}, {1, "sm"}};
+  const Matrix etc = Matrix::from_rows({{10.0, kIneligible}, {50.0, 5.0}});
+  const Matrix epc = Matrix::from_rows({{10.0, 1.0}, {10.0, 10.0}});
+  const SystemModel sys(tasks, types, machines, etc, epc);
+
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 1.0, make_linear_decay_tuf(5.0, 0.0, 100.0)});
+  const Trace trace({{0, 0.0, 0}}, TufClassLibrary(std::move(classes)));
+
+  Hostile hostile;
+  EXPECT_THROW(simulate_online(sys, trace, hostile), std::invalid_argument);
+}
+
+TEST(OnlineSimulator, DecliningWithoutDroppingThrows) {
+  class Decliner final : public OnlinePolicy {
+   public:
+    [[nodiscard]] std::string name() const override { return "decliner"; }
+    [[nodiscard]] int place(const OnlineContext&, const TaskInstance&,
+                            const TimeUtilityFunction&) override {
+      return -1;
+    }
+  };
+  const Fixture fx(5);
+  Decliner decliner;
+  EXPECT_THROW(simulate_online(fx.system, fx.trace, decliner),
+               std::invalid_argument);
+  OnlineOptions opts;
+  opts.allow_dropping = true;
+  const OnlineResult r =
+      simulate_online(fx.system, fx.trace, decliner, opts);
+  EXPECT_EQ(r.dropped, 5U);
+  EXPECT_DOUBLE_EQ(r.energy, 0.0);
+}
+
+TEST(OnlineSimulator, OnlineNeverBeatsOfflineParetoFrontByMuch) {
+  // The online policies only see the past; an offline allocation with the
+  // same machines+order exists for each, so no online run can exceed the
+  // utility upper bound, and each maps into the offline objective space.
+  const Fixture fx(100);
+  OnlineMaxUtility policy;
+  const OnlineResult r = simulate_online(fx.system, fx.trace, policy);
+  EXPECT_LE(r.utility, fx.trace.utility_upper_bound() + 1e-9);
+}
+
+}  // namespace
+}  // namespace eus

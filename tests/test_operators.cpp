@@ -1,0 +1,248 @@
+#include "core/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/historical.hpp"
+#include "tuf/builder.hpp"
+#include "workload/generator.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary linear_library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 1.0, make_linear_decay_tuf(10.0, 0.0, 1000.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+struct Fixture {
+  SystemModel system = historical_system();
+  Trace trace;
+  UtilityEnergyProblem problem;
+
+  explicit Fixture(std::size_t n = 40)
+      : trace(make_trace(system, n)), problem(system, trace) {}
+
+  static Trace make_trace(const SystemModel& sys, std::size_t n) {
+    Rng rng(77);
+    TraceConfig cfg;
+    cfg.num_tasks = n;
+    cfg.window_seconds = 900.0;
+    return generate_trace(sys, linear_library(), cfg, rng);
+  }
+};
+
+bool is_permutation_0_to_n(const std::vector<int>& order) {
+  std::set<int> s(order.begin(), order.end());
+  return s.size() == order.size() && *s.begin() == 0 &&
+         *s.rbegin() == static_cast<int>(order.size()) - 1;
+}
+
+TEST(RandomAllocation, ShapeAndEligibility) {
+  const Fixture fx;
+  Rng rng(1);
+  const Allocation a = random_allocation(fx.problem, rng);
+  EXPECT_EQ(a.size(), fx.trace.size());
+  EXPECT_TRUE(a.pstate.empty());  // no DVFS
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(fx.system.eligible(fx.trace.tasks()[i].type,
+                                   static_cast<std::size_t>(a.machine[i])));
+  }
+}
+
+TEST(RandomAllocation, OrderIsPermutation) {
+  const Fixture fx;
+  Rng rng(2);
+  const Allocation a = random_allocation(fx.problem, rng);
+  EXPECT_TRUE(is_permutation_0_to_n(a.order));
+}
+
+TEST(RandomAllocation, DifferentDrawsDiffer) {
+  const Fixture fx;
+  Rng rng(3);
+  const Allocation a = random_allocation(fx.problem, rng);
+  const Allocation b = random_allocation(fx.problem, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(RandomAllocation, UsesAllMachinesEventually) {
+  const Fixture fx(200);
+  Rng rng(4);
+  const Allocation a = random_allocation(fx.problem, rng);
+  std::set<int> used(a.machine.begin(), a.machine.end());
+  EXPECT_EQ(used.size(), fx.system.num_machines());
+}
+
+TEST(RandomAllocation, PstatesPopulatedUnderDvfs) {
+  const SystemModel sys = historical_system();
+  const Trace trace = Fixture::make_trace(sys, 30);
+  EvaluatorOptions opts;
+  opts.dvfs = make_cubic_dvfs({0.6, 0.8, 1.0});
+  const UtilityEnergyProblem problem(sys, trace, opts);
+  Rng rng(5);
+  const Allocation a = random_allocation(problem, rng);
+  ASSERT_EQ(a.pstate.size(), trace.size());
+  for (const int p : a.pstate) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 3);
+  }
+}
+
+TEST(Crossover, SwapsASegment) {
+  Allocation a = make_trivial_allocation(10);
+  Allocation b = make_trivial_allocation(10);
+  std::fill(a.machine.begin(), a.machine.end(), 1);
+  std::fill(b.machine.begin(), b.machine.end(), 2);
+  for (std::size_t i = 0; i < 10; ++i) b.order[i] = 100 + static_cast<int>(i);
+
+  Rng rng(6);
+  crossover(a, b, rng);
+
+  // Some contiguous segment swapped: a has 2s exactly where b has 1s.
+  std::size_t swapped = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (a.machine[i] == 2) {
+      EXPECT_EQ(b.machine[i], 1);
+      EXPECT_GE(a.order[i], 100);  // order came along with the machine
+      ++swapped;
+    } else {
+      EXPECT_EQ(b.machine[i], 2);
+      EXPECT_LT(a.order[i], 100);
+    }
+  }
+  EXPECT_GE(swapped, 1U);  // segment [i,j] is never empty
+  // Swapped region is contiguous.
+  const auto first = std::find(a.machine.begin(), a.machine.end(), 2);
+  const auto last = std::find(a.machine.rbegin(), a.machine.rend(), 2);
+  const auto begin_idx = static_cast<std::size_t>(first - a.machine.begin());
+  const auto end_idx =
+      a.machine.size() - 1 - static_cast<std::size_t>(last - a.machine.rbegin());
+  for (std::size_t i = begin_idx; i <= end_idx; ++i) {
+    EXPECT_EQ(a.machine[i], 2);
+  }
+}
+
+TEST(Crossover, PreservesGeneMultiset) {
+  // Across both chromosomes, each position's (machine, order) pair multiset
+  // is invariant.
+  const Fixture fx;
+  Rng rng(7);
+  Allocation a = random_allocation(fx.problem, rng);
+  Allocation b = random_allocation(fx.problem, rng);
+  const Allocation a0 = a, b0 = b;
+  crossover(a, b, rng);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool kept = a.machine[i] == a0.machine[i] &&
+                      a.order[i] == a0.order[i] &&
+                      b.machine[i] == b0.machine[i] &&
+                      b.order[i] == b0.order[i];
+    const bool swapped = a.machine[i] == b0.machine[i] &&
+                         a.order[i] == b0.order[i] &&
+                         b.machine[i] == a0.machine[i] &&
+                         b.order[i] == a0.order[i];
+    EXPECT_TRUE(kept || swapped) << "gene " << i;
+  }
+}
+
+TEST(Crossover, SizeMismatchThrows) {
+  Allocation a = make_trivial_allocation(5);
+  Allocation b = make_trivial_allocation(6);
+  Rng rng(8);
+  EXPECT_THROW(crossover(a, b, rng), std::invalid_argument);
+}
+
+TEST(Crossover, EmptyChromosomesNoop) {
+  Allocation a, b;
+  Rng rng(9);
+  EXPECT_NO_THROW(crossover(a, b, rng));
+}
+
+TEST(Crossover, EligibilityPreserved) {
+  // Genes travel with their position (same task), so swapping keeps
+  // machine eligibility automatically.
+  const Fixture fx;
+  Rng rng(10);
+  Allocation a = random_allocation(fx.problem, rng);
+  Allocation b = random_allocation(fx.problem, rng);
+  crossover(a, b, rng);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(fx.system.eligible(fx.trace.tasks()[i].type,
+                                   static_cast<std::size_t>(a.machine[i])));
+    EXPECT_TRUE(fx.system.eligible(fx.trace.tasks()[i].type,
+                                   static_cast<std::size_t>(b.machine[i])));
+  }
+}
+
+TEST(Mutate, ChangesAtMostOneMachineAndSwapsOrders) {
+  const Fixture fx;
+  Rng rng(11);
+  Allocation a = random_allocation(fx.problem, rng);
+  const Allocation before = a;
+  mutate(a, fx.problem, rng);
+
+  std::size_t machine_changes = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.machine[i] != before.machine[i]) ++machine_changes;
+  }
+  EXPECT_LE(machine_changes, 1U);
+
+  // Order multiset unchanged (a swap).
+  std::multiset<int> ma(a.order.begin(), a.order.end());
+  std::multiset<int> mb(before.order.begin(), before.order.end());
+  EXPECT_EQ(ma, mb);
+}
+
+TEST(Mutate, KeepsEligibility) {
+  const Fixture fx;
+  Rng rng(12);
+  Allocation a = random_allocation(fx.problem, rng);
+  for (int round = 0; round < 200; ++round) {
+    mutate(a, fx.problem, rng);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(fx.system.eligible(fx.trace.tasks()[i].type,
+                                   static_cast<std::size_t>(a.machine[i])));
+  }
+}
+
+TEST(Mutate, EmptyAllocationNoop) {
+  const Fixture fx;
+  Allocation empty;
+  Rng rng(13);
+  // Size-0 genome paired with a sized problem would be invalid to evaluate,
+  // but mutate() itself must not crash.
+  EXPECT_NO_THROW(mutate(empty, fx.problem, rng));
+}
+
+TEST(RepairOrder, ProducesPermutationPreservingSequence) {
+  Allocation a = make_trivial_allocation(5);
+  a.order = {10, 3, 10, -2, 7};  // duplicates + negatives
+  repair_order_permutation(a);
+  EXPECT_TRUE(is_permutation_0_to_n(a.order));
+  // Sequence was (by (order, idx)): task3(-2), task1(3), task4(7),
+  // task0(10), task2(10).
+  EXPECT_EQ(a.order[3], 0);
+  EXPECT_EQ(a.order[1], 1);
+  EXPECT_EQ(a.order[4], 2);
+  EXPECT_EQ(a.order[0], 3);
+  EXPECT_EQ(a.order[2], 4);
+}
+
+TEST(RepairOrder, IdempotentOnPermutation) {
+  Allocation a = make_trivial_allocation(8);
+  a.order = {3, 1, 0, 2, 7, 6, 5, 4};
+  const Allocation before = a;
+  repair_order_permutation(a);
+  EXPECT_EQ(a.order, before.order);
+}
+
+TEST(RepairOrder, EmptyNoop) {
+  Allocation a;
+  EXPECT_NO_THROW(repair_order_permutation(a));
+}
+
+}  // namespace
+}  // namespace eus

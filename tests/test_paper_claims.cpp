@@ -1,0 +1,173 @@
+// The paper's §IV-§VI claims, pinned as miniature regression tests: if a
+// change breaks one of the *conclusions* (not just a number), this file
+// fails by claim name.
+
+#include <gtest/gtest.h>
+
+#include "core/study.hpp"
+#include "data/historical.hpp"
+#include "pareto/front.hpp"
+#include "pareto/knee.hpp"
+#include "pareto/metrics.hpp"
+#include "sched/bounds.hpp"
+#include "tuf/builder.hpp"
+#include "workload/scenarios.hpp"
+
+namespace eus {
+namespace {
+
+Nsga2Config claim_config(std::uint64_t seed = 2013) {
+  Nsga2Config cfg;
+  cfg.population_size = 32;
+  cfg.mutation_probability = 0.25;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// §IV-A: "In general, a well-structured resource allocation that uses more
+// energy will earn more utility and one that uses less energy will earn
+// less utility."
+TEST(PaperClaims, FrontTradesEnergyForUtility) {
+  const Scenario s = make_dataset1(301);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Nsga2 ga(problem, claim_config());
+  ga.initialize({min_energy_allocation(s.system, s.trace),
+                 min_min_completion_time_allocation(s.system, s.trace)});
+  ga.iterate(120);
+  const auto front = ga.front_points();
+  ASSERT_GE(front.size(), 5U);
+  // Along the front: more energy <=> more utility (exact duplicates are
+  // retained by design, so equality is allowed only for identical points).
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].energy, front[i - 1].energy);
+    EXPECT_GE(front[i].utility, front[i - 1].utility);
+    if (front[i] != front[i - 1]) {
+      EXPECT_GT(front[i].energy, front[i - 1].energy);
+      EXPECT_GT(front[i].utility, front[i - 1].utility);
+    }
+  }
+  // And the spread is substantial: the top earns well over the bottom.
+  EXPECT_GT(front.back().utility, 2.0 * front.front().utility);
+}
+
+// §VI (Figure 3): "the presence of the seed within a population allows
+// that population to initially explore the solution space close to where
+// the seed originated."
+TEST(PaperClaims, SeedsAnchorInitialExploration) {
+  const Scenario s = make_dataset1(302);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  const StudyResult r = run_seeding_study(
+      problem, claim_config(), {3},
+      {{"min-energy", 'd', {SeedHeuristic::kMinEnergy}},
+       {"min-min", 's', {SeedHeuristic::kMinMinCompletionTime}}});
+  const auto& energy_front = r.fronts[0][0];
+  const auto& utility_front = r.fronts[1][0];
+  // The min-energy population's best energy beats min-min's...
+  EXPECT_LT(energy_front.front().energy, utility_front.front().energy);
+  // ...and the min-min population's best utility beats min-energy's.
+  EXPECT_GT(utility_front.back().utility, energy_front.back().utility);
+}
+
+// §VI (Figure 3): "as the number of iterations increase though, the
+// presence of the seed starts to become irrelevant because all the
+// populations ... start converging to very similar Pareto fronts."
+TEST(PaperClaims, PopulationsConvergeWithIterations) {
+  const Scenario s = make_custom_scenario("conv", historical_system(), 40,
+                                          600.0, 303);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  const StudyResult r = run_seeding_study(
+      problem, claim_config(), {3, 400},
+      {{"min-energy", 'd', {SeedHeuristic::kMinEnergy}}, {"random", '*', {}}});
+  std::vector<std::vector<EUPoint>> all;
+  for (const auto& per_pop : r.fronts) {
+    for (const auto& f : per_pop) all.push_back(f);
+  }
+  const EUPoint ref = enclosing_reference(all);
+  const double gap_early = std::abs(hypervolume(r.fronts[0][0], ref) -
+                                    hypervolume(r.fronts[1][0], ref));
+  const double gap_late = std::abs(hypervolume(r.fronts[0][1], ref) -
+                                   hypervolume(r.fronts[1][1], ref));
+  EXPECT_LT(gap_late, gap_early);
+}
+
+// §VI (Figure 6): "In all cases, our seeded populations are finding
+// solutions that dominate those found by the random population."
+TEST(PaperClaims, SeededDominatesRandomOnLargeProblems) {
+  const Scenario s = make_dataset2(304);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  const StudyResult r = run_seeding_study(
+      problem, claim_config(), {4},
+      {{"min-min", 's', {SeedHeuristic::kMinMinCompletionTime}},
+       {"random", '*', {}}});
+  EXPECT_GT(coverage(r.final_front(0), r.final_front(1)), 0.5);
+}
+
+// §VI (Figures 3-6): every converged front has a utility-per-energy peak
+// region — "the location where the system is operating as efficiently as
+// possible".
+TEST(PaperClaims, EfficientOperationRegionExists) {
+  const Scenario s = make_dataset1(305);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Nsga2 ga(problem, claim_config());
+  ga.initialize({max_utility_per_energy_allocation(s.system, s.trace)});
+  ga.iterate(200);
+  const KneeAnalysis knee = analyze_utility_per_energy(ga.front_points());
+  EXPECT_GT(knee.peak_ratio, 0.0);
+  EXPECT_FALSE(knee.region.empty());
+  // Figure 5's method: the same point maximizes U/E vs utility and vs
+  // energy (it is one peak viewed along two axes).
+  EXPECT_DOUBLE_EQ(knee.peak.utility / knee.peak.energy, knee.peak_ratio);
+}
+
+// §V-B1: "This heuristic will create a solution with the minimum possible
+// energy consumption."
+TEST(PaperClaims, MinEnergySeedIsOptimal) {
+  const Scenario s = make_dataset1(306);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  const ObjectiveBounds bounds = compute_bounds(s.system, s.trace);
+  const double seed_energy =
+      problem.evaluate(min_energy_allocation(s.system, s.trace)).energy;
+  EXPECT_NEAR(seed_energy, bounds.energy_lower, 1e-9);
+}
+
+// §II: one NSGA-II run produces a whole front, unlike single-solution
+// heuristics — the front must carry many mutually nondominated points.
+TEST(PaperClaims, OneRunManySolutions) {
+  const Scenario s = make_dataset1(307);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Nsga2 ga(problem, claim_config());
+  ga.initialize({});
+  ga.iterate(150);
+  const auto front = ga.front_points();
+  EXPECT_GE(front.size(), 10U);
+  EXPECT_TRUE(is_mutually_nondominated(front));
+}
+
+// Figure 1's exact published values.
+TEST(PaperClaims, Figure1Values) {
+  const TimeUtilityFunction f = make_figure1_tuf();
+  EXPECT_NEAR(f.value(20.0), 12.0, 1e-9);
+  EXPECT_NEAR(f.value(47.0), 7.0, 1e-9);
+}
+
+// §III-D2: special machines are ~10x on ETC, EPC undivided — so a special
+// task's EEC on its special machine is ~10x cheaper than the suite
+// average, which is the whole point of owning the hardware.
+TEST(PaperClaims, SpecialMachinesSaveEnergyAndTime) {
+  const ExpandedSystem ex = make_expanded_system(308);
+  for (const std::size_t t : ex.special_task_types) {
+    const auto mt = static_cast<std::size_t>(
+        ex.model.task_types()[t].special_machine_type);
+    double avg_eec = 0.0;
+    for (std::size_t c = 0; c < 9; ++c) {
+      avg_eec += ex.model.etc()(t, c) * ex.model.epc()(t, c);
+    }
+    avg_eec /= 9.0;
+    const double special_eec =
+        ex.model.etc()(t, mt) * ex.model.epc()(t, mt);
+    EXPECT_LT(special_eec, 0.35 * avg_eec);
+  }
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,136 @@
+#include "pareto/front.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace eus {
+namespace {
+
+TEST(Dominance, PaperFigure2Example) {
+  // A dominates B (less energy, more utility); A and C incomparable.
+  const EUPoint a{5.0, 10.0};
+  const EUPoint b{8.0, 7.0};
+  const EUPoint c{3.0, 6.0};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_TRUE(incomparable(a, c));
+  EXPECT_TRUE(incomparable(c, a));
+}
+
+TEST(Dominance, EqualPointsDoNotDominate) {
+  const EUPoint p{1.0, 1.0};
+  EXPECT_FALSE(dominates(p, p));
+  EXPECT_TRUE(incomparable(p, p));
+}
+
+TEST(Dominance, WeakImprovementSuffices) {
+  // Better in one objective, equal in the other.
+  EXPECT_TRUE(dominates({1.0, 5.0}, {2.0, 5.0}));
+  EXPECT_TRUE(dominates({1.0, 6.0}, {1.0, 5.0}));
+}
+
+TEST(Dominance, Antisymmetric) {
+  const EUPoint a{1.0, 2.0};
+  const EUPoint b{2.0, 3.0};
+  EXPECT_FALSE(dominates(a, b) && dominates(b, a));
+}
+
+TEST(ParetoFront, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  EXPECT_TRUE(nondominated_indices({}).empty());
+}
+
+TEST(ParetoFront, SinglePoint) {
+  const auto f = pareto_front({{1.0, 1.0}});
+  ASSERT_EQ(f.size(), 1U);
+}
+
+TEST(ParetoFront, FiltersDominated) {
+  const std::vector<EUPoint> pts = {
+      {5.0, 10.0},  // front
+      {8.0, 7.0},   // dominated by the first
+      {3.0, 6.0},   // front
+      {9.0, 11.0},  // front
+      {6.0, 9.0},   // dominated by {5,10}
+  };
+  const auto f = pareto_front(pts);
+  ASSERT_EQ(f.size(), 3U);
+  EXPECT_EQ(f[0], (EUPoint{3.0, 6.0}));
+  EXPECT_EQ(f[1], (EUPoint{5.0, 10.0}));
+  EXPECT_EQ(f[2], (EUPoint{9.0, 11.0}));
+}
+
+TEST(ParetoFront, AscendingEnergyAndUtility) {
+  const std::vector<EUPoint> pts = {
+      {4.0, 4.0}, {1.0, 1.0}, {3.0, 3.0}, {2.0, 2.0}};
+  const auto f = pareto_front(pts);
+  ASSERT_EQ(f.size(), 4U);
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    EXPECT_GT(f[i].energy, f[i - 1].energy);
+    EXPECT_GT(f[i].utility, f[i - 1].utility);
+  }
+}
+
+TEST(ParetoFront, KeepsExactDuplicatesOfNondominated) {
+  const std::vector<EUPoint> pts = {{1.0, 1.0}, {1.0, 1.0}, {2.0, 0.5}};
+  const auto idx = nondominated_indices(pts);
+  EXPECT_EQ(idx.size(), 2U);  // both copies of {1,1}; {2,0.5} dominated
+}
+
+TEST(ParetoFront, SameEnergyDifferentUtility) {
+  const std::vector<EUPoint> pts = {{1.0, 5.0}, {1.0, 3.0}};
+  const auto f = pareto_front(pts);
+  ASSERT_EQ(f.size(), 1U);
+  EXPECT_DOUBLE_EQ(f[0].utility, 5.0);
+}
+
+TEST(ParetoFront, SameUtilityDifferentEnergy) {
+  const std::vector<EUPoint> pts = {{1.0, 5.0}, {2.0, 5.0}};
+  const auto f = pareto_front(pts);
+  ASSERT_EQ(f.size(), 1U);
+  EXPECT_DOUBLE_EQ(f[0].energy, 1.0);
+}
+
+TEST(ParetoFront, IndicesPointAtOriginalPositions) {
+  const std::vector<EUPoint> pts = {{8.0, 7.0}, {5.0, 10.0}, {3.0, 6.0}};
+  const auto idx = nondominated_indices(pts);
+  ASSERT_EQ(idx.size(), 2U);
+  EXPECT_EQ(idx[0], 2U);  // {3,6} first (lowest energy)
+  EXPECT_EQ(idx[1], 1U);
+}
+
+TEST(ParetoFront, MutualNondominationCheck) {
+  EXPECT_TRUE(is_mutually_nondominated({{1.0, 1.0}, {2.0, 2.0}}));
+  EXPECT_FALSE(is_mutually_nondominated({{1.0, 2.0}, {2.0, 1.0}, {0.5, 3.0}}));
+  EXPECT_TRUE(is_mutually_nondominated({}));
+}
+
+TEST(ParetoFront, OutputIsMutuallyNondominated) {
+  std::vector<EUPoint> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({static_cast<double>(i % 13), static_cast<double>(i % 7)});
+  }
+  EXPECT_TRUE(is_mutually_nondominated(pareto_front(pts)));
+}
+
+TEST(ParetoFront, EveryInputDominatedByOrOnFront) {
+  std::vector<EUPoint> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({static_cast<double>((i * 17) % 23),
+                   static_cast<double>((i * 11) % 19)});
+  }
+  const auto front = pareto_front(pts);
+  for (const auto& p : pts) {
+    const bool on_front =
+        std::find(front.begin(), front.end(), p) != front.end();
+    bool dominated = false;
+    for (const auto& f : front) {
+      if (dominates(f, p)) dominated = true;
+    }
+    EXPECT_TRUE(on_front || dominated);
+  }
+}
+
+}  // namespace
+}  // namespace eus

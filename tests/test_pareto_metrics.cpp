@@ -1,0 +1,181 @@
+#include "pareto/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+TEST(Hypervolume, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume({}, {10.0, 0.0}), 0.0);
+}
+
+TEST(Hypervolume, SinglePointRectangle) {
+  // Point (2, 8) against reference (10, 0): area (10-2)*(8-0) = 64.
+  EXPECT_DOUBLE_EQ(hypervolume({{2.0, 8.0}}, {10.0, 0.0}), 64.0);
+}
+
+TEST(Hypervolume, TwoPointStaircase) {
+  // (2,4) and (5,9), ref (10,0): (10-5)*9 + (5-2)*4 = 45 + 12 = 57.
+  EXPECT_DOUBLE_EQ(hypervolume({{2.0, 4.0}, {5.0, 9.0}}, {10.0, 0.0}), 57.0);
+}
+
+TEST(Hypervolume, OrderIndependent) {
+  const std::vector<EUPoint> a = {{2.0, 4.0}, {5.0, 9.0}, {7.0, 10.0}};
+  std::vector<EUPoint> b = {a[2], a[0], a[1]};
+  EXPECT_DOUBLE_EQ(hypervolume(a, {10.0, 0.0}), hypervolume(b, {10.0, 0.0}));
+}
+
+TEST(Hypervolume, DominatedPointsIgnored) {
+  const double with = hypervolume({{2.0, 4.0}, {5.0, 9.0}}, {10.0, 0.0});
+  const double extra =
+      hypervolume({{2.0, 4.0}, {5.0, 9.0}, {6.0, 3.0}}, {10.0, 0.0});
+  EXPECT_DOUBLE_EQ(with, extra);
+}
+
+TEST(Hypervolume, BetterFrontHasLargerVolume) {
+  const double worse = hypervolume({{5.0, 5.0}}, {10.0, 0.0});
+  const double better = hypervolume({{4.0, 6.0}}, {10.0, 0.0});
+  EXPECT_GT(better, worse);
+}
+
+TEST(Hypervolume, RejectsReferenceInsideFront) {
+  EXPECT_THROW((void)hypervolume({{5.0, 5.0}}, {4.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)hypervolume({{5.0, 5.0}}, {10.0, 6.0}), std::invalid_argument);
+}
+
+TEST(Coverage, FullCoverage) {
+  const std::vector<EUPoint> a = {{1.0, 10.0}};
+  const std::vector<EUPoint> b = {{2.0, 9.0}, {3.0, 5.0}};
+  EXPECT_DOUBLE_EQ(coverage(a, b), 1.0);
+}
+
+TEST(Coverage, NoCoverage) {
+  const std::vector<EUPoint> a = {{5.0, 5.0}};
+  const std::vector<EUPoint> b = {{1.0, 10.0}};
+  EXPECT_DOUBLE_EQ(coverage(a, b), 0.0);
+}
+
+TEST(Coverage, EqualPointsCovered) {
+  const std::vector<EUPoint> a = {{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(coverage(a, a), 1.0);
+}
+
+TEST(Coverage, PartialAndAsymmetric) {
+  const std::vector<EUPoint> a = {{1.0, 10.0}, {9.0, 13.0}};
+  const std::vector<EUPoint> b = {{2.0, 9.0}, {0.5, 12.0}};
+  // a covers {2,9} (dominated by {1,10}) but not {0.5,12}.
+  EXPECT_DOUBLE_EQ(coverage(a, b), 0.5);
+  // b covers {1,10} (dominated by {0.5,12}) but not {9,13}.
+  EXPECT_DOUBLE_EQ(coverage(b, a), 0.5);
+}
+
+TEST(Coverage, EmptyBIsZero) {
+  EXPECT_DOUBLE_EQ(coverage({{1.0, 1.0}}, {}), 0.0);
+}
+
+TEST(Spread, FewerThanTwoPointsIsZero) {
+  EXPECT_DOUBLE_EQ(spread({}), 0.0);
+  EXPECT_DOUBLE_EQ(spread({{1.0, 1.0}}), 0.0);
+}
+
+TEST(Spread, UniformSpacingIsZero) {
+  const std::vector<EUPoint> f = {
+      {0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_NEAR(spread(f), 0.0, 1e-12);
+}
+
+TEST(Spread, ClusteringIncreasesSpread) {
+  const std::vector<EUPoint> uniform = {
+      {0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  const std::vector<EUPoint> clustered = {
+      {0.0, 0.0}, {0.1, 0.1}, {0.2, 0.2}, {3.0, 3.0}};
+  EXPECT_GT(spread(clustered), spread(uniform));
+}
+
+TEST(EpsilonIndicator, ZeroWhenACoversB) {
+  const std::vector<EUPoint> a = {{1.0, 10.0}, {5.0, 20.0}};
+  EXPECT_DOUBLE_EQ(epsilon_indicator(a, a), 0.0);
+  const std::vector<EUPoint> b = {{2.0, 9.0}};
+  EXPECT_LE(epsilon_indicator(a, b), 0.0);
+}
+
+TEST(EpsilonIndicator, NegativeWhenAStrictlyBetter) {
+  const std::vector<EUPoint> a = {{1.0, 10.0}};
+  const std::vector<EUPoint> b = {{3.0, 8.0}};
+  // A needs to be worsened by 2 before it stops dominating B.
+  EXPECT_DOUBLE_EQ(epsilon_indicator(a, b), -2.0);
+}
+
+TEST(EpsilonIndicator, PositiveShiftMeasured) {
+  const std::vector<EUPoint> a = {{5.0, 5.0}};
+  const std::vector<EUPoint> b = {{2.0, 8.0}};
+  // a.energy - e <= 2 requires e >= 3; a.utility + e >= 8 requires e >= 3.
+  EXPECT_DOUBLE_EQ(epsilon_indicator(a, b), 3.0);
+}
+
+TEST(EpsilonIndicator, TakesWorstCaseOverB) {
+  const std::vector<EUPoint> a = {{5.0, 5.0}};
+  const std::vector<EUPoint> b = {{5.0, 5.0}, {2.0, 8.0}};
+  EXPECT_DOUBLE_EQ(epsilon_indicator(a, b), 3.0);
+}
+
+TEST(EpsilonIndicator, ThrowsOnEmpty) {
+  EXPECT_THROW((void)epsilon_indicator({}, {{1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)epsilon_indicator({{1.0, 1.0}}, {}),
+               std::invalid_argument);
+}
+
+TEST(GenerationalDistance, ZeroForIdenticalSets) {
+  const std::vector<EUPoint> f = {{1.0, 1.0}, {2.0, 4.0}};
+  EXPECT_DOUBLE_EQ(generational_distance(f, f), 0.0);
+}
+
+TEST(GenerationalDistance, AveragesNearestDistances) {
+  const std::vector<EUPoint> reference = {{0.0, 0.0}, {10.0, 10.0}};
+  const std::vector<EUPoint> front = {{3.0, 4.0}, {10.0, 10.0}};
+  // First point: nearest reference is (0,0) at distance 5; second: 0.
+  EXPECT_DOUBLE_EQ(generational_distance(front, reference), 2.5);
+}
+
+TEST(GenerationalDistance, IgdIsReversedArguments) {
+  const std::vector<EUPoint> reference = {{0.0, 0.0}, {10.0, 10.0}};
+  const std::vector<EUPoint> front = {{0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(inverted_generational_distance(front, reference),
+                   generational_distance(reference, front));
+  // Front covers only half the reference: IGD > GD here.
+  EXPECT_GT(inverted_generational_distance(front, reference),
+            generational_distance(front, reference));
+}
+
+TEST(GenerationalDistance, ThrowsOnEmpty) {
+  EXPECT_THROW((void)generational_distance({}, {{1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(EnclosingReference, CoversAllSets) {
+  const std::vector<std::vector<EUPoint>> sets = {
+      {{1.0, 5.0}, {4.0, 9.0}},
+      {{2.0, 3.0}},
+  };
+  const EUPoint ref = enclosing_reference(sets);
+  for (const auto& set : sets) {
+    for (const auto& p : set) {
+      EXPECT_GE(ref.energy, p.energy);
+      EXPECT_LE(ref.utility, p.utility);
+    }
+  }
+  // Usable with hypervolume immediately:
+  EXPECT_GT(hypervolume(sets[0], ref), 0.0);
+}
+
+TEST(EnclosingReference, EmptyFallback) {
+  const EUPoint ref = enclosing_reference({});
+  EXPECT_DOUBLE_EQ(ref.energy, 1.0);
+  EXPECT_DOUBLE_EQ(ref.utility, 0.0);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,351 @@
+// Parameterized property tests: invariants that must hold for *every* seed
+// / configuration, swept with TEST_P / INSTANTIATE_TEST_SUITE_P.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "core/nsga2.hpp"
+#include "core/operators.hpp"
+#include "core/study.hpp"
+#include "data/historical.hpp"
+#include "online/simulator.hpp"
+#include "pareto/archive.hpp"
+#include "pareto/front.hpp"
+#include "pareto/metrics.hpp"
+#include "sched/bounds.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/trace_io.hpp"
+
+namespace eus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schedule invariants under random allocations.
+
+class ScheduleInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleInvariants, HoldForRandomAllocations) {
+  const std::uint64_t seed = GetParam();
+  const Scenario s =
+      make_custom_scenario("prop", historical_system(), 60, 600.0, seed);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  const Evaluator& ev = problem.evaluator();
+
+  Rng rng(seed * 31 + 7);
+  for (int round = 0; round < 5; ++round) {
+    const Allocation a = random_allocation(problem, rng);
+    ev.validate(a);
+    const auto [total, detail] = ev.detail(a);
+
+    double makespan = 0.0;
+    double utility = 0.0;
+    double energy = 0.0;
+    std::vector<std::vector<std::pair<double, double>>> busy(
+        s.system.num_machines());
+    for (std::size_t i = 0; i < detail.size(); ++i) {
+      const auto& o = detail[i];
+      // Start-after-arrival rule (§IV-D).
+      EXPECT_GE(o.start, s.trace.tasks()[i].arrival);
+      EXPECT_GE(o.finish, o.start);
+      EXPECT_GE(o.utility, 0.0);
+      EXPECT_GT(o.energy, 0.0);
+      makespan = std::max(makespan, o.finish);
+      utility += o.utility;
+      energy += o.energy;
+      busy[static_cast<std::size_t>(o.machine)].push_back(
+          {o.start, o.finish});
+    }
+    EXPECT_DOUBLE_EQ(total.makespan, makespan);
+    EXPECT_NEAR(total.utility, utility, 1e-9);
+    EXPECT_NEAR(total.energy, energy, 1e-9);
+    EXPECT_LE(total.utility, s.trace.utility_upper_bound() + 1e-9);
+
+    // No machine ever runs two tasks at once.
+    for (auto& intervals : busy) {
+      std::sort(intervals.begin(), intervals.end());
+      for (std::size_t k = 1; k < intervals.size(); ++k) {
+        EXPECT_GE(intervals[k].first, intervals[k - 1].second - 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleInvariants,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Pareto front extraction vs brute force.
+
+class ParetoOracle : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParetoOracle, MatchesBruteForce) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 1000 + 3);
+  std::vector<EUPoint> pts(n);
+  for (auto& p : pts) {
+    // Coarse grid so duplicates and ties occur.
+    p.energy = static_cast<double>(rng.below(12));
+    p.utility = static_cast<double>(rng.below(12));
+  }
+  const auto front = nondominated_indices(pts);
+  const std::set<std::size_t> in_front(front.begin(), front.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (dominates(pts[j], pts[i])) dominated = true;
+    }
+    EXPECT_EQ(in_front.count(i) > 0, !dominated) << "point " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParetoOracle,
+                         ::testing::Values(1, 2, 3, 8, 32, 100, 333));
+
+// ---------------------------------------------------------------------------
+// Crossover conservation across seeds.
+
+class CrossoverConservation
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossoverConservation, GenePairsConserved) {
+  const Scenario s = make_custom_scenario("xo", historical_system(), 30,
+                                          600.0, GetParam());
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Rng rng(GetParam() + 99);
+  Allocation a = random_allocation(problem, rng);
+  Allocation b = random_allocation(problem, rng);
+
+  // Multiset of (machine, order) per gene position across both parents.
+  const auto signature = [](const Allocation& x, const Allocation& y) {
+    std::multiset<std::tuple<std::size_t, int, int>> sig;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      sig.insert({i, x.machine[i], x.order[i]});
+      sig.insert({i, y.machine[i], y.order[i]});
+    }
+    return sig;
+  };
+  const auto before = signature(a, b);
+  for (int round = 0; round < 10; ++round) crossover(a, b, rng);
+  EXPECT_EQ(signature(a, b), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossoverConservation,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// NSGA-II monotone hypervolume across seeds and population sizes.
+
+struct GaParam {
+  std::uint64_t seed;
+  std::size_t population;
+};
+
+class GaMonotone : public ::testing::TestWithParam<GaParam> {};
+
+TEST_P(GaMonotone, HypervolumeNeverDecreases) {
+  const auto [seed, population] = GetParam();
+  const Scenario s =
+      make_custom_scenario("ga", historical_system(), 40, 600.0, seed);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Nsga2Config cfg;
+  cfg.population_size = population;
+  cfg.seed = seed;
+  Nsga2 ga(problem, cfg);
+  ga.initialize({});
+  const EUPoint ref{1e12, -1.0};
+  double previous = hypervolume(ga.front_points(), ref);
+  for (int g = 0; g < 12; ++g) {
+    ga.iterate(1);
+    const double current = hypervolume(ga.front_points(), ref);
+    EXPECT_GE(current, previous - 1e-6);
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GaMonotone,
+                         ::testing::Values(GaParam{1, 8}, GaParam{2, 16},
+                                           GaParam{3, 32}, GaParam{4, 16},
+                                           GaParam{5, 8}));
+
+// ---------------------------------------------------------------------------
+// Mutation probability sweep: population stays valid at any rate.
+
+class MutationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MutationSweep, PopulationsRemainValid) {
+  const Scenario s =
+      make_custom_scenario("mut", historical_system(), 30, 600.0, 9);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Nsga2Config cfg;
+  cfg.population_size = 10;
+  cfg.mutation_probability = GetParam();
+  cfg.seed = 5;
+  Nsga2 ga(problem, cfg);
+  ga.initialize({});
+  ga.iterate(10);
+  const Evaluator& ev = problem.evaluator();
+  for (const auto& ind : ga.population()) {
+    EXPECT_NO_THROW(ev.validate(ind.genome));
+    // Cached objectives match re-evaluation (no staleness).
+    const EUPoint fresh = problem.evaluate(ind.genome);
+    EXPECT_DOUBLE_EQ(fresh.energy, ind.objectives.energy);
+    EXPECT_DOUBLE_EQ(fresh.utility, ind.objectives.utility);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MutationSweep,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0));
+
+// ---------------------------------------------------------------------------
+// Hypervolume properties on random fronts.
+
+class HypervolumeProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HypervolumeProps, SubsetNeverExceedsSuperset) {
+  Rng rng(GetParam());
+  std::vector<EUPoint> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform(1.0, 100.0), rng.uniform(0.0, 50.0)});
+  }
+  const EUPoint ref{101.0, -1.0};
+  const double full = hypervolume(pts, ref);
+  std::vector<EUPoint> subset(pts.begin(), pts.begin() + 20);
+  EXPECT_LE(hypervolume(subset, ref), full + 1e-9);
+  // Front extraction does not change the hypervolume.
+  EXPECT_NEAR(hypervolume(pareto_front(pts), ref), full, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypervolumeProps,
+                         ::testing::Values(101, 202, 303, 404));
+
+// ---------------------------------------------------------------------------
+// Online budget invariants across budgets and seeds.
+
+struct BudgetParam {
+  std::uint64_t seed;
+  double fraction;  // of the unconstrained max-utility energy
+};
+
+class OnlineBudgetInvariants : public ::testing::TestWithParam<BudgetParam> {};
+
+TEST_P(OnlineBudgetInvariants, BudgetNeverExceededWithDropping) {
+  const auto [seed, fraction] = GetParam();
+  const Scenario s =
+      make_custom_scenario("ob", historical_system(), 70, 700.0, seed);
+  OnlineMaxUtility max_utility;
+  const double ceiling =
+      simulate_online(s.system, s.trace, max_utility).energy;
+
+  BudgetPacedUtility paced;
+  OnlineOptions opts;
+  opts.energy_budget = fraction * ceiling;
+  opts.allow_dropping = true;
+  const OnlineResult r = simulate_online(s.system, s.trace, paced, opts);
+  EXPECT_LE(r.energy, opts.energy_budget + 1e-9);
+  EXPECT_FALSE(r.budget_overrun);
+  EXPECT_LE(r.utility, s.trace.utility_upper_bound() + 1e-9);
+  // Accounting closes: outcomes sum to the totals.
+  double utility = 0.0, energy = 0.0;
+  for (const auto& o : r.outcomes) {
+    utility += o.utility;
+    energy += o.energy;
+  }
+  EXPECT_NEAR(utility, r.utility, 1e-9);
+  EXPECT_NEAR(energy, r.energy, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OnlineBudgetInvariants,
+    ::testing::Values(BudgetParam{1, 0.3}, BudgetParam{2, 0.5},
+                      BudgetParam{3, 0.7}, BudgetParam{4, 0.9},
+                      BudgetParam{5, 1.1}));
+
+// ---------------------------------------------------------------------------
+// Archive equals batch front extraction on arbitrary streams.
+
+class ArchiveOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArchiveOracle, MatchesBatchFront) {
+  Rng rng(GetParam());
+  ParetoArchive archive;
+  std::vector<EUPoint> all;
+  for (int i = 0; i < 400; ++i) {
+    const EUPoint p{static_cast<double>(rng.below(40)),
+                    static_cast<double>(rng.below(40))};
+    all.push_back(p);
+    archive.insert(p);
+  }
+  std::vector<EUPoint> expected = pareto_front(all);
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  EXPECT_EQ(archive.points(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchiveOracle,
+                         ::testing::Values(7, 14, 21, 28));
+
+// ---------------------------------------------------------------------------
+// Trace serialization round-trips arbitrary generated traces.
+
+class TraceIoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceIoFuzz, RoundTripPreservesEvaluation) {
+  // The real invariant: any allocation evaluates identically against the
+  // original and the round-tripped trace.
+  const Scenario s = make_custom_scenario("tio", historical_system(), 40,
+                                          500.0, GetParam());
+  const Trace reloaded = trace_from_string(trace_to_string(s.trace));
+
+  const UtilityEnergyProblem original(s.system, s.trace);
+  const UtilityEnergyProblem parsed(s.system, reloaded);
+  Rng rng(GetParam() + 3);
+  for (int round = 0; round < 5; ++round) {
+    const Allocation a = random_allocation(original, rng);
+    const EUPoint x = original.evaluate(a);
+    const EUPoint y = parsed.evaluate(a);
+    EXPECT_NEAR(x.energy, y.energy, 1e-6);
+    EXPECT_NEAR(x.utility, y.utility, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoFuzz, ::testing::Values(3, 6, 9, 12));
+
+// ---------------------------------------------------------------------------
+// Bounds contain everything any algorithm produces.
+
+class BoundsContainment : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundsContainment, SeedsGaAndOnlineAllInsideBounds) {
+  const Scenario s = make_custom_scenario("bounds", historical_system(), 60,
+                                          600.0, GetParam());
+  const ObjectiveBounds bounds = compute_bounds(s.system, s.trace);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+
+  const auto check = [&](const EUPoint& p) {
+    EXPECT_GE(p.energy, bounds.energy_lower - 1e-9);
+    EXPECT_LE(p.utility, bounds.utility_upper_contention_free + 1e-9);
+  };
+  for (const SeedHeuristic h : all_seed_heuristics()) {
+    check(problem.evaluate(make_seed(h, s.system, s.trace)));
+  }
+  Nsga2Config cfg;
+  cfg.population_size = 12;
+  cfg.seed = GetParam();
+  Nsga2 ga(problem, cfg);
+  ga.initialize({});
+  ga.iterate(15);
+  for (const auto& p : ga.front_points()) check(p);
+
+  OnlineMaxUtility policy;
+  const OnlineResult r = simulate_online(s.system, s.trace, policy);
+  check({r.energy, r.utility});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsContainment,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,101 @@
+#include "des/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/historical.hpp"
+#include "util/table.hpp"
+#include "heuristics/seeds.hpp"
+#include "tuf/builder.hpp"
+#include "workload/generator.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 1.0, make_linear_decay_tuf(10.0, 0.0, 1500.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+struct Fixture {
+  SystemModel system = historical_system();
+  Trace trace;
+  DesResult result;
+
+  Fixture() : trace(make_trace(system)) {
+    result = des_evaluate(system, trace,
+                          min_min_completion_time_allocation(system, trace));
+  }
+
+  static Trace make_trace(const SystemModel& sys) {
+    Rng rng(61);
+    TraceConfig cfg;
+    cfg.num_tasks = 60;
+    cfg.window_seconds = 900.0;
+    return generate_trace(sys, library(), cfg, rng);
+  }
+};
+
+TEST(UtilizationReport, ListsEveryMachine) {
+  const Fixture fx;
+  const std::string report = utilization_report(fx.system, fx.result);
+  for (const auto& m : fx.system.machines()) {
+    EXPECT_NE(report.find(m.name), std::string::npos) << m.name;
+  }
+}
+
+TEST(UtilizationReport, UtilizationWithinBounds) {
+  const Fixture fx;
+  const std::string report = utilization_report(fx.system, fx.result);
+  // Spot-check structure: a percent sign per machine row (two columns).
+  std::size_t percents = 0;
+  for (const char ch : report) {
+    if (ch == '%') ++percents;
+  }
+  EXPECT_GE(percents, 2 * fx.system.num_machines());
+}
+
+TEST(Gantt, EmptyScheduleStub) {
+  const SystemModel sys = historical_system();
+  const Trace trace({}, library());
+  const DesResult r = des_evaluate(sys, trace, Allocation{});
+  EXPECT_NE(gantt_chart(sys, r).find("(empty schedule)"), std::string::npos);
+}
+
+TEST(Gantt, OneRowPerMachinePlusAxis) {
+  const Fixture fx;
+  const std::string chart = gantt_chart(fx.system, fx.result);
+  std::size_t lines = 0;
+  for (const char ch : chart) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, fx.system.num_machines() + 2);
+}
+
+TEST(Gantt, BusyMarksPresentForLoadedMachines) {
+  const Fixture fx;
+  GanttOptions opts;
+  opts.busy = '#';
+  const std::string chart = gantt_chart(fx.system, fx.result, opts);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(Gantt, RespectsCustomGlyphs) {
+  const Fixture fx;
+  GanttOptions opts;
+  opts.busy = 'B';
+  opts.idle = '_';
+  const std::string chart = gantt_chart(fx.system, fx.result, opts);
+  EXPECT_NE(chart.find('B'), std::string::npos);
+  EXPECT_EQ(chart.find('#'), std::string::npos);
+}
+
+TEST(Gantt, HorizonLabelMatchesMakespan) {
+  const Fixture fx;
+  const std::string chart = gantt_chart(fx.system, fx.result);
+  EXPECT_NE(chart.find(format_double(fx.result.totals.makespan, 0)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,101 @@
+#include "synth/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "synth/gram_charlier.hpp"
+#include "synth/moments.hpp"
+#include "util/rng.hpp"
+
+namespace eus {
+namespace {
+
+TEST(TabulatedSampler, RejectsEmptyRange) {
+  const auto flat = [](double) { return 1.0; };
+  EXPECT_THROW(TabulatedSampler(flat, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(TabulatedSampler(flat, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(TabulatedSampler, RejectsTooFewPoints) {
+  const auto flat = [](double) { return 1.0; };
+  EXPECT_THROW(TabulatedSampler(flat, 0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(TabulatedSampler, RejectsZeroMass) {
+  const auto zero = [](double) { return 0.0; };
+  EXPECT_THROW(TabulatedSampler(zero, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(TabulatedSampler, RejectsNegativeDensity) {
+  const auto bad = [](double x) { return x - 0.5; };
+  EXPECT_THROW(TabulatedSampler(bad, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(TabulatedSampler, QuantileEndpoints) {
+  const auto flat = [](double) { return 1.0; };
+  const TabulatedSampler s(flat, 2.0, 6.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(s.lo(), 2.0);
+  EXPECT_DOUBLE_EQ(s.hi(), 6.0);
+}
+
+TEST(TabulatedSampler, QuantileClampsOutOfRangeU) {
+  const auto flat = [](double) { return 1.0; };
+  const TabulatedSampler s(flat, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.5), 1.0);
+}
+
+TEST(TabulatedSampler, UniformDensityGivesLinearQuantile) {
+  const auto flat = [](double) { return 3.7; };  // unnormalized is fine
+  const TabulatedSampler s(flat, 0.0, 10.0);
+  for (double u = 0.0; u <= 1.0; u += 0.125) {
+    EXPECT_NEAR(s.quantile(u), 10.0 * u, 1e-9);
+  }
+}
+
+TEST(TabulatedSampler, TriangularDensityMedian) {
+  // f(x) = x on [0,1]: CDF = x^2, median at sqrt(0.5).
+  const auto tri = [](double x) { return x; };
+  const TabulatedSampler s(tri, 0.0, 1.0, 8192);
+  EXPECT_NEAR(s.quantile(0.5), std::sqrt(0.5), 1e-4);
+  EXPECT_NEAR(s.quantile(0.25), 0.5, 1e-4);
+}
+
+TEST(TabulatedSampler, SampleMatchesTargetMoments) {
+  Moments target{};
+  target.mean = 50.0;
+  target.stddev = 10.0;
+  target.variance = 100.0;
+  target.cv = 0.2;
+  target.skewness = 0.5;
+  target.kurtosis = 3.4;
+  const GramCharlierPdf pdf(target);
+  const TabulatedSampler s([&](double x) { return pdf.density(x); }, 1.0,
+                           100.0, 4096);
+  Rng rng(42);
+  std::vector<double> draws(100000);
+  for (double& d : draws) d = s.sample([&] { return rng.uniform(); });
+  const Moments got = compute_moments(draws);
+  EXPECT_NEAR(got.mean, 50.0, 0.3);
+  EXPECT_NEAR(got.stddev, 10.0, 0.3);
+  EXPECT_NEAR(got.skewness, 0.5, 0.1);
+  EXPECT_NEAR(got.kurtosis, 3.4, 0.25);
+}
+
+TEST(TabulatedSampler, SamplesStayWithinSupport) {
+  const auto flat = [](double) { return 1.0; };
+  const TabulatedSampler s(flat, 5.0, 7.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = s.sample([&] { return rng.uniform(); });
+    EXPECT_GE(v, 5.0);
+    EXPECT_LE(v, 7.0);
+  }
+}
+
+}  // namespace
+}  // namespace eus

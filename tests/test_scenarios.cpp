@@ -1,0 +1,97 @@
+#include "workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace eus {
+namespace {
+
+TEST(Scenarios, Table3CountsSumToThirty) {
+  const auto counts = table3_instance_counts();
+  EXPECT_EQ(counts.size(), 13U);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}),
+            30U);
+}
+
+TEST(Scenarios, Table3SpecialMachinesSingleInstance) {
+  const auto counts = table3_instance_counts();
+  for (std::size_t i = 9; i < 13; ++i) EXPECT_EQ(counts[i], 1U);
+}
+
+TEST(Scenarios, Dataset1MatchesPaperParameters) {
+  const Scenario s = make_dataset1(123);
+  EXPECT_EQ(s.trace.size(), 250U);            // §V-A
+  EXPECT_DOUBLE_EQ(s.window_seconds, 900.0);  // 15 minutes
+  EXPECT_EQ(s.system.num_machines(), 9U);
+  EXPECT_EQ(s.system.num_task_types(), 5U);
+  EXPECT_LE(s.trace.window(), 900.0);
+}
+
+TEST(Scenarios, Dataset2MatchesPaperParameters) {
+  const Scenario s = make_dataset2(123);
+  EXPECT_EQ(s.trace.size(), 1000U);
+  EXPECT_DOUBLE_EQ(s.window_seconds, 900.0);
+  EXPECT_EQ(s.system.num_machines(), 30U);
+  EXPECT_EQ(s.system.num_task_types(), 30U);
+  EXPECT_EQ(s.system.num_machine_types(), 13U);
+}
+
+TEST(Scenarios, Dataset3MatchesPaperParameters) {
+  const Scenario s = make_dataset3(123);
+  EXPECT_EQ(s.trace.size(), 4000U);
+  EXPECT_DOUBLE_EQ(s.window_seconds, 3600.0);  // one hour
+  EXPECT_EQ(s.system.num_machines(), 30U);
+}
+
+TEST(Scenarios, Datasets2And3ShareSystemForSameSeed) {
+  const Scenario s2 = make_dataset2(7);
+  const Scenario s3 = make_dataset3(7);
+  EXPECT_EQ(s2.system.etc(), s3.system.etc());
+  EXPECT_EQ(s2.system.epc(), s3.system.epc());
+}
+
+TEST(Scenarios, DeterministicForSeed) {
+  const Scenario a = make_dataset1(99);
+  const Scenario b = make_dataset1(99);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trace.tasks()[i].arrival, b.trace.tasks()[i].arrival);
+    EXPECT_EQ(a.trace.tasks()[i].type, b.trace.tasks()[i].type);
+  }
+}
+
+TEST(Scenarios, DifferentSeedsGiveDifferentTraces) {
+  const Scenario a = make_dataset1(1);
+  const Scenario b = make_dataset1(2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    if (a.trace.tasks()[i].arrival != b.trace.tasks()[i].arrival) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenarios, TracesValidateAgainstTheirSystems) {
+  for (const auto& s : {make_dataset1(5), make_dataset2(5), make_dataset3(5)}) {
+    EXPECT_NO_THROW(s.trace.validate_against(s.system));
+  }
+}
+
+TEST(Scenarios, CustomScenario) {
+  const Scenario s = make_custom_scenario("custom",
+      make_expanded_system(3).model, 100, 120.0, 4);
+  EXPECT_EQ(s.name, "custom");
+  EXPECT_EQ(s.trace.size(), 100U);
+  EXPECT_LE(s.trace.window(), 120.0);
+}
+
+TEST(Scenarios, UtilityUpperBoundPositive) {
+  const Scenario s = make_dataset1(11);
+  EXPECT_GT(s.trace.utility_upper_bound(), 0.0);
+}
+
+}  // namespace
+}  // namespace eus

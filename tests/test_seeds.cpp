@@ -1,0 +1,193 @@
+#include "heuristics/seeds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "data/historical.hpp"
+#include "sched/evaluator.hpp"
+#include "tuf/builder.hpp"
+#include "workload/generator.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary linear_library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"linear", 1.0,
+                     make_linear_decay_tuf(100.0, 0.0, 1800.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+Trace historical_trace(std::size_t n = 60, std::uint64_t seed = 21) {
+  Rng rng(seed);
+  TraceConfig cfg;
+  cfg.num_tasks = n;
+  cfg.window_seconds = 900.0;
+  return generate_trace(historical_system(), linear_library(), cfg, rng);
+}
+
+TEST(Seeds, AllHeuristicsProduceValidAllocations) {
+  const SystemModel sys = historical_system();
+  const Trace trace = historical_trace();
+  const Evaluator ev(sys, trace);
+  for (const SeedHeuristic h : all_seed_heuristics()) {
+    const Allocation a = make_seed(h, sys, trace);
+    EXPECT_NO_THROW(ev.validate(a)) << to_string(h);
+    EXPECT_EQ(a.size(), trace.size());
+  }
+}
+
+TEST(Seeds, MinEnergyPicksCheapestMachinePerTask) {
+  const SystemModel sys = historical_system();
+  const Trace trace = historical_trace();
+  const Allocation a = min_energy_allocation(sys, trace);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::size_t type = trace.tasks()[i].type;
+    const double chosen =
+        sys.eec_on(type, static_cast<std::size_t>(a.machine[i]));
+    for (const int m : sys.eligible_machines(type)) {
+      EXPECT_LE(chosen, sys.eec_on(type, static_cast<std::size_t>(m)));
+    }
+  }
+}
+
+TEST(Seeds, MinEnergyIsGlobalEnergyLowerBound) {
+  // Energy is timing-independent, so per-task greedy == global optimum;
+  // every other heuristic must consume at least as much energy (§V-B1).
+  const SystemModel sys = historical_system();
+  const Trace trace = historical_trace();
+  const Evaluator ev(sys, trace);
+  const double floor =
+      ev.evaluate(min_energy_allocation(sys, trace)).energy;
+  for (const SeedHeuristic h : all_seed_heuristics()) {
+    EXPECT_GE(ev.evaluate(make_seed(h, sys, trace)).energy,
+              floor - 1e-9)
+        << to_string(h);
+  }
+}
+
+TEST(Seeds, MaxUtilityBeatsMinEnergyOnUtility) {
+  const SystemModel sys = historical_system();
+  const Trace trace = historical_trace(120);
+  const Evaluator ev(sys, trace);
+  const Evaluation min_e = ev.evaluate(min_energy_allocation(sys, trace));
+  const Evaluation max_u = ev.evaluate(max_utility_allocation(sys, trace));
+  EXPECT_GT(max_u.utility, min_e.utility);
+}
+
+TEST(Seeds, MinMinMinimizesMakespanReasonably) {
+  const SystemModel sys = historical_system();
+  const Trace trace = historical_trace(120);
+  const Evaluator ev(sys, trace);
+  const double mm =
+      ev.evaluate(min_min_completion_time_allocation(sys, trace)).makespan;
+  const double me =
+      ev.evaluate(min_energy_allocation(sys, trace)).makespan;
+  EXPECT_LT(mm, me);
+}
+
+TEST(Seeds, MinMinOrdersFormPermutation) {
+  const SystemModel sys = historical_system();
+  const Trace trace = historical_trace();
+  const Allocation a = min_min_completion_time_allocation(sys, trace);
+  std::set<int> orders(a.order.begin(), a.order.end());
+  EXPECT_EQ(orders.size(), trace.size());
+  EXPECT_EQ(*orders.begin(), 0);
+  EXPECT_EQ(*orders.rbegin(), static_cast<int>(trace.size()) - 1);
+}
+
+TEST(Seeds, SingleStageHeuristicsUseArrivalOrder) {
+  const SystemModel sys = historical_system();
+  const Trace trace = historical_trace();
+  for (const SeedHeuristic h :
+       {SeedHeuristic::kMinEnergy, SeedHeuristic::kMaxUtility,
+        SeedHeuristic::kMaxUtilityPerEnergy}) {
+    const Allocation a = make_seed(h, sys, trace);
+    for (std::size_t i = 0; i < a.order.size(); ++i) {
+      EXPECT_EQ(a.order[i], static_cast<int>(i)) << to_string(h);
+    }
+  }
+}
+
+TEST(Seeds, MaxUpeBetweenMinEnergyAndMaxUtilityOnEnergy) {
+  const SystemModel sys = historical_system();
+  const Trace trace = historical_trace(120);
+  const Evaluator ev(sys, trace);
+  const double e_min = ev.evaluate(min_energy_allocation(sys, trace)).energy;
+  const double e_upe =
+      ev.evaluate(max_utility_per_energy_allocation(sys, trace)).energy;
+  EXPECT_GE(e_upe, e_min - 1e-9);
+}
+
+TEST(Seeds, MaxUpeEarnsMoreUtilityPerJouleThanMinEnergy) {
+  const SystemModel sys = historical_system();
+  const Trace trace = historical_trace(120);
+  const Evaluator ev(sys, trace);
+  const Evaluation me = ev.evaluate(min_energy_allocation(sys, trace));
+  const Evaluation upe =
+      ev.evaluate(max_utility_per_energy_allocation(sys, trace));
+  EXPECT_GE(upe.utility / upe.energy, me.utility / me.energy);
+}
+
+TEST(Seeds, MaxUpeFallsBackToMinEnergyWhenNoUtilityAvailable) {
+  // A trace whose TUFs are already worthless at any completion: ratios are
+  // all zero, so §V-B3's tie-break should pick minimum-energy machines.
+  const SystemModel sys = historical_system();
+  std::vector<TufClass> classes;
+  classes.push_back({"dead", 1.0, make_hard_deadline_tuf(10.0, 1e-6)});
+  const TufClassLibrary lib(std::move(classes));
+  const Trace trace({{0, 0.0, 0}, {1, 1.0, 0}, {2, 2.0, 0}}, lib);
+
+  const Allocation upe = max_utility_per_energy_allocation(sys, trace);
+  const Allocation me = min_energy_allocation(sys, trace);
+  EXPECT_EQ(upe.machine, me.machine);
+}
+
+TEST(Seeds, DeterministicOutputs) {
+  const SystemModel sys = historical_system();
+  const Trace trace = historical_trace();
+  for (const SeedHeuristic h : all_seed_heuristics()) {
+    EXPECT_EQ(make_seed(h, sys, trace), make_seed(h, sys, trace))
+        << to_string(h);
+  }
+}
+
+TEST(Seeds, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (const SeedHeuristic h : all_seed_heuristics()) {
+    names.insert(to_string(h));
+  }
+  EXPECT_EQ(names.size(), 4U);
+}
+
+TEST(Seeds, RespectSpecialMachineEligibility) {
+  // Build a system where one special machine would be tempting for every
+  // task if eligibility were ignored.
+  std::vector<TaskType> tasks = {{"g", Category::kGeneral, -1},
+                                 {"sp", Category::kSpecial, 1}};
+  std::vector<MachineType> machines = {{"gm", Category::kGeneral},
+                                       {"sm", Category::kSpecial}};
+  std::vector<Machine> instances = {{0, "gm"}, {1, "sm"}};
+  const Matrix etc = Matrix::from_rows({{10.0, kIneligible}, {50.0, 5.0}});
+  const Matrix epc = Matrix::from_rows({{100.0, 1.0}, {100.0, 10.0}});
+  const SystemModel sys(tasks, machines, instances, etc, epc);
+
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 1.0, make_linear_decay_tuf(10.0, 0.0, 500.0)});
+  const TufClassLibrary lib(std::move(classes));
+  const Trace trace({{0, 0.0, 0}, {1, 0.0, 0}, {0, 1.0, 0}}, lib);
+
+  const Evaluator ev(sys, trace);
+  for (const SeedHeuristic h : all_seed_heuristics()) {
+    EXPECT_NO_THROW(ev.validate(make_seed(h, sys, trace))) << to_string(h);
+  }
+  // The special task should land on its fast special machine under min-min.
+  const Allocation mm = min_min_completion_time_allocation(sys, trace);
+  EXPECT_EQ(mm.machine[1], 1);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,148 @@
+#include "core/simulated_annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/operators.hpp"
+#include "data/historical.hpp"
+#include "heuristics/seeds.hpp"
+#include "tuf/builder.hpp"
+#include "workload/generator.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 1.0, make_linear_decay_tuf(10.0, 0.0, 1500.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+struct Fixture {
+  SystemModel system = historical_system();
+  Trace trace;
+  UtilityEnergyProblem problem;
+
+  Fixture() : trace(make_trace(system)), problem(system, trace) {}
+
+  static Trace make_trace(const SystemModel& sys) {
+    Rng rng(111);
+    TraceConfig cfg;
+    cfg.num_tasks = 40;
+    cfg.window_seconds = 700.0;
+    return generate_trace(sys, library(), cfg, rng);
+  }
+};
+
+TEST(SimulatedAnnealing, OptionValidation) {
+  const Fixture fx;
+  Rng rng(1);
+  Allocation start = random_allocation(fx.problem, rng);
+  SaOptions bad;
+  bad.lambda = 2.0;
+  EXPECT_THROW((void)simulated_annealing(fx.problem, start, bad, rng),
+               std::invalid_argument);
+  bad = {};
+  bad.cooling = 1.0;
+  EXPECT_THROW((void)simulated_annealing(fx.problem, start, bad, rng),
+               std::invalid_argument);
+  bad = {};
+  bad.steps_per_temperature = 0;
+  EXPECT_THROW((void)simulated_annealing(fx.problem, start, bad, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulated_annealing(fx.problem,
+                                         make_trivial_allocation(3), {}, rng),
+               std::invalid_argument);
+}
+
+TEST(SimulatedAnnealing, RespectsBudgetAndReportsTruthfully) {
+  const Fixture fx;
+  Rng rng(2);
+  SaOptions options;
+  options.max_evaluations = 150;
+  const SaResult r = simulated_annealing(
+      fx.problem, random_allocation(fx.problem, rng), options, rng);
+  EXPECT_LE(r.evaluations, 150U);
+  const EUPoint check = fx.problem.evaluate(r.allocation);
+  EXPECT_DOUBLE_EQ(check.energy, r.objectives.energy);
+  EXPECT_DOUBLE_EQ(check.utility, r.objectives.utility);
+  EXPECT_NO_THROW(fx.problem.evaluator().validate(r.allocation));
+}
+
+TEST(SimulatedAnnealing, ImprovesOverRandomStart) {
+  const Fixture fx;
+  Rng rng(3);
+  const Allocation start = random_allocation(fx.problem, rng);
+  const EUPoint before = fx.problem.evaluate(start);
+  SaOptions options;
+  options.lambda = 1.0;  // pure utility
+  options.max_evaluations = 800;
+  const SaResult r = simulated_annealing(fx.problem, start, options, rng);
+  EXPECT_GT(r.objectives.utility, before.utility);
+}
+
+TEST(SimulatedAnnealing, LambdaZeroApproachesEnergyFloor) {
+  const Fixture fx;
+  Rng rng(4);
+  SaOptions options;
+  options.lambda = 0.0;
+  options.max_evaluations = 2000;
+  const SaResult r = simulated_annealing(
+      fx.problem, random_allocation(fx.problem, rng), options, rng);
+  const double floor =
+      fx.problem.evaluate(min_energy_allocation(fx.system, fx.trace)).energy;
+  EXPECT_LT(r.objectives.energy, 1.15 * floor);
+  EXPECT_GE(r.objectives.energy, floor - 1e-9);
+}
+
+TEST(SimulatedAnnealing, AcceptsUphillMovesEarly) {
+  const Fixture fx;
+  Rng rng(5);
+  SaOptions options;
+  options.max_evaluations = 500;
+  options.initial_temperature = 2.0;  // hot: plenty of uphill acceptance
+  const SaResult r = simulated_annealing(
+      fx.problem, random_allocation(fx.problem, rng), options, rng);
+  // Accepted moves must exceed what pure hill climbing would explain if
+  // the chain were stuck; with a hot start, acceptance is plentiful.
+  EXPECT_GT(r.accepted, 50U);
+}
+
+TEST(SimulatedAnnealing, DeterministicGivenRngState) {
+  const Fixture fx;
+  Rng a(6), b(6);
+  const Allocation start = min_energy_allocation(fx.system, fx.trace);
+  const SaResult ra = simulated_annealing(fx.problem, start, {}, a);
+  const SaResult rb = simulated_annealing(fx.problem, start, {}, b);
+  EXPECT_EQ(ra.allocation, rb.allocation);
+  EXPECT_EQ(ra.accepted, rb.accepted);
+}
+
+TEST(WeightedSumSweep, OnePointPerWeight) {
+  const Fixture fx;
+  Rng rng(7);
+  const auto results =
+      weighted_sum_sweep(fx.problem, {0.0, 0.5, 1.0}, 900, rng);
+  ASSERT_EQ(results.size(), 3U);
+  for (const auto& r : results) {
+    EXPECT_LE(r.evaluations, 300U);
+    EXPECT_NO_THROW(fx.problem.evaluator().validate(r.allocation));
+  }
+  // The weight sweep orders the ends correctly on average: lambda=0 end
+  // cheaper than lambda=1 end.
+  EXPECT_LT(results.front().objectives.energy,
+            results.back().objectives.energy);
+  EXPECT_LT(results.front().objectives.utility,
+            results.back().objectives.utility);
+}
+
+TEST(WeightedSumSweep, RejectsEmptyWeights) {
+  const Fixture fx;
+  Rng rng(8);
+  EXPECT_THROW((void)weighted_sum_sweep(fx.problem, {}, 100, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,137 @@
+#include "core/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/historical.hpp"
+#include "tuf/builder.hpp"
+#include "workload/generator.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary mixed_library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 1.0, make_linear_decay_tuf(10.0, 0.0, 1500.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+struct Fixture {
+  SystemModel system = historical_system();
+  Trace trace;
+  UtilityEnergyProblem problem;
+
+  Fixture() : trace(make_trace(system)), problem(system, trace) {}
+
+  static Trace make_trace(const SystemModel& sys) {
+    Rng rng(15);
+    TraceConfig cfg;
+    cfg.num_tasks = 40;
+    cfg.window_seconds = 900.0;
+    return generate_trace(sys, mixed_library(), cfg, rng);
+  }
+};
+
+Nsga2Config tiny_config() {
+  Nsga2Config cfg;
+  cfg.population_size = 12;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(PopulationSpecs, PaperHasFivePopulations) {
+  const auto specs = paper_population_specs();
+  ASSERT_EQ(specs.size(), 5U);
+  EXPECT_TRUE(specs[4].seeds.empty());  // random control
+  // Markers mirror the paper's legend.
+  EXPECT_EQ(specs[0].marker, 'd');
+  EXPECT_EQ(specs[1].marker, 's');
+  EXPECT_EQ(specs[2].marker, 'o');
+  EXPECT_EQ(specs[3].marker, '^');
+  EXPECT_EQ(specs[4].marker, '*');
+}
+
+TEST(PopulationSpecs, ExtendedAddsAllFourSeeds) {
+  const auto specs = extended_population_specs();
+  ASSERT_EQ(specs.size(), 6U);
+  EXPECT_EQ(specs[5].seeds.size(), 4U);
+}
+
+TEST(Study, RejectsEmptyCheckpoints) {
+  const Fixture fx;
+  EXPECT_THROW(run_seeding_study(fx.problem, tiny_config(), {},
+                                 paper_population_specs()),
+               std::invalid_argument);
+}
+
+TEST(Study, RejectsNonIncreasingCheckpoints) {
+  const Fixture fx;
+  EXPECT_THROW(run_seeding_study(fx.problem, tiny_config(), {5, 5},
+                                 paper_population_specs()),
+               std::invalid_argument);
+}
+
+TEST(Study, ShapesMatchSpecsAndCheckpoints) {
+  const Fixture fx;
+  const auto specs = paper_population_specs();
+  const StudyResult r =
+      run_seeding_study(fx.problem, tiny_config(), {2, 5, 9}, specs);
+  ASSERT_EQ(r.population_names.size(), 5U);
+  ASSERT_EQ(r.fronts.size(), 5U);
+  for (const auto& per_pop : r.fronts) {
+    ASSERT_EQ(per_pop.size(), 3U);
+    for (const auto& front : per_pop) EXPECT_FALSE(front.empty());
+  }
+  EXPECT_EQ(r.checkpoints, (std::vector<std::size_t>{2, 5, 9}));
+}
+
+TEST(Study, ProgressCallbackFires) {
+  const Fixture fx;
+  std::size_t calls = 0;
+  (void)run_seeding_study(fx.problem, tiny_config(), {1, 2},
+                          paper_population_specs(),
+                          [&](const std::string&, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5U * 2U);
+}
+
+TEST(Study, FinalFrontAccessor) {
+  const Fixture fx;
+  const StudyResult r = run_seeding_study(fx.problem, tiny_config(), {1, 4},
+                                          paper_population_specs());
+  EXPECT_EQ(r.final_front(0), r.fronts[0][1]);
+}
+
+TEST(Study, PopulationsDifferAtEarlyCheckpoints) {
+  const Fixture fx;
+  const StudyResult r = run_seeding_study(fx.problem, tiny_config(), {1},
+                                          paper_population_specs());
+  // The min-energy-seeded population must reach a lower minimum energy than
+  // the random control this early (the seeds' §VI role).
+  const auto& min_e_front = r.fronts[0][0];
+  const auto& random_front = r.fronts[4][0];
+  EXPECT_LT(min_e_front.front().energy, random_front.front().energy);
+}
+
+TEST(ScaledCheckpoints, IdentityAtScaleOne) {
+  EXPECT_EQ(scaled_checkpoints({100, 1000, 10000}, 1.0),
+            (std::vector<std::size_t>{100, 1000, 10000}));
+}
+
+TEST(ScaledCheckpoints, ScalesDown) {
+  EXPECT_EQ(scaled_checkpoints({100, 1000}, 0.01),
+            (std::vector<std::size_t>{1, 10}));
+}
+
+TEST(ScaledCheckpoints, KeepsStrictlyIncreasing) {
+  const auto c = scaled_checkpoints({1, 2, 3, 4}, 0.001);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_GT(c[i], c[i - 1]);
+  EXPECT_GE(c[0], 1U);
+}
+
+TEST(ScaledCheckpoints, RejectsBadScale) {
+  EXPECT_THROW(scaled_checkpoints({1}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,168 @@
+#include "data/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+// A small mixed system: 2 general machine types, 1 special type; 3 task
+// types, the last one special-purpose on machine type 2.
+SystemModel make_mixed_system() {
+  std::vector<TaskType> tasks = {
+      {"g1", Category::kGeneral, -1},
+      {"g2", Category::kGeneral, -1},
+      {"sp", Category::kSpecial, 2},
+  };
+  std::vector<MachineType> machines = {
+      {"gm-a", Category::kGeneral},
+      {"gm-b", Category::kGeneral},
+      {"sm-x", Category::kSpecial},
+  };
+  std::vector<Machine> instances = {
+      {0, "gm-a #1"}, {0, "gm-a #2"}, {1, "gm-b #1"}, {2, "sm-x #1"}};
+  const Matrix etc = Matrix::from_rows({
+      {10.0, 20.0, kIneligible},
+      {30.0, 15.0, kIneligible},
+      {40.0, 50.0, 4.0},
+  });
+  const Matrix epc = Matrix::from_rows({
+      {100.0, 80.0, 1.0},
+      {100.0, 80.0, 1.0},
+      {100.0, 80.0, 90.0},
+  });
+  return SystemModel(tasks, machines, instances, etc, epc);
+}
+
+TEST(SystemModel, BasicCounts) {
+  const SystemModel sys = make_mixed_system();
+  EXPECT_EQ(sys.num_task_types(), 3U);
+  EXPECT_EQ(sys.num_machine_types(), 3U);
+  EXPECT_EQ(sys.num_machines(), 4U);
+}
+
+TEST(SystemModel, EligibilityRules) {
+  const SystemModel sys = make_mixed_system();
+  EXPECT_TRUE(sys.eligible_type(0, 0));
+  EXPECT_TRUE(sys.eligible_type(0, 1));
+  EXPECT_FALSE(sys.eligible_type(0, 2));  // general task, special machine
+  EXPECT_TRUE(sys.eligible_type(2, 2));   // special task, its machine
+}
+
+TEST(SystemModel, EligibleMachinesInstances) {
+  const SystemModel sys = make_mixed_system();
+  EXPECT_EQ(sys.eligible_machines(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sys.eligible_machines(2), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SystemModel, EtcEpcOnInstance) {
+  const SystemModel sys = make_mixed_system();
+  EXPECT_DOUBLE_EQ(sys.etc_on(1, 2), 15.0);  // machine 2 is type gm-b
+  EXPECT_DOUBLE_EQ(sys.epc_on(1, 2), 80.0);
+  EXPECT_DOUBLE_EQ(sys.eec_on(1, 2), 15.0 * 80.0);
+}
+
+TEST(SystemModel, SpecialMachineEec) {
+  const SystemModel sys = make_mixed_system();
+  EXPECT_DOUBLE_EQ(sys.eec_on(2, 3), 4.0 * 90.0);
+}
+
+TEST(SystemModel, CountOfType) {
+  const SystemModel sys = make_mixed_system();
+  EXPECT_EQ(sys.count_of_type(0), 2U);
+  EXPECT_EQ(sys.count_of_type(1), 1U);
+  EXPECT_EQ(sys.count_of_type(2), 1U);
+}
+
+TEST(SystemModel, RejectsEmptyCatalogs) {
+  EXPECT_THROW(SystemModel({}, {{"m", Category::kGeneral}}, {{0, "m"}},
+                           Matrix(0, 1), Matrix(0, 1)),
+               std::invalid_argument);
+}
+
+TEST(SystemModel, RejectsShapeMismatch) {
+  std::vector<TaskType> tasks = {{"t", Category::kGeneral, -1}};
+  std::vector<MachineType> machines = {{"m", Category::kGeneral}};
+  std::vector<Machine> instances = {{0, "m"}};
+  EXPECT_THROW(SystemModel(tasks, machines, instances, Matrix(2, 1, 1.0),
+                           Matrix(2, 1, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(SystemModel, RejectsMachineWithUnknownType) {
+  std::vector<TaskType> tasks = {{"t", Category::kGeneral, -1}};
+  std::vector<MachineType> machines = {{"m", Category::kGeneral}};
+  std::vector<Machine> instances = {{5, "bogus"}};
+  EXPECT_THROW(SystemModel(tasks, machines, instances, Matrix(1, 1, 1.0),
+                           Matrix(1, 1, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(SystemModel, RejectsGeneralMachineIneligible) {
+  std::vector<TaskType> tasks = {{"t", Category::kGeneral, -1}};
+  std::vector<MachineType> machines = {{"m", Category::kGeneral}};
+  std::vector<Machine> instances = {{0, "m"}};
+  const Matrix etc = Matrix::from_rows({{kIneligible}});
+  EXPECT_THROW(SystemModel(tasks, machines, instances, etc, Matrix(1, 1, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(SystemModel, RejectsNonPositiveEtc) {
+  std::vector<TaskType> tasks = {{"t", Category::kGeneral, -1}};
+  std::vector<MachineType> machines = {{"m", Category::kGeneral}};
+  std::vector<Machine> instances = {{0, "m"}};
+  EXPECT_THROW(SystemModel(tasks, machines, instances, Matrix(1, 1, 0.0),
+                           Matrix(1, 1, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(SystemModel(tasks, machines, instances, Matrix(1, 1, -2.0),
+                           Matrix(1, 1, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(SystemModel, RejectsNonPositiveEpc) {
+  std::vector<TaskType> tasks = {{"t", Category::kGeneral, -1}};
+  std::vector<MachineType> machines = {{"m", Category::kGeneral}};
+  std::vector<Machine> instances = {{0, "m"}};
+  EXPECT_THROW(SystemModel(tasks, machines, instances, Matrix(1, 1, 1.0),
+                           Matrix(1, 1, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(SystemModel, RejectsSpecialTaskWithoutMachinePointer) {
+  std::vector<TaskType> tasks = {{"sp", Category::kSpecial, -1}};
+  std::vector<MachineType> machines = {{"m", Category::kGeneral}};
+  std::vector<Machine> instances = {{0, "m"}};
+  EXPECT_THROW(SystemModel(tasks, machines, instances, Matrix(1, 1, 1.0),
+                           Matrix(1, 1, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(SystemModel, RejectsSpecialMachineRunningForeignTask) {
+  // Special machine eligible for a general task type: invalid.
+  std::vector<TaskType> tasks = {{"g", Category::kGeneral, -1}};
+  std::vector<MachineType> machines = {{"gm", Category::kGeneral},
+                                       {"sm", Category::kSpecial}};
+  std::vector<Machine> instances = {{0, "gm"}, {1, "sm"}};
+  const Matrix etc = Matrix::from_rows({{5.0, 1.0}});
+  EXPECT_THROW(
+      SystemModel(tasks, machines, instances, etc, Matrix(1, 2, 1.0)),
+      std::invalid_argument);
+}
+
+TEST(SystemModel, RejectsSpecialTaskPointingAtGeneralMachine) {
+  std::vector<TaskType> tasks = {{"sp", Category::kSpecial, 0}};
+  std::vector<MachineType> machines = {{"gm", Category::kGeneral}};
+  std::vector<Machine> instances = {{0, "gm"}};
+  EXPECT_THROW(SystemModel(tasks, machines, instances, Matrix(1, 1, 1.0),
+                           Matrix(1, 1, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(CategoryToString, Names) {
+  EXPECT_STREQ(to_string(Category::kGeneral), "general");
+  EXPECT_STREQ(to_string(Category::kSpecial), "special");
+}
+
+}  // namespace
+}  // namespace eus

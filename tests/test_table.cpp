@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eus {
+namespace {
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(-2.5, 1), "-2.5");
+  EXPECT_EQ(format_double(0.0, 0), "0");
+}
+
+TEST(AsciiTable, RejectsEmptyHeader) {
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(AsciiTable, RejectsRaggedRow) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, CountsRowsAndColumns) {
+  AsciiTable t({"x", "y", "z"});
+  EXPECT_EQ(t.columns(), 3U);
+  EXPECT_EQ(t.rows(), 0U);
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.rows(), 2U);
+}
+
+TEST(AsciiTable, RenderContainsAllCells) {
+  AsciiTable t({"machine", "watts"});
+  t.add_row({"i7-3960X", "196"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("machine"), std::string::npos);
+  EXPECT_NE(out.find("watts"), std::string::npos);
+  EXPECT_NE(out.find("i7-3960X"), std::string::npos);
+  EXPECT_NE(out.find("196"), std::string::npos);
+}
+
+TEST(AsciiTable, RenderAlignsColumns) {
+  AsciiTable t({"a"});
+  t.add_row({"long-cell-content"});
+  const std::string out = t.render();
+  // Every line must be the same width.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(AsciiTable, NumericRowFormatsWithPrecision) {
+  AsciiTable t({"u", "e"});
+  t.add_row_numeric({1.23456, 7.0}, 2);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("7.00"), std::string::npos);
+}
+
+TEST(AsciiTable, NumericRowWidthChecked) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row_numeric({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,75 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/historical.hpp"
+#include "tuf/builder.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary tiny_library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"hi", 1.0, make_hard_deadline_tuf(10.0, 100.0)});
+  classes.push_back({"lo", 1.0, make_hard_deadline_tuf(2.0, 100.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace trace({{0, 1.0, 0}, {1, 2.0, 1}}, tiny_library());
+  EXPECT_EQ(trace.size(), 2U);
+  EXPECT_EQ(trace.task(1).type, 1U);
+  EXPECT_DOUBLE_EQ(trace.window(), 2.0);
+}
+
+TEST(Trace, EmptyTraceAllowed) {
+  const Trace trace({}, tiny_library());
+  EXPECT_EQ(trace.size(), 0U);
+  EXPECT_DOUBLE_EQ(trace.window(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.utility_upper_bound(), 0.0);
+}
+
+TEST(Trace, RejectsUnsortedArrivals) {
+  EXPECT_THROW(Trace({{0, 5.0, 0}, {0, 2.0, 0}}, tiny_library()),
+               std::invalid_argument);
+}
+
+TEST(Trace, RejectsNegativeArrival) {
+  EXPECT_THROW(Trace({{0, -1.0, 0}}, tiny_library()), std::invalid_argument);
+}
+
+TEST(Trace, RejectsUnknownTufClass) {
+  EXPECT_THROW(Trace({{0, 1.0, 7}}, tiny_library()), std::invalid_argument);
+}
+
+TEST(Trace, TiedArrivalsAllowed) {
+  const Trace trace({{0, 1.0, 0}, {1, 1.0, 1}}, tiny_library());
+  EXPECT_EQ(trace.size(), 2U);
+}
+
+TEST(Trace, TufOfReturnsAssignedClass) {
+  const Trace trace({{0, 0.0, 1}}, tiny_library());
+  EXPECT_DOUBLE_EQ(trace.tuf_of(0).value(0.0), 2.0);
+}
+
+TEST(Trace, UtilityUpperBoundSumsInstantCompletions) {
+  const Trace trace({{0, 0.0, 0}, {0, 1.0, 1}, {0, 2.0, 0}}, tiny_library());
+  EXPECT_DOUBLE_EQ(trace.utility_upper_bound(), 10.0 + 2.0 + 10.0);
+}
+
+TEST(Trace, ValidateAgainstAcceptsHistorical) {
+  const SystemModel sys = historical_system();
+  const Trace trace({{0, 0.0, 0}, {4, 1.0, 1}}, tiny_library());
+  EXPECT_NO_THROW(trace.validate_against(sys));
+}
+
+TEST(Trace, ValidateAgainstRejectsUnknownType) {
+  const SystemModel sys = historical_system();
+  const Trace trace({{17, 0.0, 0}}, tiny_library());
+  EXPECT_THROW(trace.validate_against(sys), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eus

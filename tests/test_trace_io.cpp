@@ -1,0 +1,148 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/historical.hpp"
+#include "tuf/classes.hpp"
+#include "workload/generator.hpp"
+
+namespace eus {
+namespace {
+
+Trace sample_trace() {
+  Rng rng(5);
+  TraceConfig cfg;
+  cfg.num_tasks = 50;
+  cfg.window_seconds = 600.0;
+  return generate_trace(historical_system(), standard_tuf_classes(1200.0),
+                        cfg, rng);
+}
+
+TEST(TraceIo, SerializedFormHasBothSections) {
+  const std::string text = trace_to_string(sample_trace());
+  EXPECT_NE(text.find("[tuf-classes]"), std::string::npos);
+  EXPECT_NE(text.find("[tasks]"), std::string::npos);
+  EXPECT_LT(text.find("[tuf-classes]"), text.find("[tasks]"));
+}
+
+TEST(TraceIo, RoundTripPreservesTasks) {
+  const Trace original = sample_trace();
+  const Trace parsed = trace_from_string(trace_to_string(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed.tasks()[i].type, original.tasks()[i].type);
+    EXPECT_NEAR(parsed.tasks()[i].arrival, original.tasks()[i].arrival, 1e-6);
+    EXPECT_EQ(parsed.tasks()[i].tuf_class, original.tasks()[i].tuf_class);
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesTufClasses) {
+  const Trace original = sample_trace();
+  const Trace parsed = trace_from_string(trace_to_string(original));
+  const auto& oc = original.tuf_classes().classes();
+  const auto& pc = parsed.tuf_classes().classes();
+  ASSERT_EQ(pc.size(), oc.size());
+  for (std::size_t i = 0; i < oc.size(); ++i) {
+    EXPECT_EQ(pc[i].name, oc[i].name);
+    EXPECT_NEAR(pc[i].weight, oc[i].weight, 1e-9);
+    // Functions evaluate identically across their horizons.
+    for (double t = 0.0; t <= 2.0 * oc[i].function.horizon(); t += 7.3) {
+      EXPECT_NEAR(pc[i].function.value(t), oc[i].function.value(t), 1e-5)
+          << oc[i].name << " at " << t;
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesUtilityUpperBound) {
+  const Trace original = sample_trace();
+  const Trace parsed = trace_from_string(trace_to_string(original));
+  EXPECT_NEAR(parsed.utility_upper_bound(), original.utility_upper_bound(),
+              1e-6);
+}
+
+TEST(TraceIo, RejectsMissingSections) {
+  EXPECT_THROW(trace_from_string("just some text"), std::runtime_error);
+  EXPECT_THROW(trace_from_string("[tasks]\ntype,arrival,tuf_class\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsSectionsOutOfOrder) {
+  EXPECT_THROW(
+      trace_from_string("[tasks]\nx\n[tuf-classes]\ny\n"),
+      std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadNumbers) {
+  const std::string text =
+      "[tuf-classes]\n"
+      "name,weight,priority,urgency,intervals\n"
+      "a,1,potato,1,{1;1;0;1;lin}\n"
+      "[tasks]\n"
+      "type,arrival,tuf_class\n";
+  EXPECT_THROW(trace_from_string(text), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadShape) {
+  const std::string text =
+      "[tuf-classes]\n"
+      "name,weight,priority,urgency,intervals\n"
+      "a,1,5,1,{1;1;0;1;wobbly}\n"
+      "[tasks]\n"
+      "type,arrival,tuf_class\n";
+  EXPECT_THROW(trace_from_string(text), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnterminatedInterval) {
+  const std::string text =
+      "[tuf-classes]\n"
+      "name,weight,priority,urgency,intervals\n"
+      "a,1,5,1,{1;1;0;1;lin\n"
+      "[tasks]\n"
+      "type,arrival,tuf_class\n";
+  EXPECT_THROW(trace_from_string(text), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnsortedTasks) {
+  const std::string text =
+      "[tuf-classes]\n"
+      "name,weight,priority,urgency,intervals\n"
+      "a,1,5,1,{10;1;0;1;lin}\n"
+      "[tasks]\n"
+      "type,arrival,tuf_class\n"
+      "0,5.0,0\n"
+      "0,2.0,0\n";
+  // The Trace constructor itself rejects unsorted arrivals.
+  EXPECT_THROW(trace_from_string(text), std::invalid_argument);
+}
+
+TEST(TraceIo, MinimalHandWrittenTraceParses) {
+  const std::string text =
+      "[tuf-classes]\n"
+      "name,weight,priority,urgency,intervals\n"
+      "steady,1,5,1,{10;1;0.5;1;lin}{5;0.5;0.5;2;const}\n"
+      "[tasks]\n"
+      "type,arrival,tuf_class\n"
+      "0,0.0,0\n"
+      "1,2.5,0\n";
+  const Trace trace = trace_from_string(text);
+  EXPECT_EQ(trace.size(), 2U);
+  EXPECT_DOUBLE_EQ(trace.tuf_of(0).value(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(trace.tuf_of(0).value(5.0), 3.75);  // linear half-way x2
+  // Second interval: constant 0.5 fraction, urgency modifier 2 -> effective
+  // span 2.5 s after the first interval's 10 s.
+  EXPECT_DOUBLE_EQ(trace.tuf_of(0).value(11.0), 2.5);
+  EXPECT_DOUBLE_EQ(trace.tuf_of(0).residual(), 2.5);
+}
+
+TEST(TraceIo, EmptyTaskListRoundTrips) {
+  const Trace original({}, standard_tuf_classes(100.0));
+  const Trace parsed = trace_from_string(trace_to_string(original));
+  EXPECT_EQ(parsed.size(), 0U);
+  EXPECT_EQ(parsed.tuf_classes().classes().size(),
+            original.tuf_classes().classes().size());
+}
+
+}  // namespace
+}  // namespace eus

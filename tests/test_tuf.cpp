@@ -1,0 +1,242 @@
+#include "tuf/time_utility_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tuf/builder.hpp"
+
+namespace eus {
+namespace {
+
+TEST(Tuf, EmptyIntervalsIsConstantPriority) {
+  const TimeUtilityFunction f(5.0, 1.0, {});
+  EXPECT_DOUBLE_EQ(f.value(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.value(1e9), 5.0);
+  EXPECT_DOUBLE_EQ(f.residual(), 5.0);
+  EXPECT_DOUBLE_EQ(f.horizon(), 0.0);
+}
+
+TEST(Tuf, RejectsBadPriority) {
+  EXPECT_THROW(TimeUtilityFunction(0.0, 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(TimeUtilityFunction(-2.0, 1.0, {}), std::invalid_argument);
+}
+
+TEST(Tuf, RejectsBadUrgency) {
+  EXPECT_THROW(TimeUtilityFunction(1.0, 0.0, {}), std::invalid_argument);
+}
+
+TEST(Tuf, RejectsIncreasingInterval) {
+  TufInterval iv{10.0, 0.5, 0.8, 1.0, TufInterval::Shape::kLinear};
+  EXPECT_THROW(TimeUtilityFunction(1.0, 1.0, {iv}), std::invalid_argument);
+}
+
+TEST(Tuf, RejectsIncreaseAcrossBoundary) {
+  TufInterval a{10.0, 1.0, 0.5, 1.0, TufInterval::Shape::kLinear};
+  TufInterval b{10.0, 0.8, 0.2, 1.0, TufInterval::Shape::kLinear};
+  EXPECT_THROW(TimeUtilityFunction(1.0, 1.0, {a, b}), std::invalid_argument);
+}
+
+TEST(Tuf, RejectsExponentialToZero) {
+  TufInterval iv{10.0, 1.0, 0.0, 1.0, TufInterval::Shape::kExponential};
+  EXPECT_THROW(TimeUtilityFunction(1.0, 1.0, {iv}), std::invalid_argument);
+}
+
+TEST(Tuf, RejectsNonPositiveDuration) {
+  TufInterval iv{0.0, 1.0, 0.5, 1.0, TufInterval::Shape::kLinear};
+  EXPECT_THROW(TimeUtilityFunction(1.0, 1.0, {iv}), std::invalid_argument);
+}
+
+TEST(Tuf, RejectsConstantWithSlope) {
+  TufInterval iv{10.0, 1.0, 0.5, 1.0, TufInterval::Shape::kConstant};
+  EXPECT_THROW(TimeUtilityFunction(1.0, 1.0, {iv}), std::invalid_argument);
+}
+
+TEST(Tuf, LinearInterpolates) {
+  TufInterval iv{10.0, 1.0, 0.0, 1.0, TufInterval::Shape::kLinear};
+  const TimeUtilityFunction f(10.0, 1.0, {iv});
+  EXPECT_DOUBLE_EQ(f.value(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.value(5.0), 5.0);
+  EXPECT_NEAR(f.value(9.999), 0.001, 1e-9);
+  EXPECT_DOUBLE_EQ(f.value(10.0), 0.0);  // residual after the interval
+}
+
+TEST(Tuf, NegativeElapsedClampsToZero) {
+  TufInterval iv{10.0, 1.0, 0.0, 1.0, TufInterval::Shape::kLinear};
+  const TimeUtilityFunction f(10.0, 1.0, {iv});
+  EXPECT_DOUBLE_EQ(f.value(-5.0), 10.0);
+}
+
+TEST(Tuf, ExponentialHitsEndpoints) {
+  TufInterval iv{10.0, 1.0, 0.1, 1.0, TufInterval::Shape::kExponential};
+  const TimeUtilityFunction f(20.0, 1.0, {iv});
+  EXPECT_DOUBLE_EQ(f.value(0.0), 20.0);
+  EXPECT_NEAR(f.value(10.0 - 1e-9), 2.0, 1e-6);
+  // Halfway in log space: 20 * sqrt(0.1).
+  EXPECT_NEAR(f.value(5.0), 20.0 * std::sqrt(0.1), 1e-9);
+}
+
+TEST(Tuf, UrgencyCompressesTime) {
+  TufInterval iv{10.0, 1.0, 0.0, 1.0, TufInterval::Shape::kLinear};
+  const TimeUtilityFunction slow(10.0, 1.0, {iv});
+  const TimeUtilityFunction fast(10.0, 2.0, {iv});
+  EXPECT_DOUBLE_EQ(fast.horizon(), 5.0);
+  // At elapsed 2.5 the urgent task has lost half its value.
+  EXPECT_DOUBLE_EQ(fast.value(2.5), 5.0);
+  EXPECT_DOUBLE_EQ(slow.value(2.5), 7.5);
+}
+
+TEST(Tuf, UrgencyModifierPerInterval) {
+  TufInterval iv{10.0, 1.0, 0.0, 2.0, TufInterval::Shape::kLinear};
+  const TimeUtilityFunction f(10.0, 1.0, {iv});
+  EXPECT_DOUBLE_EQ(f.horizon(), 5.0);
+}
+
+TEST(Tuf, StepDownBoundaryUsesNextInterval) {
+  TufInterval a{10.0, 1.0, 1.0, 1.0, TufInterval::Shape::kConstant};
+  TufInterval b{10.0, 0.5, 0.5, 1.0, TufInterval::Shape::kConstant};
+  const TimeUtilityFunction f(8.0, 1.0, {a, b});
+  EXPECT_DOUBLE_EQ(f.value(9.999), 8.0);
+  EXPECT_DOUBLE_EQ(f.value(10.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.value(20.0), 4.0);  // residual persists
+}
+
+TEST(Tuf, MonotonicityPropertyHolds) {
+  const TimeUtilityFunction f = make_figure1_tuf();
+  double prev = f.value(0.0);
+  for (double t = 0.0; t <= 100.0; t += 0.25) {
+    const double v = f.value(t);
+    EXPECT_LE(v, prev + 1e-12) << "at t=" << t;
+    prev = v;
+  }
+}
+
+TEST(Tuf, Figure1PaperValues) {
+  // §IV-B1: "if a task finished at time 20, it would earn twelve units of
+  // utility, whereas if the task finished at time 47, it would only earn
+  // seven units".
+  const TimeUtilityFunction f = make_figure1_tuf();
+  EXPECT_NEAR(f.value(20.0), 12.0, 1e-9);
+  EXPECT_NEAR(f.value(47.0), 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 16.0);
+  EXPECT_DOUBLE_EQ(f.value(90.0), 0.0);
+}
+
+TEST(TufBuilder, AbsoluteIntervalRequiresPriorityFirst) {
+  TufBuilder b;
+  b.priority(-1.0);
+  EXPECT_THROW(b.interval_absolute(10.0, 5.0, 2.0), std::invalid_argument);
+}
+
+TEST(TufBuilder, AbsoluteIntervalConvertsToFractions) {
+  TufBuilder b;
+  const TimeUtilityFunction f =
+      b.priority(20.0).interval_absolute(10.0, 20.0, 10.0).build();
+  EXPECT_DOUBLE_EQ(f.value(5.0), 15.0);
+}
+
+TEST(TufShapes, LinearDecaySoftDeadline) {
+  const TimeUtilityFunction f = make_linear_decay_tuf(10.0, 5.0, 10.0);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.value(5.0), 10.0);   // inside grace
+  EXPECT_DOUBLE_EQ(f.value(10.0), 5.0);   // halfway through decay
+  EXPECT_DOUBLE_EQ(f.value(15.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(100.0), 0.0);
+}
+
+TEST(TufShapes, LinearDecayZeroGrace) {
+  const TimeUtilityFunction f = make_linear_decay_tuf(10.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.value(5.0), 5.0);
+}
+
+TEST(TufShapes, HardDeadline) {
+  const TimeUtilityFunction f = make_hard_deadline_tuf(7.0, 30.0);
+  EXPECT_DOUBLE_EQ(f.value(29.9), 7.0);
+  EXPECT_DOUBLE_EQ(f.value(30.1), 0.0);
+  EXPECT_DOUBLE_EQ(f.residual(), 0.0);
+}
+
+TEST(TufShapes, ExponentialDecayReachesFloorThenZero) {
+  const TimeUtilityFunction f = make_exponential_decay_tuf(10.0, 100.0, 0.1);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 10.0);
+  EXPECT_GT(f.value(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.value(200.0), 0.0);
+}
+
+TEST(TufShapes, ExponentialDecayRejectsBadFloor) {
+  EXPECT_THROW(make_exponential_decay_tuf(10.0, 100.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_exponential_decay_tuf(10.0, 100.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(TufShapes, StepFunctionPlateaus) {
+  const TimeUtilityFunction f = make_step_tuf(8.0, 40.0, 4);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 8.0);
+  EXPECT_DOUBLE_EQ(f.value(15.0), 6.0);
+  EXPECT_DOUBLE_EQ(f.value(25.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.value(35.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.value(50.0), 0.0);
+}
+
+TEST(TufShapes, StepRejectsZeroSteps) {
+  EXPECT_THROW(make_step_tuf(8.0, 40.0, 0), std::invalid_argument);
+}
+
+TEST(PiecewiseTuf, InterpolatesSamples) {
+  const TimeUtilityFunction f = make_piecewise_tuf(
+      {{0.0, 10.0}, {10.0, 10.0}, {30.0, 4.0}, {40.0, 0.0}});
+  EXPECT_DOUBLE_EQ(f.value(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.value(5.0), 10.0);   // constant plateau
+  EXPECT_DOUBLE_EQ(f.value(20.0), 7.0);   // halfway down 10 -> 4
+  EXPECT_DOUBLE_EQ(f.value(35.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.value(100.0), 0.0);  // final value persists
+}
+
+TEST(PiecewiseTuf, FinalNonZeroValuePersists) {
+  const TimeUtilityFunction f =
+      make_piecewise_tuf({{0.0, 8.0}, {10.0, 2.0}});
+  EXPECT_DOUBLE_EQ(f.residual(), 2.0);
+  EXPECT_DOUBLE_EQ(f.value(50.0), 2.0);
+}
+
+TEST(PiecewiseTuf, UrgencyCompresses) {
+  const TimeUtilityFunction f =
+      make_piecewise_tuf({{0.0, 10.0}, {10.0, 0.0}}, 2.0);
+  EXPECT_DOUBLE_EQ(f.value(2.5), 5.0);
+  EXPECT_DOUBLE_EQ(f.value(5.0), 0.0);
+}
+
+TEST(PiecewiseTuf, Validation) {
+  EXPECT_THROW(make_piecewise_tuf({{0.0, 5.0}}), std::invalid_argument);
+  EXPECT_THROW(make_piecewise_tuf({{1.0, 5.0}, {2.0, 1.0}}),
+               std::invalid_argument);  // must start at t=0
+  EXPECT_THROW(make_piecewise_tuf({{0.0, 0.0}, {1.0, 0.0}}),
+               std::invalid_argument);  // zero initial value
+  EXPECT_THROW(make_piecewise_tuf({{0.0, 5.0}, {0.0, 4.0}}),
+               std::invalid_argument);  // non-increasing time
+  EXPECT_THROW(make_piecewise_tuf({{0.0, 5.0}, {1.0, 6.0}}),
+               std::invalid_argument);  // increasing value
+  EXPECT_THROW(make_piecewise_tuf({{0.0, 5.0}, {1.0, -1.0}}),
+               std::invalid_argument);  // negative value
+}
+
+TEST(PiecewiseTuf, ReproducesFigure1FromItsSamples) {
+  // Sampling the Figure-1 function at its breakpoints and rebuilding
+  // piecewise must reproduce it within the linear segments' accuracy.
+  const TimeUtilityFunction original = make_figure1_tuf();
+  std::vector<std::pair<double, double>> samples;
+  for (const double t : {0.0, 10.0 - 1e-9, 10.0, 30.0 - 1e-9, 30.0,
+                         64.0 - 1e-9, 64.0, 80.0}) {
+    samples.push_back({t, original.value(t)});
+  }
+  const TimeUtilityFunction rebuilt = make_piecewise_tuf(samples);
+  for (double t = 0.0; t <= 90.0; t += 0.5) {
+    EXPECT_NEAR(rebuilt.value(t), original.value(t), 1e-6) << t;
+  }
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,105 @@
+#include "tuf/classes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "tuf/builder.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary two_class_library(double w1, double w2) {
+  std::vector<TufClass> classes;
+  classes.push_back({"a", w1, make_hard_deadline_tuf(1.0, 10.0)});
+  classes.push_back({"b", w2, make_hard_deadline_tuf(2.0, 10.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+TEST(TufClassLibrary, RejectsEmpty) {
+  EXPECT_THROW(TufClassLibrary({}), std::invalid_argument);
+}
+
+TEST(TufClassLibrary, RejectsNonPositiveWeight) {
+  std::vector<TufClass> classes;
+  classes.push_back({"a", 0.0, make_hard_deadline_tuf(1.0, 10.0)});
+  EXPECT_THROW(TufClassLibrary(std::move(classes)), std::invalid_argument);
+}
+
+TEST(TufClassLibrary, SampleIndexInRange) {
+  const TufClassLibrary lib = two_class_library(1.0, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(lib.sample_index(rng), 2U);
+  }
+}
+
+TEST(TufClassLibrary, SampleFollowsWeights) {
+  const TufClassLibrary lib = two_class_library(3.0, 1.0);
+  Rng rng(2);
+  int first = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (lib.sample_index(rng) == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / n, 0.75, 0.01);
+}
+
+TEST(TufClassLibrary, SampleReturnsFunctionOfDrawnClass) {
+  const TufClassLibrary lib = two_class_library(1.0, 1e-9);
+  Rng rng(3);
+  // Practically always class "a" (priority 1.0).
+  EXPECT_DOUBLE_EQ(lib.sample(rng).value(0.0), 1.0);
+}
+
+TEST(TufClassLibrary, AtAccessesByIndex) {
+  const TufClassLibrary lib = two_class_library(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(lib.at(1).value(0.0), 2.0);
+  EXPECT_THROW((void)lib.at(2), std::out_of_range);
+}
+
+TEST(StandardTufClasses, RejectsBadTimeScale) {
+  EXPECT_THROW(standard_tuf_classes(0.0), std::invalid_argument);
+  EXPECT_THROW(standard_tuf_classes(-1.0), std::invalid_argument);
+}
+
+TEST(StandardTufClasses, HasMultipleDistinctClasses) {
+  const TufClassLibrary lib = standard_tuf_classes(1000.0);
+  EXPECT_GE(lib.classes().size(), 4U);
+  std::map<std::string, int> names;
+  for (const auto& c : lib.classes()) ++names[c.name];
+  for (const auto& [name, count] : names) EXPECT_EQ(count, 1) << name;
+}
+
+TEST(StandardTufClasses, AllFunctionsMonotone) {
+  const TufClassLibrary lib = standard_tuf_classes(500.0);
+  for (const auto& c : lib.classes()) {
+    double prev = c.function.value(0.0);
+    for (double t = 0.0; t <= 2000.0; t += 5.0) {
+      const double v = c.function.value(t);
+      EXPECT_LE(v, prev + 1e-9) << c.name << " at t=" << t;
+      prev = v;
+    }
+  }
+}
+
+TEST(StandardTufClasses, HorizonsScaleWithTimeScale) {
+  const TufClassLibrary small = standard_tuf_classes(100.0);
+  const TufClassLibrary large = standard_tuf_classes(1000.0);
+  for (std::size_t i = 0; i < small.classes().size(); ++i) {
+    EXPECT_NEAR(large.at(i).horizon(), 10.0 * small.at(i).horizon(), 1e-6);
+  }
+}
+
+TEST(StandardTufClasses, AllEventuallyWorthless) {
+  // Every standard class decays to zero — the workload has no task that
+  // retains value forever (matches the paper's decaying-utility model).
+  const TufClassLibrary lib = standard_tuf_classes(100.0);
+  for (const auto& c : lib.classes()) {
+    EXPECT_DOUBLE_EQ(c.function.residual(), 0.0) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace eus

@@ -1,0 +1,231 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "data/historical.hpp"
+#include "tuf/builder.hpp"
+
+namespace eus {
+namespace {
+
+TufClassLibrary tiny_library() {
+  std::vector<TufClass> classes;
+  classes.push_back({"only", 1.0, make_hard_deadline_tuf(1.0, 10.0)});
+  return TufClassLibrary(std::move(classes));
+}
+
+TEST(PoissonArrivals, CountAndRange) {
+  Rng rng(1);
+  const auto times = poisson_arrivals(500, 900.0, rng);
+  EXPECT_EQ(times.size(), 500U);
+  for (const double t : times) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 900.0);
+  }
+}
+
+TEST(PoissonArrivals, Sorted) {
+  Rng rng(2);
+  const auto times = poisson_arrivals(1000, 100.0, rng);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(PoissonArrivals, MeanNearHalfWindow) {
+  Rng rng(3);
+  const auto times = poisson_arrivals(20000, 100.0, rng);
+  double sum = 0.0;
+  for (const double t : times) sum += t;
+  EXPECT_NEAR(sum / 20000.0, 50.0, 1.0);
+}
+
+TEST(PoissonArrivals, RejectsBadWindow) {
+  Rng rng(4);
+  EXPECT_THROW(poisson_arrivals(10, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(poisson_arrivals(10, -5.0, rng), std::invalid_argument);
+}
+
+TEST(PoissonArrivals, ZeroCountIsEmpty) {
+  Rng rng(5);
+  EXPECT_TRUE(poisson_arrivals(0, 10.0, rng).empty());
+}
+
+TEST(GenerateTrace, BasicShape) {
+  Rng rng(6);
+  const SystemModel sys = historical_system();
+  TraceConfig cfg;
+  cfg.num_tasks = 250;
+  cfg.window_seconds = 900.0;
+  const Trace trace = generate_trace(sys, tiny_library(), cfg, rng);
+  EXPECT_EQ(trace.size(), 250U);
+  EXPECT_LE(trace.window(), 900.0);
+  for (const auto& t : trace.tasks()) EXPECT_LT(t.type, 5U);
+}
+
+TEST(GenerateTrace, UniformTypeMixByDefault) {
+  Rng rng(7);
+  const SystemModel sys = historical_system();
+  TraceConfig cfg;
+  cfg.num_tasks = 20000;
+  cfg.window_seconds = 900.0;
+  const Trace trace = generate_trace(sys, tiny_library(), cfg, rng);
+  std::map<std::size_t, int> counts;
+  for (const auto& t : trace.tasks()) ++counts[t.type];
+  for (std::size_t ty = 0; ty < 5; ++ty) {
+    EXPECT_NEAR(counts[ty] / 20000.0, 0.2, 0.02);
+  }
+}
+
+TEST(GenerateTrace, WeightedTypeMix) {
+  Rng rng(8);
+  const SystemModel sys = historical_system();
+  TraceConfig cfg;
+  cfg.num_tasks = 20000;
+  cfg.window_seconds = 900.0;
+  cfg.type_weights = {1.0, 0.0, 0.0, 0.0, 3.0};
+  const Trace trace = generate_trace(sys, tiny_library(), cfg, rng);
+  std::map<std::size_t, int> counts;
+  for (const auto& t : trace.tasks()) ++counts[t.type];
+  EXPECT_EQ(counts[1] + counts[2] + counts[3], 0);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[4] / 20000.0, 0.75, 0.02);
+}
+
+TEST(GenerateTrace, RejectsZeroTasks) {
+  Rng rng(9);
+  TraceConfig cfg;
+  cfg.num_tasks = 0;
+  cfg.window_seconds = 10.0;
+  EXPECT_THROW(
+      generate_trace(historical_system(), tiny_library(), cfg, rng),
+      std::invalid_argument);
+}
+
+TEST(GenerateTrace, RejectsWeightSizeMismatch) {
+  Rng rng(10);
+  TraceConfig cfg;
+  cfg.num_tasks = 10;
+  cfg.window_seconds = 10.0;
+  cfg.type_weights = {1.0, 1.0};  // 5 task types exist
+  EXPECT_THROW(
+      generate_trace(historical_system(), tiny_library(), cfg, rng),
+      std::invalid_argument);
+}
+
+TEST(GenerateTrace, RejectsAllZeroWeights) {
+  Rng rng(11);
+  TraceConfig cfg;
+  cfg.num_tasks = 10;
+  cfg.window_seconds = 10.0;
+  cfg.type_weights = {0.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(
+      generate_trace(historical_system(), tiny_library(), cfg, rng),
+      std::invalid_argument);
+}
+
+TEST(GenerateTrace, RejectsNegativeWeight) {
+  Rng rng(12);
+  TraceConfig cfg;
+  cfg.num_tasks = 10;
+  cfg.window_seconds = 10.0;
+  cfg.type_weights = {1.0, -1.0, 1.0, 1.0, 1.0};
+  EXPECT_THROW(
+      generate_trace(historical_system(), tiny_library(), cfg, rng),
+      std::invalid_argument);
+}
+
+double interarrival_cv(const std::vector<double>& times) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double gap = times[i] - times[i - 1];
+    sum += gap;
+    sum_sq += gap * gap;
+  }
+  const auto n = static_cast<double>(times.size() - 1);
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  return std::sqrt(std::max(var, 0.0)) / mean;
+}
+
+TEST(BurstyArrivals, SortedWithinWindowAndOverdispersed) {
+  Rng rng(21);
+  const auto times = bursty_arrivals(2000, 1000.0, 10.0, rng);
+  EXPECT_EQ(times.size(), 2000U);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  for (const double t : times) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1000.0);
+  }
+  // Bursty: interarrival CV well above Poisson's ~1.
+  EXPECT_GT(interarrival_cv(times), 1.5);
+}
+
+TEST(BurstyArrivals, Validation) {
+  Rng rng(22);
+  EXPECT_THROW(bursty_arrivals(10, 0.0, 4.0, rng), std::invalid_argument);
+  EXPECT_THROW(bursty_arrivals(10, 10.0, 0.5, rng), std::invalid_argument);
+}
+
+TEST(PeriodicArrivals, EvenlySpacedUnderdispersed) {
+  const auto times = periodic_arrivals(100, 1000.0);
+  EXPECT_EQ(times.size(), 100U);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(times[i], 10.0 * static_cast<double>(i));
+  }
+  EXPECT_NEAR(interarrival_cv(times), 0.0, 1e-12);
+}
+
+TEST(PeriodicArrivals, Validation) {
+  EXPECT_THROW(periodic_arrivals(10, -1.0), std::invalid_argument);
+  EXPECT_TRUE(periodic_arrivals(0, 10.0).empty());
+}
+
+TEST(GenerateTrace, ArrivalProcessSelection) {
+  const SystemModel sys = historical_system();
+  TraceConfig cfg;
+  cfg.num_tasks = 600;
+  cfg.window_seconds = 900.0;
+
+  cfg.arrivals = ArrivalProcess::kBursty;
+  cfg.burst_factor = 12.0;
+  Rng r1(31);
+  const Trace bursty = generate_trace(sys, tiny_library(), cfg, r1);
+  std::vector<double> bt;
+  for (const auto& t : bursty.tasks()) bt.push_back(t.arrival);
+  EXPECT_GT(interarrival_cv(bt), 1.5);
+
+  cfg.arrivals = ArrivalProcess::kPeriodic;
+  Rng r2(31);
+  const Trace periodic = generate_trace(sys, tiny_library(), cfg, r2);
+  std::vector<double> pt;
+  for (const auto& t : periodic.tasks()) pt.push_back(t.arrival);
+  EXPECT_NEAR(interarrival_cv(pt), 0.0, 1e-9);
+}
+
+TEST(ArrivalProcess, Names) {
+  EXPECT_STREQ(to_string(ArrivalProcess::kPoisson), "poisson");
+  EXPECT_STREQ(to_string(ArrivalProcess::kBursty), "bursty");
+  EXPECT_STREQ(to_string(ArrivalProcess::kPeriodic), "periodic");
+}
+
+TEST(GenerateTrace, DeterministicForSeed) {
+  const SystemModel sys = historical_system();
+  TraceConfig cfg;
+  cfg.num_tasks = 100;
+  cfg.window_seconds = 900.0;
+  Rng r1(13), r2(13);
+  const Trace a = generate_trace(sys, tiny_library(), cfg, r1);
+  const Trace b = generate_trace(sys, tiny_library(), cfg, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tasks()[i].type, b.tasks()[i].type);
+    EXPECT_DOUBLE_EQ(a.tasks()[i].arrival, b.tasks()[i].arrival);
+    EXPECT_EQ(a.tasks()[i].tuf_class, b.tasks()[i].tuf_class);
+  }
+}
+
+}  // namespace
+}  // namespace eus
