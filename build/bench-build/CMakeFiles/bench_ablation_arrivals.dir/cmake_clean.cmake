@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_arrivals"
+  "../bench/bench_ablation_arrivals.pdb"
+  "CMakeFiles/bench_ablation_arrivals.dir/bench_ablation_arrivals.cpp.o"
+  "CMakeFiles/bench_ablation_arrivals.dir/bench_ablation_arrivals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dropping"
+  "../bench/bench_ablation_dropping.pdb"
+  "CMakeFiles/bench_ablation_dropping.dir/bench_ablation_dropping.cpp.o"
+  "CMakeFiles/bench_ablation_dropping.dir/bench_ablation_dropping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dropping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

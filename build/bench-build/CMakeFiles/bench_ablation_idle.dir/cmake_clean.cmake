@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_idle"
+  "../bench/bench_ablation_idle.pdb"
+  "CMakeFiles/bench_ablation_idle.dir/bench_ablation_idle.cpp.o"
+  "CMakeFiles/bench_ablation_idle.dir/bench_ablation_idle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mutation"
+  "../bench/bench_ablation_mutation.pdb"
+  "CMakeFiles/bench_ablation_mutation.dir/bench_ablation_mutation.cpp.o"
+  "CMakeFiles/bench_ablation_mutation.dir/bench_ablation_mutation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

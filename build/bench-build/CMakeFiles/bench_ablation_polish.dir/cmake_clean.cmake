@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_polish"
+  "../bench/bench_ablation_polish.pdb"
+  "CMakeFiles/bench_ablation_polish.dir/bench_ablation_polish.cpp.o"
+  "CMakeFiles/bench_ablation_polish.dir/bench_ablation_polish.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_polish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

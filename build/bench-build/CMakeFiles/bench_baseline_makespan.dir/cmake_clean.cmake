@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_makespan"
+  "../bench/bench_baseline_makespan.pdb"
+  "CMakeFiles/bench_baseline_makespan.dir/bench_baseline_makespan.cpp.o"
+  "CMakeFiles/bench_baseline_makespan.dir/bench_baseline_makespan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_sa"
+  "../bench/bench_baseline_sa.pdb"
+  "CMakeFiles/bench_baseline_sa.dir/bench_baseline_sa.cpp.o"
+  "CMakeFiles/bench_baseline_sa.dir/bench_baseline_sa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

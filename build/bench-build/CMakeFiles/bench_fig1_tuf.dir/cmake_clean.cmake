@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_tuf"
+  "../bench/bench_fig1_tuf.pdb"
+  "CMakeFiles/bench_fig1_tuf.dir/bench_fig1_tuf.cpp.o"
+  "CMakeFiles/bench_fig1_tuf.dir/bench_fig1_tuf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_tuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_dataset2"
+  "../bench/bench_fig4_dataset2.pdb"
+  "CMakeFiles/bench_fig4_dataset2.dir/bench_fig4_dataset2.cpp.o"
+  "CMakeFiles/bench_fig4_dataset2.dir/bench_fig4_dataset2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dataset2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_upe"
+  "../bench/bench_fig5_upe.pdb"
+  "CMakeFiles/bench_fig5_upe.dir/bench_fig5_upe.cpp.o"
+  "CMakeFiles/bench_fig5_upe.dir/bench_fig5_upe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_upe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

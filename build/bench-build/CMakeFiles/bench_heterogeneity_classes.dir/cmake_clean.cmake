@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_heterogeneity_classes"
+  "../bench/bench_heterogeneity_classes.pdb"
+  "CMakeFiles/bench_heterogeneity_classes.dir/bench_heterogeneity_classes.cpp.o"
+  "CMakeFiles/bench_heterogeneity_classes.dir/bench_heterogeneity_classes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heterogeneity_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

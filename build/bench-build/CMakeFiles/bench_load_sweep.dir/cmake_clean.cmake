@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_load_sweep"
+  "../bench/bench_load_sweep.pdb"
+  "CMakeFiles/bench_load_sweep.dir/bench_load_sweep.cpp.o"
+  "CMakeFiles/bench_load_sweep.dir/bench_load_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_load_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_online_policies"
+  "../bench/bench_online_policies.pdb"
+  "CMakeFiles/bench_online_policies.dir/bench_online_policies.cpp.o"
+  "CMakeFiles/bench_online_policies.dir/bench_online_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

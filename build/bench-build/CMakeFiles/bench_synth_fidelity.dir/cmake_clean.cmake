@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_synth_fidelity"
+  "../bench/bench_synth_fidelity.pdb"
+  "CMakeFiles/bench_synth_fidelity.dir/bench_synth_fidelity.cpp.o"
+  "CMakeFiles/bench_synth_fidelity.dir/bench_synth_fidelity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synth_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

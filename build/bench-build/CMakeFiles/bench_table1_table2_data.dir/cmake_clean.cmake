@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_table2_data"
+  "../bench/bench_table1_table2_data.pdb"
+  "CMakeFiles/bench_table1_table2_data.dir/bench_table1_table2_data.cpp.o"
+  "CMakeFiles/bench_table1_table2_data.dir/bench_table1_table2_data.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_table2_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_tradeoff.dir/admin_tradeoff.cpp.o"
+  "CMakeFiles/admin_tradeoff.dir/admin_tradeoff.cpp.o.d"
+  "admin_tradeoff"
+  "admin_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

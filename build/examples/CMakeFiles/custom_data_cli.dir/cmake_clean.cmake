@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_data_cli.dir/custom_data_cli.cpp.o"
+  "CMakeFiles/custom_data_cli.dir/custom_data_cli.cpp.o.d"
+  "custom_data_cli"
+  "custom_data_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_data_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

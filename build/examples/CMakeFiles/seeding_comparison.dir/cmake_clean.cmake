@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seeding_comparison.dir/seeding_comparison.cpp.o"
+  "CMakeFiles/seeding_comparison.dir/seeding_comparison.cpp.o.d"
+  "seeding_comparison"
+  "seeding_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seeding_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

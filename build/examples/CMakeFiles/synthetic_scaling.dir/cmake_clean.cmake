@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_scaling.dir/synthetic_scaling.cpp.o"
+  "CMakeFiles/synthetic_scaling.dir/synthetic_scaling.cpp.o.d"
+  "synthetic_scaling"
+  "synthetic_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

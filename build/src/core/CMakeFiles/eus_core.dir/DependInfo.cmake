@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/crowding.cpp" "src/core/CMakeFiles/eus_core.dir/crowding.cpp.o" "gcc" "src/core/CMakeFiles/eus_core.dir/crowding.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/eus_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/eus_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/nondominated_sort.cpp" "src/core/CMakeFiles/eus_core.dir/nondominated_sort.cpp.o" "gcc" "src/core/CMakeFiles/eus_core.dir/nondominated_sort.cpp.o.d"
+  "/root/repo/src/core/nsga2.cpp" "src/core/CMakeFiles/eus_core.dir/nsga2.cpp.o" "gcc" "src/core/CMakeFiles/eus_core.dir/nsga2.cpp.o.d"
+  "/root/repo/src/core/operators.cpp" "src/core/CMakeFiles/eus_core.dir/operators.cpp.o" "gcc" "src/core/CMakeFiles/eus_core.dir/operators.cpp.o.d"
+  "/root/repo/src/core/population_io.cpp" "src/core/CMakeFiles/eus_core.dir/population_io.cpp.o" "gcc" "src/core/CMakeFiles/eus_core.dir/population_io.cpp.o.d"
+  "/root/repo/src/core/simulated_annealing.cpp" "src/core/CMakeFiles/eus_core.dir/simulated_annealing.cpp.o" "gcc" "src/core/CMakeFiles/eus_core.dir/simulated_annealing.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/eus_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/eus_core.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuf/CMakeFiles/eus_tuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eus_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/eus_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/eus_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/eus_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_core.dir/crowding.cpp.o"
+  "CMakeFiles/eus_core.dir/crowding.cpp.o.d"
+  "CMakeFiles/eus_core.dir/local_search.cpp.o"
+  "CMakeFiles/eus_core.dir/local_search.cpp.o.d"
+  "CMakeFiles/eus_core.dir/nondominated_sort.cpp.o"
+  "CMakeFiles/eus_core.dir/nondominated_sort.cpp.o.d"
+  "CMakeFiles/eus_core.dir/nsga2.cpp.o"
+  "CMakeFiles/eus_core.dir/nsga2.cpp.o.d"
+  "CMakeFiles/eus_core.dir/operators.cpp.o"
+  "CMakeFiles/eus_core.dir/operators.cpp.o.d"
+  "CMakeFiles/eus_core.dir/population_io.cpp.o"
+  "CMakeFiles/eus_core.dir/population_io.cpp.o.d"
+  "CMakeFiles/eus_core.dir/simulated_annealing.cpp.o"
+  "CMakeFiles/eus_core.dir/simulated_annealing.cpp.o.d"
+  "CMakeFiles/eus_core.dir/study.cpp.o"
+  "CMakeFiles/eus_core.dir/study.cpp.o.d"
+  "libeus_core.a"
+  "libeus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/historical.cpp" "src/data/CMakeFiles/eus_data.dir/historical.cpp.o" "gcc" "src/data/CMakeFiles/eus_data.dir/historical.cpp.o.d"
+  "/root/repo/src/data/matrix.cpp" "src/data/CMakeFiles/eus_data.dir/matrix.cpp.o" "gcc" "src/data/CMakeFiles/eus_data.dir/matrix.cpp.o.d"
+  "/root/repo/src/data/matrix_io.cpp" "src/data/CMakeFiles/eus_data.dir/matrix_io.cpp.o" "gcc" "src/data/CMakeFiles/eus_data.dir/matrix_io.cpp.o.d"
+  "/root/repo/src/data/system.cpp" "src/data/CMakeFiles/eus_data.dir/system.cpp.o" "gcc" "src/data/CMakeFiles/eus_data.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_data.dir/historical.cpp.o"
+  "CMakeFiles/eus_data.dir/historical.cpp.o.d"
+  "CMakeFiles/eus_data.dir/matrix.cpp.o"
+  "CMakeFiles/eus_data.dir/matrix.cpp.o.d"
+  "CMakeFiles/eus_data.dir/matrix_io.cpp.o"
+  "CMakeFiles/eus_data.dir/matrix_io.cpp.o.d"
+  "CMakeFiles/eus_data.dir/system.cpp.o"
+  "CMakeFiles/eus_data.dir/system.cpp.o.d"
+  "libeus_data.a"
+  "libeus_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeus_data.a"
+)

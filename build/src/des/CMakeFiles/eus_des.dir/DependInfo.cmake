@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/des_evaluator.cpp" "src/des/CMakeFiles/eus_des.dir/des_evaluator.cpp.o" "gcc" "src/des/CMakeFiles/eus_des.dir/des_evaluator.cpp.o.d"
+  "/root/repo/src/des/event_queue.cpp" "src/des/CMakeFiles/eus_des.dir/event_queue.cpp.o" "gcc" "src/des/CMakeFiles/eus_des.dir/event_queue.cpp.o.d"
+  "/root/repo/src/des/report.cpp" "src/des/CMakeFiles/eus_des.dir/report.cpp.o" "gcc" "src/des/CMakeFiles/eus_des.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuf/CMakeFiles/eus_tuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eus_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/eus_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_des.dir/des_evaluator.cpp.o"
+  "CMakeFiles/eus_des.dir/des_evaluator.cpp.o.d"
+  "CMakeFiles/eus_des.dir/event_queue.cpp.o"
+  "CMakeFiles/eus_des.dir/event_queue.cpp.o.d"
+  "CMakeFiles/eus_des.dir/report.cpp.o"
+  "CMakeFiles/eus_des.dir/report.cpp.o.d"
+  "libeus_des.a"
+  "libeus_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

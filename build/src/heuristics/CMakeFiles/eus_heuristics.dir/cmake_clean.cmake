@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_heuristics.dir/braun.cpp.o"
+  "CMakeFiles/eus_heuristics.dir/braun.cpp.o.d"
+  "CMakeFiles/eus_heuristics.dir/seeds.cpp.o"
+  "CMakeFiles/eus_heuristics.dir/seeds.cpp.o.d"
+  "libeus_heuristics.a"
+  "libeus_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

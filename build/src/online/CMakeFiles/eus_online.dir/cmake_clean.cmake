@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_online.dir/policy.cpp.o"
+  "CMakeFiles/eus_online.dir/policy.cpp.o.d"
+  "CMakeFiles/eus_online.dir/simulator.cpp.o"
+  "CMakeFiles/eus_online.dir/simulator.cpp.o.d"
+  "libeus_online.a"
+  "libeus_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pareto/archive.cpp" "src/pareto/CMakeFiles/eus_pareto.dir/archive.cpp.o" "gcc" "src/pareto/CMakeFiles/eus_pareto.dir/archive.cpp.o.d"
+  "/root/repo/src/pareto/attainment.cpp" "src/pareto/CMakeFiles/eus_pareto.dir/attainment.cpp.o" "gcc" "src/pareto/CMakeFiles/eus_pareto.dir/attainment.cpp.o.d"
+  "/root/repo/src/pareto/front.cpp" "src/pareto/CMakeFiles/eus_pareto.dir/front.cpp.o" "gcc" "src/pareto/CMakeFiles/eus_pareto.dir/front.cpp.o.d"
+  "/root/repo/src/pareto/knee.cpp" "src/pareto/CMakeFiles/eus_pareto.dir/knee.cpp.o" "gcc" "src/pareto/CMakeFiles/eus_pareto.dir/knee.cpp.o.d"
+  "/root/repo/src/pareto/metrics.cpp" "src/pareto/CMakeFiles/eus_pareto.dir/metrics.cpp.o" "gcc" "src/pareto/CMakeFiles/eus_pareto.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

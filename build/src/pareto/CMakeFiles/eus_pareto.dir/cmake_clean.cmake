@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_pareto.dir/archive.cpp.o"
+  "CMakeFiles/eus_pareto.dir/archive.cpp.o.d"
+  "CMakeFiles/eus_pareto.dir/attainment.cpp.o"
+  "CMakeFiles/eus_pareto.dir/attainment.cpp.o.d"
+  "CMakeFiles/eus_pareto.dir/front.cpp.o"
+  "CMakeFiles/eus_pareto.dir/front.cpp.o.d"
+  "CMakeFiles/eus_pareto.dir/knee.cpp.o"
+  "CMakeFiles/eus_pareto.dir/knee.cpp.o.d"
+  "CMakeFiles/eus_pareto.dir/metrics.cpp.o"
+  "CMakeFiles/eus_pareto.dir/metrics.cpp.o.d"
+  "libeus_pareto.a"
+  "libeus_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

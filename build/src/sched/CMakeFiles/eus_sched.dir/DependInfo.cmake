@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/allocation_io.cpp" "src/sched/CMakeFiles/eus_sched.dir/allocation_io.cpp.o" "gcc" "src/sched/CMakeFiles/eus_sched.dir/allocation_io.cpp.o.d"
+  "/root/repo/src/sched/bounds.cpp" "src/sched/CMakeFiles/eus_sched.dir/bounds.cpp.o" "gcc" "src/sched/CMakeFiles/eus_sched.dir/bounds.cpp.o.d"
+  "/root/repo/src/sched/dvfs.cpp" "src/sched/CMakeFiles/eus_sched.dir/dvfs.cpp.o" "gcc" "src/sched/CMakeFiles/eus_sched.dir/dvfs.cpp.o.d"
+  "/root/repo/src/sched/evaluator.cpp" "src/sched/CMakeFiles/eus_sched.dir/evaluator.cpp.o" "gcc" "src/sched/CMakeFiles/eus_sched.dir/evaluator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuf/CMakeFiles/eus_tuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/eus_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

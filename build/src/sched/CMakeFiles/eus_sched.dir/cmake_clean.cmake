@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_sched.dir/allocation_io.cpp.o"
+  "CMakeFiles/eus_sched.dir/allocation_io.cpp.o.d"
+  "CMakeFiles/eus_sched.dir/bounds.cpp.o"
+  "CMakeFiles/eus_sched.dir/bounds.cpp.o.d"
+  "CMakeFiles/eus_sched.dir/dvfs.cpp.o"
+  "CMakeFiles/eus_sched.dir/dvfs.cpp.o.d"
+  "CMakeFiles/eus_sched.dir/evaluator.cpp.o"
+  "CMakeFiles/eus_sched.dir/evaluator.cpp.o.d"
+  "libeus_sched.a"
+  "libeus_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

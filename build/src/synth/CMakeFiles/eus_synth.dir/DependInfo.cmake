@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/consistency.cpp" "src/synth/CMakeFiles/eus_synth.dir/consistency.cpp.o" "gcc" "src/synth/CMakeFiles/eus_synth.dir/consistency.cpp.o.d"
+  "/root/repo/src/synth/etc_generators.cpp" "src/synth/CMakeFiles/eus_synth.dir/etc_generators.cpp.o" "gcc" "src/synth/CMakeFiles/eus_synth.dir/etc_generators.cpp.o.d"
+  "/root/repo/src/synth/generator.cpp" "src/synth/CMakeFiles/eus_synth.dir/generator.cpp.o" "gcc" "src/synth/CMakeFiles/eus_synth.dir/generator.cpp.o.d"
+  "/root/repo/src/synth/gram_charlier.cpp" "src/synth/CMakeFiles/eus_synth.dir/gram_charlier.cpp.o" "gcc" "src/synth/CMakeFiles/eus_synth.dir/gram_charlier.cpp.o.d"
+  "/root/repo/src/synth/moments.cpp" "src/synth/CMakeFiles/eus_synth.dir/moments.cpp.o" "gcc" "src/synth/CMakeFiles/eus_synth.dir/moments.cpp.o.d"
+  "/root/repo/src/synth/sampler.cpp" "src/synth/CMakeFiles/eus_synth.dir/sampler.cpp.o" "gcc" "src/synth/CMakeFiles/eus_synth.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eus_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

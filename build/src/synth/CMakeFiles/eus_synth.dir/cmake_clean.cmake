@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_synth.dir/consistency.cpp.o"
+  "CMakeFiles/eus_synth.dir/consistency.cpp.o.d"
+  "CMakeFiles/eus_synth.dir/etc_generators.cpp.o"
+  "CMakeFiles/eus_synth.dir/etc_generators.cpp.o.d"
+  "CMakeFiles/eus_synth.dir/generator.cpp.o"
+  "CMakeFiles/eus_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/eus_synth.dir/gram_charlier.cpp.o"
+  "CMakeFiles/eus_synth.dir/gram_charlier.cpp.o.d"
+  "CMakeFiles/eus_synth.dir/moments.cpp.o"
+  "CMakeFiles/eus_synth.dir/moments.cpp.o.d"
+  "CMakeFiles/eus_synth.dir/sampler.cpp.o"
+  "CMakeFiles/eus_synth.dir/sampler.cpp.o.d"
+  "libeus_synth.a"
+  "libeus_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

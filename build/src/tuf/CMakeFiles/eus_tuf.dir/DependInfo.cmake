@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuf/builder.cpp" "src/tuf/CMakeFiles/eus_tuf.dir/builder.cpp.o" "gcc" "src/tuf/CMakeFiles/eus_tuf.dir/builder.cpp.o.d"
+  "/root/repo/src/tuf/classes.cpp" "src/tuf/CMakeFiles/eus_tuf.dir/classes.cpp.o" "gcc" "src/tuf/CMakeFiles/eus_tuf.dir/classes.cpp.o.d"
+  "/root/repo/src/tuf/time_utility_function.cpp" "src/tuf/CMakeFiles/eus_tuf.dir/time_utility_function.cpp.o" "gcc" "src/tuf/CMakeFiles/eus_tuf.dir/time_utility_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_tuf.dir/builder.cpp.o"
+  "CMakeFiles/eus_tuf.dir/builder.cpp.o.d"
+  "CMakeFiles/eus_tuf.dir/classes.cpp.o"
+  "CMakeFiles/eus_tuf.dir/classes.cpp.o.d"
+  "CMakeFiles/eus_tuf.dir/time_utility_function.cpp.o"
+  "CMakeFiles/eus_tuf.dir/time_utility_function.cpp.o.d"
+  "libeus_tuf.a"
+  "libeus_tuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_tuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/eus_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/eus_util.dir/csv.cpp.o"
+  "CMakeFiles/eus_util.dir/csv.cpp.o.d"
+  "CMakeFiles/eus_util.dir/env.cpp.o"
+  "CMakeFiles/eus_util.dir/env.cpp.o.d"
+  "CMakeFiles/eus_util.dir/rng.cpp.o"
+  "CMakeFiles/eus_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eus_util.dir/table.cpp.o"
+  "CMakeFiles/eus_util.dir/table.cpp.o.d"
+  "CMakeFiles/eus_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/eus_util.dir/thread_pool.cpp.o.d"
+  "libeus_util.a"
+  "libeus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analysis.cpp" "src/workload/CMakeFiles/eus_workload.dir/analysis.cpp.o" "gcc" "src/workload/CMakeFiles/eus_workload.dir/analysis.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/eus_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/eus_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/scenarios.cpp" "src/workload/CMakeFiles/eus_workload.dir/scenarios.cpp.o" "gcc" "src/workload/CMakeFiles/eus_workload.dir/scenarios.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/eus_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/eus_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/eus_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/eus_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuf/CMakeFiles/eus_tuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/eus_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eus_workload.dir/analysis.cpp.o"
+  "CMakeFiles/eus_workload.dir/analysis.cpp.o.d"
+  "CMakeFiles/eus_workload.dir/generator.cpp.o"
+  "CMakeFiles/eus_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/eus_workload.dir/scenarios.cpp.o"
+  "CMakeFiles/eus_workload.dir/scenarios.cpp.o.d"
+  "CMakeFiles/eus_workload.dir/trace.cpp.o"
+  "CMakeFiles/eus_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/eus_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/eus_workload.dir/trace_io.cpp.o.d"
+  "libeus_workload.a"
+  "libeus_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eus_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allocation_io.dir/test_allocation_io.cpp.o"
+  "CMakeFiles/test_allocation_io.dir/test_allocation_io.cpp.o.d"
+  "test_allocation_io"
+  "test_allocation_io.pdb"
+  "test_allocation_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allocation_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attainment.dir/test_attainment.cpp.o"
+  "CMakeFiles/test_attainment.dir/test_attainment.cpp.o.d"
+  "test_attainment"
+  "test_attainment.pdb"
+  "test_attainment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attainment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounds_analysis.dir/test_bounds_analysis.cpp.o"
+  "CMakeFiles/test_bounds_analysis.dir/test_bounds_analysis.cpp.o.d"
+  "test_bounds_analysis"
+  "test_bounds_analysis.pdb"
+  "test_bounds_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounds_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_braun.dir/test_braun.cpp.o"
+  "CMakeFiles/test_braun.dir/test_braun.cpp.o.d"
+  "test_braun"
+  "test_braun.pdb"
+  "test_braun[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_braun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

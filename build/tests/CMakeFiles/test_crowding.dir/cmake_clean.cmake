@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crowding.dir/test_crowding.cpp.o"
+  "CMakeFiles/test_crowding.dir/test_crowding.cpp.o.d"
+  "test_crowding"
+  "test_crowding.pdb"
+  "test_crowding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crowding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_etc_generators.dir/test_etc_generators.cpp.o"
+  "CMakeFiles/test_etc_generators.dir/test_etc_generators.cpp.o.d"
+  "test_etc_generators"
+  "test_etc_generators.pdb"
+  "test_etc_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_etc_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gram_charlier.dir/test_gram_charlier.cpp.o"
+  "CMakeFiles/test_gram_charlier.dir/test_gram_charlier.cpp.o.d"
+  "test_gram_charlier"
+  "test_gram_charlier.pdb"
+  "test_gram_charlier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gram_charlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

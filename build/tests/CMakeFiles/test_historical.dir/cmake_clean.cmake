@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_historical.dir/test_historical.cpp.o"
+  "CMakeFiles/test_historical.dir/test_historical.cpp.o.d"
+  "test_historical"
+  "test_historical.pdb"
+  "test_historical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_historical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

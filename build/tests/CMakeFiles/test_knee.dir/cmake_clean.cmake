@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knee.dir/test_knee.cpp.o"
+  "CMakeFiles/test_knee.dir/test_knee.cpp.o.d"
+  "test_knee"
+  "test_knee.pdb"
+  "test_knee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nondominated_sort.dir/test_nondominated_sort.cpp.o"
+  "CMakeFiles/test_nondominated_sort.dir/test_nondominated_sort.cpp.o.d"
+  "test_nondominated_sort"
+  "test_nondominated_sort.pdb"
+  "test_nondominated_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nondominated_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pareto_front.dir/test_pareto_front.cpp.o"
+  "CMakeFiles/test_pareto_front.dir/test_pareto_front.cpp.o.d"
+  "test_pareto_front"
+  "test_pareto_front.pdb"
+  "test_pareto_front[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pareto_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

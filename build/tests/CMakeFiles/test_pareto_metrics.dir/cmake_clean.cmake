@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pareto_metrics.dir/test_pareto_metrics.cpp.o"
+  "CMakeFiles/test_pareto_metrics.dir/test_pareto_metrics.cpp.o.d"
+  "test_pareto_metrics"
+  "test_pareto_metrics.pdb"
+  "test_pareto_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pareto_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

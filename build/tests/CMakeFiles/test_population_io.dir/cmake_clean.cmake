@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_population_io.dir/test_population_io.cpp.o"
+  "CMakeFiles/test_population_io.dir/test_population_io.cpp.o.d"
+  "test_population_io"
+  "test_population_io.pdb"
+  "test_population_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_population_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seeds.dir/test_seeds.cpp.o"
+  "CMakeFiles/test_seeds.dir/test_seeds.cpp.o.d"
+  "test_seeds"
+  "test_seeds.pdb"
+  "test_seeds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

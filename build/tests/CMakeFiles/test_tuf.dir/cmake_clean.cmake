@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuf.dir/test_tuf.cpp.o"
+  "CMakeFiles/test_tuf.dir/test_tuf.cpp.o.d"
+  "test_tuf"
+  "test_tuf.pdb"
+  "test_tuf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
