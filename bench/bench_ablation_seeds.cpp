@@ -22,7 +22,10 @@ int main() {
   std::cout << ") ==\n";
 
   Stopwatch timer;
-  const StudyResult study = run_seeding_study(
+  StudyEngineConfig engine_config;
+  engine_config.threads = bench_threads();
+  StudyEngine engine(engine_config);
+  const StudyResult study = engine.run(
       problem, bench::figure_config(bench_seed(), 100), checkpoints,
       extended_population_specs());
 

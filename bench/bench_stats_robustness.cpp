@@ -28,10 +28,13 @@ int main() {
   // hv[population][repeat]
   std::vector<std::vector<double>> hv(specs.size());
   Stopwatch timer;
+  StudyEngineConfig engine_config;
+  engine_config.threads = bench_threads();
+  StudyEngine engine(engine_config);
   for (std::size_t rep = 0; rep < repeats; ++rep) {
     Nsga2Config config = bench::figure_config(bench_seed() + 1000 * rep, 100);
     const StudyResult study =
-        run_seeding_study(problem, config, {generations}, specs);
+        engine.run(problem, config, {generations}, specs);
     std::vector<std::vector<EUPoint>> all;
     for (std::size_t p = 0; p < specs.size(); ++p) {
       all.push_back(study.final_front(p));

@@ -3,19 +3,29 @@
 // Shared harness glue for the figure benches: runs a seeding study over a
 // scenario, prints progress, renders each checkpoint's fronts as an ASCII
 // scatter (the paper's subplots), and emits machine-readable CSV blocks
-// (population, iterations, energy_J, utility) for external plotting.
+// (population, iterations, energy_J, utility) for external plotting, plus a
+// JSONL run record (config, per-checkpoint fronts, metric snapshots — see
+// EXPERIMENTS.md for the schema).
 //
 // Iteration schedules are the paper's, scaled by a per-bench default times
 // the EUS_SCALE environment knob (EXPERIMENTS.md documents the scaling).
+// All populations evolve concurrently on a shared pool sized by
+// EUS_THREADS (0 = hardware concurrency, the default; 1 = serial).  The
+// fronts are bit-identical at any thread count.
 
+#include <cctype>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/study.hpp"
+#include "core/study_engine.hpp"
 #include "pareto/knee.hpp"
 #include "pareto/metrics.hpp"
 #include "sched/bounds.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_recorder.hpp"
 #include "util/ascii_plot.hpp"
 #include "workload/analysis.hpp"
 #include "util/csv.hpp"
@@ -37,8 +47,43 @@ inline Nsga2Config figure_config(std::uint64_t seed, std::size_t population) {
   Nsga2Config config;
   config.population_size = population;
   config.mutation_probability = 0.25;
+  // Nested evaluation parallelism for benches that drive Nsga2 directly;
+  // run_figure's StudyEngine overrides this with its shared pool.
+  config.threads = bench_threads();
   config.seed = seed;
   return config;
+}
+
+/// "Figure 3" + "dataset 1" -> "figure_3_dataset_1".
+inline std::string run_slug(const std::string& figure,
+                            const std::string& scenario) {
+  std::string slug;
+  for (const std::string* part : {&figure, &scenario}) {
+    if (!slug.empty() && slug.back() != '_') slug += '_';
+    for (const char c : *part) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        slug += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      } else if (!slug.empty() && slug.back() != '_') {
+        slug += '_';
+      }
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+/// The JSONL run-record sink: EUS_RUNLOG=off disables, EUS_RUNLOG=<path>
+/// overrides, default is <slug>.jsonl in the working directory.
+inline std::unique_ptr<RunRecorder> open_run_recorder(
+    const std::string& path) {
+  if (path == "off" || path == "none") return nullptr;
+  try {
+    return std::make_unique<RunRecorder>(path);
+  } catch (const std::exception& e) {
+    std::cerr << "warning: run record disabled (" << e.what() << ")\n";
+    return nullptr;
+  }
 }
 
 /// Runs the five-population study for one scenario and prints everything.
@@ -69,13 +114,31 @@ inline StudyResult run_figure(const FigureSpec& spec,
             << " (contention-free)\n";
 
   const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  MetricsRegistry metrics;
+  const std::string run_path =
+      env_string("EUS_RUNLOG")
+          .value_or(run_slug(spec.figure, scenario.name) + ".jsonl");
+  const std::unique_ptr<RunRecorder> recorder = open_run_recorder(run_path);
+
+  StudyEngineConfig engine_config;
+  engine_config.threads = bench_threads();
+  engine_config.metrics = &metrics;
+  engine_config.recorder = recorder.get();
+  engine_config.study_label = spec.figure + " — " + scenario.name;
+  StudyEngine engine(engine_config);
+
+  std::cout << "threads: " << engine.threads()
+            << " (set EUS_THREADS; 0 = all cores, 1 = serial)\n";
+
   Stopwatch timer;
-  const StudyResult study = run_seeding_study(
+  const StudyResult study = engine.run(
       problem, figure_config(bench_seed(), spec.population), checkpoints,
       paper_population_specs(), [&](const std::string& name, std::size_t it) {
         std::cout << "  [" << timer.seconds() << "s] " << name << " @ " << it
                   << " iterations\n";
       });
+  const double wall = timer.seconds();
 
   // One subplot per checkpoint, all five populations overlaid.
   for (std::size_t c = 0; c < checkpoints.size(); ++c) {
@@ -155,7 +218,37 @@ inline StudyResult run_figure(const FigureSpec& spec,
       }
     }
   }
-  std::cout << "END CSV\ntotal wall time: " << timer.seconds() << " s\n";
+  std::cout << "END CSV\n";
+
+  // Telemetry digest (the full snapshot lands in the JSONL summary).
+  const MetricsSnapshot snap = metrics.snapshot();
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0U : it->second;
+  };
+  const auto timer_s = [&](const char* name) -> double {
+    const auto it = snap.timers.find(name);
+    return it == snap.timers.end() ? 0.0 : it->second.seconds;
+  };
+  const std::uint64_t evals = counter("nsga2.evaluations");
+  std::cout << "telemetry: " << evals << " evaluations, "
+            << format_double(wall > 0.0
+                                 ? static_cast<double>(evals) / wall
+                                 : 0.0,
+                             0)
+            << " evals/s; thread-time split: variation "
+            << format_double(timer_s("nsga2.variation_s"), 2)
+            << " s, evaluation "
+            << format_double(timer_s("nsga2.evaluation_s"), 2)
+            << " s, selection "
+            << format_double(timer_s("nsga2.selection_s"), 2) << " s\n";
+  if (recorder) {
+    std::cout << "run record: " << run_path << " ("
+              << recorder->lines_written()
+              << " lines; set EUS_RUNLOG to redirect, EUS_RUNLOG=off to "
+                 "disable)\n";
+  }
+  std::cout << "total wall time: " << wall << " s\n";
   return study;
 }
 

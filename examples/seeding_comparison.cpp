@@ -9,8 +9,10 @@
 #include <iostream>
 
 #include "core/study.hpp"
+#include "core/study_engine.hpp"
 #include "pareto/metrics.hpp"
 #include "util/ascii_plot.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 #include "workload/scenarios.hpp"
 
@@ -42,11 +44,16 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> checkpoints = {
       generations / 10, generations / 3, generations};
 
+  // All six populations evolve concurrently on one shared pool
+  // (EUS_THREADS; 0 = all cores).  Fronts are identical to a serial run.
+  StudyEngineConfig engine_config;
+  engine_config.threads = bench_threads();
+  StudyEngine engine(engine_config);
   std::cout << "evolving " << extended_population_specs().size()
-            << " populations to " << generations << " generations...\n";
+            << " populations to " << generations << " generations on "
+            << engine.threads() << " thread(s)...\n";
   const StudyResult study =
-      run_seeding_study(problem, config, checkpoints,
-                        extended_population_specs());
+      engine.run(problem, config, checkpoints, extended_population_specs());
 
   // Hypervolume league table per checkpoint (shared reference).
   std::vector<std::vector<EUPoint>> all;

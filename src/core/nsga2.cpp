@@ -19,8 +19,20 @@ Nsga2::Nsga2(const BiObjectiveProblem& problem, Nsga2Config config)
       config_.mutation_probability > 1.0) {
     throw std::invalid_argument("mutation probability must be in [0,1]");
   }
-  if (config_.threads != 1) {
-    pool_ = std::make_unique<ThreadPool>(config_.threads);
+  if (config_.shared_pool != nullptr) {
+    eval_pool_ = config_.shared_pool;
+  } else if (config_.threads != 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
+    eval_pool_ = owned_pool_.get();
+  }
+  if (config_.metrics != nullptr) {
+    MetricsRegistry& m = *config_.metrics;
+    metric_evaluations_ = &m.counter("nsga2.evaluations");
+    metric_generations_ = &m.counter("nsga2.generations");
+    metric_front_size_ = &m.gauge("nsga2.front_size");
+    timer_variation_ = &m.timer("nsga2.variation_s");
+    timer_evaluation_ = &m.timer("nsga2.evaluation_s");
+    timer_selection_ = &m.timer("nsga2.selection_s");
   }
 }
 
@@ -28,17 +40,19 @@ Nsga2::~Nsga2() = default;
 
 void Nsga2::evaluate_all(std::vector<Individual>& individuals,
                          std::size_t begin) {
+  const ScopedTimer timed(timer_evaluation_);
   const std::size_t count = individuals.size() - begin;
   const auto eval_one = [&](std::size_t k) {
     Individual& ind = individuals[begin + k];
     ind.objectives = problem_->evaluate(ind.genome);
   };
-  if (pool_) {
-    pool_->parallel_for(count, eval_one);
+  if (eval_pool_ != nullptr) {
+    eval_pool_->parallel_for(count, eval_one);
   } else {
     for (std::size_t k = 0; k < count; ++k) eval_one(k);
   }
   evaluations_ += count;
+  if (metric_evaluations_ != nullptr) metric_evaluations_->add(count);
 }
 
 void Nsga2::initialize(const std::vector<Allocation>& seeds) {
@@ -138,35 +152,49 @@ void Nsga2::iterate(std::size_t generations) {
       return meta[a].crowding >= meta[b].crowding ? a : b;
     };
 
-    for (std::size_t pair = 0; pair < n / 2; ++pair) {
-      const std::size_t i = select_parent();
-      std::size_t j = select_parent();
-      while (n > 1 && j == i) j = select_parent();
+    {
+      const ScopedTimer timed(timer_variation_);
+      for (std::size_t pair = 0; pair < n / 2; ++pair) {
+        const std::size_t i = select_parent();
+        std::size_t j = select_parent();
+        while (n > 1 && j == i) j = select_parent();
 
-      Allocation child_a = meta[i].genome;
-      Allocation child_b = meta[j].genome;
-      crossover(child_a, child_b, rng_);
-      if (rng_.chance(config_.mutation_probability)) {
-        mutate(child_a, *problem_, rng_);
+        Allocation child_a = meta[i].genome;
+        Allocation child_b = meta[j].genome;
+        crossover(child_a, child_b, rng_);
+        if (rng_.chance(config_.mutation_probability)) {
+          mutate(child_a, *problem_, rng_);
+        }
+        if (rng_.chance(config_.mutation_probability)) {
+          mutate(child_b, *problem_, rng_);
+        }
+        if (config_.repair_order_permutation) {
+          repair_order_permutation(child_a);
+          repair_order_permutation(child_b);
+        }
+        meta.push_back({std::move(child_a), {}, 0, 0.0});
+        meta.push_back({std::move(child_b), {}, 0, 0.0});
       }
-      if (rng_.chance(config_.mutation_probability)) {
-        mutate(child_b, *problem_, rng_);
-      }
-      if (config_.repair_order_permutation) {
-        repair_order_permutation(child_a);
-        repair_order_permutation(child_b);
-      }
-      meta.push_back({std::move(child_a), {}, 0, 0.0});
-      meta.push_back({std::move(child_b), {}, 0, 0.0});
     }
 
     // Only the fresh offspring need evaluating (parents carry theirs).
     evaluate_all(meta, n);
 
     // Steps 6-11: elitist environmental selection.
-    annotate_and_select(meta);
+    {
+      const ScopedTimer timed(timer_selection_);
+      annotate_and_select(meta);
+    }
     population_ = std::move(meta);
     ++generation_;
+    if (metric_generations_ != nullptr) {
+      metric_generations_->add(1);
+      std::size_t front_size = 0;
+      for (const auto& ind : population_) {
+        if (ind.rank == 0) ++front_size;
+      }
+      metric_front_size_->set(static_cast<double>(front_size));
+    }
     if (observer_) observer_(generation_, population_);
   }
 }

@@ -22,6 +22,7 @@
 
 #include "core/problem.hpp"
 #include "sched/allocation.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -52,8 +53,16 @@ struct Nsga2Config {
   /// then truncated in ascending-energy order instead.
   bool use_crowding = true;
   /// Worker threads for fitness evaluation; 0 = hardware concurrency,
-  /// 1 = evaluate inline (no pool).
+  /// 1 = evaluate inline (no pool).  Ignored when `shared_pool` is set.
   std::size_t threads = 1;
+  /// Externally owned pool shared across algorithm instances (e.g. the
+  /// StudyEngine's, which also runs whole populations on it — the pool's
+  /// parallel_for supports such nesting).  Must outlive the algorithm.
+  /// Scheduling only: results stay bit-identical for a fixed seed.
+  ThreadPool* shared_pool = nullptr;
+  /// Optional telemetry sink (must outlive the algorithm).  Counters and
+  /// timers aggregate across every instance sharing the registry.
+  MetricsRegistry* metrics = nullptr;
   std::uint64_t seed = 1;
 };
 
@@ -118,7 +127,15 @@ class Nsga2 {
   const BiObjectiveProblem* problem_;
   Nsga2Config config_;
   Rng rng_;
-  std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 1
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< null when shared or serial
+  ThreadPool* eval_pool_ = nullptr;         ///< null when evaluating inline
+  /// Metric handles, resolved once at construction (null when disabled).
+  Counter* metric_evaluations_ = nullptr;
+  Counter* metric_generations_ = nullptr;
+  Gauge* metric_front_size_ = nullptr;
+  TimerMetric* timer_variation_ = nullptr;
+  TimerMetric* timer_evaluation_ = nullptr;
+  TimerMetric* timer_selection_ = nullptr;
   std::vector<Individual> population_;
   GenerationObserver observer_;
   std::size_t generation_ = 0;

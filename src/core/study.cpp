@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/study_engine.hpp"
+
 namespace eus {
 
 std::vector<PopulationSpec> paper_population_specs() {
@@ -29,44 +31,10 @@ StudyResult run_seeding_study(const BiObjectiveProblem& problem,
                               const std::vector<std::size_t>& checkpoints,
                               const std::vector<PopulationSpec>& specs,
                               const StudyProgress& progress) {
-  if (checkpoints.empty()) throw std::invalid_argument("no checkpoints");
-  for (std::size_t i = 1; i < checkpoints.size(); ++i) {
-    if (checkpoints[i] <= checkpoints[i - 1]) {
-      throw std::invalid_argument("checkpoints must be strictly increasing");
-    }
-  }
-
-  StudyResult result;
-  result.checkpoints = checkpoints;
-
-  for (std::size_t p = 0; p < specs.size(); ++p) {
-    const PopulationSpec& spec = specs[p];
-    result.population_names.push_back(spec.name);
-    result.markers.push_back(spec.marker);
-
-    Nsga2Config config = base_config;
-    config.seed = base_config.seed + 0x9e37 * (p + 1);  // independent streams
-
-    std::vector<Allocation> seeds;
-    seeds.reserve(spec.seeds.size());
-    for (const SeedHeuristic h : spec.seeds) {
-      seeds.push_back(make_seed(h, problem.system(), problem.trace()));
-    }
-
-    Nsga2 algorithm(problem, config);
-    algorithm.initialize(seeds);
-
-    std::vector<std::vector<EUPoint>> fronts;
-    std::size_t done = 0;
-    for (const std::size_t target : checkpoints) {
-      algorithm.iterate(target - done);
-      done = target;
-      fronts.push_back(algorithm.front_points());
-      if (progress) progress(spec.name, done);
-    }
-    result.fronts.push_back(std::move(fronts));
-  }
-  return result;
+  // Serial engine: populations run one after another, exactly the legacy
+  // behaviour.  Concurrent execution is opt-in via StudyEngine directly.
+  StudyEngine engine;
+  return engine.run(problem, base_config, checkpoints, specs, progress);
 }
 
 std::vector<std::size_t> scaled_checkpoints(

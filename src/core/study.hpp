@@ -47,10 +47,12 @@ struct StudyResult {
 using StudyProgress =
     std::function<void(const std::string&, std::size_t)>;
 
-/// Runs every population through the checkpoint schedule.  `base_config`'s
-/// seed is perturbed per population so the random fills differ, as in the
-/// paper's independent populations.  Checkpoints must be strictly
-/// increasing and non-empty.
+/// Runs every population through the checkpoint schedule, serially (a
+/// convenience wrapper over a serial StudyEngine; use StudyEngine directly
+/// to evolve populations concurrently — results are bit-identical either
+/// way).  `base_config`'s seed is perturbed per population so the random
+/// fills differ, as in the paper's independent populations.  Checkpoints
+/// must be strictly increasing and non-empty; specs must be non-empty.
 [[nodiscard]] StudyResult run_seeding_study(
     const BiObjectiveProblem& problem, const Nsga2Config& base_config,
     const std::vector<std::size_t>& checkpoints,

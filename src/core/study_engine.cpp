@@ -1,0 +1,107 @@
+#include "core/study_engine.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace eus {
+
+StudyEngine::StudyEngine(StudyEngineConfig config)
+    : config_(std::move(config)) {
+  if (config_.threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
+  }
+}
+
+StudyEngine::~StudyEngine() = default;
+
+StudyResult StudyEngine::run(const BiObjectiveProblem& problem,
+                             const Nsga2Config& base_config,
+                             const std::vector<std::size_t>& checkpoints,
+                             const std::vector<PopulationSpec>& specs,
+                             const StudyProgress& progress) {
+  if (checkpoints.empty()) throw std::invalid_argument("no checkpoints");
+  for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+    if (checkpoints[i] <= checkpoints[i - 1]) {
+      throw std::invalid_argument("checkpoints must be strictly increasing");
+    }
+  }
+  if (specs.empty()) throw std::invalid_argument("no population specs");
+
+  StudyResult result;
+  result.checkpoints = checkpoints;
+  result.fronts.resize(specs.size());
+
+  // Seeds are built up front, serially: deterministic, and the greedy
+  // constructions are pure reads of the shared problem.
+  std::vector<std::vector<Allocation>> seeds(specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    result.population_names.push_back(specs[p].name);
+    result.markers.push_back(specs[p].marker);
+    seeds[p].reserve(specs[p].seeds.size());
+    for (const SeedHeuristic h : specs[p].seeds) {
+      seeds[p].push_back(make_seed(h, problem.system(), problem.trace()));
+    }
+  }
+
+  if (config_.recorder != nullptr) {
+    RunInfo info;
+    info.study = config_.study_label;
+    info.seed = base_config.seed;
+    info.population_size = base_config.population_size;
+    info.threads = threads();
+    info.mutation_probability = base_config.mutation_probability;
+    info.checkpoints = checkpoints;
+    info.populations = result.population_names;
+    config_.recorder->record_config(info);
+  }
+
+  Stopwatch timer;
+  std::mutex progress_mutex;
+
+  const auto run_population = [&](std::size_t p) {
+    Nsga2Config config = base_config;
+    config.seed = base_config.seed + 0x9e37 * (p + 1);  // independent streams
+    if (pool_) {
+      // Nested parallelism: evaluation batches share the engine's pool.
+      config.shared_pool = pool_.get();
+    }
+    if (config_.metrics != nullptr) config.metrics = config_.metrics;
+
+    Nsga2 algorithm(problem, config);
+    algorithm.initialize(seeds[p]);
+
+    std::vector<std::vector<EUPoint>>& fronts = result.fronts[p];
+    fronts.reserve(checkpoints.size());
+    std::size_t done = 0;
+    for (const std::size_t target : checkpoints) {
+      algorithm.iterate(target - done);
+      done = target;
+      fronts.push_back(algorithm.front_points());
+      if (config_.recorder != nullptr) {
+        config_.recorder->record_checkpoint(specs[p].name, done,
+                                            fronts.back(), timer.seconds());
+      }
+      if (progress) {
+        const std::lock_guard lock(progress_mutex);
+        progress(specs[p].name, done);
+      }
+    }
+  };
+
+  if (pool_) {
+    pool_->parallel_for(specs.size(), run_population);
+  } else {
+    for (std::size_t p = 0; p < specs.size(); ++p) run_population(p);
+  }
+
+  if (config_.recorder != nullptr) {
+    config_.recorder->record_summary(
+        timer.seconds(),
+        config_.metrics ? config_.metrics->snapshot() : MetricsSnapshot{});
+  }
+  return result;
+}
+
+}  // namespace eus

@@ -18,6 +18,10 @@ Evaluator::Evaluator(const SystemModel& system, const Trace& trace,
       if (!(w >= 0.0)) throw std::invalid_argument("negative idle wattage");
     }
   }
+  if (options_.metrics != nullptr) {
+    metric_evaluations_ = &options_.metrics->counter("evaluator.evaluations");
+    metric_dropped_ = &options_.metrics->counter("evaluator.tasks_dropped");
+  }
 }
 
 void Evaluator::validate(const Allocation& allocation) const {
@@ -148,6 +152,10 @@ Evaluation Evaluator::run(const Allocation& allocation,
       total.idle_energy += options_.idle_watts.at(type) * idle_time;
     }
     total.energy += total.idle_energy;
+  }
+  if (metric_evaluations_ != nullptr) {
+    metric_evaluations_->add(1);
+    if (total.dropped != 0) metric_dropped_->add(total.dropped);
   }
   return total;
 }

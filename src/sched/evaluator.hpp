@@ -17,6 +17,7 @@
 
 #include "sched/allocation.hpp"
 #include "sched/dvfs.hpp"
+#include "telemetry/metrics.hpp"
 #include "workload/trace.hpp"
 
 namespace eus {
@@ -34,6 +35,11 @@ struct EvaluatorOptions {
   /// powered down).  With idle power, packing work onto fewer machines
   /// can beat pure per-task EEC minimization.
   std::vector<double> idle_watts;
+  /// Optional telemetry sink (must outlive the evaluator).  When set, the
+  /// evaluator counts evaluations ("evaluator.evaluations") and dropped
+  /// tasks ("evaluator.tasks_dropped"); updates are relaxed atomics, safe
+  /// from the population-evaluation pool.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregate objectives of one allocation.
@@ -87,6 +93,9 @@ class Evaluator {
   const SystemModel* system_;
   const Trace* trace_;
   EvaluatorOptions options_;
+  /// Resolved once at construction so the hot path never does name lookups.
+  Counter* metric_evaluations_ = nullptr;
+  Counter* metric_dropped_ = nullptr;
 };
 
 }  // namespace eus

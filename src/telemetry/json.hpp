@@ -1,0 +1,40 @@
+#pragma once
+
+// Minimal JSON emission for the telemetry layer: enough to write flat run
+// records as JSON Lines, no parsing, no dependencies.  Numbers round-trip
+// (max_digits10); non-finite doubles degrade to null per RFC 8259.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace eus {
+
+/// Escapes `text` for use inside a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Shortest round-trip decimal for a double; "null" for NaN/infinity.
+[[nodiscard]] std::string json_number(double value);
+
+/// Incremental builder for one flat JSON object: {"k":v,...}.  Values are
+/// escaped/formatted; raw() splices a pre-rendered JSON value (for nested
+/// arrays/objects).
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value);
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, bool value);
+  JsonObject& raw(std::string_view key, std::string_view json_value);
+
+  /// The finished object, e.g. {"a":1,"b":"x"}.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+}  // namespace eus

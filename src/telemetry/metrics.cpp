@@ -1,0 +1,44 @@
+#include "telemetry/metrics.hpp"
+
+namespace eus {
+
+namespace {
+
+template <typename T>
+T& get_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                 std::string_view name) {
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  return *map.emplace(std::string(name), std::make_unique<T>())
+              .first->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  return get_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  return get_or_create(gauges_, name);
+}
+
+TimerMetric& MetricsRegistry::timer(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  return get_or_create(timers_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, t] : timers_) {
+    snap.timers[name] = {t->total_seconds(), t->count()};
+  }
+  return snap;
+}
+
+}  // namespace eus

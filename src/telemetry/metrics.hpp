@@ -1,0 +1,122 @@
+#pragma once
+
+// Lightweight process-local metrics: named counters, gauges and timers
+// registered once and updated lock-free from hot paths (fitness evaluation
+// runs on the population-evaluation pool).  A MetricsRegistry is shared by
+// every algorithm instance of a study, so counts aggregate across
+// concurrently evolving populations.
+//
+// Hot-path contract: resolve Counter&/TimerMetric& once (constructor time),
+// then update through the reference — updates are a single relaxed atomic
+// RMW, never a name lookup.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace eus {
+
+/// Monotonic event count (evaluations, dropped tasks, generations).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (front size, offered load).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulated duration plus sample count (phase time splits).
+class TimerMetric {
+ public:
+  void add(std::chrono::nanoseconds elapsed) noexcept {
+    total_ns_.fetch_add(static_cast<std::uint64_t>(elapsed.count()),
+                        std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double total_seconds() const noexcept {
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII phase timer; a null target makes it a no-op so instrumented code
+/// pays nothing when metrics are disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerMetric* timer) noexcept
+      : timer_(timer),
+        start_(timer ? std::chrono::steady_clock::now()
+                     : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (timer_) timer_->add(std::chrono::steady_clock::now() - start_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerMetric* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct TimerStat {
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStat> timers;
+};
+
+/// Thread-safe name -> metric registry.  Lookup is mutex-guarded; returned
+/// references stay valid for the registry's lifetime (metrics are
+/// heap-allocated and never removed).
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] TimerMetric& timer(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<TimerMetric>, std::less<>> timers_;
+};
+
+}  // namespace eus

@@ -1,0 +1,70 @@
+#pragma once
+
+// Structured run records as JSON Lines, written next to the benches'
+// ASCII/CSV output so external tooling can ingest experiments without
+// scraping.  One file per run, three record types (EXPERIMENTS.md
+// documents the schema):
+//
+//   {"type":"config", ...}        once, before the study starts
+//   {"type":"checkpoint", ...}    one per (population, checkpoint)
+//   {"type":"summary", ...}       once, after the study finishes
+//
+// Thread-safe: checkpoint records arrive concurrently from populations
+// evolving in parallel on the StudyEngine's pool; each record is rendered
+// off-lock and appended as one atomic line.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pareto/point.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace eus {
+
+/// Everything worth replaying about a study's configuration.
+struct RunInfo {
+  std::string study;  ///< label, e.g. "Figure 3 — dataset 1"
+  std::uint64_t seed = 0;
+  std::size_t population_size = 0;
+  std::size_t threads = 1;  ///< resolved worker count (1 == serial)
+  double mutation_probability = 0.0;
+  std::vector<std::size_t> checkpoints;
+  std::vector<std::string> populations;
+};
+
+class RunRecorder {
+ public:
+  /// Records into an externally owned stream (kept open by the caller).
+  explicit RunRecorder(std::ostream& out);
+  /// Records into `path`, truncating; throws std::runtime_error when the
+  /// file cannot be opened.
+  explicit RunRecorder(const std::string& path);
+  ~RunRecorder();
+
+  RunRecorder(const RunRecorder&) = delete;
+  RunRecorder& operator=(const RunRecorder&) = delete;
+
+  void record_config(const RunInfo& info);
+  /// `front` is the population's rank-0 objective points at `iterations`.
+  void record_checkpoint(std::string_view population, std::size_t iterations,
+                         const std::vector<EUPoint>& front,
+                         double elapsed_seconds);
+  void record_summary(double wall_seconds, const MetricsSnapshot& metrics);
+
+  [[nodiscard]] std::size_t lines_written() const noexcept { return lines_; }
+
+ private:
+  void write_line(const std::string& json);
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  std::mutex mutex_;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace eus

@@ -45,4 +45,9 @@ std::uint64_t bench_seed() {
   return static_cast<std::uint64_t>(env_int("EUS_SEED", 20130520));
 }
 
+std::size_t bench_threads() {
+  const std::int64_t t = env_int("EUS_THREADS", 0);
+  return t < 0 ? 0U : static_cast<std::size_t>(t);
+}
+
 }  // namespace eus

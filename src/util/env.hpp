@@ -28,4 +28,9 @@ namespace eus {
 /// workshop date).
 [[nodiscard]] std::uint64_t bench_seed();
 
+/// The global worker-thread knob (EUS_THREADS): 0 = hardware concurrency
+/// (the default — benches saturate the machine), 1 = fully serial, n > 1 =
+/// n workers.  Negative/invalid values fall back to 0.
+[[nodiscard]] std::size_t bench_threads();
+
 }  // namespace eus

@@ -2,9 +2,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <memory>
 
 namespace eus {
+
+namespace {
+
+// Per-parallel_for completion state.  Heap-allocated and shared with every
+// block job so the last job's post-decrement notification can never touch a
+// destroyed condition variable, even if the waiter wakes spuriously and
+// returns first.
+struct ForkState {
+  std::atomic<std::size_t> remaining{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t n = threads;
@@ -38,6 +56,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> job;
+  {
+    const std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    job = std::move(queue_.front());
+    queue_.pop();
+  }
+  job();
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
@@ -45,36 +75,44 @@ void ThreadPool::parallel_for(std::size_t count,
   const std::size_t blocks = std::min(count, workers_.size() * 4);
   const std::size_t chunk = (count + blocks - 1) / blocks;
 
-  std::atomic<std::size_t> remaining{blocks};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  auto state = std::make_shared<ForkState>();
+  state->remaining.store(blocks, std::memory_order_relaxed);
 
   {
     const std::lock_guard lock(mutex_);
     for (std::size_t b = 0; b < blocks; ++b) {
       const std::size_t begin = b * chunk;
       const std::size_t end = std::min(count, begin + chunk);
-      queue_.emplace([&, begin, end] {
+      // fn lives in the caller's frame; the caller cannot return before
+      // remaining hits zero, which happens only after every fn call.
+      queue_.emplace([state, &fn, begin, end] {
         try {
           for (std::size_t i = begin; i < end; ++i) fn(i);
         } catch (...) {
-          const std::lock_guard elock(error_mutex);
-          if (!error) error = std::current_exception();
+          const std::lock_guard elock(state->error_mutex);
+          if (!state->error) state->error = std::current_exception();
         }
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          const std::lock_guard dlock(done_mutex);
-          done_cv.notify_all();
+        if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          const std::lock_guard dlock(state->done_mutex);
+          state->done_cv.notify_all();
         }
       });
     }
   }
   cv_.notify_all();
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
-  if (error) std::rethrow_exception(error);
+  // Work-helping wait: drain queued jobs (ours or anybody's) until our
+  // range completes.  A caller that is itself a pool task therefore always
+  // makes progress — nested parallel_for cannot deadlock.  The timed wait
+  // re-checks the queue for jobs enqueued after we went to sleep.
+  while (state->remaining.load(std::memory_order_acquire) != 0) {
+    if (try_run_one()) continue;
+    std::unique_lock lock(state->done_mutex);
+    state->done_cv.wait_for(lock, std::chrono::milliseconds(10), [&] {
+      return state->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace eus

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "data/historical.hpp"
@@ -70,6 +71,15 @@ TEST(Study, RejectsNonIncreasingCheckpoints) {
   EXPECT_THROW(run_seeding_study(fx.problem, tiny_config(), {5, 5},
                                  paper_population_specs()),
                std::invalid_argument);
+  EXPECT_THROW(run_seeding_study(fx.problem, tiny_config(), {5, 3},
+                                 paper_population_specs()),
+               std::invalid_argument);
+}
+
+TEST(Study, RejectsEmptySpecs) {
+  const Fixture fx;
+  EXPECT_THROW(run_seeding_study(fx.problem, tiny_config(), {1, 2}, {}),
+               std::invalid_argument);
 }
 
 TEST(Study, ShapesMatchSpecsAndCheckpoints) {
@@ -129,8 +139,48 @@ TEST(ScaledCheckpoints, KeepsStrictlyIncreasing) {
   EXPECT_GE(c[0], 1U);
 }
 
+TEST(ScaledCheckpoints, ScalesUp) {
+  EXPECT_EQ(scaled_checkpoints({100, 1000, 10000}, 10.0),
+            (std::vector<std::size_t>{1000, 10000, 100000}));
+}
+
+TEST(ScaledCheckpoints, FractionalScaleUpRoundsUp) {
+  // ceil(100 * 1.5) = 150, ceil(1000 * 1.5) = 1500.
+  EXPECT_EQ(scaled_checkpoints({100, 1000}, 1.5),
+            (std::vector<std::size_t>{150, 1500}));
+}
+
+TEST(ScaledCheckpoints, CollapsedEntriesFanOutSequentially) {
+  // All four entries collapse onto 1; the strict-increase repair must fan
+  // them out to 1, 2, 3, 4.
+  EXPECT_EQ(scaled_checkpoints({10, 11, 12, 13}, 0.01),
+            (std::vector<std::size_t>{1, 2, 3, 4}));
+}
+
+TEST(ScaledCheckpoints, PartialCollapseKeepsLaterEntries) {
+  // ceil lands the first two on 2/2: only the second entry needs the +1
+  // repair; the third stays where the scale put it.
+  EXPECT_EQ(scaled_checkpoints({150, 180, 1000}, 0.01),
+            (std::vector<std::size_t>{2, 3, 10}));
+}
+
+TEST(ScaledCheckpoints, SingleEntrySchedule) {
+  EXPECT_EQ(scaled_checkpoints({7}, 0.5), (std::vector<std::size_t>{4}));
+  EXPECT_EQ(scaled_checkpoints({1}, 0.0001), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(scaled_checkpoints({1}, 1000.0),
+            (std::vector<std::size_t>{1000}));
+}
+
+TEST(ScaledCheckpoints, EmptyScheduleStaysEmpty) {
+  EXPECT_TRUE(scaled_checkpoints({}, 2.0).empty());
+}
+
 TEST(ScaledCheckpoints, RejectsBadScale) {
   EXPECT_THROW(scaled_checkpoints({1}, 0.0), std::invalid_argument);
+  EXPECT_THROW(scaled_checkpoints({1}, -1.0), std::invalid_argument);
+  EXPECT_THROW(
+      scaled_checkpoints({1}, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
 }
 
 }  // namespace

@@ -97,5 +97,44 @@ TEST(ThreadPool, MoreBlocksThanItems) {
   EXPECT_EQ(counter.load(), 3);
 }
 
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The StudyEngine pattern: population tasks at the top level, each
+  // fanning its evaluation batch onto the *same* pool.  With fewer workers
+  // than outer tasks, completion requires the work-helping wait.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(6, [&](std::size_t) {
+    pool.parallel_for(50, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 6 * 50);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelFor) {
+  ThreadPool pool(1);  // single worker: helping is the only way forward
+  std::atomic<int> counter{0};
+  pool.parallel_for(3, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(5, [&](std::size_t) { counter.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(counter.load(), 3 * 4 * 5);
+}
+
+TEST(ThreadPool, NestedExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t) {
+                          pool.parallel_for(4, [](std::size_t i) {
+                            if (i == 2) throw std::runtime_error("inner");
+                          });
+                        }),
+      std::runtime_error);
+  // Still usable afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
 }  // namespace
 }  // namespace eus
