@@ -1,0 +1,251 @@
+#include "core/fitness_cache.hpp"
+
+#include <algorithm>
+
+#include "core/problem.hpp"
+
+namespace eus {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates the accumulated words so the top
+/// bits (shard selector) and low bits (hash-table bucket) are both usable.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30U;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27U;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31U;
+  return x;
+}
+
+constexpr std::uint64_t combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6U) + (h >> 2U)));
+}
+
+/// Hashes one gene vector into the running fingerprint.  A single
+/// combine() chain costs ~10 cycles of *latency* per gene (each step
+/// depends on the last), which for multi-hundred-task genomes would make
+/// the fingerprint as expensive as the evaluation it is meant to avoid.
+/// Four independent xor-multiply lanes overlap in the pipeline (~1 cycle
+/// per gene); the final combine() restores avalanche so shard-selector
+/// and bucket bits are both well mixed.
+std::uint64_t hash_genes(std::uint64_t h, const std::vector<int>& genes)
+    noexcept {
+  const std::size_t n = genes.size();
+  h = combine(h, n);  // vector boundaries matter, not just concatenation
+  std::uint64_t l0 = h ^ 0x9e3779b97f4a7c15ULL;
+  std::uint64_t l1 = h ^ 0xbf58476d1ce4e5b9ULL;
+  std::uint64_t l2 = h ^ 0x94d049bb133111ebULL;
+  std::uint64_t l3 = h ^ 0x2545f4914f6cdd1dULL;
+  const int* g = genes.data();
+  const auto word = [](int lo, int hi) noexcept {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hi))
+            << 32U);
+  };
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {  // two genes per word, one multiply per word
+    l0 = (l0 ^ word(g[i], g[i + 1])) * 0xff51afd7ed558ccdULL;
+    l1 = (l1 ^ word(g[i + 2], g[i + 3])) * 0xc4ceb9fe1a85ec53ULL;
+    l2 = (l2 ^ word(g[i + 4], g[i + 5])) * 0x87c37b91114253d5ULL;
+    l3 = (l3 ^ word(g[i + 6], g[i + 7])) * 0x4cf5ad432745937fULL;
+  }
+  for (; i < n; ++i) {
+    l0 = mix64(l0 ^ static_cast<std::uint32_t>(g[i]));
+  }
+  return combine(combine(l0, l1), combine(l2, l3));
+}
+
+constexpr std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1U;
+  return p;
+}
+
+constexpr std::size_t round_down_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p * 2 <= n) p <<= 1U;
+  return p;
+}
+
+}  // namespace
+
+namespace {
+
+/// Branchless, vectorizable gene compare: accumulates XOR instead of
+/// early-exiting, so the compiler emits SIMD compares.  At a few hundred
+/// genes the branchy element-at-a-time loop costs more than the rest of
+/// the lookup combined; the reduction is ~30x cheaper.
+template <typename Stored>
+int xor_accumulate(const std::vector<int>& genes, const Stored* p) noexcept {
+  int diff = 0;
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    diff |= genes[i] ^ static_cast<int>(p[i]);  // int16 promotes exactly
+  }
+  return diff;
+}
+
+}  // namespace
+
+bool FitnessCache::Slot::matches(const Allocation& genome) const noexcept {
+  if (genome.machine.size() != machine_n || genome.order.size() != order_n ||
+      genome.pstate.size() != pstate_n) {
+    return false;
+  }
+  int diff = 0;
+  if (narrow) {
+    const std::int16_t* p = packed.data();
+    diff |= xor_accumulate(genome.machine, p);
+    diff |= xor_accumulate(genome.order, p + machine_n);
+    diff |= xor_accumulate(genome.pstate, p + machine_n + order_n);
+  } else {
+    const int* p = wide.data();
+    diff |= xor_accumulate(genome.machine, p);
+    diff |= xor_accumulate(genome.order, p + machine_n);
+    diff |= xor_accumulate(genome.pstate, p + machine_n + order_n);
+  }
+  return diff == 0;
+}
+
+void FitnessCache::Slot::assign(const Allocation& genome) {
+  machine_n = static_cast<std::uint32_t>(genome.machine.size());
+  order_n = static_cast<std::uint32_t>(genome.order.size());
+  pstate_n = static_cast<std::uint32_t>(genome.pstate.size());
+  const std::size_t total = machine_n + order_n + pstate_n;
+  // Branchless range check: the shifted sum is nonzero iff any gene falls
+  // outside [-32768, 32767].  Unsigned arithmetic, so no overflow UB.
+  const auto fits_int16 = [](const std::vector<int>& genes) noexcept {
+    std::uint32_t acc = 0;
+    for (const int g : genes) {
+      acc |= (static_cast<std::uint32_t>(g) + 32768U) >> 16U;
+    }
+    return acc == 0;
+  };
+  narrow = fits_int16(genome.machine) && fits_int16(genome.order) &&
+           fits_int16(genome.pstate);
+  if (narrow) {
+    wide.clear();
+    packed.resize(total);  // same genome shape as the evictee: no realloc
+    std::int16_t* p = packed.data();
+    const auto append = [&p](const std::vector<int>& genes) noexcept {
+      for (const int g : genes) *p++ = static_cast<std::int16_t>(g);
+    };
+    append(genome.machine);
+    append(genome.order);
+    append(genome.pstate);
+  } else {
+    packed.clear();
+    wide.resize(total);
+    int* p = wide.data();
+    const auto append = [&p](const std::vector<int>& genes) noexcept {
+      for (const int g : genes) *p++ = g;
+    };
+    append(genome.machine);
+    append(genome.order);
+    append(genome.pstate);
+  }
+}
+
+FitnessCache::FitnessCache(FitnessCacheConfig config)
+    : capacity_(std::max<std::size_t>(config.capacity, 1)),
+      fingerprinter_(std::move(config.fingerprinter)) {
+  const std::size_t shards =
+      std::clamp<std::size_t>(round_up_pow2(std::max<std::size_t>(
+                                  config.shards, 1)),
+                              1, 256);
+  shard_mask_ = shards - 1;
+  const std::size_t per_shard_slots =
+      round_down_pow2(std::max<std::size_t>(capacity_ / shards, 1));
+  slot_mask_ = per_shard_slots - 1;
+  capacity_ = per_shard_slots * shards;
+  shards_ = std::make_unique<Shard[]>(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_[s].slots.resize(per_shard_slots);
+  }
+  if (config.metrics != nullptr) {
+    metric_hits_ = &config.metrics->counter("cache.hits");
+    metric_misses_ = &config.metrics->counter("cache.misses");
+    metric_evictions_ = &config.metrics->counter("cache.evictions");
+  }
+}
+
+std::uint64_t FitnessCache::fingerprint(const Allocation& genome) noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi, nothing up the sleeve
+  h = hash_genes(h, genome.machine);
+  h = hash_genes(h, genome.order);
+  h = hash_genes(h, genome.pstate);
+  return h;
+}
+
+std::uint64_t FitnessCache::fingerprint_of(const Allocation& genome) const {
+  return fingerprinter_ ? fingerprinter_(genome) : fingerprint(genome);
+}
+
+std::optional<EUPoint> FitnessCache::lookup(const Allocation& genome) const {
+  return lookup_at(fingerprint_of(genome), genome);
+}
+
+std::optional<EUPoint> FitnessCache::lookup_at(
+    std::uint64_t fp, const Allocation& genome) const {
+  Shard& shard = shard_for(fp);
+  {
+    const std::lock_guard lock(shard.mutex);
+    const Slot& slot = shard.slots[fp & slot_mask_];
+    if (slot.occupied && slot.fp == fp && slot.matches(genome)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_hits_ != nullptr) metric_hits_->add(1);
+      return slot.objectives;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_misses_ != nullptr) metric_misses_->add(1);
+  return std::nullopt;
+}
+
+void FitnessCache::insert(const Allocation& genome,
+                          const EUPoint& objectives) {
+  insert_at(fingerprint_of(genome), genome, objectives);
+}
+
+void FitnessCache::insert_at(std::uint64_t fp, const Allocation& genome,
+                             const EUPoint& objectives) {
+  Shard& shard = shard_for(fp);
+  const std::lock_guard lock(shard.mutex);
+  Slot& slot = shard.slots[fp & slot_mask_];
+  if (slot.occupied) {
+    // Concurrent double-compute of the same genome: keep the original.
+    // Evaluation is pure, so both writers hold equal points — first write
+    // wins is the bit-stable convention.
+    if (slot.fp == fp && slot.matches(genome)) return;
+    // Slot conflict or fingerprint collision: the resident genome is
+    // evicted in place.  Slot::assign reuses the slot's existing buffers,
+    // so steady-state misses allocate nothing.
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_evictions_ != nullptr) metric_evictions_->add(1);
+  } else {
+    slot.occupied = true;
+    ++shard.occupied_count;
+  }
+  slot.fp = fp;
+  slot.assign(genome);
+  slot.objectives = objectives;
+}
+
+EUPoint FitnessCache::evaluate(const BiObjectiveProblem& problem,
+                               const Allocation& genome) {
+  return evaluate_through(genome, [&problem](const Allocation& g) {
+    return problem.evaluate(g);
+  });
+}
+
+std::size_t FitnessCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s <= shard_mask_; ++s) {
+    const std::lock_guard lock(shards_[s].mutex);
+    total += shards_[s].occupied_count;
+  }
+  return total;
+}
+
+}  // namespace eus

@@ -1,0 +1,164 @@
+#pragma once
+
+// Memoized fitness for NSGA-II populations.  The algorithm is elitist:
+// parents survive across generations and segment-swap crossover between
+// similar parents frequently reproduces byte-identical children, so the
+// same allocation is re-simulated through Evaluator::run thousands of
+// times per study.  The bi-objective evaluation is a pure function of the
+// genome, which makes it safely cacheable: a hit returns the exact EUPoint
+// computed the first time, so fronts stay bit-identical with the cache on
+// or off, at any thread count.
+//
+// Concurrency: the table is sharded by the high bits of a 64-bit genome
+// fingerprint; each shard has its own mutex, so concurrent lookups from
+// the population-evaluation pool rarely contend.  Hits verify the full
+// genome against the stored copy — a fingerprint collision degrades to a
+// miss, never to silent corruption.
+//
+// Layout: each shard is a fixed, direct-mapped slot array (low fingerprint
+// bits select the slot).  An insert landing on an occupied slot evicts the
+// resident genome in place, reusing the slot's vector buffers — after
+// warm-up the miss path performs no heap allocation, which matters because
+// NSGA-II studies push millions of mostly-distinct genomes through the
+// cache and a node-based table would pay an allocator round-trip per miss.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "pareto/point.hpp"
+#include "sched/allocation.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace eus {
+
+class BiObjectiveProblem;
+
+struct FitnessCacheConfig {
+  /// Maximum cached genomes across all shards.  Divided evenly; the
+  /// per-shard slot count is rounded down to a power of two (>= 1), so the
+  /// effective capacity() can be below the request.
+  std::size_t capacity = 1U << 12U;
+  /// Independently locked shards; rounded up to a power of two in [1, 256].
+  std::size_t shards = 16;
+  /// Optional telemetry sink: publishes "cache.hits" / "cache.misses" /
+  /// "cache.evictions" alongside the cache's own counters.  Must outlive
+  /// the cache.
+  MetricsRegistry* metrics = nullptr;
+  /// Test seam: overrides the genome fingerprint (e.g. a constant hash to
+  /// force collisions).  Production code leaves it unset.
+  std::function<std::uint64_t(const Allocation&)> fingerprinter;
+};
+
+/// Thread-safe, sharded genome -> objectives memo.  Share one instance
+/// across every population of a study (see StudyEngineConfig::cache).
+class FitnessCache {
+ public:
+  explicit FitnessCache(FitnessCacheConfig config = {});
+
+  FitnessCache(const FitnessCache&) = delete;
+  FitnessCache& operator=(const FitnessCache&) = delete;
+
+  /// 64-bit fingerprint of (machine, order, pstate).  Equal genomes always
+  /// fingerprint equally; distinct genomes collide with ~2^-64 probability
+  /// (and collisions are caught by full-genome verification).
+  [[nodiscard]] static std::uint64_t fingerprint(
+      const Allocation& genome) noexcept;
+
+  /// Cached objectives for `genome`, or nullopt.  Counts a hit or a miss.
+  [[nodiscard]] std::optional<EUPoint> lookup(const Allocation& genome) const;
+
+  /// Stores `objectives` for `genome` in its direct-mapped slot.  A
+  /// different genome already resident there is evicted (counted); storing
+  /// a genome that is already resident keeps the original entry.
+  void insert(const Allocation& genome, const EUPoint& objectives);
+
+  /// The memoized evaluation: returns the cached objectives when `genome`
+  /// was seen before, otherwise computes through `evaluate` (called
+  /// without any lock held) and stores the result.  `evaluate` must be a
+  /// pure function of the genome.
+  template <typename Fn>
+  EUPoint evaluate_through(const Allocation& genome, Fn&& evaluate) {
+    // Fingerprint once: the miss path would otherwise pay for it twice
+    // (lookup + insert), and misses dominate early generations.
+    const std::uint64_t fp = fingerprint_of(genome);
+    if (const std::optional<EUPoint> cached = lookup_at(fp, genome)) {
+      return *cached;
+    }
+    const EUPoint fresh = std::forward<Fn>(evaluate)(genome);
+    insert_at(fp, genome, fresh);
+    return fresh;
+  }
+
+  /// evaluate_through over BiObjectiveProblem::evaluate.
+  EUPoint evaluate(const BiObjectiveProblem& problem,
+                   const Allocation& genome);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One cached genome.  The gene vectors are stored concatenated and,
+  /// whenever every gene fits, narrowed to int16 — losslessly, since
+  /// membership is range-checked before narrowing.  Hits verify every
+  /// gene against this copy (collisions never corrupt); halving the bytes
+  /// halves the dominant cost of a lookup, which is cold-memory traffic
+  /// against a table the evaluator keeps pushing out of the CPU caches.
+  struct Slot {
+    std::uint64_t fp = 0;
+    std::uint32_t machine_n = 0;
+    std::uint32_t order_n = 0;
+    std::uint32_t pstate_n = 0;
+    bool occupied = false;
+    bool narrow = true;
+    std::vector<std::int16_t> packed;  ///< common case: all genes int16
+    std::vector<int> wide;             ///< fallback for out-of-range genes
+    EUPoint objectives{};
+
+    [[nodiscard]] bool matches(const Allocation& genome) const noexcept;
+    void assign(const Allocation& genome);
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Slot> slots;  ///< fixed size, direct-mapped by low fp bits
+    std::size_t occupied_count = 0;
+  };
+
+  [[nodiscard]] std::uint64_t fingerprint_of(const Allocation& genome) const;
+  [[nodiscard]] std::optional<EUPoint> lookup_at(
+      std::uint64_t fp, const Allocation& genome) const;
+  void insert_at(std::uint64_t fp, const Allocation& genome,
+                 const EUPoint& objectives);
+  [[nodiscard]] Shard& shard_for(std::uint64_t fp) const noexcept {
+    return shards_[(fp >> 56U) & shard_mask_];
+  }
+
+  std::size_t capacity_;
+  std::uint64_t slot_mask_;  ///< per-shard slot count - 1 (power of two)
+  std::uint64_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+  std::function<std::uint64_t(const Allocation&)> fingerprinter_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  /// Registry handles, resolved once (null when metrics are disabled).
+  Counter* metric_hits_ = nullptr;
+  Counter* metric_misses_ = nullptr;
+  Counter* metric_evictions_ = nullptr;
+};
+
+}  // namespace eus

@@ -7,8 +7,19 @@
 #include "core/crowding.hpp"
 #include "core/nondominated_sort.hpp"
 #include "core/operators.hpp"
+#include "pareto/front.hpp"
 
 namespace eus {
+
+std::size_t crowded_tournament_winner(
+    const std::vector<Individual>& population, std::size_t a, std::size_t b,
+    Rng& rng) {
+  const Individual& ia = population[a];
+  const Individual& ib = population[b];
+  if (ia.rank != ib.rank) return ia.rank < ib.rank ? a : b;
+  if (ia.crowding != ib.crowding) return ia.crowding > ib.crowding ? a : b;
+  return rng.below(2) == 0 ? a : b;
+}
 
 Nsga2::Nsga2(const BiObjectiveProblem& problem, Nsga2Config config)
     : problem_(&problem), config_(config), rng_(config.seed) {
@@ -44,7 +55,9 @@ void Nsga2::evaluate_all(std::vector<Individual>& individuals,
   const std::size_t count = individuals.size() - begin;
   const auto eval_one = [&](std::size_t k) {
     Individual& ind = individuals[begin + k];
-    ind.objectives = problem_->evaluate(ind.genome);
+    ind.objectives = config_.cache != nullptr
+                         ? config_.cache->evaluate(*problem_, ind.genome)
+                         : problem_->evaluate(ind.genome);
   };
   if (eval_pool_ != nullptr) {
     eval_pool_->parallel_for(count, eval_one);
@@ -146,10 +159,7 @@ void Nsga2::iterate(std::size_t generations) {
       if (config_.selection == SelectionMode::kUniform) return rng_.below(n);
       const std::size_t a = rng_.below(n);
       const std::size_t b = rng_.below(n);
-      if (meta[a].rank != meta[b].rank) {
-        return meta[a].rank < meta[b].rank ? a : b;
-      }
-      return meta[a].crowding >= meta[b].crowding ? a : b;
+      return crowded_tournament_winner(meta, a, b, rng_);
     };
 
     {
@@ -204,12 +214,13 @@ std::vector<Individual> Nsga2::front() const {
   for (const auto& ind : population_) {
     if (ind.rank == 0) out.push_back(ind);
   }
-  std::sort(out.begin(), out.end(), [](const Individual& a, const Individual& b) {
-    if (a.objectives.energy != b.objectives.energy) {
-      return a.objectives.energy < b.objectives.energy;
-    }
-    return a.objectives.utility < b.objectives.utility;
-  });
+  // Canonical presentation order: ascending energy, descending utility on
+  // ties — the same sweep order pareto/front.cpp uses, so checkpoint front
+  // dumps are ordered identically everywhere.
+  std::sort(out.begin(), out.end(),
+            [](const Individual& a, const Individual& b) {
+              return front_order_less(a.objectives, b.objectives);
+            });
   return out;
 }
 

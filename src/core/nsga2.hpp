@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/fitness_cache.hpp"
 #include "core/problem.hpp"
 #include "sched/allocation.hpp"
 #include "telemetry/metrics.hpp"
@@ -63,6 +64,12 @@ struct Nsga2Config {
   /// Optional telemetry sink (must outlive the algorithm).  Counters and
   /// timers aggregate across every instance sharing the registry.
   MetricsRegistry* metrics = nullptr;
+  /// Optional fitness memo (must outlive the algorithm).  Clone offspring
+  /// and carried-over seeds skip the simulator entirely; evaluation is a
+  /// pure function of the genome, so fronts stay bit-identical with the
+  /// cache present or absent.  Thread-safe — share one across a study's
+  /// concurrently evolving populations (see StudyEngineConfig::cache).
+  FitnessCache* cache = nullptr;
   std::uint64_t seed = 1;
 };
 
@@ -78,6 +85,15 @@ struct Individual {
 /// population reference is only valid during the call.
 using GenerationObserver =
     std::function<void(std::size_t, const std::vector<Individual>&)>;
+
+/// Deb's crowded-comparison binary tournament between candidates `a` and
+/// `b` (indices into `population`): lower rank wins; equal ranks prefer
+/// the larger crowding distance; an *exact* crowding tie is broken by a
+/// fair coin flip from `rng` (historically the first candidate always won,
+/// deterministically biasing selection toward earlier draws).
+[[nodiscard]] std::size_t crowded_tournament_winner(
+    const std::vector<Individual>& population, std::size_t a, std::size_t b,
+    Rng& rng);
 
 class Nsga2 {
  public:

@@ -14,12 +14,8 @@ std::vector<std::size_t> nondominated_indices(
   std::vector<std::size_t> idx(points.size());
   std::iota(idx.begin(), idx.end(), 0U);
   std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-    if (points[a].energy != points[b].energy) {
-      return points[a].energy < points[b].energy;
-    }
-    if (points[a].utility != points[b].utility) {
-      return points[a].utility > points[b].utility;
-    }
+    if (front_order_less(points[a], points[b])) return true;
+    if (front_order_less(points[b], points[a])) return false;
     return a < b;
   });
 

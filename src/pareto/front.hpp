@@ -9,6 +9,16 @@
 
 namespace eus {
 
+/// Canonical front presentation order: ascending energy, ties broken by
+/// *descending* utility — the sweep order of nondominated_indices().
+/// Nsga2::front() sorts by the same comparator so checkpoint dumps are
+/// ordered consistently everywhere.
+[[nodiscard]] constexpr bool front_order_less(const EUPoint& a,
+                                              const EUPoint& b) noexcept {
+  if (a.energy != b.energy) return a.energy < b.energy;
+  return a.utility > b.utility;
+}
+
 /// Indices of the nondominated members of `points` (rank-1 set), in
 /// ascending-energy order.  Duplicates of a nondominated point are all
 /// kept.  O(n log n).

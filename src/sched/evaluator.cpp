@@ -161,6 +161,7 @@ Evaluation Evaluator::run(const Allocation& allocation,
 }
 
 Evaluation Evaluator::evaluate(const Allocation& allocation) const {
+  validate(allocation);
   return run(allocation, [](std::uint32_t, const TaskOutcome&) {});
 }
 

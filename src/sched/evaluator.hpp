@@ -69,9 +69,17 @@ class Evaluator {
 
   /// Fast path: objectives only.  Thread-safe (no shared mutable state);
   /// call it concurrently from the population-evaluation pool.
+  ///
+  /// Contract: the allocation is validate()d first — a malformed shape, an
+  /// out-of-range machine index, an ineligible mapping, or a bad P-state
+  /// throws std::invalid_argument instead of indexing out of bounds.
+  /// Out-of-range *order* values are fine (orders are free-form
+  /// priorities).  Under the fitness cache each unique genome pays the
+  /// check once; cache hits skip evaluate() entirely.
   [[nodiscard]] Evaluation evaluate(const Allocation& allocation) const;
 
-  /// Slow path: the full per-task timeline plus the aggregate.
+  /// Slow path: the full per-task timeline plus the aggregate.  Validates
+  /// like evaluate().
   [[nodiscard]] std::pair<Evaluation, std::vector<TaskOutcome>> detail(
       const Allocation& allocation) const;
 

@@ -50,4 +50,14 @@ std::size_t bench_threads() {
   return t < 0 ? 0U : static_cast<std::size_t>(t);
 }
 
+std::size_t bench_cache_capacity() {
+  constexpr std::size_t kDefault = 1U << 12U;
+  const auto text = env_string("EUS_CACHE");
+  if (!text) return kDefault;
+  if (*text == "off" || *text == "none" || *text == "0") return 0;
+  if (*text == "on") return kDefault;
+  const std::int64_t v = env_int("EUS_CACHE", -1);
+  return v > 0 ? static_cast<std::size_t>(v) : kDefault;
+}
+
 }  // namespace eus

@@ -33,4 +33,10 @@ namespace eus {
 /// n workers.  Negative/invalid values fall back to 0.
 [[nodiscard]] std::size_t bench_threads();
 
+/// The fitness-memoization knob (EUS_CACHE): "off"/"none"/"0" disables the
+/// cache, unset/"on" selects the default capacity, and a positive integer
+/// sets the maximum number of cached genomes.  Returns 0 when disabled.
+/// Fronts are bit-identical either way; only wall-clock changes.
+[[nodiscard]] std::size_t bench_cache_capacity();
+
 }  // namespace eus

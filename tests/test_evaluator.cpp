@@ -145,6 +145,24 @@ TEST(Evaluator, EvaluateMatchesDetailAggregate) {
   EXPECT_DOUBLE_EQ(fast_path.makespan, agg.makespan);
 }
 
+TEST(Evaluator, EvaluateValidatesAtTheApiBoundary) {
+  // Regression: evaluate() used to skip validate() (only detail() called
+  // it), so an out-of-range machine index from a user-supplied allocation
+  // indexed available[m] out of bounds in release builds.
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  Allocation a = all_on(0, 3);
+  a.machine[2] = 7;
+  EXPECT_THROW((void)ev.evaluate(a), std::invalid_argument);
+  a.machine[2] = -3;
+  EXPECT_THROW((void)ev.evaluate(a), std::invalid_argument);
+  EXPECT_THROW((void)ev.evaluate(all_on(0, 2)), std::invalid_argument);
+  Allocation p = all_on(0, 3);
+  p.pstate = {0, 0, 0};  // pstates without a DVFS model
+  EXPECT_THROW((void)ev.evaluate(p), std::invalid_argument);
+}
+
 TEST(Evaluator, ValidateRejectsShapeMismatch) {
   const SystemModel sys = two_machine_system();
   const Trace trace = three_task_trace();
@@ -207,6 +225,72 @@ TEST(Evaluator, DroppingFreesTheMachineForLaterTasks) {
   EXPECT_FALSE(detail[2].dropped);
   EXPECT_DOUBLE_EQ(detail[2].start, 10.0);
   EXPECT_DOUBLE_EQ(detail[2].utility, 80.0);
+}
+
+TEST(Evaluator, DroppedTaskOutcomeContents) {
+  const SystemModel sys = two_machine_system();
+  TufClassLibrary lib = linear_library();
+  const Trace trace({{0, 0.0, 0}, {0, 0.0, 0}}, lib);
+  EvaluatorOptions opts;
+  opts.drop_worthless_tasks = true;
+  opts.drop_threshold = 85.0;  // second task would finish at 20 -> utility 80
+  const Evaluator ev(sys, trace, opts);
+  const auto [total, detail] = ev.detail(all_on(0, 2));
+  ASSERT_EQ(total.dropped, 1U);
+  // A dropped task keeps its assigned machine but consumes nothing: no
+  // timeline, no utility, no energy.
+  EXPECT_TRUE(detail[1].dropped);
+  EXPECT_EQ(detail[1].machine, 0);
+  EXPECT_DOUBLE_EQ(detail[1].start, 0.0);
+  EXPECT_DOUBLE_EQ(detail[1].finish, 0.0);
+  EXPECT_DOUBLE_EQ(detail[1].utility, 0.0);
+  EXPECT_DOUBLE_EQ(detail[1].energy, 0.0);
+  EXPECT_FALSE(detail[0].dropped);
+}
+
+TEST(Evaluator, FullyDroppedMachineBillsNoIdleEnergy) {
+  // A machine whose every task is dropped never runs (available[m] stays
+  // 0), so the idle-power model must treat it as powered down — not bill
+  // idle wattage from t = 0.
+  const SystemModel sys = two_machine_system();
+  std::vector<TufClass> classes;
+  classes.push_back({"linear", 1.0, make_linear_decay_tuf(100.0, 0.0, 100.0)});
+  classes.push_back({"doomed", 1.0, make_hard_deadline_tuf(50.0, 5.0)});
+  const TufClassLibrary lib(std::move(classes));
+  // Task 0 (20 s on machine 1 against a 5 s deadline) is machine 1's only
+  // work -> dropped; task 1 (live) arrives at t=50 and waits on machine 0.
+  const Trace trace({{0, 0.0, 1}, {0, 50.0, 0}}, lib);
+  EvaluatorOptions opts;
+  opts.drop_worthless_tasks = true;
+  opts.idle_watts = {20.0, 1e9};  // machine 1 would dominate if mis-billed
+  const Evaluator ev(sys, trace, opts);
+  Allocation a = all_on(0, 2);
+  a.machine = {1, 0};
+  const Evaluation e = ev.evaluate(a);
+  EXPECT_EQ(e.dropped, 1U);
+  EXPECT_DOUBLE_EQ(e.idle_energy, 20.0 * 50.0);  // machine 0's gap only
+  EXPECT_DOUBLE_EQ(e.energy, 10.0 * 100.0 + 20.0 * 50.0);
+}
+
+TEST(Evaluator, SortPathsAgreeOnDuplicateOutOfRangeOrders) {
+  // Equal order values tie-break on the task index in both the counting
+  // sort (all orders in [0, T)) and the comparison fallback (any ints).
+  const SystemModel sys = two_machine_system();
+  const Trace trace = three_task_trace();
+  const Evaluator ev(sys, trace);
+  Allocation counting = all_on(0, 3);
+  counting.order = {1, 0, 1};  // duplicates, in range
+  Allocation fallback = all_on(0, 3);
+  fallback.order = {7, -2, 7};  // same relative order, out of range
+  const auto [ca, cd] = ev.detail(counting);
+  const auto [fa, fd] = ev.detail(fallback);
+  EXPECT_DOUBLE_EQ(ca.utility, fa.utility);
+  EXPECT_DOUBLE_EQ(ca.energy, fa.energy);
+  EXPECT_DOUBLE_EQ(ca.makespan, fa.makespan);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(cd[i].start, fd[i].start) << i;
+    EXPECT_DOUBLE_EQ(cd[i].finish, fd[i].finish) << i;
+  }
 }
 
 TEST(Evaluator, NoDroppingByDefault) {

@@ -1,0 +1,224 @@
+#include "core/fitness_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "tuf/builder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eus {
+namespace {
+
+Allocation genome(std::vector<int> machine, std::vector<int> order,
+                  std::vector<int> pstate = {}) {
+  Allocation a;
+  a.machine = std::move(machine);
+  a.order = std::move(order);
+  a.pstate = std::move(pstate);
+  return a;
+}
+
+/// Distinct genomes derived from an index (n tasks on machine 0/1).
+Allocation nth_genome(std::size_t n, std::size_t tasks = 8) {
+  Allocation a;
+  a.machine.resize(tasks);
+  a.order.resize(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    a.machine[i] = static_cast<int>((n >> i) & 1U);
+    a.order[i] = static_cast<int>(i);
+  }
+  return a;
+}
+
+TEST(FitnessCache, MissThenHitReturnsTheMemoizedPoint) {
+  FitnessCache cache;
+  const Allocation g = genome({0, 1}, {0, 1});
+  std::size_t calls = 0;
+  const auto eval = [&](const Allocation&) {
+    ++calls;
+    return EUPoint{42.0, 7.0};
+  };
+  EXPECT_FALSE(cache.lookup(g).has_value());
+  EXPECT_EQ(cache.evaluate_through(g, eval), (EUPoint{42.0, 7.0}));
+  EXPECT_EQ(cache.evaluate_through(g, eval), (EUPoint{42.0, 7.0}));
+  EXPECT_EQ(calls, 1U);  // the second call was served from the cache
+  EXPECT_EQ(cache.hits(), 1U);
+  EXPECT_EQ(cache.misses(), 2U);  // explicit lookup + first evaluate_through
+  EXPECT_EQ(cache.size(), 1U);
+}
+
+TEST(FitnessCache, FingerprintSeparatesGeneVectors) {
+  // The fingerprint must distinguish which vector a gene lives in and
+  // where vector boundaries fall, not just the concatenated values.
+  const auto fp = [](const Allocation& a) {
+    return FitnessCache::fingerprint(a);
+  };
+  EXPECT_EQ(fp(genome({0, 1}, {2, 3})), fp(genome({0, 1}, {2, 3})));
+  EXPECT_NE(fp(genome({0, 1}, {2, 3})), fp(genome({1, 0}, {2, 3})));
+  EXPECT_NE(fp(genome({0, 1}, {2, 3})), fp(genome({0, 1}, {3, 2})));
+  EXPECT_NE(fp(genome({0, 1}, {2, 3})), fp(genome({0, 1}, {2, 3}, {0, 0})));
+  EXPECT_NE(fp(genome({0, 1, 2}, {0, 1, 2})), fp(genome({0, 1}, {2, 0, 1, 2})));
+  EXPECT_NE(fp(genome({-1}, {0})), fp(genome({1}, {0})));
+}
+
+TEST(FitnessCache, FingerprintCollisionFallsBackToVerification) {
+  // A constant fingerprinter makes every genome collide; full-genome
+  // verification must keep results correct (collision == miss), never
+  // serve another genome's objectives.
+  FitnessCacheConfig config;
+  config.fingerprinter = [](const Allocation&) { return 0x1234ULL; };
+  FitnessCache cache(config);
+
+  const Allocation a = genome({0, 0}, {0, 1});
+  const Allocation b = genome({1, 1}, {0, 1});
+  const auto eval_a = [](const Allocation&) { return EUPoint{1.0, 1.0}; };
+  const auto eval_b = [](const Allocation&) { return EUPoint{2.0, 2.0}; };
+
+  EXPECT_EQ(cache.evaluate_through(a, eval_a), (EUPoint{1.0, 1.0}));
+  // b collides with a's fingerprint but is a different genome: miss.
+  EXPECT_EQ(cache.evaluate_through(b, eval_b), (EUPoint{2.0, 2.0}));
+  EXPECT_EQ(cache.hits(), 0U);
+  EXPECT_EQ(cache.evictions(), 1U);  // b displaced a in the shared slot
+  // The slot now belongs to b; a is a miss again but stays correct.
+  EXPECT_EQ(cache.evaluate_through(b, eval_b), (EUPoint{2.0, 2.0}));
+  EXPECT_EQ(cache.hits(), 1U);
+  EXPECT_EQ(cache.evaluate_through(a, eval_a), (EUPoint{1.0, 1.0}));
+  EXPECT_EQ(cache.size(), 1U);
+}
+
+TEST(FitnessCache, WideGenesVerifyExactly) {
+  // Genes outside int16 take the wide (un-narrowed) storage path; pin both
+  // genomes to one slot so verification alone must tell them apart — even
+  // when they agree in their low 16 bits.
+  FitnessCacheConfig config;
+  config.fingerprinter = [](const Allocation&) { return 7ULL; };
+  FitnessCache cache(config);
+  const Allocation big = genome({1 << 20}, {0});
+  const Allocation low16_twin = genome({(1 << 20) + (1 << 16)}, {0});
+  cache.insert(big, EUPoint{1.0, 1.0});
+  EXPECT_EQ(*cache.lookup(big), (EUPoint{1.0, 1.0}));
+  EXPECT_FALSE(cache.lookup(low16_twin).has_value());
+  // A narrow genome recycles the slot that held wide genes, and vice versa.
+  cache.insert(genome({1}, {0}), EUPoint{2.0, 2.0});
+  EXPECT_EQ(*cache.lookup(genome({1}, {0})), (EUPoint{2.0, 2.0}));
+  EXPECT_FALSE(cache.lookup(big).has_value());
+  cache.insert(big, EUPoint{1.0, 1.0});
+  EXPECT_EQ(*cache.lookup(big), (EUPoint{1.0, 1.0}));
+}
+
+TEST(FitnessCache, ConflictEvictionBoundsSizeAndBalancesTheBooks) {
+  FitnessCacheConfig config;
+  config.capacity = 4;
+  config.shards = 1;
+  FitnessCache cache(config);
+  EXPECT_EQ(cache.capacity(), 4U);
+
+  constexpr std::size_t kInserts = 10;
+  for (std::size_t n = 0; n < kInserts; ++n) {
+    cache.insert(nth_genome(n), EUPoint{static_cast<double>(n), 0.0});
+    EXPECT_LE(cache.size(), 4U);
+  }
+  // Every insert either filled an empty slot or evicted its resident.
+  EXPECT_EQ(cache.evictions(), kInserts - cache.size());
+  EXPECT_GT(cache.evictions(), 0U);  // 10 genomes into 4 slots must evict
+  // Survivors answer with their own objectives; evicted genomes miss.
+  std::size_t survivors = 0;
+  for (std::size_t n = 0; n < kInserts; ++n) {
+    if (const auto hit = cache.lookup(nth_genome(n))) {
+      ++survivors;
+      EXPECT_DOUBLE_EQ(hit->energy, static_cast<double>(n)) << n;
+    }
+  }
+  EXPECT_EQ(survivors, cache.size());
+}
+
+TEST(FitnessCache, ReinsertingAKnownGenomeIsANoOp) {
+  FitnessCacheConfig config;
+  config.capacity = 4;
+  config.shards = 1;
+  FitnessCache cache(config);
+  cache.insert(nth_genome(0), EUPoint{1.0, 1.0});
+  cache.insert(nth_genome(0), EUPoint{9.0, 9.0});  // concurrent double-compute
+  EXPECT_EQ(cache.size(), 1U);
+  EXPECT_EQ(cache.evictions(), 0U);
+  // First write wins; evaluation is pure so both writers hold equal values
+  // in production — keeping the original is the bit-stable choice.
+  EXPECT_EQ(*cache.lookup(nth_genome(0)), (EUPoint{1.0, 1.0}));
+}
+
+TEST(FitnessCache, PublishesCountersToTheRegistry) {
+  MetricsRegistry metrics;
+  FitnessCacheConfig config;
+  config.capacity = 2;
+  config.shards = 1;
+  config.metrics = &metrics;
+  FitnessCache cache(config);
+  const auto eval = [](const Allocation& g) {
+    return EUPoint{static_cast<double>(g.machine[0]), 0.0};
+  };
+  for (std::size_t n = 0; n < 4; ++n) {
+    (void)cache.evaluate_through(nth_genome(n), eval);
+  }
+  (void)cache.evaluate_through(nth_genome(3), eval);  // hit
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("cache.hits"), cache.hits());
+  EXPECT_EQ(snap.counters.at("cache.misses"), cache.misses());
+  EXPECT_EQ(snap.counters.at("cache.evictions"), cache.evictions());
+  EXPECT_EQ(cache.hits(), 1U);
+  EXPECT_EQ(cache.misses(), 4U);
+  // Direct-mapped: which of the four genomes conflicted depends on their
+  // fingerprints, but the books always balance.
+  EXPECT_EQ(cache.evictions(), 4U - cache.size());
+}
+
+TEST(FitnessCache, EvaluateDelegatesToTheProblem) {
+  std::vector<TaskType> tasks = {{"t", Category::kGeneral, -1}};
+  std::vector<MachineType> machines = {{"m", Category::kGeneral}};
+  std::vector<Machine> instances = {{0, "m"}};
+  const SystemModel system(tasks, machines, instances,
+                           Matrix::from_rows({{10.0}}),
+                           Matrix::from_rows({{100.0}}));
+  std::vector<TufClass> classes;
+  classes.push_back({"l", 1.0, make_linear_decay_tuf(100.0, 0.0, 100.0)});
+  const Trace trace({{0, 0.0, 0}}, TufClassLibrary(std::move(classes)));
+  const UtilityEnergyProblem problem(system, trace);
+
+  FitnessCache cache;
+  const Allocation a = genome({0}, {0});
+  EXPECT_EQ(cache.evaluate(problem, a), problem.evaluate(a));
+  EXPECT_EQ(cache.evaluate(problem, a), problem.evaluate(a));
+  EXPECT_EQ(cache.hits(), 1U);
+}
+
+TEST(FitnessCache, ConcurrentLookupsStayConsistent) {
+  // Hammer a small genome set from every pool worker: every result must
+  // match the pure function, and the books must balance.  (Also the
+  // ThreadSanitizer target for the sharded table.)
+  FitnessCacheConfig config;
+  config.capacity = 64;
+  config.shards = 4;
+  FitnessCache cache(config);
+  ThreadPool pool(4);
+  constexpr std::size_t kGenomes = 32;
+  constexpr std::size_t kLookups = 4000;
+  std::atomic<std::size_t> wrong{0};
+  pool.parallel_for(kLookups, [&](std::size_t i) {
+    const std::size_t n = i % kGenomes;
+    const EUPoint expected{static_cast<double>(n), -static_cast<double>(n)};
+    const EUPoint got = cache.evaluate_through(
+        nth_genome(n), [&](const Allocation&) { return expected; });
+    if (!(got == expected)) wrong.fetch_add(1);
+  });
+  EXPECT_EQ(wrong.load(), 0U);
+  EXPECT_EQ(cache.hits() + cache.misses(), kLookups);
+  EXPECT_GT(cache.hits(), 0U);
+  EXPECT_LE(cache.size(), 64U);
+}
+
+}  // namespace
+}  // namespace eus

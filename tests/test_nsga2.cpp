@@ -141,6 +141,60 @@ TEST(Nsga2, FrontSortedByEnergy) {
   }
 }
 
+TEST(Nsga2, FrontOrderMatchesParetoSweepOnEnergyTies) {
+  // Regression: Nsga2::front() used to break equal-energy ties by
+  // *ascending* utility — worst first, the opposite of the sweep order in
+  // pareto/front.cpp.  The comparator is shared now: descending utility.
+  EXPECT_TRUE(front_order_less({5.0, 3.0}, {5.0, 1.0}));
+  EXPECT_FALSE(front_order_less({5.0, 1.0}, {5.0, 3.0}));
+  EXPECT_TRUE(front_order_less({4.0, 1.0}, {5.0, 9.0}));
+  EXPECT_FALSE(front_order_less({5.0, 3.0}, {5.0, 3.0}));
+
+  // End to end, the algorithm's front follows the canonical order.
+  const Fixture fx;
+  Nsga2 ga(fx.problem, small_config());
+  ga.initialize({});
+  ga.iterate(15);
+  const auto front = ga.front();
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_FALSE(
+        front_order_less(front[i].objectives, front[i - 1].objectives));
+  }
+}
+
+TEST(Nsga2, CrowdedTournamentPrefersRankThenCrowding) {
+  std::vector<Individual> pop(2);
+  Rng rng(7);
+  pop[0].rank = 1;
+  pop[1].rank = 0;
+  // The rank-0 individual wins from either draw position.
+  EXPECT_EQ(crowded_tournament_winner(pop, 0, 1, rng), 1U);
+  EXPECT_EQ(crowded_tournament_winner(pop, 1, 0, rng), 1U);
+  pop[0].rank = pop[1].rank = 0;
+  pop[0].crowding = 2.0;
+  pop[1].crowding = 3.0;
+  EXPECT_EQ(crowded_tournament_winner(pop, 0, 1, rng), 1U);
+  EXPECT_EQ(crowded_tournament_winner(pop, 1, 0, rng), 1U);
+}
+
+TEST(Nsga2, CrowdedTournamentBreaksExactCrowdingTiesFairly) {
+  // Regression: an exact crowding tie resolved with >=, so the
+  // first-drawn candidate always won — including the common case where
+  // both draws land in the same (rank, crowding) class.  The tie is now a
+  // coin flip from the algorithm's RNG stream.
+  std::vector<Individual> pop(2);
+  pop[0].rank = pop[1].rank = 0;
+  pop[0].crowding = pop[1].crowding = 1.5;
+  Rng rng(123);
+  const int trials = 2000;
+  int first = 0;
+  for (int t = 0; t < trials; ++t) {
+    if (crowded_tournament_winner(pop, 0, 1, rng) == 0) ++first;
+  }
+  EXPECT_GT(first, 2 * trials / 5);  // both sides must win ~half the time
+  EXPECT_LT(first, 3 * trials / 5);
+}
+
 TEST(Nsga2, ElitismNeverLosesGround) {
   // Hypervolume against a fixed reference must be non-decreasing: the
   // elitist merge keeps every rank-0 solution unless something dominates

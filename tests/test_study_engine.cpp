@@ -63,6 +63,67 @@ TEST(StudyEngine, ConcurrentMatchesSerialBitIdentical) {
   EXPECT_EQ(serial.checkpoints, parallel.checkpoints);
 }
 
+// Extension of the bit-identity guarantee: the fitness cache is a
+// scheduling/memoization change only.  Serial + uncached must match
+// cached runs at 1, 2, and N threads bit for bit.
+TEST(StudyEngine, CachedFrontsBitIdenticalAcrossThreadCounts) {
+  const Fixture fx;
+  const auto specs = paper_population_specs();
+  const std::vector<std::size_t> checkpoints = {2, 5, 9};
+
+  const StudyResult baseline =
+      run_seeding_study(fx.problem, tiny_config(), checkpoints, specs);
+
+  for (const std::size_t threads : {1U, 2U, 4U}) {
+    FitnessCache cache;
+    StudyEngineConfig config;
+    config.threads = threads;
+    config.cache = &cache;
+    StudyEngine engine(config);
+    const StudyResult cached =
+        engine.run(fx.problem, tiny_config(), checkpoints, specs);
+    EXPECT_EQ(baseline.fronts, cached.fronts) << threads << " threads";
+    EXPECT_GT(cache.misses(), 0U);
+  }
+}
+
+TEST(StudyEngine, SharedCacheServesRepeatWorkAndPublishesCounters) {
+  const Fixture fx;
+  const auto specs = paper_population_specs();
+  MetricsRegistry metrics;
+  FitnessCacheConfig cache_config;
+  cache_config.metrics = &metrics;
+  // Ample slots: with the small default table, direct-mapped conflicts
+  // among this fixture's genomes would blur the all-hits arithmetic below.
+  cache_config.capacity = 1U << 16U;
+  FitnessCache cache(cache_config);
+  StudyEngineConfig config;
+  config.threads = 2;
+  config.cache = &cache;
+  config.metrics = &metrics;
+  StudyEngine engine(config);
+
+  const StudyResult first = engine.run(fx.problem, tiny_config(), {3}, specs);
+  const std::uint64_t misses_after_first = cache.misses();
+  const std::uint64_t hits_after_first = cache.hits();
+  const StudyResult second = engine.run(fx.problem, tiny_config(), {3}, specs);
+
+  EXPECT_EQ(first.fronts, second.fronts);
+  // The repeat run re-generates the exact same genomes (same seeds), so it
+  // makes the same number of lookups and nearly all of them hit — only a
+  // genome whose direct-mapped slot a later sibling claimed can re-miss.
+  const std::uint64_t hits_delta = cache.hits() - hits_after_first;
+  const std::uint64_t misses_delta = cache.misses() - misses_after_first;
+  EXPECT_EQ(hits_delta + misses_delta, hits_after_first + misses_after_first);
+  EXPECT_GE(hits_delta, 9 * misses_delta);
+  EXPECT_GT(hits_delta, 0U);
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("cache.hits"), cache.hits());
+  EXPECT_EQ(snap.counters.at("cache.misses"), cache.misses());
+  EXPECT_EQ(snap.counters.at("cache.evictions"), cache.evictions());
+}
+
 TEST(StudyEngine, ResultIndependentOfThreadCount) {
   const Fixture fx;
   const auto specs = paper_population_specs();
