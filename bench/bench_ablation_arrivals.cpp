@@ -10,7 +10,7 @@
 #include "util/table.hpp"
 #include "workload/generator.hpp"
 
-int main() {
+EUS_BENCHMARK(ablation_arrivals, "arrival-process burstiness with the task sequence fixed") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

@@ -7,7 +7,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(ablation_crowding, "crowding truncation on/off: spread, width, hypervolume") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

@@ -8,7 +8,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(ablation_dvfs, "DVFS P-state depth vs the energy floor") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

@@ -9,7 +9,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(ablation_encoding, "priority encoding vs strict-permutation repair") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

@@ -11,7 +11,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(ablation_idle, "idle-power billing vs the paper's busy-only Eq. (3)") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

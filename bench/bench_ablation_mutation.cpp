@@ -8,7 +8,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(ablation_mutation, "mutation-rate sweep at short budgets") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

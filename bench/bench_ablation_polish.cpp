@@ -10,7 +10,7 @@
 #include "pareto/front.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(ablation_polish, "memetic local-search polishing at equal budget") {
   using namespace eus;
 
   const auto budget = static_cast<std::size_t>(

@@ -8,7 +8,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(ablation_population, "population size at a fixed evaluation budget") {
   using namespace eus;
 
   const auto budget = static_cast<std::size_t>(

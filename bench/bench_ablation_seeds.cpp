@@ -8,7 +8,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(ablation_seeds, "all-four-seeds vs min-energy-seeded populations") {
   using namespace eus;
 
   const double scale = 0.1 * bench_scale();

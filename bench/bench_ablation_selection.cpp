@@ -8,7 +8,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(ablation_selection, "uniform parent selection vs crowded tournament") {
   using namespace eus;
 
   const auto checkpoints = scaled_checkpoints(

@@ -10,7 +10,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(baseline_makespan, "ref-[3] makespan-energy baseline problem") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

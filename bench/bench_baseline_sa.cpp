@@ -11,7 +11,7 @@
 #include "pareto/front.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(baseline_sa, "weighted-sum simulated-annealing sweep vs one NSGA-II run") {
   using namespace eus;
 
   const auto budget = static_cast<std::size_t>(

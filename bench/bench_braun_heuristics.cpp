@@ -10,7 +10,7 @@
 #include "pareto/front.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(braun_heuristics, "ref-[24] heuristics standalone and as seeds") {
   using namespace eus;
 
   const Scenario scenario = make_dataset1(bench_seed());

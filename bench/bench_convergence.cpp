@@ -8,7 +8,7 @@
 #include "pareto/archive.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(convergence, "hypervolume-vs-generation convergence curves") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

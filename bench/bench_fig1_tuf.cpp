@@ -4,11 +4,12 @@
 
 #include <iostream>
 
+#include "benchkit/registry.hpp"
 #include "tuf/builder.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(fig1_tuf, "Figure 1 sample time-utility function with paper call-outs") {
   using namespace eus;
 
   const TimeUtilityFunction f = make_figure1_tuf();

@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "benchkit/registry.hpp"
 #include "core/nondominated_sort.hpp"
 #include "core/nsga2.hpp"
 #include "core/study.hpp"
@@ -13,7 +14,7 @@
 #include "util/table.hpp"
 #include "workload/scenarios.hpp"
 
-int main() {
+EUS_BENCHMARK(fig2_dominance, "Figure 2 dominance example + live population rank structure") {
   using namespace eus;
 
   std::cout << "== Figure 2 — solution dominance ==\n";

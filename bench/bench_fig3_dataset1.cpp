@@ -8,13 +8,13 @@
 
 #include "common.hpp"
 
-int main() {
+EUS_BENCHMARK(fig3_dataset1, "Figure 3 five-seed front study on dataset 1 (250 tasks)") {
   using namespace eus;
   bench::FigureSpec spec;
   spec.figure = "Figure 3";
   spec.paper_iters = {100, 1000, 10000, 100000};
   spec.default_scale = 0.1;  // 10 / 100 / 1,000 / 10,000 by default
   const Scenario scenario = make_dataset1(bench_seed());
-  (void)bench::run_figure(spec, scenario);
+  (void)bench::run_figure(ctx, spec, scenario);
   return 0;
 }

@@ -8,13 +8,13 @@
 
 #include "common.hpp"
 
-int main() {
+EUS_BENCHMARK(fig4_dataset2, "Figure 4 five-seed front study on dataset 2 (1000 tasks)") {
   using namespace eus;
   bench::FigureSpec spec;
   spec.figure = "Figure 4";
   spec.paper_iters = {1000, 10000, 100000, 1000000};
   spec.default_scale = 0.005;  // 5 / 50 / 500 / 5,000 by default
   const Scenario scenario = make_dataset2(bench_seed());
-  (void)bench::run_figure(spec, scenario);
+  (void)bench::run_figure(ctx, spec, scenario);
   return 0;
 }

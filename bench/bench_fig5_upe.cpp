@@ -8,7 +8,7 @@
 
 #include "common.hpp"
 
-int main() {
+EUS_BENCHMARK(fig5_upe, "Figure 5 utility-per-energy region method (subplots A/B/C)") {
   using namespace eus;
 
   const double scale = 0.005 * bench_scale();

@@ -9,14 +9,14 @@
 
 #include "common.hpp"
 
-int main() {
+EUS_BENCHMARK(fig6_dataset3, "Figure 6 five-seed front study on dataset 3 (4000 tasks)") {
   using namespace eus;
   bench::FigureSpec spec;
   spec.figure = "Figure 6";
   spec.paper_iters = {1000, 10000, 100000, 1000000};
   spec.default_scale = 0.00125;  // 2 / 13 / 125 / 1,250 by default
   const Scenario scenario = make_dataset3(bench_seed());
-  const StudyResult study = bench::run_figure(spec, scenario);
+  const StudyResult study = bench::run_figure(ctx, spec, scenario);
 
   // Quantify the seeded-dominates-random claim at the final checkpoint.
   std::cout << "\nseeded-vs-random coverage at the final checkpoint "

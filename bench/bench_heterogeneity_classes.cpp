@@ -6,12 +6,13 @@
 // the same, so fronts collapse; with high machine CV the front widens.
 
 #include <iostream>
+#include <string>
 
 #include "common.hpp"
 #include "synth/etc_generators.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(heterogeneity_classes, "front geometry across CVB heterogeneity classes") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(
@@ -39,13 +40,13 @@ int main() {
 
     std::vector<TaskType> tasks;
     for (std::size_t t = 0; t < 20; ++t) {
-      tasks.push_back({"t" + std::to_string(t), Category::kGeneral, -1});
+      tasks.push_back({std::string{"t"} + std::to_string(t), Category::kGeneral, -1});
     }
     std::vector<MachineType> types;
     std::vector<Machine> machines;
     for (std::size_t m = 0; m < 12; ++m) {
-      types.push_back({"m" + std::to_string(m), Category::kGeneral});
-      machines.push_back({static_cast<int>(m), "m" + std::to_string(m)});
+      types.push_back({std::string{"m"} + std::to_string(m), Category::kGeneral});
+      machines.push_back({static_cast<int>(m), std::string{"m"} + std::to_string(m)});
     }
     SystemModel system(std::move(tasks), std::move(types),
                        std::move(machines), etc, epc);

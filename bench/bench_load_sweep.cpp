@@ -12,7 +12,7 @@
 #include "workload/analysis.hpp"
 #include "workload/generator.hpp"
 
-int main() {
+EUS_BENCHMARK(load_sweep, "trade-off space vs offered load") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

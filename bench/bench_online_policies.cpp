@@ -13,7 +13,7 @@
 #include "online/simulator.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(online_policies, "online dispatchers vs the offline front") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

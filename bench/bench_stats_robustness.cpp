@@ -10,7 +10,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(stats_robustness, "SVI conclusions across independent GA seeds") {
   using namespace eus;
 
   const auto generations = static_cast<std::size_t>(

@@ -6,12 +6,13 @@
 
 #include <iostream>
 
+#include "benchkit/registry.hpp"
 #include "data/historical.hpp"
 #include "synth/generator.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(synth_fidelity, "SIII-D2 heterogeneity preservation across synthetic sizes") {
   using namespace eus;
 
   const SystemModel base = historical_system();

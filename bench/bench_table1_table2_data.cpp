@@ -4,11 +4,12 @@
 
 #include <iostream>
 
+#include "benchkit/registry.hpp"
 #include "data/historical.hpp"
 #include "synth/moments.hpp"
 #include "util/table.hpp"
 
-int main() {
+EUS_BENCHMARK(table1_table2_data, "Tables I & II machines/programs + reconstructed ETC/EPC matrices") {
   using namespace eus;
 
   std::cout << "== Table I — machines (designated by CPU) used in benchmark "

@@ -4,11 +4,12 @@
 
 #include <iostream>
 
+#include "benchkit/registry.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 #include "workload/scenarios.hpp"
 
-int main() {
+EUS_BENCHMARK(table3_machines, "Table III 30-machine breakup and special-machine assignments") {
   using namespace eus;
 
   const ExpandedSystem ex = make_expanded_system(bench_seed());

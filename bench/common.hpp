@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "benchkit/registry.hpp"
 #include "core/fitness_cache.hpp"
 #include "core/study.hpp"
 #include "core/study_engine.hpp"
@@ -88,7 +89,11 @@ inline std::unique_ptr<RunRecorder> open_run_recorder(
 }
 
 /// Runs the five-population study for one scenario and prints everything.
-inline StudyResult run_figure(const FigureSpec& spec,
+/// Metrics route through the harness's per-scenario registry (`ctx`), so
+/// eus_bench snapshots evaluation/cache/pool counters around every timed
+/// repetition; a null ctx.metrics (standalone use) gets a local registry.
+inline StudyResult run_figure(const benchkit::ScenarioContext& ctx,
+                              const FigureSpec& spec,
                               const Scenario& scenario) {
   const double scale = spec.default_scale * bench_scale();
   const auto checkpoints = scaled_checkpoints(spec.paper_iters, scale);
@@ -116,7 +121,9 @@ inline StudyResult run_figure(const FigureSpec& spec,
 
   const UtilityEnergyProblem problem(scenario.system, scenario.trace);
 
-  MetricsRegistry metrics;
+  MetricsRegistry local_metrics;
+  MetricsRegistry& metrics =
+      ctx.metrics != nullptr ? *ctx.metrics : local_metrics;
   const std::string run_path =
       env_string("EUS_RUNLOG")
           .value_or(run_slug(spec.figure, scenario.name) + ".jsonl");

@@ -1,0 +1,54 @@
+#include "benchkit/registry.hpp"
+
+#include <algorithm>
+#include <regex>
+
+namespace eus::benchkit {
+
+bool ScenarioRegistry::add(std::string name, std::string description,
+                           ScenarioFn fn) {
+  if (fn == nullptr || name.empty() || find(name) != nullptr) return false;
+  scenarios_.push_back({std::move(name), std::move(description), fn});
+  return true;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::all() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const Scenario& s : scenarios_) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const Scenario* a, const Scenario* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::matching(
+    const std::string& pattern) const {
+  const std::regex re(pattern);
+  std::vector<const Scenario*> out;
+  for (const Scenario* s : all()) {
+    if (std::regex_search(s->name, re)) out.push_back(s);
+  }
+  return out;
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const Scenario& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+bool register_scenario(std::string name, std::string description,
+                       ScenarioFn fn) {
+  return ScenarioRegistry::global().add(std::move(name),
+                                        std::move(description), fn);
+}
+
+}  // namespace eus::benchkit

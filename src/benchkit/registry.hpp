@@ -1,0 +1,89 @@
+#pragma once
+
+// benchkit: the registry half of the unified benchmark harness behind
+// tools/eus_bench.  Each bench/bench_*.cpp defines one scenario with the
+// EUS_BENCHMARK macro; a static registrar adds it to the process-wide
+// table, and the runner lists/filters/runs them with shared warmup,
+// repetition, timing and metrics-snapshot machinery (runner.hpp).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eus {
+class MetricsRegistry;
+}
+
+namespace eus::benchkit {
+
+/// Per-run services the harness hands to a scenario body.  `metrics` is a
+/// registry owned by the runner (fresh per scenario, shared across that
+/// scenario's repetitions); counters and timers a scenario routes through
+/// it are snapshotted around every repetition and land in
+/// BENCH_results.json as secondary metrics.  Standalone callers may leave
+/// it null — scenario code must tolerate that.
+struct ScenarioContext {
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// A scenario body: returns 0 on success; nonzero marks the run failed.
+using ScenarioFn = int (*)(ScenarioContext&);
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  ScenarioFn fn = nullptr;
+};
+
+/// Name -> scenario table.  The global() instance is populated by
+/// EUS_BENCHMARK static registrars before main(); tests build their own.
+class ScenarioRegistry {
+ public:
+  /// Registers a scenario; a duplicate name is rejected (returns false and
+  /// keeps the first registration).
+  bool add(std::string name, std::string description, ScenarioFn fn);
+
+  /// Every scenario, sorted by name (registration order is link order,
+  /// which carries no meaning).
+  [[nodiscard]] std::vector<const Scenario*> all() const;
+
+  /// Scenarios whose name matches `pattern` anywhere (ECMAScript regex,
+  /// grep-style partial match), sorted by name.  Throws std::regex_error
+  /// on a malformed pattern.
+  [[nodiscard]] std::vector<const Scenario*> matching(
+      const std::string& pattern) const;
+
+  [[nodiscard]] const Scenario* find(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return scenarios_.size();
+  }
+
+  /// The process-wide registry EUS_BENCHMARK registers into.
+  static ScenarioRegistry& global();
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// EUS_BENCHMARK's hook into global(); returns the add() result so it can
+/// seed a static initializer.
+bool register_scenario(std::string name, std::string description,
+                       ScenarioFn fn);
+
+}  // namespace eus::benchkit
+
+/// Defines and registers one benchmark scenario:
+///
+///   EUS_BENCHMARK(fig3_dataset1, "Figure 3 fronts on dataset 1") {
+///     ...        // body; `ctx` is the ScenarioContext&
+///     return 0;
+///   }
+#define EUS_BENCHMARK(name, description)                                  \
+  static int eus_benchmark_##name(::eus::benchkit::ScenarioContext&);     \
+  [[maybe_unused]] static const bool eus_benchmark_registered_##name =    \
+      ::eus::benchkit::register_scenario(#name, description,              \
+                                         &eus_benchmark_##name);          \
+  static int eus_benchmark_##name(                                        \
+      [[maybe_unused]] ::eus::benchkit::ScenarioContext& ctx)

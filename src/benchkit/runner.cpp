@@ -1,0 +1,116 @@
+#include "benchkit/runner.hpp"
+
+#include <iostream>
+#include <map>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "benchkit/stats.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace eus::benchkit {
+
+namespace {
+
+/// Discards everything written to it.
+class NullBuf final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return traits_type::not_eof(c); }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
+/// RAII stdout silencer (scoped so an exception cannot leave std::cout
+/// pointing at a dead buffer).
+class ScopedQuietStdout {
+ public:
+  explicit ScopedQuietStdout(bool active) {
+    if (active) saved_ = std::cout.rdbuf(&null_buf_);
+  }
+  ~ScopedQuietStdout() {
+    if (saved_ != nullptr) std::cout.rdbuf(saved_);
+  }
+  ScopedQuietStdout(const ScopedQuietStdout&) = delete;
+  ScopedQuietStdout& operator=(const ScopedQuietStdout&) = delete;
+
+ private:
+  NullBuf null_buf_;
+  std::streambuf* saved_ = nullptr;
+};
+
+/// Median across repetitions for every metric name seen in any repetition
+/// (absent repetitions count as zero so a flaky metric cannot vanish).
+std::map<std::string, double> median_per_name(
+    const std::vector<std::map<std::string, double>>& reps) {
+  std::map<std::string, std::vector<double>> by_name;
+  for (const auto& rep : reps) {
+    for (const auto& entry : rep) by_name[entry.first];  // collect names
+  }
+  for (auto& [name, samples] : by_name) {
+    for (const auto& rep : reps) {
+      const auto it = rep.find(name);
+      samples.push_back(it == rep.end() ? 0.0 : it->second);
+    }
+  }
+  std::map<std::string, double> out;
+  for (auto& [name, samples] : by_name) {
+    out[name] = median(std::move(samples));
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& scenario,
+                            const RunOptions& options) {
+  ScenarioResult result;
+  result.name = scenario.name;
+
+  MetricsRegistry metrics;
+  ScenarioContext ctx{&metrics};
+
+  const auto run_once = [&]() -> int {
+    const ScopedQuietStdout quiet(options.quiet);
+    return scenario.fn(ctx);
+  };
+
+  for (std::size_t i = 0; i < options.warmup; ++i) {
+    result.exit_code = run_once();
+    if (result.exit_code != 0) return result;
+  }
+
+  std::vector<std::map<std::string, double>> counter_reps;
+  std::vector<std::map<std::string, double>> timer_reps;
+  const std::size_t repetitions = options.repetitions == 0
+                                      ? std::size_t{1}
+                                      : options.repetitions;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    const MetricsSnapshot before = metrics.snapshot();
+    Stopwatch timer;
+    result.exit_code = run_once();
+    result.wall_s.push_back(timer.seconds());
+    const MetricsSnapshot after = metrics.snapshot();
+    if (result.exit_code != 0) return result;
+
+    const MetricsSnapshot delta = snapshot_delta(before, after);
+    std::map<std::string, double> counters;
+    for (const auto& [name, value] : delta.counters) {
+      counters[name] = static_cast<double>(value);
+    }
+    counter_reps.push_back(std::move(counters));
+    std::map<std::string, double> timers;
+    for (const auto& [name, stat] : delta.timers) {
+      timers[name] = stat.seconds;
+    }
+    timer_reps.push_back(std::move(timers));
+  }
+
+  result.counters = median_per_name(counter_reps);
+  result.timers_s = median_per_name(timer_reps);
+  return result;
+}
+
+}  // namespace eus::benchkit

@@ -1,0 +1,31 @@
+#pragma once
+
+// The measurement loop shared by tools/eus_bench and the tests: run one
+// scenario with warmup + repeated timed repetitions, snapshotting its
+// MetricsRegistry around each repetition so counter/timer deltas become
+// secondary metrics next to the wall-clock samples.
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "benchkit/registry.hpp"
+#include "benchkit/results.hpp"
+
+namespace eus::benchkit {
+
+struct RunOptions {
+  std::size_t warmup = 1;
+  std::size_t repetitions = 3;
+  /// Swallow the scenario's stdout during runs (scenarios print ASCII
+  /// plots and CSV blocks; the harness only wants their side effects).
+  bool quiet = true;
+};
+
+/// Runs `scenario` under `options` and returns its measured result.  The
+/// scenario sees a fresh MetricsRegistry that lives for all repetitions;
+/// a nonzero scenario return lands in ScenarioResult::exit_code and stops
+/// further repetitions.
+[[nodiscard]] ScenarioResult run_scenario(const Scenario& scenario,
+                                          const RunOptions& options);
+
+}  // namespace eus::benchkit

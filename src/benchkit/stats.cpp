@@ -1,0 +1,34 @@
+#include "benchkit/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace eus::benchkit {
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+Aggregate aggregate(const std::vector<double>& samples) {
+  Aggregate a;
+  if (samples.empty()) return a;
+  a.count = samples.size();
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  a.min = *lo;
+  a.max = *hi;
+  a.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  a.median = median(samples);
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (const double s : samples) deviations.push_back(std::fabs(s - a.median));
+  a.mad = median(std::move(deviations));
+  return a;
+}
+
+}  // namespace eus::benchkit

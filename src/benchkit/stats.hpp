@@ -1,0 +1,30 @@
+#pragma once
+
+// Robust aggregates for repeated wall-clock measurements.  CI runners are
+// noisy; the harness gates on the median and reports the MAD so one
+// descheduled repetition cannot fake a regression.
+
+#include <cstddef>
+#include <vector>
+
+namespace eus::benchkit {
+
+/// Summary of a sample set.  `mad` is the raw median absolute deviation
+/// (no 1.4826 normal-consistency factor).
+struct Aggregate {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double mad = 0.0;
+};
+
+/// Median of `values` (by copy; the even case averages the middle pair).
+/// Returns 0.0 for an empty sample.
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Full summary; all fields zero for an empty sample.
+[[nodiscard]] Aggregate aggregate(const std::vector<double>& samples);
+
+}  // namespace eus::benchkit

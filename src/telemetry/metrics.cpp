@@ -30,6 +30,30 @@ TimerMetric& MetricsRegistry::timer(std::string_view name) {
   return get_or_create(timers_, name);
 }
 
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const std::uint64_t prior = it == before.counters.end() ? 0U : it->second;
+    delta.counters[name] = value >= prior ? value - prior : 0U;
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, stat] : after.timers) {
+    const auto it = before.timers.find(name);
+    MetricsSnapshot::TimerStat d = stat;
+    if (it != before.timers.end()) {
+      d.seconds = stat.seconds >= it->second.seconds
+                      ? stat.seconds - it->second.seconds
+                      : 0.0;
+      d.count = stat.count >= it->second.count ? stat.count - it->second.count
+                                               : 0U;
+    }
+    delta.timers[name] = d;
+  }
+  return delta;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   const std::lock_guard lock(mutex_);
   MetricsSnapshot snap;

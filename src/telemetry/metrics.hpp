@@ -101,6 +101,15 @@ struct MetricsSnapshot {
   std::map<std::string, TimerStat> timers;
 };
 
+/// Per-interval view of two snapshots of the same registry: counters and
+/// timers subtract (names absent from `before` count as zero; a counter
+/// that somehow shrank clamps to zero rather than wrapping), gauges keep
+/// their `after` value (they are instantaneous, not cumulative).  This is
+/// how the bench harness turns one accumulating registry into
+/// per-repetition metrics.
+[[nodiscard]] MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                                             const MetricsSnapshot& after);
+
 /// Thread-safe name -> metric registry.  Lookup is mutex-guarded; returned
 /// references stay valid for the registry's lifetime (metrics are
 /// heap-allocated and never removed).

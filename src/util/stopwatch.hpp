@@ -1,6 +1,9 @@
 #pragma once
 
-// Monotonic wall-clock stopwatch for harness reporting.
+// Monotonic stopwatch for harness timing.  Deliberately pinned to
+// std::chrono::steady_clock: bench timings gate CI against committed
+// baselines, and a wall clock (system_clock) would let an NTP step or a
+// daylight-saving jump fake a regression or hide one mid-measurement.
 
 #include <chrono>
 
@@ -8,6 +11,10 @@ namespace eus {
 
 class Stopwatch {
  public:
+  using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady,
+                "bench timings must come from a monotonic clock");
+
   Stopwatch() noexcept : start_(clock::now()) {}
 
   void reset() noexcept { start_ = clock::now(); }
@@ -22,7 +29,6 @@ class Stopwatch {
   }
 
  private:
-  using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
 
