@@ -1,0 +1,89 @@
+// serve_loadgen: end-to-end serving throughput.  Boots an in-process
+// eus_served engine on an ephemeral loopback port, then drives it with 8
+// concurrent client connections issuing a mixed request stream (greedy
+// heuristics, one shared NSGA-II budget that exercises the front cache,
+// and pareto-queries answered from it).  The scenario fails when any
+// request is refused or errors — backpressure should never trigger at this
+// offered load — so the recorded wall-clock measures the full
+// frame/parse/dispatch/evaluate/respond loop.
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchkit/registry.hpp"
+#include "serve/client.hpp"
+#include "serve/handlers.hpp"
+#include "serve/server.hpp"
+#include "util/env.hpp"
+#include "util/json_value.hpp"
+
+namespace {
+
+using namespace eus;
+using namespace eus::serve;
+
+constexpr std::size_t kClients = 8;
+
+std::string scenario_block(std::uint64_t seed) {
+  return R"("scenario":{"name":"custom","tasks":12,"window_s":30,"seed":)" +
+         std::to_string(seed) + "}";
+}
+
+}  // namespace
+
+EUS_BENCHMARK(serve_loadgen,
+              "eus_served loopback load: 8 concurrent clients, mixed "
+              "heuristic/nsga2/pareto-query stream (EUS_SCALE)") {
+  const auto requests_each = static_cast<std::size_t>(
+      static_cast<double>(12) * bench_scale() + 0.5);
+  const std::size_t per_client = requests_each < 2 ? 2 : requests_each;
+  const std::uint64_t seed = bench_seed();
+
+  ServerConfig config;
+  config.queue_depth = 128;  // no shedding at this offered load
+  config.workers = 4;
+  config.metrics = ctx.metrics;  // serve.* metrics land in BENCH results
+  Server server(config);
+  server.start();
+
+  const std::string nsga2_request =
+      R"({"type":"allocate","mode":"nsga2",)" + scenario_block(seed) +
+      R"(,"nsga2":{"population":8,"generations":4,"seeds":["min-energy"]}})";
+  const std::string query_request =
+      R"({"type":"allocate","mode":"pareto-query",)" + scenario_block(seed) +
+      R"(,"nsga2":{"population":8,"generations":4,"seeds":["min-energy"]}})";
+
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        ClientConnection connection;
+        connection.connect(server.port());
+        for (std::size_t r = 0; r < per_client; ++r) {
+          const std::string& request =
+              r % 3 == 0 ? nsga2_request
+              : r % 3 == 1
+                  ? R"({"type":"allocate","mode":"heuristic:min-min",)" +
+                        scenario_block(seed + c) + "}"
+                  : query_request;
+          const util::JsonValue doc =
+              util::parse_json(connection.call(request));
+          if (static_cast<int>(doc.number_or("code", 0.0)) != kCodeOk) {
+            failures.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.stop();
+
+  return failures.load() == 0 ? 0 : 1;
+}

@@ -27,9 +27,9 @@
 #include <string>
 #include <vector>
 
-namespace eus::benchkit {
+#include "benchkit/json_value.hpp"
 
-class JsonValue;
+namespace eus::benchkit {
 struct BenchResults;
 
 struct BaselineMetric {

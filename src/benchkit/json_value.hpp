@@ -1,70 +1,17 @@
 #pragma once
 
-// Minimal JSON reader for the harness's config-sized documents
-// (bench/baselines.json, BENCH_results.json).  The telemetry layer only
-// emits JSON; compare mode needs to read it back.  Recursive descent over
-// the full RFC 8259 grammar, tuned for clarity over throughput — these
-// files are kilobytes.
+// Compatibility alias: the JSON reader was promoted to util/json_value.hpp
+// so the serve protocol and the bench harness share one implementation.
+// Existing benchkit callers keep compiling; new code should include the
+// util header directly.
 
-#include <cstddef>
-#include <map>
-#include <stdexcept>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "util/json_value.hpp"
 
 namespace eus::benchkit {
 
-/// Malformed input; `what()` carries a byte offset and a short reason.
-class JsonParseError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// One parsed JSON value.  A tagged aggregate rather than a variant: the
-/// documents are tiny, so the wasted members cost nothing and every
-/// accessor stays trivial.
-class JsonValue {
- public:
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  [[nodiscard]] bool is_object() const noexcept {
-    return kind == Kind::kObject;
-  }
-  [[nodiscard]] bool is_array() const noexcept {
-    return kind == Kind::kArray;
-  }
-  [[nodiscard]] bool is_number() const noexcept {
-    return kind == Kind::kNumber;
-  }
-  [[nodiscard]] bool is_string() const noexcept {
-    return kind == Kind::kString;
-  }
-
-  /// Object member lookup; nullptr when absent or not an object.
-  [[nodiscard]] const JsonValue* get(std::string_view key) const;
-
-  /// Member `key` as a number/string, or the fallback when absent or of
-  /// the wrong kind.
-  [[nodiscard]] double number_or(std::string_view key,
-                                 double fallback) const;
-  [[nodiscard]] std::string string_or(std::string_view key,
-                                      std::string_view fallback) const;
-};
-
-/// Parses one JSON document (trailing whitespace allowed, trailing content
-/// rejected).  Throws JsonParseError on malformed input.
-[[nodiscard]] JsonValue parse_json(std::string_view text);
-
-/// Reads and parses a whole file.  Throws std::runtime_error when the file
-/// cannot be read, JsonParseError when it is not valid JSON.
-[[nodiscard]] JsonValue parse_json_file(const std::string& path);
+using JsonParseError = util::JsonParseError;
+using JsonValue = util::JsonValue;
+using util::parse_json;
+using util::parse_json_file;
 
 }  // namespace eus::benchkit

@@ -29,11 +29,11 @@
 #include <string>
 #include <vector>
 
+#include "benchkit/json_value.hpp"
+
 #include "benchkit/stats.hpp"
 
 namespace eus::benchkit {
-
-class JsonValue;
 
 struct ScenarioResult {
   std::string name;

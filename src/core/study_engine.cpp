@@ -62,7 +62,8 @@ StudyResult StudyEngine::run(const BiObjectiveProblem& problem,
 
   const auto run_population = [&](std::size_t p) {
     Nsga2Config config = base_config;
-    config.seed = base_config.seed + 0x9e37 * (p + 1);  // independent streams
+    config.seed =
+        base_config.seed + kPopulationSeedStride * (p + 1);  // own stream
     if (pool_) {
       // Nested parallelism: evaluation batches share the engine's pool.
       config.shared_pool = pool_.get();

@@ -26,6 +26,12 @@
 
 namespace eus {
 
+/// Per-population seed perturbation: population p evolves with
+/// base_seed + kPopulationSeedStride * (p + 1), giving every population an
+/// independent RNG stream.  Exposed so other drivers (eus_served's nsga2
+/// handler) can reproduce a StudyEngine population bit-for-bit.
+inline constexpr std::uint64_t kPopulationSeedStride = 0x9e37;
+
 struct StudyEngineConfig {
   /// Shared pool size: 0 = hardware concurrency, 1 = fully serial (no pool,
   /// the legacy run_seeding_study path), n > 1 = n workers.

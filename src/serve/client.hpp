@@ -1,0 +1,56 @@
+#pragma once
+
+// Small blocking client for the eus_served framing: connect to a loopback
+// port, write one framed JSON request, read one framed JSON response.
+// Shared by eus_client, the loopback integration tests and the
+// serve_loadgen bench scenario so all three speak the exact same protocol
+// code path.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+namespace eus::serve {
+
+/// Could not reach the server (distinct from a server-sent error payload;
+/// eus_client maps it to its own exit code).
+class ConnectError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ClientConnection {
+ public:
+  ClientConnection() = default;
+  ~ClientConnection();
+
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+  ClientConnection(ClientConnection&& other) noexcept;
+  ClientConnection& operator=(ClientConnection&& other) noexcept;
+
+  /// Connects to 127.0.0.1:`port`; throws ConnectError on failure.
+  void connect(std::uint16_t port);
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// Writes one framed request payload; throws ConnectError when the
+  /// connection drops mid-write.
+  void send(std::string_view payload);
+
+  /// Blocks for the next framed response payload; throws ConnectError on
+  /// EOF / connection loss, ProtocolError on a malformed frame.
+  [[nodiscard]] std::string receive();
+
+  /// send() + receive() in one round trip.
+  [[nodiscard]] std::string call(std::string_view payload);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace eus::serve

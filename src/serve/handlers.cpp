@@ -1,0 +1,259 @@
+#include "serve/handlers.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "core/nsga2.hpp"
+#include "core/study_engine.hpp"
+#include "data/historical.hpp"
+#include "pareto/knee.hpp"
+#include "sched/evaluator.hpp"
+#include "telemetry/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace eus::serve {
+
+namespace {
+
+std::string point_json(const EUPoint& point) {
+  JsonObject o;
+  o.field("energy", point.energy);
+  o.field("utility", point.utility);
+  return o.str();
+}
+
+std::string front_json(const std::vector<EUPoint>& front) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    if (i != 0) out += ',';
+    out += point_json(front[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string int_array_json(const std::vector<int>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string allocation_json(const Allocation& allocation) {
+  JsonObject o;
+  o.raw("machine", int_array_json(allocation.machine));
+  o.raw("order", int_array_json(allocation.order));
+  o.raw("pstate", int_array_json(allocation.pstate));
+  return o.str();
+}
+
+/// Evolves the request's single NSGA-II population, deadline-sliced.
+/// Returns whether the deadline expired before the full budget ran; `out`
+/// always carries the best front evolved so far.
+bool run_nsga2(const ServeRequest& request, const HandlerContext& ctx,
+               const Scenario& scenario, std::optional<double> remaining_ms,
+               CachedResult& out) {
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+  Nsga2Config config;
+  config.population_size = request.nsga2.population;
+  config.mutation_probability = request.nsga2.mutation_probability;
+  // Population index 0 of a StudyEngine run over the same base seed: the
+  // served front must be bit-identical to the offline study's.
+  config.seed = request.scenario.seed + kPopulationSeedStride * 1;
+  config.shared_pool = ctx.pool;
+  config.metrics = ctx.metrics;
+
+  Nsga2 algorithm(problem, config);
+  std::vector<Allocation> seeds;
+  seeds.reserve(request.nsga2.seeds.size());
+  for (const SeedHeuristic h : request.nsga2.seeds) {
+    seeds.push_back(make_seed(h, scenario.system, scenario.trace));
+  }
+  algorithm.initialize(seeds);
+
+  // Short slices keep the deadline check responsive without perturbing the
+  // result: iterate(a) then iterate(b) is identical to iterate(a + b).
+  const Stopwatch clock;
+  const std::size_t total = request.nsga2.generations;
+  const std::size_t slice =
+      std::clamp<std::size_t>(total / 32, 1, 64);  // bounds check latency
+  std::size_t done = 0;
+  bool expired = remaining_ms.has_value() && *remaining_ms <= 0.0;
+  while (done < total && !expired) {
+    const std::size_t step = std::min(slice, total - done);
+    algorithm.iterate(step);
+    done += step;
+    expired = remaining_ms.has_value() &&
+              clock.milliseconds() >= *remaining_ms && done < total;
+  }
+
+  out.front = algorithm.front_points();
+  out.evaluations = algorithm.evaluations();
+  out.generations = done;
+  return expired;
+}
+
+/// Resolves a pareto-query against a computed front: constrained picks
+/// scan the ascending-energy front, the unconstrained default is the
+/// utility-per-energy knee (the paper's "most efficient operating point").
+std::optional<EUPoint> select_point(const ParetoQuery& query,
+                                    const std::vector<EUPoint>& front) {
+  if (front.empty()) return std::nullopt;
+  if (query.max_energy || query.min_utility) {
+    std::optional<EUPoint> pick;
+    for (const EUPoint& point : front) {
+      if (query.max_energy && point.energy > *query.max_energy) break;
+      if (query.min_utility && point.utility < *query.min_utility) continue;
+      pick = point;  // last survivor == max utility within the budget
+    }
+    return pick;
+  }
+  try {
+    return analyze_utility_per_energy(front).peak;
+  } catch (const std::invalid_argument&) {
+    return front.back();  // degenerate energies: fall back to max utility
+  }
+}
+
+}  // namespace
+
+std::string error_payload(std::string_view id, int code,
+                          std::string_view status, std::string_view message) {
+  JsonObject o;
+  o.field("type", "response");
+  if (!id.empty()) o.field("id", id);
+  o.field("status", status);
+  o.field("code", static_cast<std::int64_t>(code));
+  o.field("error", message);
+  return o.str();
+}
+
+Scenario build_scenario(const ScenarioSpec& spec) {
+  if (spec.name == "dataset1") return make_dataset1(spec.seed);
+  if (spec.name == "dataset2") return make_dataset2(spec.seed);
+  if (spec.name == "dataset3") return make_dataset3(spec.seed);
+  if (spec.name == "custom") {
+    return make_custom_scenario("custom", historical_system(), spec.tasks,
+                                spec.window_s, spec.seed);
+  }
+  // Inline system from the request's ETC/EPC matrices.
+  const std::size_t num_task_types = spec.etc.size();
+  const std::size_t num_machine_types = spec.etc.front().size();
+  std::vector<TaskType> task_types(num_task_types);
+  for (std::size_t t = 0; t < num_task_types; ++t) {
+    task_types[t].name = "task" + std::to_string(t);
+  }
+  std::vector<MachineType> machine_types(num_machine_types);
+  std::vector<Machine> machines;
+  for (std::size_t m = 0; m < num_machine_types; ++m) {
+    machine_types[m].name = "machine-type" + std::to_string(m);
+    const std::size_t count =
+        spec.machine_counts.empty() ? 1 : spec.machine_counts[m];
+    for (std::size_t i = 0; i < count; ++i) {
+      machines.push_back(Machine{static_cast<int>(m),
+                                 machine_types[m].name + " #" +
+                                     std::to_string(i + 1)});
+    }
+  }
+  try {
+    SystemModel system(std::move(task_types), std::move(machine_types),
+                       std::move(machines), Matrix::from_rows(spec.etc),
+                       Matrix::from_rows(spec.epc));
+    return make_custom_scenario("inline", std::move(system), spec.tasks,
+                                spec.window_s, spec.seed);
+  } catch (const std::invalid_argument& e) {
+    throw ProtocolError(std::string("invalid inline scenario: ") + e.what());
+  }
+}
+
+HandleResult handle_allocate(const ServeRequest& request,
+                             const HandlerContext& ctx,
+                             std::optional<double> remaining_ms,
+                             double queue_ms) {
+  const Stopwatch service;
+  try {
+    const std::string key = request_fingerprint(request);
+    std::optional<CachedResult> cached;
+    if (ctx.cache != nullptr) cached = ctx.cache->lookup(key);
+    const bool cache_hit = cached.has_value();
+
+    bool partial = false;
+    CachedResult result;
+    if (cache_hit) {
+      result = std::move(*cached);
+    } else {
+      const Scenario scenario = build_scenario(request.scenario);
+      if (request.mode == ModeKind::kHeuristic) {
+        result.allocation =
+            make_seed(request.heuristic, scenario.system, scenario.trace);
+        const Evaluator evaluator(scenario.system, scenario.trace);
+        const Evaluation e = evaluator.evaluate(result.allocation);
+        result.front = {EUPoint{e.energy, e.utility}};
+        result.has_allocation = true;
+        result.evaluations = 1;
+      } else {
+        partial = run_nsga2(request, ctx, scenario, remaining_ms, result);
+      }
+      // Partial fronts are deadline artifacts, not the fingerprint's true
+      // result — never let them satisfy a later full-budget request.
+      if (ctx.cache != nullptr && !partial) ctx.cache->insert(key, result);
+    }
+
+    int code = partial ? kCodePartial : kCodeOk;
+    std::optional<EUPoint> point;
+    if (request.mode == ModeKind::kParetoQuery) {
+      point = select_point(request.query, result.front);
+      if (!point) {
+        return {kCodeUnsatisfiable,
+                error_payload(request.id, kCodeUnsatisfiable, "error",
+                              "no front point satisfies the query "
+                              "constraints")};
+      }
+    } else if (request.mode == ModeKind::kHeuristic &&
+               !result.front.empty()) {
+      point = result.front.front();
+    }
+
+    JsonObject o;
+    o.field("type", "response");
+    if (!request.id.empty()) o.field("id", request.id);
+    o.field("status", partial ? "partial" : "ok");
+    o.field("code", static_cast<std::int64_t>(code));
+    std::string mode{to_string(request.mode)};
+    if (request.mode == ModeKind::kHeuristic) {
+      mode += std::string(":") + heuristic_slug(request.heuristic);
+    }
+    o.field("mode", mode);
+    o.field("scenario", request.scenario.name);
+    o.field("cache", cache_hit ? "hit" : "miss");
+    o.raw("front", front_json(result.front));
+    if (point) o.raw("objectives", point_json(*point));
+    if (result.has_allocation) {
+      o.raw("allocation", allocation_json(result.allocation));
+    }
+    o.field("generations", static_cast<std::uint64_t>(result.generations));
+    o.field("evaluations", result.evaluations);
+    o.field("deadline_exceeded", partial);
+    JsonObject timing;
+    timing.field("queue_ms", queue_ms);
+    timing.field("service_ms", service.milliseconds());
+    o.raw("timing", timing.str());
+    return {code, o.str()};
+  } catch (const ProtocolError& e) {
+    return {kCodeBadRequest,
+            error_payload(request.id, kCodeBadRequest, "error", e.what())};
+  } catch (const std::invalid_argument& e) {
+    return {kCodeBadRequest,
+            error_payload(request.id, kCodeBadRequest, "error", e.what())};
+  } catch (const std::exception& e) {
+    return {kCodeInternal,
+            error_payload(request.id, kCodeInternal, "error", e.what())};
+  }
+}
+
+}  // namespace eus::serve

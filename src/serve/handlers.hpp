@@ -1,0 +1,72 @@
+#pragma once
+
+// Query handlers behind the daemon's worker threads: turn one parsed
+// allocate request into a response payload by driving the existing
+// heuristics / NSGA-II / Pareto machinery.
+//
+// The nsga2 mode reproduces a StudyEngine single-population run bit-for-
+// bit: the same seed perturbation (kPopulationSeedStride), the same seed
+// chromosomes, the same generation count — so a served front is
+// byte-identical to the offline study's.  The only serve-specific twist is
+// deadline enforcement: generations run in short slices with the clock
+// checked in between, and on expiry the best front evolved *so far* is
+// returned, flagged `"status":"partial"` / code 206.
+//
+// Handlers are stateless and thread-safe; cross-request state (the LRU
+// front cache, the shared evaluation pool, metrics) arrives through the
+// HandlerContext.
+
+#include <optional>
+#include <string>
+
+#include "serve/front_cache.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/scenarios.hpp"
+
+namespace eus::serve {
+
+/// HTTP-flavored status codes used across the protocol: 200 ok, 206
+/// partial (deadline hit), 400 bad request, 404 unsatisfiable query,
+/// 500 handler failure, 503 overloaded/draining.
+inline constexpr int kCodeOk = 200;
+inline constexpr int kCodePartial = 206;
+inline constexpr int kCodeBadRequest = 400;
+inline constexpr int kCodeUnsatisfiable = 404;
+inline constexpr int kCodeInternal = 500;
+inline constexpr int kCodeOverloaded = 503;
+
+struct HandlerContext {
+  MetricsRegistry* metrics = nullptr;  ///< serve.* + nsga2.* sink (optional)
+  FrontCache* cache = nullptr;         ///< LRU result cache (optional)
+  ThreadPool* pool = nullptr;          ///< shared evaluation pool (optional)
+};
+
+struct HandleResult {
+  int code = kCodeOk;
+  std::string payload;  ///< complete response JSON document
+};
+
+/// Builds the canonical error/overload payload (also used by the server for
+/// framing errors and queue backpressure, where no handler ever runs).
+[[nodiscard]] std::string error_payload(std::string_view id, int code,
+                                        std::string_view status,
+                                        std::string_view message);
+
+/// Materializes the scenario a request names.  Deterministic; throws
+/// ProtocolError (inline system rejected by SystemModel validation) on
+/// incoherent specs.
+[[nodiscard]] Scenario build_scenario(const ScenarioSpec& spec);
+
+/// Executes one allocate request end to end.  `remaining_ms` is the
+/// request deadline budget left at dispatch time (nullopt = no deadline);
+/// `queue_ms` is echoed into the response's timing block.  Never throws
+/// ProtocolError past the boundary — invalid parameter combinations come
+/// back as a 400 payload.
+[[nodiscard]] HandleResult handle_allocate(const ServeRequest& request,
+                                           const HandlerContext& ctx,
+                                           std::optional<double> remaining_ms,
+                                           double queue_ms);
+
+}  // namespace eus::serve

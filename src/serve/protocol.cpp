@@ -1,0 +1,376 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "data/types.hpp"
+
+namespace eus::serve {
+
+namespace {
+
+using util::JsonValue;
+
+[[noreturn]] void fail(const std::string& reason) {
+  throw ProtocolError(reason);
+}
+
+double require_positive(double v, const char* what) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    fail(std::string(what) + " must be a positive finite number");
+  }
+  return v;
+}
+
+std::size_t size_field(const JsonValue& obj, std::string_view key,
+                       std::size_t fallback) {
+  const JsonValue* v = obj.get(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number() || v->number < 0.0 ||
+      v->number != std::floor(v->number)) {
+    fail(std::string(key) + " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(v->number);
+}
+
+std::vector<std::vector<double>> matrix_field(const JsonValue& obj,
+                                              std::string_view key) {
+  const JsonValue* v = obj.get(key);
+  if (v == nullptr || !v->is_array()) {
+    fail(std::string(key) + " must be an array of rows");
+  }
+  std::vector<std::vector<double>> rows;
+  rows.reserve(v->array.size());
+  for (const JsonValue& row : v->array) {
+    if (!row.is_array()) fail(std::string(key) + " rows must be arrays");
+    std::vector<double> out;
+    out.reserve(row.array.size());
+    for (const JsonValue& cell : row.array) {
+      if (cell.kind == JsonValue::Kind::kNull) {
+        out.push_back(kIneligible);  // null == task cannot run there
+      } else if (cell.is_number()) {
+        out.push_back(require_positive(cell.number,
+                                       (std::string(key) + " entry").c_str()));
+      } else {
+        fail(std::string(key) + " entries must be numbers or null");
+      }
+    }
+    if (!rows.empty() && out.size() != rows.front().size()) {
+      fail(std::string(key) + " rows must have equal width");
+    }
+    rows.push_back(std::move(out));
+  }
+  if (rows.empty() || rows.front().empty()) {
+    fail(std::string(key) + " must be non-empty");
+  }
+  return rows;
+}
+
+ScenarioSpec parse_scenario(const JsonValue& doc) {
+  const JsonValue* s = doc.get("scenario");
+  if (s == nullptr || !s->is_object()) {
+    fail("allocate request needs a \"scenario\" object");
+  }
+  ScenarioSpec spec;
+  spec.name = s->string_or("name", "");
+  spec.seed = static_cast<std::uint64_t>(
+      s->number_or("seed", static_cast<double>(spec.seed)));
+  if (spec.name == "dataset1" || spec.name == "dataset2" ||
+      spec.name == "dataset3") {
+    return spec;
+  }
+  if (spec.name == "custom") {
+    spec.tasks = size_field(*s, "tasks", spec.tasks);
+    spec.window_s = require_positive(s->number_or("window_s", spec.window_s),
+                                     "scenario.window_s");
+    if (spec.tasks == 0) fail("scenario.tasks must be >= 1");
+    return spec;
+  }
+  if (spec.name.empty() || spec.name == "inline") {
+    // Inline system: ETC/EPC matrices are mandatory.
+    spec.name = "inline";
+    spec.etc = matrix_field(*s, "etc");
+    spec.epc = matrix_field(*s, "epc");
+    if (spec.epc.size() != spec.etc.size() ||
+        spec.epc.front().size() != spec.etc.front().size()) {
+      fail("scenario.epc shape must match scenario.etc");
+    }
+    if (const JsonValue* counts = s->get("machine_counts");
+        counts != nullptr) {
+      if (!counts->is_array()) fail("scenario.machine_counts must be an array");
+      if (counts->array.size() != spec.etc.front().size()) {
+        fail("scenario.machine_counts must have one entry per machine type");
+      }
+      for (const JsonValue& c : counts->array) {
+        if (!c.is_number() || c.number < 1.0 ||
+            c.number != std::floor(c.number)) {
+          fail("scenario.machine_counts entries must be integers >= 1");
+        }
+        spec.machine_counts.push_back(static_cast<std::size_t>(c.number));
+      }
+    }
+    spec.tasks = size_field(*s, "tasks", spec.tasks);
+    spec.window_s = require_positive(s->number_or("window_s", spec.window_s),
+                                     "scenario.window_s");
+    if (spec.tasks == 0) fail("scenario.tasks must be >= 1");
+    return spec;
+  }
+  fail("unknown scenario name '" + spec.name +
+       "' (want dataset1|dataset2|dataset3|custom|inline)");
+}
+
+Nsga2Params parse_nsga2(const JsonValue& doc) {
+  Nsga2Params params;
+  const JsonValue* n = doc.get("nsga2");
+  if (n == nullptr) return params;
+  if (!n->is_object()) fail("\"nsga2\" must be an object");
+  params.population = size_field(*n, "population", params.population);
+  params.generations = size_field(*n, "generations", params.generations);
+  params.mutation_probability =
+      n->number_or("mutation_probability", params.mutation_probability);
+  if (params.population < 2 || params.population % 2 != 0) {
+    fail("nsga2.population must be even and >= 2");
+  }
+  if (params.generations == 0) fail("nsga2.generations must be >= 1");
+  if (params.mutation_probability < 0.0 ||
+      params.mutation_probability > 1.0) {
+    fail("nsga2.mutation_probability must be in [0, 1]");
+  }
+  if (const JsonValue* seeds = n->get("seeds"); seeds != nullptr) {
+    if (!seeds->is_array()) fail("nsga2.seeds must be an array of names");
+    for (const JsonValue& s : seeds->array) {
+      if (!s.is_string()) fail("nsga2.seeds entries must be strings");
+      const auto h = heuristic_from_slug(s.string);
+      if (!h) fail("unknown seed heuristic '" + s.string + "'");
+      params.seeds.push_back(*h);
+    }
+  }
+  return params;
+}
+
+ParetoQuery parse_query(const JsonValue& doc) {
+  ParetoQuery query;
+  const JsonValue* q = doc.get("query");
+  if (q == nullptr) return query;
+  if (!q->is_object()) fail("\"query\" must be an object");
+  if (const JsonValue* v = q->get("max_energy"); v != nullptr) {
+    if (!v->is_number()) fail("query.max_energy must be a number");
+    query.max_energy = require_positive(v->number, "query.max_energy");
+  }
+  if (const JsonValue* v = q->get("min_utility"); v != nullptr) {
+    if (!v->is_number()) fail("query.min_utility must be a number");
+    query.min_utility = v->number;
+  }
+  return query;
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw ProtocolError("frame payload exceeds 32-bit length prefix");
+  }
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>((n >> 24U) & 0xFFU));
+  frame.push_back(static_cast<char>((n >> 16U) & 0xFFU));
+  frame.push_back(static_cast<char>((n >> 8U) & 0xFFU));
+  frame.push_back(static_cast<char>(n & 0xFFU));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+  // Validate the pending length prefix eagerly so a hostile prefix fails
+  // before any payload accumulates.
+  if (buffer_.size() >= 4) {
+    const auto b = [&](std::size_t i) {
+      return static_cast<std::uint32_t>(
+          static_cast<unsigned char>(buffer_[i]));
+    };
+    const std::uint32_t n =
+        (b(0) << 24U) | (b(1) << 16U) | (b(2) << 8U) | b(3);
+    if (n > max_frame_bytes_) {
+      throw ProtocolError("frame of " + std::to_string(n) +
+                          " bytes exceeds the " +
+                          std::to_string(max_frame_bytes_) + "-byte limit");
+    }
+  }
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t n = (b(0) << 24U) | (b(1) << 16U) | (b(2) << 8U) | b(3);
+  if (buffer_.size() < 4 + static_cast<std::size_t>(n)) return std::nullopt;
+  std::string payload = buffer_.substr(4, n);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(n));
+  // The erase may expose the next frame's prefix; re-validate it.
+  feed("", 0);
+  return payload;
+}
+
+const char* to_string(RequestKind k) noexcept {
+  switch (k) {
+    case RequestKind::kAllocate:
+      return "allocate";
+    case RequestKind::kHealthz:
+      return "healthz";
+    case RequestKind::kMetricsz:
+      return "metricsz";
+  }
+  return "?";
+}
+
+const char* to_string(ModeKind m) noexcept {
+  switch (m) {
+    case ModeKind::kHeuristic:
+      return "heuristic";
+    case ModeKind::kNsga2:
+      return "nsga2";
+    case ModeKind::kParetoQuery:
+      return "pareto-query";
+  }
+  return "?";
+}
+
+const char* heuristic_slug(SeedHeuristic h) noexcept {
+  switch (h) {
+    case SeedHeuristic::kMinEnergy:
+      return "min-energy";
+    case SeedHeuristic::kMaxUtility:
+      return "max-utility";
+    case SeedHeuristic::kMaxUtilityPerEnergy:
+      return "max-utility-per-energy";
+    case SeedHeuristic::kMinMinCompletionTime:
+      return "min-min";
+  }
+  return "?";
+}
+
+std::optional<SeedHeuristic> heuristic_from_slug(
+    std::string_view slug) noexcept {
+  for (const SeedHeuristic h : all_seed_heuristics()) {
+    if (slug == heuristic_slug(h)) return h;
+  }
+  return std::nullopt;
+}
+
+ServeRequest parse_request(const util::JsonValue& doc) {
+  if (!doc.is_object()) fail("request must be a JSON object");
+  ServeRequest request;
+  request.id = doc.string_or("id", "");
+
+  const std::string type = doc.string_or("type", "allocate");
+  if (type == "healthz") {
+    request.kind = RequestKind::kHealthz;
+    return request;
+  }
+  if (type == "metricsz") {
+    request.kind = RequestKind::kMetricsz;
+    return request;
+  }
+  if (type != "allocate") {
+    fail("unknown request type '" + type +
+         "' (want allocate|healthz|metricsz)");
+  }
+  request.kind = RequestKind::kAllocate;
+
+  const std::string mode = doc.string_or("mode", "");
+  constexpr std::string_view kHeuristicPrefix = "heuristic:";
+  if (mode.rfind(kHeuristicPrefix, 0) == 0) {
+    request.mode = ModeKind::kHeuristic;
+    const std::string slug = mode.substr(kHeuristicPrefix.size());
+    const auto h = heuristic_from_slug(slug);
+    if (!h) {
+      std::string known;
+      for (const SeedHeuristic k : all_seed_heuristics()) {
+        if (!known.empty()) known += '|';
+        known += heuristic_slug(k);
+      }
+      fail("unknown heuristic '" + slug + "' (want " + known + ")");
+    }
+    request.heuristic = *h;
+  } else if (mode == "nsga2") {
+    request.mode = ModeKind::kNsga2;
+  } else if (mode == "pareto-query") {
+    request.mode = ModeKind::kParetoQuery;
+  } else {
+    fail("unknown mode '" + mode +
+         "' (want heuristic:<name>|nsga2|pareto-query)");
+  }
+
+  request.scenario = parse_scenario(doc);
+  request.nsga2 = parse_nsga2(doc);
+  request.query = parse_query(doc);
+
+  if (const JsonValue* d = doc.get("deadline_ms"); d != nullptr) {
+    if (!d->is_number() || d->number < 0.0) {
+      fail("deadline_ms must be a non-negative number");
+    }
+    request.deadline_ms = d->number;
+  }
+  return request;
+}
+
+ServeRequest parse_request_text(std::string_view json) {
+  try {
+    return parse_request(util::parse_json(json));
+  } catch (const util::JsonParseError& e) {
+    fail(std::string("malformed JSON: ") + e.what());
+  }
+}
+
+std::string request_fingerprint(const ServeRequest& request) {
+  std::ostringstream key;
+  key.precision(17);
+  const ScenarioSpec& s = request.scenario;
+  key << "scenario=" << s.name << ";seed=" << s.seed;
+  if (s.name == "custom" || s.name == "inline") {
+    key << ";tasks=" << s.tasks << ";window=" << s.window_s;
+  }
+  if (s.name == "inline") {
+    // FNV-1a over the matrix entries' bit patterns keeps the key short
+    // while remaining a pure function of the inline system.
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFFU;
+        h *= 1099511628211ULL;
+      }
+    };
+    for (const auto* m : {&s.etc, &s.epc}) {
+      mix(m->size());
+      for (const auto& row : *m) {
+        for (const double x : row) {
+          std::uint64_t bits = 0;
+          static_assert(sizeof(bits) == sizeof(x));
+          std::memcpy(&bits, &x, sizeof(bits));
+          mix(bits);
+        }
+      }
+    }
+    for (const std::size_t c : s.machine_counts) mix(c);
+    key << ";system=" << std::hex << h << std::dec;
+  }
+  key << "|mode=";
+  if (request.mode == ModeKind::kHeuristic) {
+    key << "heuristic:" << heuristic_slug(request.heuristic);
+  } else {
+    // pareto-query shares the nsga2 fingerprint on purpose: it reads the
+    // front an nsga2 request with the same budget would compute.
+    const Nsga2Params& n = request.nsga2;
+    key << "nsga2;pop=" << n.population << ";gen=" << n.generations
+        << ";mut=" << n.mutation_probability << ";seeds=";
+    for (const SeedHeuristic h : n.seeds) key << heuristic_slug(h) << ',';
+  }
+  return key.str();
+}
+
+}  // namespace eus::serve

@@ -1,0 +1,133 @@
+#pragma once
+
+// The eus_served wire protocol: length-prefixed JSON frames over TCP.
+//
+// Frame layout: a 4-byte big-endian unsigned payload length, then exactly
+// that many bytes of UTF-8 JSON.  Both directions use the same framing.
+// Oversized frames are a protocol error — the decoder rejects them before
+// buffering the payload, so a hostile length prefix cannot balloon memory.
+//
+// A request document carries a type ("allocate" | "healthz" | "metricsz"),
+// and for allocate: a scenario (named dataset or inline ETC/EPC), a mode
+// ("heuristic:<name>" | "nsga2" | "pareto-query"), optional NSGA-II budget
+// parameters and an optional deadline.  docs/serving.md documents the full
+// schema with examples; parse_request enforces it and throws ProtocolError
+// (with a human-readable reason) on any violation.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "heuristics/seeds.hpp"
+#include "util/json_value.hpp"
+
+namespace eus::serve {
+
+/// Default cap on a single frame's payload; a request larger than this is
+/// rejected with a framing error (inline ETC/EPC matrices fit comfortably).
+inline constexpr std::size_t kMaxFrameBytes = 4U << 20U;
+
+/// Malformed frame or request document.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Renders `payload` as one frame (4-byte big-endian length + payload).
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder: feed() raw bytes as they arrive, next() pops
+/// one complete payload when available.  A length prefix beyond
+/// `max_frame_bytes` throws ProtocolError immediately.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const char* data, std::size_t size);
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// Bytes buffered but not yet returned (tests; bounded by one frame).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size();
+  }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+};
+
+enum class RequestKind { kAllocate, kHealthz, kMetricsz };
+
+enum class ModeKind { kHeuristic, kNsga2, kParetoQuery };
+
+[[nodiscard]] const char* to_string(RequestKind k) noexcept;
+[[nodiscard]] const char* to_string(ModeKind m) noexcept;
+
+/// Which ETC/EPC environment a request targets: one of the paper's named
+/// datasets, a "custom"-sized trace over the historical system, or a fully
+/// inline system (ETC/EPC matrices + machine counts) with a generated
+/// trace.  Construction is deterministic given the spec, so a fingerprint
+/// of the spec identifies the scenario for caching.
+struct ScenarioSpec {
+  std::string name;  ///< "dataset1" | "dataset2" | "dataset3" | "custom" | "inline"
+  std::uint64_t seed = 20130520;
+  /// custom/inline trace shape.
+  std::size_t tasks = 60;
+  double window_s = 120.0;
+  /// inline system: etc[task_type][machine_type] seconds (null entries in
+  /// the JSON mean ineligible and arrive as +inf), epc watts, and machine
+  /// instance counts per machine type (empty = one of each).
+  std::vector<std::vector<double>> etc;
+  std::vector<std::vector<double>> epc;
+  std::vector<std::size_t> machine_counts;
+};
+
+/// NSGA-II budget for mode "nsga2" (and "pareto-query" cache misses).
+/// Defaults stay small so an unconfigured request answers interactively.
+struct Nsga2Params {
+  std::size_t population = 32;  ///< must be even and >= 2
+  std::size_t generations = 32;
+  double mutation_probability = 0.25;
+  /// Greedy seeds injected into the initial population.
+  std::vector<SeedHeuristic> seeds;
+};
+
+/// Constraints for mode "pareto-query": answered from the cached front.
+struct ParetoQuery {
+  std::optional<double> max_energy;   ///< joules budget (pick max utility)
+  std::optional<double> min_utility;  ///< floor (pick min energy)
+};
+
+struct ServeRequest {
+  RequestKind kind = RequestKind::kAllocate;
+  std::string id;  ///< optional client correlation id, echoed back
+  ModeKind mode = ModeKind::kHeuristic;
+  SeedHeuristic heuristic = SeedHeuristic::kMinEnergy;
+  ScenarioSpec scenario;
+  Nsga2Params nsga2;
+  ParetoQuery query;
+  double deadline_ms = 0.0;  ///< 0 = no deadline
+};
+
+/// Parses and validates one request document.  Throws ProtocolError with a
+/// reason suitable for echoing back to the client.
+[[nodiscard]] ServeRequest parse_request(const util::JsonValue& doc);
+[[nodiscard]] ServeRequest parse_request_text(std::string_view json);
+
+/// Canonical cache key for an allocate request: scenario identity plus the
+/// result-determining mode parameters (the deadline and query constraints
+/// are excluded — they select *within* a computed result, they do not
+/// change it).  Equal requests fingerprint equally.
+[[nodiscard]] std::string request_fingerprint(const ServeRequest& request);
+
+/// Heuristic name <-> enum for the "heuristic:<name>" mode string.
+[[nodiscard]] const char* heuristic_slug(SeedHeuristic h) noexcept;
+[[nodiscard]] std::optional<SeedHeuristic> heuristic_from_slug(
+    std::string_view slug) noexcept;
+
+}  // namespace eus::serve

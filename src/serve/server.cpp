@@ -1,0 +1,437 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/json.hpp"
+
+namespace eus::serve {
+
+// ---------------------------------------------------------------- RequestLog
+
+struct RequestLog::Impl {
+  std::mutex mutex;
+  std::ofstream out;
+};
+
+RequestLog::RequestLog(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) throw std::runtime_error("cannot open run log " + path);
+}
+
+RequestLog::~RequestLog() = default;
+
+void RequestLog::write(const std::string& json_line) {
+  const std::lock_guard lock(impl_->mutex);
+  impl_->out << json_line << '\n';
+  impl_->out.flush();  // the daemon may be SIGKILLed; keep lines durable
+  ++lines_;
+}
+
+// -------------------------------------------------------------------- Server
+
+struct Server::Job {
+  ServeRequest request;
+  Stopwatch waited;  ///< starts at enqueue: measures queue time
+  std::promise<HandleResult> promise;
+};
+
+struct Server::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.cache_entries > 0) {
+    cache_ = std::make_unique<FrontCache>(config_.cache_entries, metrics_);
+  }
+  if (config_.eval_threads != 1) {
+    eval_pool_ = std::make_unique<ThreadPool>(config_.eval_threads);
+  }
+  queue_ = std::make_unique<BoundedQueue<Job>>(config_.queue_depth);
+  handler_context_.metrics = metrics_;
+  handler_context_.cache = cache_.get();
+  handler_context_.pool = eval_pool_.get();
+}
+
+Server::~Server() { stop(); }
+
+std::size_t Server::queue_size() const { return queue_->size(); }
+
+void Server::start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("server already started");
+  }
+
+  metric_connections_ = &metrics_->counter("serve.connections");
+  metric_requests_ = &metrics_->counter("serve.requests");
+  metric_responses_ok_ = &metrics_->counter("serve.responses_ok");
+  metric_errors_ = &metrics_->counter("serve.errors");
+  metric_dropped_ = &metrics_->counter("serve.dropped");
+  metric_deadline_expired_ = &metrics_->counter("serve.deadline_expired");
+  metric_queue_depth_ = &metrics_->gauge("serve.queue_depth");
+  metric_in_flight_ = &metrics_->gauge("serve.in_flight");
+  metric_service_ = &metrics_->timer("serve.service_s");
+  metric_queue_wait_ = &metrics_->timer("serve.queue_wait_s");
+  metric_latency_ = &metrics_->histogram("serve.latency");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket(): ") +
+                             std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("cannot listen on port " +
+                             std::to_string(config_.port) + ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  uptime_.reset();
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+
+  if (config_.log != nullptr) {
+    JsonObject o;
+    o.field("type", "config");
+    o.field("service", "eus_served");
+    o.field("port", static_cast<std::uint64_t>(port_));
+    o.field("queue_depth", static_cast<std::uint64_t>(config_.queue_depth));
+    o.field("workers", static_cast<std::uint64_t>(config_.workers));
+    o.field("eval_threads", static_cast<std::uint64_t>(
+                                eval_pool_ ? eval_pool_->size() : 1));
+    o.field("cache_entries",
+            static_cast<std::uint64_t>(cache_ ? cache_->capacity() : 0));
+    config_.log->write(o.str());
+  }
+}
+
+void Server::request_stop() noexcept {
+  draining_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::stop() {
+  if (!started_.load()) return;
+  if (stopped_.exchange(true)) return;
+
+  // 1. Stop accepting: wake the acceptor and wait for it.
+  request_stop();
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // 2. Drain: refuse new work, let the workers answer everything already
+  //    queued or in flight, then exit.
+  queue_->close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+
+  // 3. Unblock connection readers (their pending futures are all resolved
+  //    by now) and wait for them to finish writing responses.
+  {
+    const std::lock_guard lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+  for (const auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  {
+    const std::lock_guard lock(connections_mutex_);
+    connections_.clear();
+  }
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::reap_finished_connections() {
+  const std::lock_guard lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::acceptor_loop() {
+  while (!draining_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (or fatal): stop accepting
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    metric_connections_->add();
+    reap_finished_connections();
+
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    {
+      const std::lock_guard lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] { connection_loop(raw); });
+  }
+}
+
+void Server::worker_loop() {
+  while (std::optional<Job> job = queue_->pop()) {
+    metric_queue_depth_->set(static_cast<double>(queue_->size()));
+    const double queue_ms = job->waited.milliseconds();
+    metric_queue_wait_->add(
+        std::chrono::nanoseconds(static_cast<std::int64_t>(queue_ms * 1e6)));
+    metric_in_flight_->set(static_cast<double>(
+        in_flight_.fetch_add(1, std::memory_order_relaxed) + 1));
+
+    std::optional<double> remaining_ms;
+    if (job->request.deadline_ms > 0.0) {
+      remaining_ms = job->request.deadline_ms - queue_ms;
+    }
+    HandleResult result;
+    {
+      const ScopedTimer timed(metric_service_);
+      result = handle_allocate(job->request, handler_context_, remaining_ms,
+                               queue_ms);
+    }
+    if (result.code == kCodePartial) metric_deadline_expired_->add();
+    job->promise.set_value(std::move(result));
+
+    metric_in_flight_->set(static_cast<double>(
+        in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  }
+}
+
+void Server::connection_loop(Connection* connection) {
+  FrameDecoder decoder(config_.max_frame_bytes);
+  std::vector<char> buffer(64 * 1024);
+  bool keep = true;
+  while (keep) {
+    std::optional<std::string> payload;
+    while (keep && (payload = decoder.next()).has_value()) {
+      keep = process_payload(connection, *payload);
+    }
+    if (!keep) break;
+    const ssize_t n =
+        ::recv(connection->fd, buffer.data(), buffer.size(), 0);
+    if (n == 0) break;  // peer closed (or drain shut the read side)
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    try {
+      decoder.feed(buffer.data(), static_cast<std::size_t>(n));
+    } catch (const ProtocolError& e) {
+      // A hostile length prefix poisons the whole stream: answer once,
+      // then close (there is no way to resynchronize framing).
+      metric_errors_->add();
+      send_payload(connection,
+                   error_payload("", kCodeBadRequest, "error", e.what()));
+      break;
+    }
+  }
+  {
+    const std::lock_guard lock(connections_mutex_);
+    if (connection->fd >= 0) {
+      ::close(connection->fd);
+      connection->fd = -1;
+    }
+  }
+  connection->done.store(true, std::memory_order_release);
+}
+
+bool Server::process_payload(Connection* connection,
+                             const std::string& payload) {
+  const Stopwatch total;
+  ServeRequest request;
+  try {
+    request = parse_request_text(payload);
+  } catch (const ProtocolError& e) {
+    // Framing is intact, the document is not: answer and keep the
+    // connection.
+    metric_errors_->add();
+    send_payload(connection,
+                 error_payload("", kCodeBadRequest, "error", e.what()));
+    return true;
+  }
+  metric_requests_->add();
+
+  if (request.kind == RequestKind::kHealthz) {
+    send_payload(connection, healthz_payload(request.id));
+    return true;
+  }
+  if (request.kind == RequestKind::kMetricsz) {
+    send_payload(connection, metricsz_payload(request.id));
+    return true;
+  }
+
+  Job job;
+  job.request = request;
+  std::future<HandleResult> future = job.promise.get_future();
+  if (!queue_->try_push(std::move(job))) {
+    metric_dropped_->add();
+    const char* reason = draining_.load(std::memory_order_relaxed)
+                             ? "server is draining; no new work accepted"
+                             : "request queue is full; retry with backoff";
+    send_payload(connection, error_payload(request.id, kCodeOverloaded,
+                                           "overloaded", reason));
+    log_request(request, kCodeOverloaded, total.milliseconds(), true);
+    return true;
+  }
+  metric_queue_depth_->set(static_cast<double>(queue_->size()));
+
+  HandleResult result = future.get();
+  send_payload(connection, result.payload);
+  if (result.code == kCodeOk || result.code == kCodePartial) {
+    metric_responses_ok_->add();
+  } else {
+    metric_errors_->add();
+  }
+  metric_latency_->observe_seconds(total.seconds());
+  log_request(request, result.code, total.milliseconds(), false);
+  return true;
+}
+
+void Server::send_payload(Connection* connection,
+                          const std::string& payload) {
+  const std::string frame = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(connection->fd, frame.data() + sent,
+                             frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer gone; nothing sensible left to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Server::healthz_payload(const std::string& id) const {
+  JsonObject o;
+  o.field("type", "response");
+  if (!id.empty()) o.field("id", id);
+  o.field("status", "ok");
+  o.field("code", static_cast<std::int64_t>(kCodeOk));
+  o.field("service", "eus_served");
+  o.field("uptime_s", uptime_.seconds());
+  o.field("queue_depth", static_cast<std::uint64_t>(queue_->size()));
+  o.field("queue_capacity",
+          static_cast<std::uint64_t>(config_.queue_depth));
+  o.field("in_flight", static_cast<std::uint64_t>(
+                           in_flight_.load(std::memory_order_relaxed)));
+  o.field("workers", static_cast<std::uint64_t>(config_.workers));
+  o.field("eval_threads",
+          static_cast<std::uint64_t>(eval_pool_ ? eval_pool_->size() : 1));
+  o.field("cache_size",
+          static_cast<std::uint64_t>(cache_ ? cache_->size() : 0));
+  o.field("draining", draining_.load(std::memory_order_relaxed));
+  return o.str();
+}
+
+std::string Server::metricsz_payload(const std::string& id) const {
+  const MetricsSnapshot snap = metrics_->snapshot();
+  JsonObject o;
+  o.field("type", "response");
+  if (!id.empty()) o.field("id", id);
+  o.field("status", "ok");
+  o.field("code", static_cast<std::int64_t>(kCodeOk));
+  o.field("uptime_s", uptime_.seconds());
+  JsonObject counters;
+  for (const auto& [name, value] : snap.counters) {
+    counters.field(name, value);
+  }
+  o.raw("counters", counters.str());
+  JsonObject gauges;
+  for (const auto& [name, value] : snap.gauges) gauges.field(name, value);
+  o.raw("gauges", gauges.str());
+  JsonObject timers;
+  for (const auto& [name, stat] : snap.timers) {
+    JsonObject t;
+    t.field("seconds", stat.seconds);
+    t.field("count", stat.count);
+    timers.raw(name, t.str());
+  }
+  o.raw("timers", timers.str());
+  JsonObject histograms;
+  for (const auto& [name, stat] : snap.histograms) {
+    JsonObject h;
+    h.field("count", stat.count);
+    h.field("p50_ms", stat.p50_s * 1e3);
+    h.field("p95_ms", stat.p95_s * 1e3);
+    h.field("p99_ms", stat.p99_s * 1e3);
+    histograms.raw(name, h.str());
+  }
+  o.raw("histograms", histograms.str());
+  return o.str();
+}
+
+void Server::log_request(const ServeRequest& request, int code,
+                         double total_ms, bool dropped) {
+  if (config_.log == nullptr) return;
+  JsonObject o;
+  o.field("type", "serve_request");
+  o.field("t_s", uptime_.seconds());
+  if (!request.id.empty()) o.field("id", request.id);
+  std::string mode{to_string(request.mode)};
+  if (request.mode == ModeKind::kHeuristic) {
+    mode += std::string(":") + heuristic_slug(request.heuristic);
+  }
+  o.field("mode", mode);
+  o.field("scenario", request.scenario.name);
+  o.field("code", static_cast<std::int64_t>(code));
+  o.field("dropped", dropped);
+  o.field("total_ms", total_ms);
+  config_.log->write(o.str());
+}
+
+}  // namespace eus::serve

@@ -1,0 +1,177 @@
+#pragma once
+
+// eus_served's engine: a TCP acceptor, per-connection reader threads, a
+// bounded request queue with explicit backpressure, and a small worker
+// pool that executes allocate requests through handlers.cpp (NSGA-II
+// evaluation batches fan out onto one shared ThreadPool, so concurrent
+// requests share the machine instead of oversubscribing it).
+//
+// Flow control: a connection reads one frame, parses it, and enqueues the
+// request; if the queue is full (or the server is draining) the client
+// gets an immediate 503-style JSON error — the queue never grows beyond
+// its configured depth.  healthz/metricsz requests bypass the queue and
+// answer inline from the connection thread, so health stays observable
+// under full load.
+//
+// Shutdown: stop() (or request_stop() from a signal handler's thread)
+// stops accepting, lets the workers drain every queued and in-flight
+// request, answers them, then closes the remaining connections.  No
+// request that was accepted into the queue is ever dropped by shutdown.
+//
+// Responses to a single connection are written in request order; clients
+// wanting concurrency open several connections (eus_client --concurrency
+// does exactly that).
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.hpp"
+#include "serve/front_cache.hpp"
+#include "serve/handlers.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eus::serve {
+
+/// Thread-safe JSONL request log (one line per served request, plus a
+/// config line at startup).  EXPERIMENTS.md documents the schema.
+class RequestLog {
+ public:
+  /// Appends to `path` (truncating); throws std::runtime_error when the
+  /// file cannot be opened.
+  explicit RequestLog(const std::string& path);
+  ~RequestLog();
+
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  void write(const std::string& json_line);
+  [[nodiscard]] std::size_t lines_written() const noexcept { return lines_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t lines_ = 0;
+};
+
+struct ServerConfig {
+  /// TCP port; 0 binds an ephemeral port (query it via port()).  The
+  /// listener binds the loopback interface only.
+  std::uint16_t port = 0;
+  /// Bounded request-queue depth; overflow is answered with a 503-style
+  /// error (EUS_SERVE_QUEUE_DEPTH for the daemon).
+  std::size_t queue_depth = 64;
+  /// Request-executing worker threads (each runs one allocate at a time).
+  std::size_t workers = 2;
+  /// Shared NSGA-II evaluation pool: 0 = hardware concurrency, 1 = inline
+  /// evaluation (no pool).  All concurrent requests share this pool.
+  std::size_t eval_threads = 1;
+  /// LRU front-cache capacity in results; 0 disables caching.
+  std::size_t cache_entries = 64;
+  /// Reject request frames larger than this many payload bytes.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Optional external metrics sink (must outlive the server); the server
+  /// owns a private registry when null.
+  MetricsRegistry* metrics = nullptr;
+  /// Optional JSONL request log (must outlive the server).
+  RequestLog* log = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();  ///< stops and drains if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the acceptor + workers.  Throws
+  /// std::runtime_error when the port cannot be bound.
+  void start();
+
+  /// The bound port (valid after start(); resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Async-signal-friendly shutdown request: flips the stop flag and
+  /// unblocks the acceptor.  The daemon's main thread then calls stop().
+  void request_stop() noexcept;
+
+  /// Graceful drain: stop accepting, answer every queued and in-flight
+  /// request, close connections, join every thread.  Idempotent.
+  void stop();
+
+  /// True once request_stop()/stop() has begun.
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return *metrics_; }
+  [[nodiscard]] std::size_t queue_size() const;
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Job;
+  struct Connection;
+
+  void acceptor_loop();
+  void worker_loop();
+  void connection_loop(Connection* connection);
+  /// Parses and dispatches one frame; returns false when the connection
+  /// should close (fatal framing error).
+  bool process_payload(Connection* connection, const std::string& payload);
+  void send_payload(Connection* connection, const std::string& payload);
+  [[nodiscard]] std::string healthz_payload(const std::string& id) const;
+  [[nodiscard]] std::string metricsz_payload(const std::string& id) const;
+  void log_request(const ServeRequest& request, int code, double total_ms,
+                   bool dropped);
+  void reap_finished_connections();
+
+  ServerConfig config_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<FrontCache> cache_;
+  std::unique_ptr<ThreadPool> eval_pool_;  ///< null when eval_threads == 1
+  HandlerContext handler_context_;
+
+  std::unique_ptr<BoundedQueue<Job>> queue_;
+  std::vector<std::thread> workers_;
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  Stopwatch uptime_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::size_t> in_flight_{0};
+
+  // Metric handles, resolved once at start().
+  Counter* metric_connections_ = nullptr;
+  Counter* metric_requests_ = nullptr;
+  Counter* metric_responses_ok_ = nullptr;
+  Counter* metric_errors_ = nullptr;
+  Counter* metric_dropped_ = nullptr;
+  Counter* metric_deadline_expired_ = nullptr;
+  Gauge* metric_queue_depth_ = nullptr;
+  Gauge* metric_in_flight_ = nullptr;
+  TimerMetric* metric_service_ = nullptr;
+  TimerMetric* metric_queue_wait_ = nullptr;
+  Histogram* metric_latency_ = nullptr;
+};
+
+}  // namespace eus::serve

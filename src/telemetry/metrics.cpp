@@ -15,6 +15,38 @@ T& get_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
 
 }  // namespace
 
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::quantile_seconds(double q) const noexcept {
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Rank of the target sample, 1-based; walk buckets until it is covered.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // Upper bound of bucket i is 2^i ns (bucket 0 holds [0, 1] ns).
+      return i >= 63 ? static_cast<double>(~0ULL) * 1e-9
+                     : static_cast<double>(1ULL << i) * 1e-9;
+    }
+  }
+  return 0.0;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   const std::lock_guard lock(mutex_);
   return get_or_create(counters_, name);
@@ -28,6 +60,11 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 TimerMetric& MetricsRegistry::timer(std::string_view name) {
   const std::lock_guard lock(mutex_);
   return get_or_create(timers_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  return get_or_create(histograms_, name);
 }
 
 MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
@@ -51,6 +88,9 @@ MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
     }
     delta.timers[name] = d;
   }
+  // Histograms report cumulative distributions; like gauges they keep the
+  // `after` view (quantiles of a difference are not well defined).
+  delta.histograms = after.histograms;
   return delta;
 }
 
@@ -61,6 +101,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, t] : timers_) {
     snap.timers[name] = {t->total_seconds(), t->count()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = {h->count(), h->quantile_seconds(0.50),
+                             h->quantile_seconds(0.95),
+                             h->quantile_seconds(0.99)};
   }
   return snap;
 }

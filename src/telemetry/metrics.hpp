@@ -49,6 +49,45 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Lock-free log-bucketed distribution for latency-style samples.  Each
+/// observation lands in the power-of-two nanosecond bucket of its duration
+/// (bucket i covers [2^(i-1), 2^i) ns), so the whole histogram is 64 relaxed
+/// atomic counters: cheap enough for a per-request hot path, and quantiles
+/// are accurate to within one octave — plenty for p50/p95 dashboards.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(std::chrono::nanoseconds elapsed) noexcept {
+    const std::int64_t ns = elapsed.count();
+    const std::uint64_t clamped =
+        ns <= 0 ? 0ULL : static_cast<std::uint64_t>(ns);
+    buckets_[bucket_of(clamped)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void observe_seconds(double seconds) noexcept {
+    observe(std::chrono::nanoseconds(
+        seconds <= 0.0 ? 0LL : static_cast<std::int64_t>(seconds * 1e9)));
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  /// Approximate q-quantile (q in [0,1]) in seconds: the upper bound of the
+  /// bucket holding the q-th sample.  0 when empty.
+  [[nodiscard]] double quantile_seconds(double q) const noexcept;
+
+ private:
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t ns) noexcept {
+    std::size_t b = 0;
+    while (ns > 0 && b + 1 < kBuckets) {
+      ns >>= 1U;
+      ++b;
+    }
+    return b;
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+};
+
 /// Accumulated duration plus sample count (phase time splits).
 class TimerMetric {
  public:
@@ -96,9 +135,16 @@ struct MetricsSnapshot {
     double seconds = 0.0;
     std::uint64_t count = 0;
   };
+  struct HistogramStat {
+    std::uint64_t count = 0;
+    double p50_s = 0.0;
+    double p95_s = 0.0;
+    double p99_s = 0.0;
+  };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, TimerStat> timers;
+  std::map<std::string, HistogramStat> histograms;
 };
 
 /// Per-interval view of two snapshots of the same registry: counters and
@@ -118,6 +164,7 @@ class MetricsRegistry {
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] TimerMetric& timer(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -126,6 +173,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<TimerMetric>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 }  // namespace eus

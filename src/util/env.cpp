@@ -60,4 +60,16 @@ std::size_t bench_cache_capacity() {
   return v > 0 ? static_cast<std::size_t>(v) : kDefault;
 }
 
+std::uint16_t serve_port() {
+  constexpr std::int64_t kDefault = 7461;
+  const std::int64_t p = env_int("EUS_SERVE_PORT", kDefault);
+  return (p > 0 && p <= 65535) ? static_cast<std::uint16_t>(p)
+                               : static_cast<std::uint16_t>(kDefault);
+}
+
+std::size_t serve_queue_depth() {
+  const std::int64_t d = env_int("EUS_SERVE_QUEUE_DEPTH", 64);
+  return d < 1 ? 1U : static_cast<std::size_t>(d);
+}
+
 }  // namespace eus

@@ -39,4 +39,13 @@ namespace eus {
 /// Fronts are bit-identical either way; only wall-clock changes.
 [[nodiscard]] std::size_t bench_cache_capacity();
 
+/// eus_served's default listen port (EUS_SERVE_PORT, default 7461; out-of-
+/// range or invalid values fall back to the default).
+[[nodiscard]] std::uint16_t serve_port();
+
+/// eus_served's bounded-request-queue depth (EUS_SERVE_QUEUE_DEPTH, default
+/// 64, clamped >= 1).  Requests arriving with the queue full are rejected
+/// with an explicit backpressure error rather than buffered.
+[[nodiscard]] std::size_t serve_queue_depth();
+
 }  // namespace eus

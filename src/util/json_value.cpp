@@ -1,11 +1,11 @@
-#include "benchkit/json_value.hpp"
+#include "util/json_value.hpp"
 
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
-namespace eus::benchkit {
+namespace eus::util {
 
 namespace {
 
@@ -258,4 +258,4 @@ JsonValue parse_json_file(const std::string& path) {
   return parse_json(buffer.str());
 }
 
-}  // namespace eus::benchkit
+}  // namespace eus::util

@@ -1,0 +1,87 @@
+// FrontCache: strict LRU behavior, recency refresh on hit, eviction
+// accounting, and the metrics wiring.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/front_cache.hpp"
+
+namespace eus::serve {
+namespace {
+
+CachedResult result_with(double energy, double utility) {
+  CachedResult r;
+  r.front = {EUPoint{energy, utility}};
+  r.evaluations = 1;
+  return r;
+}
+
+TEST(FrontCache, MissThenHit) {
+  FrontCache cache(4);
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  cache.insert("a", result_with(1.0, 2.0));
+  const std::optional<CachedResult> hit = cache.lookup("a");
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->front.size(), 1U);
+  EXPECT_EQ(hit->front[0].energy, 1.0);
+  EXPECT_EQ(hit->front[0].utility, 2.0);
+  EXPECT_EQ(cache.hits(), 1U);
+  EXPECT_EQ(cache.misses(), 1U);
+}
+
+TEST(FrontCache, EvictsLeastRecentlyUsed) {
+  FrontCache cache(2);
+  cache.insert("a", result_with(1.0, 1.0));
+  cache.insert("b", result_with(2.0, 2.0));
+  ASSERT_TRUE(cache.lookup("a").has_value());  // refresh "a" — "b" is LRU
+  cache.insert("c", result_with(3.0, 3.0));   // evicts "b"
+
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  EXPECT_EQ(cache.evictions(), 1U);
+  EXPECT_EQ(cache.size(), 2U);
+}
+
+TEST(FrontCache, ReinsertRefreshesInsteadOfDuplicating) {
+  FrontCache cache(2);
+  cache.insert("a", result_with(1.0, 1.0));
+  cache.insert("b", result_with(2.0, 2.0));
+  cache.insert("a", result_with(9.0, 9.0));  // refresh + overwrite
+  EXPECT_EQ(cache.size(), 2U);
+  const std::optional<CachedResult> hit = cache.lookup("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->front[0].energy, 9.0);
+
+  cache.insert("c", result_with(3.0, 3.0));  // "b" is now the LRU
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("a").has_value());
+}
+
+TEST(FrontCache, CapacityClampsToOne) {
+  FrontCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1U);
+  cache.insert("a", result_with(1.0, 1.0));
+  cache.insert("b", result_with(2.0, 2.0));
+  EXPECT_EQ(cache.size(), 1U);
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_TRUE(cache.lookup("b").has_value());
+}
+
+TEST(FrontCache, PublishesMetricsCounters) {
+  MetricsRegistry metrics;
+  FrontCache cache(1, &metrics);
+  (void)cache.lookup("a");                    // miss
+  cache.insert("a", result_with(1.0, 1.0));
+  (void)cache.lookup("a");                    // hit
+  cache.insert("b", result_with(2.0, 2.0));   // evicts "a"
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("serve.cache.hits"), 1U);
+  EXPECT_EQ(snap.counters.at("serve.cache.misses"), 1U);
+  EXPECT_EQ(snap.counters.at("serve.cache.evictions"), 1U);
+}
+
+}  // namespace
+}  // namespace eus::serve

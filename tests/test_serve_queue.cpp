@@ -1,0 +1,110 @@
+// BoundedQueue semantics: capacity backpressure, FIFO order, close-then-
+// drain, and a concurrent smoke across producers and consumers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.hpp"
+
+namespace eus::serve {
+namespace {
+
+TEST(BoundedQueue, RefusesPushWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // explicit backpressure, no blocking
+  EXPECT_EQ(queue.size(), 2U);
+
+  const std::optional<int> first = queue.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 1);  // FIFO
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(BoundedQueue, CapacityClampsToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1U);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_FALSE(queue.try_push(2));
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.try_push(10));
+  ASSERT_TRUE(queue.try_push(11));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.try_push(12));  // refused after close
+
+  const std::optional<int> a = queue.pop();
+  const std::optional<int> b = queue.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 10);
+  EXPECT_EQ(*b, 11);
+  EXPECT_FALSE(queue.pop().has_value());  // drained: consumers exit
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(1);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&queue, &woke] {
+      while (queue.pop().has_value()) {
+      }
+      woke.fetch_add(1);
+    });
+  }
+  queue.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(8);
+
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  consumers.reserve(2);
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (const std::optional<int> item = queue.pop()) {
+        const std::lock_guard lock(seen_mutex);
+        seen.insert(*item);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i;
+        // Spin on backpressure: the test wants every item delivered.
+        while (!queue.try_push(std::move(value))) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.close();
+  for (std::thread& t : consumers) t.join();
+
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace eus::serve

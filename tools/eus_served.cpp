@@ -1,0 +1,207 @@
+// eus_served — the allocation-as-a-service daemon.  Listens on loopback,
+// speaks length-prefixed JSON frames (docs/serving.md), executes heuristic
+// / NSGA-II / pareto-query allocate requests on a bounded worker queue
+// with explicit backpressure, and drains gracefully on SIGINT/SIGTERM:
+// every request already accepted into the queue is answered before exit.
+//
+//   eus_served                         # EUS_SERVE_PORT (default 7461)
+//   eus_served --port 0               # ephemeral port, printed on stdout
+//   EUS_RUNLOG=serve.jsonl eus_served # JSONL request log
+//
+// Exit codes: 0 clean shutdown, 1 startup failure, 2 usage error.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using namespace eus;
+using namespace eus::serve;
+
+constexpr int kExitOk = 0;
+constexpr int kExitStartupFailure = 1;
+constexpr int kExitUsage = 2;
+
+// Self-pipe: the signal handler writes one byte, the main thread blocks on
+// the read end and runs the (non-async-signal-safe) graceful drain.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_stop_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+struct CliOptions {
+  std::uint16_t port = serve_port();
+  std::size_t queue_depth = serve_queue_depth();
+  std::size_t workers = 2;
+  std::size_t eval_threads = bench_threads();  // 0 = hardware concurrency
+  std::size_t cache_entries = 64;
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  std::optional<std::string> runlog = env_string("EUS_RUNLOG");
+};
+
+void print_usage(std::ostream& out) {
+  out << "usage: eus_served [options]\n"
+         "  --port <n>         listen port on 127.0.0.1 (0 = ephemeral;\n"
+         "                     default EUS_SERVE_PORT or 7461)\n"
+         "  --queue-depth <n>  bounded request queue; overflow is answered\n"
+         "                     with a 503 error (default\n"
+         "                     EUS_SERVE_QUEUE_DEPTH or 64)\n"
+         "  --workers <n>      request-executing worker threads (default 2)\n"
+         "  --threads <n>      shared NSGA-II evaluation pool: 0 = hardware\n"
+         "                     concurrency, 1 = inline (default EUS_THREADS"
+         ")\n"
+         "  --cache <n>        LRU front-cache entries; 0 disables (default "
+         "64)\n"
+         "  --max-frame <n>    per-frame payload byte cap (default 4 MiB)\n"
+         "  --runlog <path>    JSONL request log (default EUS_RUNLOG)\n"
+         "  -h, --help         this text\n";
+}
+
+std::optional<std::size_t> parse_size(const char* text) {
+  char* end = nullptr;
+  const long long n = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || n < 0) return std::nullopt;
+  return static_cast<std::size_t>(n);
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions opts;
+  const auto value_of = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "eus_served: " << flag << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  const auto size_flag = [&](int& i, const char* flag,
+                             std::size_t& out) -> bool {
+    const char* v = value_of(i, flag);
+    if (v == nullptr) return false;
+    const std::optional<std::size_t> n = parse_size(v);
+    if (!n) {
+      std::cerr << "eus_served: " << flag
+                << " wants a non-negative integer, got '" << v << "'\n";
+      return false;
+    }
+    out = *n;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") {
+      const char* v = value_of(i, "--port");
+      if (v == nullptr) return std::nullopt;
+      const std::optional<std::size_t> n = parse_size(v);
+      if (!n || *n > 65535) {
+        std::cerr << "eus_served: --port wants 0..65535, got '" << v
+                  << "'\n";
+        return std::nullopt;
+      }
+      opts.port = static_cast<std::uint16_t>(*n);
+    } else if (arg == "--queue-depth") {
+      if (!size_flag(i, "--queue-depth", opts.queue_depth)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--workers") {
+      if (!size_flag(i, "--workers", opts.workers)) return std::nullopt;
+    } else if (arg == "--threads") {
+      if (!size_flag(i, "--threads", opts.eval_threads)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--cache") {
+      if (!size_flag(i, "--cache", opts.cache_entries)) return std::nullopt;
+    } else if (arg == "--max-frame") {
+      if (!size_flag(i, "--max-frame", opts.max_frame_bytes)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--runlog") {
+      const char* v = value_of(i, "--runlog");
+      if (v == nullptr) return std::nullopt;
+      opts.runlog = v;
+    } else if (arg == "-h" || arg == "--help") {
+      print_usage(std::cout);
+      std::exit(kExitOk);
+    } else {
+      std::cerr << "eus_served: unknown option '" << arg << "'\n";
+      return std::nullopt;
+    }
+  }
+  if (opts.queue_depth == 0 || opts.workers == 0) {
+    std::cerr << "eus_served: --queue-depth and --workers must be >= 1\n";
+    return std::nullopt;
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<CliOptions> parsed = parse_args(argc, argv);
+  if (!parsed) {
+    print_usage(std::cerr);
+    return kExitUsage;
+  }
+  const CliOptions& opts = *parsed;
+
+  std::unique_ptr<RequestLog> log;
+  if (opts.runlog && !opts.runlog->empty()) {
+    try {
+      log = std::make_unique<RequestLog>(*opts.runlog);
+    } catch (const std::exception& e) {
+      std::cerr << "eus_served: " << e.what() << '\n';
+      return kExitStartupFailure;
+    }
+  }
+
+  ServerConfig config;
+  config.port = opts.port;
+  config.queue_depth = opts.queue_depth;
+  config.workers = opts.workers;
+  config.eval_threads = opts.eval_threads;
+  config.cache_entries = opts.cache_entries;
+  config.max_frame_bytes = opts.max_frame_bytes;
+  config.log = log.get();
+
+  Server server(config);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "eus_served: " << e.what() << '\n';
+    return kExitStartupFailure;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "eus_served: pipe() failed\n";
+    return kExitStartupFailure;
+  }
+  struct sigaction action {};
+  action.sa_handler = on_stop_signal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::cout << "eus_served listening on 127.0.0.1:" << server.port()
+            << " (queue " << opts.queue_depth << ", workers " << opts.workers
+            << ")" << std::endl;
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::cout << "eus_served: draining..." << std::endl;
+  server.request_stop();
+  server.stop();
+  std::cout << "eus_served: drained, bye" << std::endl;
+  return kExitOk;
+}
