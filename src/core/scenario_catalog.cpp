@@ -1,0 +1,79 @@
+#include "core/scenario_catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace eus {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& reason) {
+  throw std::invalid_argument("scenario catalog: " + reason);
+}
+
+void validate(const ScenarioRecipe& recipe) {
+  if (recipe.name.empty()) reject("alias name must be non-empty");
+  if (ScenarioCatalog::is_builtin_name(recipe.name)) {
+    reject("alias '" + recipe.name +
+           "' shadows a built-in scenario name (built-ins are immutable)");
+  }
+  const bool known_base =
+      recipe.base == "dataset1" || recipe.base == "dataset2" ||
+      recipe.base == "dataset3" || recipe.base == "custom";
+  if (!known_base) {
+    reject("alias '" + recipe.name + "' has unknown base '" + recipe.base +
+           "' (want dataset1|dataset2|dataset3|custom)");
+  }
+  if (recipe.base == "custom") {
+    if (recipe.tasks < 1) {
+      reject("alias '" + recipe.name + "' needs tasks >= 1");
+    }
+    if (!(recipe.window_s > 0.0) || !std::isfinite(recipe.window_s)) {
+      reject("alias '" + recipe.name +
+             "' needs a positive finite window_s");
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioCatalog::ScenarioCatalog(std::vector<ScenarioRecipe> recipes)
+    : recipes_(std::move(recipes)) {
+  for (const ScenarioRecipe& recipe : recipes_) validate(recipe);
+  std::sort(recipes_.begin(), recipes_.end(),
+            [](const ScenarioRecipe& a, const ScenarioRecipe& b) {
+              return a.name < b.name;
+            });
+  for (std::size_t i = 1; i < recipes_.size(); ++i) {
+    if (recipes_[i - 1].name == recipes_[i].name) {
+      reject("duplicate alias '" + recipes_[i].name + "'");
+    }
+  }
+}
+
+const ScenarioRecipe* ScenarioCatalog::find(std::string_view alias) const {
+  const auto it = std::lower_bound(
+      recipes_.begin(), recipes_.end(), alias,
+      [](const ScenarioRecipe& r, std::string_view key) {
+        return r.name < key;
+      });
+  if (it == recipes_.end() || it->name != alias) return nullptr;
+  return &*it;
+}
+
+bool ScenarioCatalog::is_builtin_name(std::string_view name) noexcept {
+  return name == "dataset1" || name == "dataset2" || name == "dataset3" ||
+         name == "custom" || name == "inline";
+}
+
+std::uint64_t SharedCatalog::swap(
+    std::shared_ptr<const ScenarioCatalog> next) {
+  if (next == nullptr) next = std::make_shared<const ScenarioCatalog>();
+  const std::lock_guard lock(mutex_);
+  current_ = std::move(next);
+  return ++generation_;
+}
+
+}  // namespace eus

@@ -1,0 +1,98 @@
+#pragma once
+
+// Named-scenario catalog with atomic snapshot/swap semantics, the core
+// piece behind eus_served's `catalog-reload` admin verb.  A catalog maps
+// operator-chosen aliases ("quick", "tenant-a-nightly", ...) onto concrete
+// recipes over the built-in scenario constructors; the serving layer
+// resolves an aliased request to its recipe *before* fingerprinting, so a
+// reload naturally invalidates nothing and collides with nothing — two
+// aliases for the same underlying scenario share one cache entry.
+//
+// Hot-swap contract: readers take an immutable std::shared_ptr snapshot
+// and keep using it for as long as they need (an in-flight request
+// finishes against the catalog it was accepted under); swap() publishes a
+// whole replacement catalog atomically, so no reader ever observes a
+// half-edited entry set.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eus {
+
+/// One catalog entry: an alias plus the concrete parameters it pins.
+/// `base` selects the built-in constructor; `tasks`/`window_s` only apply
+/// to the "custom" base (the datasets fix their own trace shape).
+struct ScenarioRecipe {
+  std::string name;           ///< the alias clients request by
+  std::string base;           ///< "dataset1" | "dataset2" | "dataset3" | "custom"
+  std::uint64_t seed = 20130520;
+  std::size_t tasks = 60;     ///< custom base only
+  double window_s = 120.0;    ///< custom base only
+};
+
+/// Immutable, validated alias -> recipe map.  Construction throws
+/// std::invalid_argument on an empty/duplicate/built-in-shadowing alias,
+/// an unknown base, or out-of-range custom parameters — a reload either
+/// swaps in a fully coherent catalog or changes nothing.
+class ScenarioCatalog {
+ public:
+  ScenarioCatalog() = default;  ///< the empty catalog (built-ins only)
+  explicit ScenarioCatalog(std::vector<ScenarioRecipe> recipes);
+
+  /// The recipe for `alias`, or nullptr when the catalog has no such
+  /// entry (built-in names are never listed here — see is_builtin_name).
+  [[nodiscard]] const ScenarioRecipe* find(std::string_view alias) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return recipes_.size(); }
+  [[nodiscard]] const std::vector<ScenarioRecipe>& recipes() const noexcept {
+    return recipes_;
+  }
+
+  /// Whether `name` is one of the always-available built-in scenario
+  /// names ("dataset1".."dataset3", "custom", "inline").  Aliases may not
+  /// shadow these: served built-ins must stay bit-identical to offline
+  /// StudyEngine runs no matter what catalog is loaded.
+  [[nodiscard]] static bool is_builtin_name(std::string_view name) noexcept;
+
+ private:
+  std::vector<ScenarioRecipe> recipes_;  ///< sorted by name for lookup
+};
+
+/// The swap point: one mutable slot holding the current immutable catalog.
+/// Readers snapshot(), writers swap(); both are cheap (one mutex-guarded
+/// shared_ptr copy) and never block a reader on a reload.
+class SharedCatalog {
+ public:
+  SharedCatalog() : current_(std::make_shared<const ScenarioCatalog>()) {}
+
+  SharedCatalog(const SharedCatalog&) = delete;
+  SharedCatalog& operator=(const SharedCatalog&) = delete;
+
+  /// The current catalog; the returned snapshot stays valid (and
+  /// unchanged) across any number of subsequent swaps.
+  [[nodiscard]] std::shared_ptr<const ScenarioCatalog> snapshot() const {
+    const std::lock_guard lock(mutex_);
+    return current_;
+  }
+
+  /// Atomically publishes `next` as the current catalog and returns the
+  /// new generation number (the empty boot catalog is generation 0).
+  std::uint64_t swap(std::shared_ptr<const ScenarioCatalog> next);
+
+  [[nodiscard]] std::uint64_t generation() const {
+    const std::lock_guard lock(mutex_);
+    return generation_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ScenarioCatalog> current_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace eus

@@ -6,6 +6,13 @@
 // 503-style error instead of buffering unboundedly).  close() starts the
 // drain: further pushes are refused, pops keep succeeding until the queue
 // empties, then return false so consumers exit cleanly.
+//
+// The capacity is a live knob (set_capacity — the admin plane's
+// set-queue-depth verb lands here): shrinking never drops items already
+// queued, it only tightens admission for future pushes.  push_control
+// front-enqueues an out-of-band token ignoring capacity and closed state;
+// the worker pool uses it to wake and retire a blocked worker on live
+// shrink.
 
 #include <condition_variable>
 #include <cstddef>
@@ -48,6 +55,25 @@ class BoundedQueue {
     return item;
   }
 
+  /// Front-enqueues a control token, bypassing the capacity bound and the
+  /// closed flag: the next pop returns it ahead of queued work.  Callers
+  /// are expected to use this sparingly (one token per worker retired).
+  void push_control(T&& item) {
+    {
+      const std::lock_guard lock(mutex_);
+      items_.push_front(std::move(item));
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Live capacity change (clamped >= 1).  Items already queued beyond a
+  /// smaller capacity stay queued; only future try_push calls see the new
+  /// bound.
+  void set_capacity(std::size_t capacity) {
+    const std::lock_guard lock(mutex_);
+    capacity_ = capacity < 1 ? 1 : capacity;
+  }
+
   /// Refuses new pushes; queued items remain poppable.  Idempotent.
   void close() {
     {
@@ -67,10 +93,13 @@ class BoundedQueue {
     return items_.size();
   }
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const {
+    const std::lock_guard lock(mutex_);
+    return capacity_;
+  }
 
  private:
-  const std::size_t capacity_;
+  std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::deque<T> items_;

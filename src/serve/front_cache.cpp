@@ -42,9 +42,25 @@ void FrontCache::insert(const std::string& key, CachedResult result) {
   index_[key] = lru_.begin();
 }
 
+void FrontCache::set_capacity(std::size_t capacity) {
+  const std::lock_guard lock(mutex_);
+  capacity_ = capacity < 1 ? 1 : capacity;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+    if (metric_evictions_ != nullptr) metric_evictions_->add();
+  }
+}
+
 std::size_t FrontCache::size() const {
   const std::lock_guard lock(mutex_);
   return lru_.size();
+}
+
+std::size_t FrontCache::capacity() const {
+  const std::lock_guard lock(mutex_);
+  return capacity_;
 }
 
 }  // namespace eus::serve

@@ -52,8 +52,13 @@ class FrontCache {
   /// recently used entry when at capacity.
   void insert(const std::string& key, CachedResult result);
 
+  /// Live capacity change (clamped >= 1; the admin plane's
+  /// set-cache-entries verb).  Shrinking below the resident count evicts
+  /// least-recently-used entries immediately, counted as evictions.
+  void set_capacity(std::size_t capacity);
+
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const;
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const noexcept {
@@ -66,7 +71,7 @@ class FrontCache {
     CachedResult result;
   };
 
-  const std::size_t capacity_;
+  std::size_t capacity_;  ///< guarded by mutex_ (live-resizable)
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front == most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;

@@ -75,8 +75,14 @@ ScenarioSpec parse_scenario(const JsonValue& doc) {
   }
   ScenarioSpec spec;
   spec.name = s->string_or("name", "");
-  spec.seed = static_cast<std::uint64_t>(
-      s->number_or("seed", static_cast<double>(spec.seed)));
+  if (const JsonValue* seed = s->get("seed"); seed != nullptr) {
+    if (!seed->is_number() || seed->number < 0.0 ||
+        seed->number != std::floor(seed->number)) {
+      fail("scenario.seed must be a non-negative integer");
+    }
+    spec.seed = static_cast<std::uint64_t>(seed->number);
+    spec.seed_set = true;
+  }
   if (spec.name == "dataset1" || spec.name == "dataset2" ||
       spec.name == "dataset3") {
     return spec;
@@ -117,8 +123,69 @@ ScenarioSpec parse_scenario(const JsonValue& doc) {
     if (spec.tasks == 0) fail("scenario.tasks must be >= 1");
     return spec;
   }
-  fail("unknown scenario name '" + spec.name +
-       "' (want dataset1|dataset2|dataset3|custom|inline)");
+  // Any other non-empty name is a catalog alias: resolution against the
+  // server's loaded ScenarioCatalog happens later (resolve_scenario), so
+  // parsing stays catalog-independent.  Only the name and an optional seed
+  // override travel with an alias.
+  return spec;
+}
+
+AdminRequest parse_admin(const JsonValue& doc) {
+  AdminRequest admin;
+  const std::string action = doc.string_or("action", "get-config");
+  if (action == "get-config") {
+    admin.action = AdminAction::kGetConfig;
+    return admin;
+  }
+  if (action == "set-queue-depth" || action == "set-cache-entries" ||
+      action == "set-workers") {
+    admin.action = action == "set-queue-depth" ? AdminAction::kSetQueueDepth
+                   : action == "set-cache-entries"
+                       ? AdminAction::kSetCacheEntries
+                       : AdminAction::kSetWorkers;
+    const JsonValue* v = doc.get("value");
+    if (v == nullptr || !v->is_number() || v->number < 1.0 ||
+        v->number != std::floor(v->number)) {
+      fail("admin." + action + " needs an integer \"value\" >= 1");
+    }
+    admin.value = static_cast<std::size_t>(v->number);
+    return admin;
+  }
+  if (action == "catalog-reload") {
+    admin.action = AdminAction::kCatalogReload;
+    const JsonValue* c = doc.get("catalog");
+    if (c == nullptr || !c->is_object()) {
+      fail("admin.catalog-reload needs a \"catalog\" object");
+    }
+    const JsonValue* scenarios = c->get("scenarios");
+    if (scenarios == nullptr || !scenarios->is_array()) {
+      fail("catalog.scenarios must be an array");
+    }
+    for (const JsonValue& entry : scenarios->array) {
+      if (!entry.is_object()) fail("catalog.scenarios entries must be objects");
+      ScenarioRecipe recipe;
+      recipe.name = entry.string_or("name", "");
+      recipe.base = entry.string_or("base", "");
+      if (recipe.name.empty()) fail("catalog entry needs a \"name\"");
+      if (recipe.base.empty()) fail("catalog entry needs a \"base\"");
+      if (const JsonValue* seed = entry.get("seed"); seed != nullptr) {
+        if (!seed->is_number() || seed->number < 0.0 ||
+            seed->number != std::floor(seed->number)) {
+          fail("catalog entry seed must be a non-negative integer");
+        }
+        recipe.seed = static_cast<std::uint64_t>(seed->number);
+      }
+      recipe.tasks = size_field(entry, "tasks", recipe.tasks);
+      recipe.window_s = require_positive(
+          entry.number_or("window_s", recipe.window_s),
+          "catalog entry window_s");
+      admin.catalog.push_back(std::move(recipe));
+    }
+    return admin;
+  }
+  fail("unknown admin action '" + action +
+       "' (want get-config|set-queue-depth|set-cache-entries|set-workers|"
+       "catalog-reload)");
 }
 
 Nsga2Params parse_nsga2(const JsonValue& doc) {
@@ -224,6 +291,24 @@ const char* to_string(RequestKind k) noexcept {
       return "healthz";
     case RequestKind::kMetricsz:
       return "metricsz";
+    case RequestKind::kAdminz:
+      return "adminz";
+  }
+  return "?";
+}
+
+const char* to_string(AdminAction a) noexcept {
+  switch (a) {
+    case AdminAction::kGetConfig:
+      return "get-config";
+    case AdminAction::kSetQueueDepth:
+      return "set-queue-depth";
+    case AdminAction::kSetCacheEntries:
+      return "set-cache-entries";
+    case AdminAction::kSetWorkers:
+      return "set-workers";
+    case AdminAction::kCatalogReload:
+      return "catalog-reload";
   }
   return "?";
 }
@@ -276,9 +361,14 @@ ServeRequest parse_request(const util::JsonValue& doc) {
     request.kind = RequestKind::kMetricsz;
     return request;
   }
+  if (type == "adminz") {
+    request.kind = RequestKind::kAdminz;
+    request.admin = parse_admin(doc);
+    return request;
+  }
   if (type != "allocate") {
     fail("unknown request type '" + type +
-         "' (want allocate|healthz|metricsz)");
+         "' (want allocate|healthz|metricsz|adminz)");
   }
   request.kind = RequestKind::kAllocate;
 
@@ -325,6 +415,28 @@ ServeRequest parse_request_text(std::string_view json) {
   } catch (const util::JsonParseError& e) {
     fail(std::string("malformed JSON: ") + e.what());
   }
+}
+
+ScenarioSpec resolve_scenario(const ScenarioSpec& spec,
+                              const ScenarioCatalog* catalog) {
+  if (ScenarioCatalog::is_builtin_name(spec.name)) return spec;
+  const ScenarioRecipe* recipe =
+      catalog == nullptr ? nullptr : catalog->find(spec.name);
+  if (recipe == nullptr) {
+    fail("unknown scenario name '" + spec.name +
+         "' (want dataset1|dataset2|dataset3|custom|inline or a catalog "
+         "alias)");
+  }
+  // The resolved spec is exactly what a direct request for the recipe's
+  // base would carry, so aliases share cache entries with direct requests
+  // and cached fronts stay valid across catalog reloads.
+  ScenarioSpec resolved;
+  resolved.name = recipe->base;
+  resolved.seed = spec.seed_set ? spec.seed : recipe->seed;
+  resolved.seed_set = true;
+  resolved.tasks = recipe->tasks;
+  resolved.window_s = recipe->window_s;
+  return resolved;
 }
 
 std::string request_fingerprint(const ServeRequest& request) {

@@ -7,12 +7,15 @@
 // Oversized frames are a protocol error — the decoder rejects them before
 // buffering the payload, so a hostile length prefix cannot balloon memory.
 //
-// A request document carries a type ("allocate" | "healthz" | "metricsz"),
-// and for allocate: a scenario (named dataset or inline ETC/EPC), a mode
-// ("heuristic:<name>" | "nsga2" | "pareto-query"), optional NSGA-II budget
-// parameters and an optional deadline.  docs/serving.md documents the full
-// schema with examples; parse_request enforces it and throws ProtocolError
-// (with a human-readable reason) on any violation.
+// A request document carries a type ("allocate" | "healthz" | "metricsz"
+// | "adminz"), and for allocate: a scenario (named dataset, catalog alias,
+// or inline ETC/EPC), a mode ("heuristic:<name>" | "nsga2" |
+// "pareto-query"), optional NSGA-II budget parameters and an optional
+// deadline.  "adminz" is the live administration plane (docs/runtime.md):
+// get-config, set-queue-depth, set-cache-entries, set-workers, and
+// catalog-reload.  docs/serving.md documents the full schema with
+// examples; parse_request enforces it and throws ProtocolError (with a
+// human-readable reason) on any violation.
 
 #include <cstddef>
 #include <cstdint>
@@ -22,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/scenario_catalog.hpp"
 #include "heuristics/seeds.hpp"
 #include "util/json_value.hpp"
 
@@ -61,21 +65,41 @@ class FrameDecoder {
   std::string buffer_;
 };
 
-enum class RequestKind { kAllocate, kHealthz, kMetricsz };
+enum class RequestKind { kAllocate, kHealthz, kMetricsz, kAdminz };
 
 enum class ModeKind { kHeuristic, kNsga2, kParetoQuery };
 
+/// Live-administration verbs (served inline like healthz — never queued).
+enum class AdminAction {
+  kGetConfig,      ///< effective configuration + phase snapshot
+  kSetQueueDepth,  ///< live bounded-queue capacity
+  kSetCacheEntries,///< live LRU front-cache capacity
+  kSetWorkers,     ///< live worker-pool resize (grow or shrink)
+  kCatalogReload,  ///< atomically hot-swap the named-scenario catalog
+};
+
 [[nodiscard]] const char* to_string(RequestKind k) noexcept;
 [[nodiscard]] const char* to_string(ModeKind m) noexcept;
+[[nodiscard]] const char* to_string(AdminAction a) noexcept;
+
+/// The payload of an "adminz" request.
+struct AdminRequest {
+  AdminAction action = AdminAction::kGetConfig;
+  std::size_t value = 0;  ///< the set-* actions' new value (>= 1)
+  std::vector<ScenarioRecipe> catalog;  ///< catalog-reload's entry set
+};
 
 /// Which ETC/EPC environment a request targets: one of the paper's named
-/// datasets, a "custom"-sized trace over the historical system, or a fully
+/// datasets, a "custom"-sized trace over the historical system, a fully
 /// inline system (ETC/EPC matrices + machine counts) with a generated
-/// trace.  Construction is deterministic given the spec, so a fingerprint
-/// of the spec identifies the scenario for caching.
+/// trace, or a catalog alias resolved server-side against the loaded
+/// ScenarioCatalog (resolve_scenario).  Construction is deterministic
+/// given the resolved spec, so a fingerprint of the spec identifies the
+/// scenario for caching.
 struct ScenarioSpec {
-  std::string name;  ///< "dataset1" | "dataset2" | "dataset3" | "custom" | "inline"
+  std::string name;  ///< built-in name, "inline", or a catalog alias
   std::uint64_t seed = 20130520;
+  bool seed_set = false;  ///< the request carried an explicit seed
   /// custom/inline trace shape.
   std::size_t tasks = 60;
   double window_s = 120.0;
@@ -111,6 +135,7 @@ struct ServeRequest {
   ScenarioSpec scenario;
   Nsga2Params nsga2;
   ParetoQuery query;
+  AdminRequest admin;        ///< adminz requests only
   double deadline_ms = 0.0;  ///< 0 = no deadline
 };
 
@@ -118,6 +143,14 @@ struct ServeRequest {
 /// reason suitable for echoing back to the client.
 [[nodiscard]] ServeRequest parse_request(const util::JsonValue& doc);
 [[nodiscard]] ServeRequest parse_request_text(std::string_view json);
+
+/// Resolves a catalog alias to its concrete built-in spec (built-in names
+/// pass through unchanged; an explicit request seed overrides the
+/// recipe's).  Throws ProtocolError when the name is neither built-in nor
+/// in `catalog` (nullptr = no catalog loaded).  Must run before
+/// request_fingerprint so cached entries survive catalog reloads.
+[[nodiscard]] ScenarioSpec resolve_scenario(const ScenarioSpec& spec,
+                                            const ScenarioCatalog* catalog);
 
 /// Canonical cache key for an allocate request: scenario identity plus the
 /// result-determining mode parameters (the deadline and query constraints

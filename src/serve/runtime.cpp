@@ -1,0 +1,206 @@
+#include "serve/runtime.hpp"
+
+#include <csignal>
+#include <ctime>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/json.hpp"
+
+namespace eus::serve {
+
+const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::eBooting:
+      return "booting";
+    case Phase::eRunning:
+      return "running";
+    case Phase::eDraining:
+      return "draining";
+    case Phase::eHalting:
+      return "halting";
+    case Phase::eHalted:
+      return "halted";
+  }
+  return "?";
+}
+
+bool RuntimeState::legal(Phase from, Phase to) noexcept {
+  switch (from) {
+    case Phase::eBooting:
+      return to == Phase::eRunning || to == Phase::eDraining;
+    case Phase::eRunning:
+      return to == Phase::eDraining;
+    case Phase::eDraining:
+      return to == Phase::eHalting;
+    case Phase::eHalting:
+      return to == Phase::eHalted;
+    case Phase::eHalted:
+      return false;
+  }
+  return false;
+}
+
+bool RuntimeState::transition(Phase from, Phase to) noexcept {
+  if (!legal(from, to)) return false;
+  return phase_.compare_exchange_strong(from, to, std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+}
+
+ServeRuntime::ServeRuntime(RuntimeConfig config)
+    : config_(std::move(config)) {
+  if (config_.signal_thread) {
+    // Block the shutdown signals *before* constructing the Server: its
+    // evaluation ThreadPool spawns threads right here in the constructor,
+    // and every thread must inherit the blocked mask or a process-directed
+    // SIGTERM could hit one of them and take the default (fatal) action
+    // instead of the signal thread's sigtimedwait.
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGINT);
+    sigaddset(&mask, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+  }
+  if (!config_.runlog_path.empty()) {
+    owned_log_ = std::make_unique<RequestLog>(config_.runlog_path);
+  }
+  ServerConfig server_config = config_.server;
+  if (server_config.metrics == nullptr) server_config.metrics = &metrics_;
+  if (server_config.log == nullptr) server_config.log = owned_log_.get();
+  if (server_config.catalog == nullptr) server_config.catalog = &catalog_;
+  server_config.state = &state_;
+  log_ = server_config.log;
+  server_ = std::make_unique<Server>(server_config);
+}
+
+ServeRuntime::~ServeRuntime() { halt(); }
+
+void ServeRuntime::boot() {
+  if (booted_.exchange(true)) {
+    throw std::logic_error("runtime already booted");
+  }
+  uptime_.reset();
+  if (config_.signal_thread) {
+    // The mask was blocked in the constructor (before any thread existed),
+    // so this thread's sigtimedwait is the only consumer.
+    signal_thread_ = std::thread([this] { signal_loop(); });
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    if (halt_requested_) {
+      // A shutdown beat the boot: never bind, never accept.  run()/halt()
+      // take the eBooting → eDraining edge from here.
+      return;
+    }
+  }
+  server_->start();
+  state_.transition(Phase::eBooting, Phase::eRunning);
+  log_lifecycle("running");
+  if (config_.diagnostics_period_s > 0.0) {
+    diagnostics_thread_ = std::thread([this] { diagnostics_loop(); });
+  }
+}
+
+void ServeRuntime::run() {
+  {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return halt_requested_; });
+  }
+  halt();
+}
+
+void ServeRuntime::request_halt() noexcept {
+  {
+    const std::lock_guard lock(mutex_);
+    halt_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ServeRuntime::halt() {
+  const std::lock_guard halt_lock(halt_mutex_);
+  if (halted_) return;
+  halted_ = true;
+  request_halt();  // unblock run() waiters
+
+  // eBooting → eDraining covers a halt before (or instead of) eRunning.
+  if (!state_.transition(Phase::eRunning, Phase::eDraining)) {
+    state_.transition(Phase::eBooting, Phase::eDraining);
+  }
+  log_lifecycle("draining");
+  server_->halt_acceptor();
+  server_->halt_queue();
+
+  state_.transition(Phase::eDraining, Phase::eHalting);
+  log_lifecycle("halting");
+  server_->halt_workers();
+  halt_recorder();
+
+  state_.transition(Phase::eHalting, Phase::eHalted);
+  log_lifecycle("halted");
+}
+
+void ServeRuntime::halt_recorder() {
+  stop_threads_.store(true, std::memory_order_relaxed);
+  cv_.notify_all();
+  if (diagnostics_thread_.joinable()) diagnostics_thread_.join();
+  if (signal_thread_.joinable()) signal_thread_.join();
+  write_diagnostics("final");
+  metrics().counter("serve.lifecycle.halt_recorder").add();
+}
+
+void ServeRuntime::signal_loop() {
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  // Wake every 100ms to poll the stop flag; a delivered signal returns
+  // immediately.  sigtimedwait runs on this ordinary thread, so no
+  // async-signal-safety constraints apply to what we do on receipt.
+  timespec tick{};
+  tick.tv_nsec = 100L * 1000L * 1000L;
+  while (!stop_threads_.load(std::memory_order_relaxed)) {
+    const int sig = ::sigtimedwait(&mask, nullptr, &tick);
+    if (sig == SIGINT || sig == SIGTERM) {
+      request_halt();
+    }
+  }
+}
+
+void ServeRuntime::diagnostics_loop() {
+  const auto period =
+      std::chrono::duration<double>(config_.diagnostics_period_s);
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      const bool stopping = cv_.wait_for(lock, period, [&] {
+        return stop_threads_.load(std::memory_order_relaxed);
+      });
+      if (stopping) return;
+    }
+    write_diagnostics("periodic");
+  }
+}
+
+void ServeRuntime::write_diagnostics(const char* event) {
+  if (log_ == nullptr) return;
+  const MetricsSnapshot snap = metrics().snapshot();
+  JsonObject o;
+  o.field("type", "diagnostics");
+  o.field("event", event);
+  o.field("t_s", uptime_.seconds());
+  o.field("phase", to_string(state_.phase()));
+  append_snapshot(o, snap);
+  log_->write(o.str());
+}
+
+void ServeRuntime::log_lifecycle(const char* phase) {
+  if (log_ == nullptr) return;
+  JsonObject o;
+  o.field("type", "lifecycle");
+  o.field("t_s", uptime_.seconds());
+  o.field("phase", phase);
+  log_->write(o.str());
+}
+
+}  // namespace eus::serve

@@ -1,0 +1,147 @@
+#pragma once
+
+// The daemon's lifecycle, extracted from tools/eus_served.cpp so it is
+// unit-testable: a phased state machine plus the threads and teardown
+// ordering around the serving engine (server.hpp).
+//
+// Phases form a one-way street:
+//
+//     eBooting ──> eRunning ──> eDraining ──> eHalting ──> eHalted
+//         └──────────────────────^
+//
+// eBooting→eDraining covers a shutdown signal that lands before the
+// listener is up: the runtime then halts cleanly without ever accepting a
+// connection.  Transitions are CAS-enforced (RuntimeState::transition
+// refuses anything not drawn above), so concurrent halt paths — a signal,
+// an explicit halt(), the destructor — agree on a single linear history.
+//
+// Threads owned by the runtime:
+//  - a signal thread: SIGINT/SIGTERM are blocked process-wide before any
+//    other thread spawns (the mask is inherited), then consumed via
+//    sigtimedwait on this thread — no async-signal-handler restrictions,
+//    no self-pipe.
+//  - a diagnostics thread: periodically snapshots the MetricsRegistry
+//    into the JSONL run log ("type":"diagnostics" lines) so a run's
+//    telemetry history survives the process.
+//
+// halt() runs the ordered teardown — halt_acceptor() → halt_queue() →
+// halt_workers() → halt_recorder() — with the phase advanced in between;
+// each step is idempotent and counted under serve.lifecycle.*.
+// docs/runtime.md walks through the whole lifecycle.
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/scenario_catalog.hpp"
+#include "serve/server.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace eus::serve {
+
+enum class Phase { eBooting, eRunning, eDraining, eHalting, eHalted };
+
+[[nodiscard]] const char* to_string(Phase p) noexcept;
+
+/// The atomic phase cell.  Shared read-only with the Server (healthz and
+/// adminz get-config report the phase); only the runtime transitions it.
+class RuntimeState {
+ public:
+  [[nodiscard]] Phase phase() const noexcept {
+    return phase_.load(std::memory_order_acquire);
+  }
+
+  /// Atomically advances `from` → `to`; returns false when the machine is
+  /// not in `from`, or when the edge is not one of the legal transitions.
+  bool transition(Phase from, Phase to) noexcept;
+
+  /// Whether `from` → `to` is an edge of the phase diagram above.
+  [[nodiscard]] static bool legal(Phase from, Phase to) noexcept;
+
+ private:
+  std::atomic<Phase> phase_{Phase::eBooting};
+};
+
+struct RuntimeConfig {
+  /// Engine configuration.  The runtime wires metrics/log/catalog/state
+  /// itself when they are left null (tests may inject their own).
+  ServerConfig server;
+  /// JSONL run log path; empty = no log.
+  std::string runlog_path;
+  /// Diagnostics snapshot period; 0 = no diagnostics thread.
+  double diagnostics_period_s = 0.0;
+  /// Block SIGINT/SIGTERM and consume them on a dedicated thread (the
+  /// daemon sets this; tests drive request_halt() directly instead).
+  bool signal_thread = false;
+};
+
+/// Owns the daemon lifecycle end to end: construct, boot(), run() until a
+/// signal or request_halt(), and the ordered halt() teardown.
+class ServeRuntime {
+ public:
+  explicit ServeRuntime(RuntimeConfig config);
+  ~ServeRuntime();  ///< halts (and drains) if still running
+
+  ServeRuntime(const ServeRuntime&) = delete;
+  ServeRuntime& operator=(const ServeRuntime&) = delete;
+
+  /// Spawns the signal thread (when configured), starts the server, and
+  /// advances eBooting → eRunning.  If a halt was requested before or
+  /// during boot, the listener is never started and the runtime stays in
+  /// eBooting for run()/halt() to finish off.  Throws on bind failure.
+  void boot();
+
+  /// Blocks until a halt is requested (signal thread or request_halt()),
+  /// then runs halt().  Returns once the runtime is eHalted.
+  void run();
+
+  /// Requests a halt from any thread; returns immediately.
+  void request_halt() noexcept;
+
+  /// Ordered teardown: phase transitions interleaved with the server's
+  /// halt steps, then halt_recorder() (final diagnostics snapshot, thread
+  /// joins).  Idempotent; concurrent callers serialize and the losers
+  /// return after the winner finishes.
+  void halt();
+
+  [[nodiscard]] Phase phase() const noexcept { return state_.phase(); }
+  [[nodiscard]] const RuntimeState& state() const noexcept { return state_; }
+  [[nodiscard]] Server& server() noexcept { return *server_; }
+  [[nodiscard]] SharedCatalog& catalog() noexcept { return catalog_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept {
+    return server_->metrics();
+  }
+
+ private:
+  void signal_loop();
+  void diagnostics_loop();
+  void halt_recorder();
+  void write_diagnostics(const char* event);
+  void log_lifecycle(const char* phase);
+
+  RuntimeConfig config_;
+  MetricsRegistry metrics_;   ///< used unless config_.server.metrics is set
+  SharedCatalog catalog_;     ///< used unless config_.server.catalog is set
+  RuntimeState state_;
+  std::unique_ptr<RequestLog> owned_log_;  ///< from runlog_path
+  RequestLog* log_ = nullptr;              ///< effective log (may be null)
+  std::unique_ptr<Server> server_;
+  Stopwatch uptime_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool halt_requested_ = false;         ///< guarded by mutex_
+  std::atomic<bool> stop_threads_{false};
+  std::thread signal_thread_;
+  std::thread diagnostics_thread_;
+
+  std::mutex halt_mutex_;
+  bool halted_ = false;  ///< guarded by halt_mutex_
+  std::atomic<bool> booted_{false};
+};
+
+}  // namespace eus::serve

@@ -9,11 +9,12 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
-#include <future>
 #include <optional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "serve/runtime.hpp"
 #include "telemetry/json.hpp"
 
 namespace eus::serve {
@@ -27,7 +28,7 @@ struct RequestLog::Impl {
 
 RequestLog::RequestLog(const std::string& path)
     : impl_(std::make_unique<Impl>()) {
-  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  impl_->out.open(path, std::ios::binary | std::ios::app);
   if (!impl_->out) throw std::runtime_error("cannot open run log " + path);
 }
 
@@ -37,22 +38,221 @@ void RequestLog::write(const std::string& json_line) {
   const std::lock_guard lock(impl_->mutex);
   impl_->out << json_line << '\n';
   impl_->out.flush();  // the daemon may be SIGKILLed; keep lines durable
-  ++lines_;
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ Acceptor
+
+void Acceptor::start(std::uint16_t port, std::function<void(int)> on_accept) {
+  on_accept_ = std::move(on_accept);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket(): ") +
+                             std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("cannot listen on port " + std::to_string(port) +
+                             ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Acceptor::interrupt() noexcept {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Acceptor::halt() {
+  interrupt();
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Acceptor::loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (or fatal): stop accepting
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    on_accept_(fd);
+  }
+}
+
+// ------------------------------------------------------------- ConnectionSet
+
+void ConnectionSet::adopt(int fd,
+                          const std::function<void(Connection*)>& loop) {
+  auto connection = std::make_unique<Connection>();
+  connection->fd = fd;
+  Connection* raw = connection.get();
+  {
+    const std::lock_guard lock(mutex_);
+    connections_.push_back(std::move(connection));
+  }
+  raw->thread = std::thread([loop, raw] { loop(raw); });
+}
+
+void ConnectionSet::reap() {
+  const std::lock_guard lock(mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ConnectionSet::close_fd(Connection* connection) {
+  const std::lock_guard lock(mutex_);
+  if (connection->fd >= 0) {
+    ::close(connection->fd);
+    connection->fd = -1;
+  }
+}
+
+void ConnectionSet::halt() {
+  {
+    const std::lock_guard lock(mutex_);
+    for (const auto& connection : connections_) {
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+  // Join outside the lock: exiting loops close their fd via close_fd(),
+  // which takes it.  No adopt() can race (the acceptor is halted first).
+  for (const auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    connections_.clear();
+  }
+}
+
+std::size_t ConnectionSet::active() const {
+  const std::lock_guard lock(mutex_);
+  std::size_t live = 0;
+  for (const auto& connection : connections_) {
+    if (!connection->done.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
+// ---------------------------------------------------------------- WorkerCrew
+
+WorkerCrew::WorkerCrew(BoundedQueue<RequestJob>& queue,
+                       std::function<void(RequestJob&)> execute)
+    : queue_(queue), execute_(std::move(execute)) {}
+
+void WorkerCrew::spawn_locked() {
+  members_.emplace_back();
+  Member* member = &members_.back();
+  ++active_;
+  member->thread = std::thread([this, member] { worker_loop(member); });
+}
+
+void WorkerCrew::reap_locked() {
+  for (auto it = members_.begin(); it != members_.end();) {
+    // A done member holds no locks anymore, so joining under the mutex is
+    // safe (and keeps the list mutation race-free).
+    if (it->done.load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      it = members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WorkerCrew::resize(std::size_t target) {
+  if (target < 1) target = 1;
+  std::size_t poisons = 0;
+  {
+    const std::lock_guard lock(mutex_);
+    if (halted_) return;
+    reap_locked();
+    target_ = target;
+    while (active_ < target_) spawn_locked();
+    if (active_ > target_) poisons = active_ - target_;
+  }
+  for (std::size_t i = 0; i < poisons; ++i) {
+    RequestJob token;
+    token.poison = true;
+    queue_.push_control(std::move(token));
+  }
+}
+
+void WorkerCrew::halt() {
+  {
+    const std::lock_guard lock(mutex_);
+    if (halted_) return;
+    halted_ = true;
+  }
+  queue_.close();
+  // members_ is stable now: resize() refuses after halted_, and workers
+  // only mark themselves done.  Join outside the lock — exiting workers
+  // take it to decrement active_.
+  for (Member& member : members_) {
+    if (member.thread.joinable()) member.thread.join();
+  }
+  const std::lock_guard lock(mutex_);
+  members_.clear();
+}
+
+std::size_t WorkerCrew::target() const {
+  const std::lock_guard lock(mutex_);
+  return target_;
+}
+
+std::size_t WorkerCrew::active() const {
+  const std::lock_guard lock(mutex_);
+  return active_;
+}
+
+void WorkerCrew::worker_loop(Member* self) {
+  for (;;) {
+    std::optional<RequestJob> job = queue_.pop();
+    if (!job) break;  // queue closed and drained
+    if (job->poison) {
+      const std::lock_guard lock(mutex_);
+      if (active_ > target_) break;  // shrink: this worker retires
+      continue;  // stale token — a grow landed since the shrink; discard
+    }
+    execute_(*job);
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    --active_;
+  }
+  self->done.store(true, std::memory_order_release);
 }
 
 // -------------------------------------------------------------------- Server
-
-struct Server::Job {
-  ServeRequest request;
-  Stopwatch waited;  ///< starts at enqueue: measures queue time
-  std::promise<HandleResult> promise;
-};
-
-struct Server::Connection {
-  int fd = -1;
-  std::thread thread;
-  std::atomic<bool> done{false};
-};
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
   if (config_.metrics != nullptr) {
@@ -68,7 +268,9 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   if (config_.eval_threads != 1) {
     eval_pool_ = std::make_unique<ThreadPool>(config_.eval_threads);
   }
-  queue_ = std::make_unique<BoundedQueue<Job>>(config_.queue_depth);
+  queue_ = std::make_unique<BoundedQueue<RequestJob>>(config_.queue_depth);
+  crew_ = std::make_unique<WorkerCrew>(
+      *queue_, [this](RequestJob& job) { execute_job(job); });
   handler_context_.metrics = metrics_;
   handler_context_.cache = cache_.get();
   handler_context_.pool = eval_pool_.get();
@@ -77,6 +279,28 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
 Server::~Server() { stop(); }
 
 std::size_t Server::queue_size() const { return queue_->size(); }
+std::size_t Server::queue_capacity() const { return queue_->capacity(); }
+std::size_t Server::worker_target() const { return crew_->target(); }
+std::size_t Server::worker_active() const { return crew_->active(); }
+std::size_t Server::eval_threads() const {
+  return eval_pool_ ? eval_pool_->size() : 1;
+}
+
+void Server::set_queue_capacity(std::size_t depth) {
+  queue_->set_capacity(depth);
+  metric_queue_depth_->set(static_cast<double>(queue_->size()));
+}
+
+void Server::set_cache_capacity(std::size_t entries) {
+  if (cache_ != nullptr) cache_->set_capacity(entries);
+}
+
+void Server::set_workers(std::size_t count) {
+  crew_->resize(count);
+  if (metric_workers_ != nullptr) {
+    metric_workers_->set(static_cast<double>(crew_->target()));
+  }
+}
 
 void Server::start() {
   if (started_.exchange(true)) {
@@ -89,50 +313,27 @@ void Server::start() {
   metric_errors_ = &metrics_->counter("serve.errors");
   metric_dropped_ = &metrics_->counter("serve.dropped");
   metric_deadline_expired_ = &metrics_->counter("serve.deadline_expired");
+  metric_admin_actions_ = &metrics_->counter("serve.admin.actions");
+  metric_halt_acceptor_ = &metrics_->counter("serve.lifecycle.halt_acceptor");
+  metric_halt_queue_ = &metrics_->counter("serve.lifecycle.halt_queue");
+  metric_halt_workers_ = &metrics_->counter("serve.lifecycle.halt_workers");
   metric_queue_depth_ = &metrics_->gauge("serve.queue_depth");
   metric_in_flight_ = &metrics_->gauge("serve.in_flight");
+  metric_workers_ = &metrics_->gauge("serve.workers");
   metric_service_ = &metrics_->timer("serve.service_s");
   metric_queue_wait_ = &metrics_->timer("serve.queue_wait_s");
   metric_latency_ = &metrics_->histogram("serve.latency");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("socket(): ") +
-                             std::strerror(errno));
-  }
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
-               sizeof(enable));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(config_.port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 128) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("cannot listen on port " +
-                             std::to_string(config_.port) + ": " + reason);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-  port_ = ntohs(bound.sin_port);
-
   uptime_.reset();
-  workers_.reserve(config_.workers);
-  for (std::size_t w = 0; w < config_.workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-  acceptor_ = std::thread([this] { acceptor_loop(); });
+  crew_->start(config_.workers);
+  metric_workers_->set(static_cast<double>(crew_->target()));
+  acceptor_.start(config_.port, [this](int fd) { on_accept(fd); });
 
   if (config_.log != nullptr) {
     JsonObject o;
     o.field("type", "config");
     o.field("service", "eus_served");
-    o.field("port", static_cast<std::uint64_t>(port_));
+    o.field("port", static_cast<std::uint64_t>(port()));
     o.field("queue_depth", static_cast<std::uint64_t>(config_.queue_depth));
     o.field("workers", static_cast<std::uint64_t>(config_.workers));
     o.field("eval_threads", static_cast<std::uint64_t>(
@@ -145,110 +346,71 @@ void Server::start() {
 
 void Server::request_stop() noexcept {
   draining_.store(true, std::memory_order_relaxed);
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  acceptor_.interrupt();
+}
+
+void Server::halt_acceptor() {
+  if (acceptor_halted_.exchange(true)) return;
+  draining_.store(true, std::memory_order_relaxed);
+  acceptor_.halt();
+  if (metric_halt_acceptor_ != nullptr) metric_halt_acceptor_->add();
+}
+
+void Server::halt_queue() {
+  if (queue_halted_.exchange(true)) return;
+  queue_->close();
+  if (metric_halt_queue_ != nullptr) metric_halt_queue_->add();
+}
+
+void Server::halt_workers() {
+  if (workers_halted_.exchange(true)) return;
+  // Workers drain the closed queue and resolve every pending promise;
+  // only then can the connection readers (blocked on those futures) be
+  // unblocked and joined.
+  crew_->halt();
+  connections_.halt();
+  if (metric_halt_workers_ != nullptr) metric_halt_workers_->add();
 }
 
 void Server::stop() {
   if (!started_.load()) return;
-  if (stopped_.exchange(true)) return;
+  halt_acceptor();
+  halt_queue();
+  halt_workers();
+}
 
-  // 1. Stop accepting: wake the acceptor and wait for it.
-  request_stop();
-  if (acceptor_.joinable()) acceptor_.join();
+void Server::on_accept(int fd) {
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  metric_connections_->add();
+  connections_.reap();
+  connections_.adopt(
+      fd, [this](Connection* connection) { connection_loop(connection); });
+}
 
-  // 2. Drain: refuse new work, let the workers answer everything already
-  //    queued or in flight, then exit.
-  queue_->close();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
+void Server::execute_job(RequestJob& job) {
+  metric_queue_depth_->set(static_cast<double>(queue_->size()));
+  const double queue_ms = job.waited.milliseconds();
+  metric_queue_wait_->add(
+      std::chrono::nanoseconds(static_cast<std::int64_t>(queue_ms * 1e6)));
+  metric_in_flight_->set(static_cast<double>(
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1));
+
+  std::optional<double> remaining_ms;
+  if (job.request.deadline_ms > 0.0) {
+    remaining_ms = job.request.deadline_ms - queue_ms;
   }
-
-  // 3. Unblock connection readers (their pending futures are all resolved
-  //    by now) and wait for them to finish writing responses.
+  HandleResult result;
   {
-    const std::lock_guard lock(connections_mutex_);
-    for (const auto& connection : connections_) {
-      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RD);
-    }
+    const ScopedTimer timed(metric_service_);
+    result = handle_allocate(job.request, handler_context_, remaining_ms,
+                             queue_ms);
   }
-  for (const auto& connection : connections_) {
-    if (connection->thread.joinable()) connection->thread.join();
-  }
-  {
-    const std::lock_guard lock(connections_mutex_);
-    connections_.clear();
-  }
+  if (result.code == kCodePartial) metric_deadline_expired_->add();
+  job.promise.set_value(std::move(result));
 
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-}
-
-void Server::reap_finished_connections() {
-  const std::lock_guard lock(connections_mutex_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void Server::acceptor_loop() {
-  while (!draining_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listen socket shut down (or fatal): stop accepting
-    }
-    if (draining_.load(std::memory_order_relaxed)) {
-      ::close(fd);
-      break;
-    }
-    const int enable = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-    metric_connections_->add();
-    reap_finished_connections();
-
-    auto connection = std::make_unique<Connection>();
-    connection->fd = fd;
-    Connection* raw = connection.get();
-    {
-      const std::lock_guard lock(connections_mutex_);
-      connections_.push_back(std::move(connection));
-    }
-    raw->thread = std::thread([this, raw] { connection_loop(raw); });
-  }
-}
-
-void Server::worker_loop() {
-  while (std::optional<Job> job = queue_->pop()) {
-    metric_queue_depth_->set(static_cast<double>(queue_->size()));
-    const double queue_ms = job->waited.milliseconds();
-    metric_queue_wait_->add(
-        std::chrono::nanoseconds(static_cast<std::int64_t>(queue_ms * 1e6)));
-    metric_in_flight_->set(static_cast<double>(
-        in_flight_.fetch_add(1, std::memory_order_relaxed) + 1));
-
-    std::optional<double> remaining_ms;
-    if (job->request.deadline_ms > 0.0) {
-      remaining_ms = job->request.deadline_ms - queue_ms;
-    }
-    HandleResult result;
-    {
-      const ScopedTimer timed(metric_service_);
-      result = handle_allocate(job->request, handler_context_, remaining_ms,
-                               queue_ms);
-    }
-    if (result.code == kCodePartial) metric_deadline_expired_->add();
-    job->promise.set_value(std::move(result));
-
-    metric_in_flight_->set(static_cast<double>(
-        in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1));
-  }
+  metric_in_flight_->set(static_cast<double>(
+      in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1));
 }
 
 void Server::connection_loop(Connection* connection) {
@@ -279,13 +441,7 @@ void Server::connection_loop(Connection* connection) {
       break;
     }
   }
-  {
-    const std::lock_guard lock(connections_mutex_);
-    if (connection->fd >= 0) {
-      ::close(connection->fd);
-      connection->fd = -1;
-    }
-  }
+  connections_.close_fd(connection);
   connection->done.store(true, std::memory_order_release);
 }
 
@@ -313,8 +469,29 @@ bool Server::process_payload(Connection* connection,
     send_payload(connection, metricsz_payload(request.id));
     return true;
   }
+  if (request.kind == RequestKind::kAdminz) {
+    send_payload(connection, adminz_payload(request));
+    return true;
+  }
 
-  Job job;
+  // Resolve catalog aliases to concrete specs *before* fingerprinting, so
+  // cached fronts key on what actually runs — in-flight requests finish
+  // against the catalog snapshot they arrived under, and a reload can
+  // never make a cached entry answer for a different scenario.
+  try {
+    std::shared_ptr<const ScenarioCatalog> catalog;
+    if (config_.catalog != nullptr) catalog = config_.catalog->snapshot();
+    request.scenario = resolve_scenario(request.scenario, catalog.get());
+  } catch (const ProtocolError& e) {
+    metric_errors_->add();
+    send_payload(connection,
+                 error_payload(request.id, kCodeBadRequest, "error",
+                               e.what()));
+    log_request(request, kCodeBadRequest, total.milliseconds(), false);
+    return true;
+  }
+
+  RequestJob job;
   job.request = request;
   std::future<HandleResult> future = job.promise.get_future();
   if (!queue_->try_push(std::move(job))) {
@@ -364,16 +541,24 @@ std::string Server::healthz_payload(const std::string& id) const {
   o.field("code", static_cast<std::int64_t>(kCodeOk));
   o.field("service", "eus_served");
   o.field("uptime_s", uptime_.seconds());
+  if (config_.state != nullptr) {
+    o.field("phase", to_string(config_.state->phase()));
+  }
   o.field("queue_depth", static_cast<std::uint64_t>(queue_->size()));
-  o.field("queue_capacity",
-          static_cast<std::uint64_t>(config_.queue_depth));
+  o.field("queue_capacity", static_cast<std::uint64_t>(queue_->capacity()));
   o.field("in_flight", static_cast<std::uint64_t>(
                            in_flight_.load(std::memory_order_relaxed)));
-  o.field("workers", static_cast<std::uint64_t>(config_.workers));
+  o.field("workers", static_cast<std::uint64_t>(crew_->target()));
   o.field("eval_threads",
           static_cast<std::uint64_t>(eval_pool_ ? eval_pool_->size() : 1));
   o.field("cache_size",
           static_cast<std::uint64_t>(cache_ ? cache_->size() : 0));
+  if (config_.catalog != nullptr) {
+    o.field("catalog_generation",
+            static_cast<std::uint64_t>(config_.catalog->generation()));
+    o.field("catalog_size",
+            static_cast<std::uint64_t>(config_.catalog->snapshot()->size()));
+  }
   o.field("draining", draining_.load(std::memory_order_relaxed));
   return o.str();
 }
@@ -386,33 +571,101 @@ std::string Server::metricsz_payload(const std::string& id) const {
   o.field("status", "ok");
   o.field("code", static_cast<std::int64_t>(kCodeOk));
   o.field("uptime_s", uptime_.seconds());
-  JsonObject counters;
-  for (const auto& [name, value] : snap.counters) {
-    counters.field(name, value);
-  }
-  o.raw("counters", counters.str());
-  JsonObject gauges;
-  for (const auto& [name, value] : snap.gauges) gauges.field(name, value);
-  o.raw("gauges", gauges.str());
-  JsonObject timers;
-  for (const auto& [name, stat] : snap.timers) {
-    JsonObject t;
-    t.field("seconds", stat.seconds);
-    t.field("count", stat.count);
-    timers.raw(name, t.str());
-  }
-  o.raw("timers", timers.str());
-  JsonObject histograms;
-  for (const auto& [name, stat] : snap.histograms) {
-    JsonObject h;
-    h.field("count", stat.count);
-    h.field("p50_ms", stat.p50_s * 1e3);
-    h.field("p95_ms", stat.p95_s * 1e3);
-    h.field("p99_ms", stat.p99_s * 1e3);
-    histograms.raw(name, h.str());
-  }
-  o.raw("histograms", histograms.str());
+  append_snapshot(o, snap);
   return o.str();
+}
+
+std::string Server::admin_config_payload(const std::string& id) const {
+  JsonObject o;
+  o.field("type", "response");
+  if (!id.empty()) o.field("id", id);
+  o.field("status", "ok");
+  o.field("code", static_cast<std::int64_t>(kCodeOk));
+  o.field("action", "get-config");
+  o.field("port", static_cast<std::uint64_t>(port()));
+  if (config_.state != nullptr) {
+    o.field("phase", to_string(config_.state->phase()));
+  }
+  o.field("queue_depth", static_cast<std::uint64_t>(queue_->capacity()));
+  o.field("queue_size", static_cast<std::uint64_t>(queue_->size()));
+  o.field("workers", static_cast<std::uint64_t>(crew_->target()));
+  o.field("workers_active", static_cast<std::uint64_t>(crew_->active()));
+  o.field("eval_threads",
+          static_cast<std::uint64_t>(eval_pool_ ? eval_pool_->size() : 1));
+  o.field("cache_entries",
+          static_cast<std::uint64_t>(cache_ ? cache_->capacity() : 0));
+  o.field("cache_size",
+          static_cast<std::uint64_t>(cache_ ? cache_->size() : 0));
+  o.field("max_frame_bytes",
+          static_cast<std::uint64_t>(config_.max_frame_bytes));
+  if (config_.catalog != nullptr) {
+    o.field("catalog_generation",
+            static_cast<std::uint64_t>(config_.catalog->generation()));
+    o.field("catalog_size",
+            static_cast<std::uint64_t>(config_.catalog->snapshot()->size()));
+  }
+  o.field("draining", draining_.load(std::memory_order_relaxed));
+  return o.str();
+}
+
+std::string Server::adminz_payload(const ServeRequest& request) {
+  const AdminRequest& admin = request.admin;
+  metric_admin_actions_->add();
+  const auto applied = [&](const char* extra_key, std::uint64_t extra) {
+    JsonObject o;
+    o.field("type", "response");
+    if (!request.id.empty()) o.field("id", request.id);
+    o.field("status", "ok");
+    o.field("code", static_cast<std::int64_t>(kCodeOk));
+    o.field("action", to_string(admin.action));
+    o.field(extra_key, extra);
+    return o.str();
+  };
+  switch (admin.action) {
+    case AdminAction::kGetConfig:
+      return admin_config_payload(request.id);
+    case AdminAction::kSetQueueDepth:
+      set_queue_capacity(admin.value);
+      return applied("queue_depth", queue_->capacity());
+    case AdminAction::kSetCacheEntries:
+      if (cache_ == nullptr) {
+        return error_payload(request.id, kCodeBadRequest, "error",
+                             "front cache is disabled (cache_entries=0); "
+                             "set-cache-entries has no target");
+      }
+      set_cache_capacity(admin.value);
+      return applied("cache_entries", cache_->capacity());
+    case AdminAction::kSetWorkers:
+      set_workers(admin.value);
+      return applied("workers", crew_->target());
+    case AdminAction::kCatalogReload: {
+      if (config_.catalog == nullptr) {
+        return error_payload(request.id, kCodeBadRequest, "error",
+                             "no scenario catalog configured; catalog-reload "
+                             "has no target");
+      }
+      std::shared_ptr<const ScenarioCatalog> next;
+      try {
+        next = std::make_shared<const ScenarioCatalog>(admin.catalog);
+      } catch (const std::invalid_argument& e) {
+        return error_payload(request.id, kCodeBadRequest, "error",
+                             std::string("catalog rejected: ") + e.what());
+      }
+      const std::size_t scenarios = next->size();
+      const std::uint64_t generation = config_.catalog->swap(std::move(next));
+      JsonObject o;
+      o.field("type", "response");
+      if (!request.id.empty()) o.field("id", request.id);
+      o.field("status", "ok");
+      o.field("code", static_cast<std::int64_t>(kCodeOk));
+      o.field("action", "catalog-reload");
+      o.field("catalog_generation", generation);
+      o.field("catalog_size", static_cast<std::uint64_t>(scenarios));
+      return o.str();
+    }
+  }
+  return error_payload(request.id, kCodeInternal, "error",
+                       "unhandled admin action");
 }
 
 void Server::log_request(const ServeRequest& request, int code,

@@ -1,22 +1,35 @@
 #pragma once
 
-// eus_served's engine: a TCP acceptor, per-connection reader threads, a
-// bounded request queue with explicit backpressure, and a small worker
-// pool that executes allocate requests through handlers.cpp (NSGA-II
-// evaluation batches fan out onto one shared ThreadPool, so concurrent
-// requests share the machine instead of oversubscribing it).
+// eus_served's engine, decomposed into the components the runtime halts in
+// order (docs/runtime.md): an Acceptor (listen socket + accept thread), a
+// ConnectionSet (per-connection reader threads), a bounded request queue
+// with explicit backpressure, and a WorkerCrew (elastic worker pool that
+// executes allocate requests through handlers.cpp — NSGA-II evaluation
+// batches fan out onto one shared ThreadPool, so concurrent requests share
+// the machine instead of oversubscribing it).  The Server class is the
+// facade wiring them together; ServeRuntime (runtime.hpp) owns the
+// process-level lifecycle around it.
 //
 // Flow control: a connection reads one frame, parses it, and enqueues the
 // request; if the queue is full (or the server is draining) the client
 // gets an immediate 503-style JSON error — the queue never grows beyond
-// its configured depth.  healthz/metricsz requests bypass the queue and
-// answer inline from the connection thread, so health stays observable
-// under full load.
+// its configured depth.  healthz/metricsz/adminz requests bypass the queue
+// and answer inline from the connection thread, so health and the admin
+// plane stay responsive under full load.
 //
-// Shutdown: stop() (or request_stop() from a signal handler's thread)
-// stops accepting, lets the workers drain every queued and in-flight
-// request, answers them, then closes the remaining connections.  No
-// request that was accepted into the queue is ever dropped by shutdown.
+// Live administration: set_queue_capacity / set_cache_capacity /
+// set_workers retune the running server without a restart (the adminz
+// verbs land here), and a SharedCatalog pointer lets catalog-reload swap
+// the alias catalog atomically — aliases resolve to concrete specs at
+// accept time, so in-flight requests finish against the catalog they
+// arrived under.
+//
+// Shutdown: stop() runs the ordered teardown halt_acceptor() →
+// halt_queue() → halt_workers(); each step is individually callable (the
+// runtime drives them one by one), idempotent, and counted under
+// serve.lifecycle.*.  Workers drain every queued request before exiting,
+// so no request that was accepted into the queue is ever dropped by
+// shutdown.
 //
 // Responses to a single connection are written in request order; clients
 // wanting concurrency open several connections (eus_client --concurrency
@@ -24,13 +37,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
 
+#include "core/scenario_catalog.hpp"
 #include "serve/bounded_queue.hpp"
 #include "serve/front_cache.hpp"
 #include "serve/handlers.hpp"
@@ -41,12 +56,16 @@
 
 namespace eus::serve {
 
+class RuntimeState;  // runtime.hpp — healthz/adminz report its phase
+
 /// Thread-safe JSONL request log (one line per served request, plus a
-/// config line at startup).  EXPERIMENTS.md documents the schema.
+/// config line at startup and periodic diagnostics snapshots).
+/// EXPERIMENTS.md documents the schema.
 class RequestLog {
  public:
-  /// Appends to `path` (truncating); throws std::runtime_error when the
-  /// file cannot be opened.
+  /// Appends to `path` (creating it when missing; existing lines are
+  /// preserved so restarts extend one history).  Throws
+  /// std::runtime_error when the file cannot be opened.
   explicit RequestLog(const std::string& path);
   ~RequestLog();
 
@@ -54,12 +73,147 @@ class RequestLog {
   RequestLog& operator=(const RequestLog&) = delete;
 
   void write(const std::string& json_line);
-  [[nodiscard]] std::size_t lines_written() const noexcept { return lines_; }
+  /// Lines written through this instance (not pre-existing file lines).
+  [[nodiscard]] std::size_t lines_written() const noexcept {
+    return lines_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
-  std::size_t lines_ = 0;
+  std::atomic<std::size_t> lines_{0};
+};
+
+/// One queued allocate request, or a WorkerCrew control token.
+struct RequestJob {
+  ServeRequest request;
+  Stopwatch waited;  ///< starts at enqueue: measures queue time
+  std::promise<HandleResult> promise;
+  bool poison = false;  ///< control token: the popping worker re-checks
+                        ///< the crew target and retires when over it
+};
+
+/// Listen socket + accept loop on a dedicated thread.  halt() is the
+/// teardown: wake the loop, join it, close the socket.
+class Acceptor {
+ public:
+  Acceptor() = default;
+  ~Acceptor() { halt(); }
+
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  /// Binds loopback:`port` (0 = ephemeral), listens, spawns the accept
+  /// thread; `on_accept` receives each connected fd and takes ownership.
+  /// Throws std::runtime_error when the port cannot be bound.
+  void start(std::uint16_t port, std::function<void(int)> on_accept);
+
+  /// The bound port (valid after start(); resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Wakes the accept loop and makes it exit; safe from any thread and
+  /// does not block (request_stop's half of halt()).
+  void interrupt() noexcept;
+
+  /// interrupt() + join + close the listen socket.  Idempotent.
+  void halt();
+
+  [[nodiscard]] bool stopping() const noexcept {
+    return stopping_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  std::function<void(int)> on_accept_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+};
+
+/// The live per-connection reader threads.  adopt() spawns one; halt()
+/// shuts every read side down and joins (run only after the workers have
+/// resolved all pending response futures, or readers block forever).
+class ConnectionSet {
+ public:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  ConnectionSet() = default;
+  ~ConnectionSet() { halt(); }
+
+  ConnectionSet(const ConnectionSet&) = delete;
+  ConnectionSet& operator=(const ConnectionSet&) = delete;
+
+  /// Takes ownership of `fd` and runs `loop(connection)` on a new thread.
+  void adopt(int fd, const std::function<void(Connection*)>& loop);
+
+  /// Joins and forgets connections whose loop has finished (called from
+  /// the accept path so idle closes do not accumulate threads).
+  void reap();
+
+  /// Closes `connection`'s socket exactly once (loops call this on exit).
+  void close_fd(Connection* connection);
+
+  /// Shuts down every read side, joins every reader, clears the set.
+  /// Idempotent.  Callers must guarantee no concurrent adopt().
+  void halt();
+
+  [[nodiscard]] std::size_t active() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+/// Elastic pool of request-executing workers over one BoundedQueue.
+/// Growing spawns threads; shrinking front-pushes poison tokens so a
+/// blocked worker wakes, re-checks the target, and retires — queued work
+/// is never dropped by a resize.  halt() closes the queue and joins after
+/// the drain.
+class WorkerCrew {
+ public:
+  WorkerCrew(BoundedQueue<RequestJob>& queue,
+             std::function<void(RequestJob&)> execute);
+  ~WorkerCrew() { halt(); }
+
+  WorkerCrew(const WorkerCrew&) = delete;
+  WorkerCrew& operator=(const WorkerCrew&) = delete;
+
+  void start(std::size_t count) { resize(count); }
+
+  /// Live resize (clamped >= 1).  A poison token popped after a
+  /// grow-back is discarded, so shrink/grow races self-correct.
+  void resize(std::size_t target);
+
+  /// Closes the queue, lets the workers drain every queued job, joins
+  /// every thread.  Idempotent.
+  void halt();
+
+  [[nodiscard]] std::size_t target() const;
+  [[nodiscard]] std::size_t active() const;
+
+ private:
+  struct Member {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void worker_loop(Member* self);
+  void spawn_locked();
+  void reap_locked();
+
+  BoundedQueue<RequestJob>& queue_;
+  std::function<void(RequestJob&)> execute_;
+  mutable std::mutex mutex_;
+  std::list<Member> members_;
+  std::size_t target_ = 0;
+  std::size_t active_ = 0;
+  bool halted_ = false;
 };
 
 struct ServerConfig {
@@ -67,14 +221,17 @@ struct ServerConfig {
   /// listener binds the loopback interface only.
   std::uint16_t port = 0;
   /// Bounded request-queue depth; overflow is answered with a 503-style
-  /// error (EUS_SERVE_QUEUE_DEPTH for the daemon).
+  /// error (EUS_SERVE_QUEUE_DEPTH for the daemon).  Live-tunable via the
+  /// set-queue-depth admin verb.
   std::size_t queue_depth = 64;
   /// Request-executing worker threads (each runs one allocate at a time).
+  /// Live-tunable via the set-workers admin verb.
   std::size_t workers = 2;
   /// Shared NSGA-II evaluation pool: 0 = hardware concurrency, 1 = inline
   /// evaluation (no pool).  All concurrent requests share this pool.
   std::size_t eval_threads = 1;
   /// LRU front-cache capacity in results; 0 disables caching.
+  /// Live-tunable via the set-cache-entries admin verb (unless disabled).
   std::size_t cache_entries = 64;
   /// Reject request frames larger than this many payload bytes.
   std::size_t max_frame_bytes = kMaxFrameBytes;
@@ -83,6 +240,13 @@ struct ServerConfig {
   MetricsRegistry* metrics = nullptr;
   /// Optional JSONL request log (must outlive the server).
   RequestLog* log = nullptr;
+  /// Optional alias catalog (must outlive the server): allocate requests
+  /// naming a non-built-in scenario resolve against its current snapshot
+  /// at accept time, and the catalog-reload admin verb swaps it.
+  SharedCatalog* catalog = nullptr;
+  /// Optional runtime phase source (must outlive the server): healthz and
+  /// adminz get-config report its phase when set.
+  const RuntimeState* state = nullptr;
 };
 
 class Server {
@@ -98,23 +262,44 @@ class Server {
   void start();
 
   /// The bound port (valid after start(); resolves port 0 requests).
-  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return acceptor_.port();
+  }
 
-  /// Async-signal-friendly shutdown request: flips the stop flag and
-  /// unblocks the acceptor.  The daemon's main thread then calls stop().
+  /// Async-signal-friendly shutdown request: flips the drain flag and
+  /// unblocks the acceptor.  The daemon's lifecycle thread then runs the
+  /// ordered halt steps (or stop(), which runs all of them).
   void request_stop() noexcept;
 
-  /// Graceful drain: stop accepting, answer every queued and in-flight
-  /// request, close connections, join every thread.  Idempotent.
+  /// Graceful drain: halt_acceptor() → halt_queue() → halt_workers().
+  /// Answers every queued and in-flight request, then closes connections
+  /// and joins every thread.  Idempotent.
   void stop();
 
-  /// True once request_stop()/stop() has begun.
+  // Ordered teardown steps.  Each is idempotent, must be called in the
+  // order below (stop() and ServeRuntime::halt() do), and bumps its
+  // serve.lifecycle.* counter on the first call.
+  void halt_acceptor();  ///< stop accepting; join the accept thread
+  void halt_queue();     ///< refuse new work; queued jobs stay poppable
+  void halt_workers();   ///< drain + join workers, then close connections
+
+  /// True once request_stop()/stop()/halt_acceptor() has begun.
   [[nodiscard]] bool draining() const noexcept {
     return draining_.load(std::memory_order_relaxed);
   }
 
+  // Live admin knobs (the adminz verbs land here; also callable directly,
+  // e.g. from tests).  Values are clamped >= 1.
+  void set_queue_capacity(std::size_t depth);
+  void set_cache_capacity(std::size_t entries);  ///< no-op when disabled
+  void set_workers(std::size_t count);
+
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return *metrics_; }
   [[nodiscard]] std::size_t queue_size() const;
+  [[nodiscard]] std::size_t queue_capacity() const;
+  [[nodiscard]] std::size_t worker_target() const;
+  [[nodiscard]] std::size_t worker_active() const;
+  [[nodiscard]] std::size_t eval_threads() const;  ///< resolved pool size
   [[nodiscard]] std::size_t in_flight() const noexcept {
     return in_flight_.load(std::memory_order_relaxed);
   }
@@ -123,11 +308,10 @@ class Server {
   }
 
  private:
-  struct Job;
-  struct Connection;
+  using Connection = ConnectionSet::Connection;
 
-  void acceptor_loop();
-  void worker_loop();
+  void on_accept(int fd);
+  void execute_job(RequestJob& job);
   void connection_loop(Connection* connection);
   /// Parses and dispatches one frame; returns false when the connection
   /// should close (fatal framing error).
@@ -135,9 +319,10 @@ class Server {
   void send_payload(Connection* connection, const std::string& payload);
   [[nodiscard]] std::string healthz_payload(const std::string& id) const;
   [[nodiscard]] std::string metricsz_payload(const std::string& id) const;
+  [[nodiscard]] std::string adminz_payload(const ServeRequest& request);
+  [[nodiscard]] std::string admin_config_payload(const std::string& id) const;
   void log_request(const ServeRequest& request, int code, double total_ms,
                    bool dropped);
-  void reap_finished_connections();
 
   ServerConfig config_;
   std::unique_ptr<MetricsRegistry> owned_metrics_;
@@ -146,18 +331,17 @@ class Server {
   std::unique_ptr<ThreadPool> eval_pool_;  ///< null when eval_threads == 1
   HandlerContext handler_context_;
 
-  std::unique_ptr<BoundedQueue<Job>> queue_;
-  std::vector<std::thread> workers_;
-  std::thread acceptor_;
-  std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  std::unique_ptr<BoundedQueue<RequestJob>> queue_;
+  std::unique_ptr<WorkerCrew> crew_;
+  Acceptor acceptor_;
+  ConnectionSet connections_;
 
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
   Stopwatch uptime_;
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
-  std::atomic<bool> stopped_{false};
+  std::atomic<bool> acceptor_halted_{false};
+  std::atomic<bool> queue_halted_{false};
+  std::atomic<bool> workers_halted_{false};
   std::atomic<std::size_t> in_flight_{0};
 
   // Metric handles, resolved once at start().
@@ -167,8 +351,13 @@ class Server {
   Counter* metric_errors_ = nullptr;
   Counter* metric_dropped_ = nullptr;
   Counter* metric_deadline_expired_ = nullptr;
+  Counter* metric_admin_actions_ = nullptr;
+  Counter* metric_halt_acceptor_ = nullptr;
+  Counter* metric_halt_queue_ = nullptr;
+  Counter* metric_halt_workers_ = nullptr;
   Gauge* metric_queue_depth_ = nullptr;
   Gauge* metric_in_flight_ = nullptr;
+  Gauge* metric_workers_ = nullptr;
   TimerMetric* metric_service_ = nullptr;
   TimerMetric* metric_queue_wait_ = nullptr;
   Histogram* metric_latency_ = nullptr;

@@ -1,5 +1,7 @@
 #include "telemetry/metrics.hpp"
 
+#include "telemetry/json.hpp"
+
 namespace eus {
 
 namespace {
@@ -65,6 +67,39 @@ TimerMetric& MetricsRegistry::timer(std::string_view name) {
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   const std::lock_guard lock(mutex_);
   return get_or_create(histograms_, name);
+}
+
+void append_snapshot(JsonObject& out, const MetricsSnapshot& snap) {
+  JsonObject counters;
+  for (const auto& [name, value] : snap.counters) counters.field(name, value);
+  out.raw("counters", counters.str());
+  JsonObject gauges;
+  for (const auto& [name, value] : snap.gauges) gauges.field(name, value);
+  out.raw("gauges", gauges.str());
+  JsonObject timers;
+  for (const auto& [name, stat] : snap.timers) {
+    JsonObject t;
+    t.field("seconds", stat.seconds);
+    t.field("count", stat.count);
+    timers.raw(name, t.str());
+  }
+  out.raw("timers", timers.str());
+  JsonObject histograms;
+  for (const auto& [name, stat] : snap.histograms) {
+    JsonObject h;
+    h.field("count", stat.count);
+    h.field("p50_ms", stat.p50_s * 1e3);
+    h.field("p95_ms", stat.p95_s * 1e3);
+    h.field("p99_ms", stat.p99_s * 1e3);
+    histograms.raw(name, h.str());
+  }
+  out.raw("histograms", histograms.str());
+}
+
+std::string snapshot_json(const MetricsSnapshot& snap) {
+  JsonObject o;
+  append_snapshot(o, snap);
+  return o.str();
 }
 
 MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,

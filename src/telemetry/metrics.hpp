@@ -147,6 +147,17 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramStat> histograms;
 };
 
+class JsonObject;
+
+/// Appends a snapshot's four sections ("counters"/"gauges"/"timers"/
+/// "histograms", histogram quantiles in milliseconds) as nested fields of
+/// `out`.  Shared by eus_served's `metricsz` responses and the runtime's
+/// background diagnostics thread so both emit the identical schema.
+void append_snapshot(JsonObject& out, const MetricsSnapshot& snap);
+
+/// The same four sections as one standalone JSON object.
+[[nodiscard]] std::string snapshot_json(const MetricsSnapshot& snap);
+
 /// Per-interval view of two snapshots of the same registry: counters and
 /// timers subtract (names absent from `before` count as zero; a counter
 /// that somehow shrank clamps to zero rather than wrapping), gauges keep

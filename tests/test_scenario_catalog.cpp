@@ -1,0 +1,123 @@
+// ScenarioCatalog / SharedCatalog unit tests: all-or-nothing validation,
+// sorted lookup, built-in protection, and the snapshot/swap hot-reload
+// contract (old snapshots survive a swap untouched).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/scenario_catalog.hpp"
+
+namespace eus {
+namespace {
+
+TEST(ScenarioCatalog, FindsValidatedRecipesByAlias) {
+  const ScenarioCatalog catalog(std::vector<ScenarioRecipe>{
+      {.name = "quick", .base = "custom", .seed = 7, .tasks = 10,
+       .window_s = 30.0},
+      {.name = "paper", .base = "dataset2"},
+      {.name = "nightly", .base = "dataset3", .seed = 42},
+  });
+  EXPECT_EQ(catalog.size(), 3U);
+
+  const ScenarioRecipe* quick = catalog.find("quick");
+  ASSERT_NE(quick, nullptr);
+  EXPECT_EQ(quick->base, "custom");
+  EXPECT_EQ(quick->seed, 7U);
+  EXPECT_EQ(quick->tasks, 10U);
+  EXPECT_DOUBLE_EQ(quick->window_s, 30.0);
+
+  const ScenarioRecipe* paper = catalog.find("paper");
+  ASSERT_NE(paper, nullptr);
+  EXPECT_EQ(paper->base, "dataset2");
+  EXPECT_EQ(paper->seed, 20130520U);  // recipe default
+
+  EXPECT_EQ(catalog.find("absent"), nullptr);
+  EXPECT_EQ(catalog.find(""), nullptr);
+  // Built-ins never live in the catalog; they resolve before lookup.
+  EXPECT_EQ(catalog.find("dataset2"), nullptr);
+}
+
+TEST(ScenarioCatalog, DefaultCatalogIsEmpty) {
+  const ScenarioCatalog catalog;
+  EXPECT_EQ(catalog.size(), 0U);
+  EXPECT_EQ(catalog.find("anything"), nullptr);
+}
+
+TEST(ScenarioCatalog, RejectsIncoherentRecipeSets) {
+  // Empty alias.
+  EXPECT_THROW(ScenarioCatalog(std::vector<ScenarioRecipe>{{.name = "", .base = "dataset1"}}),
+               std::invalid_argument);
+  // Aliases may not shadow built-in names ("inline" included).
+  EXPECT_THROW(ScenarioCatalog(std::vector<ScenarioRecipe>{{.name = "dataset1", .base = "dataset2"}}),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioCatalog(std::vector<ScenarioRecipe>{{.name = "inline", .base = "custom"}}),
+               std::invalid_argument);
+  // Unknown base (and "inline" is not a valid base either).
+  EXPECT_THROW(ScenarioCatalog(std::vector<ScenarioRecipe>{{.name = "x", .base = "dataset9"}}),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioCatalog(std::vector<ScenarioRecipe>{{.name = "x", .base = "inline"}}),
+               std::invalid_argument);
+  // Out-of-range custom parameters.
+  EXPECT_THROW(ScenarioCatalog(std::vector<ScenarioRecipe>{{.name = "x", .base = "custom", .tasks = 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ScenarioCatalog(std::vector<ScenarioRecipe>{{.name = "x", .base = "custom", .window_s = 0.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ScenarioCatalog(std::vector<ScenarioRecipe>{{.name = "x", .base = "custom", .window_s = -5.0}}),
+      std::invalid_argument);
+  // Duplicate aliases.
+  EXPECT_THROW(ScenarioCatalog(std::vector<ScenarioRecipe>{{.name = "x", .base = "dataset1"},
+                                {.name = "x", .base = "dataset2"}}),
+               std::invalid_argument);
+  // One bad recipe poisons the whole set: all-or-nothing.
+  EXPECT_THROW(ScenarioCatalog(std::vector<ScenarioRecipe>{{.name = "good", .base = "dataset1"},
+                                {.name = "bad", .base = "nope"}}),
+               std::invalid_argument);
+}
+
+TEST(ScenarioCatalog, BuiltinNamesAreRecognised) {
+  EXPECT_TRUE(ScenarioCatalog::is_builtin_name("dataset1"));
+  EXPECT_TRUE(ScenarioCatalog::is_builtin_name("dataset2"));
+  EXPECT_TRUE(ScenarioCatalog::is_builtin_name("dataset3"));
+  EXPECT_TRUE(ScenarioCatalog::is_builtin_name("custom"));
+  EXPECT_TRUE(ScenarioCatalog::is_builtin_name("inline"));
+  EXPECT_FALSE(ScenarioCatalog::is_builtin_name("dataset4"));
+  EXPECT_FALSE(ScenarioCatalog::is_builtin_name(""));
+  EXPECT_FALSE(ScenarioCatalog::is_builtin_name("Dataset1"));
+}
+
+TEST(SharedCatalog, SwapPublishesAtomicallyAndSnapshotsSurvive) {
+  SharedCatalog shared;
+  EXPECT_EQ(shared.generation(), 0U);  // boot catalog: empty, generation 0
+
+  const std::shared_ptr<const ScenarioCatalog> boot = shared.snapshot();
+  ASSERT_NE(boot, nullptr);
+  EXPECT_EQ(boot->size(), 0U);
+
+  const std::uint64_t gen1 = shared.swap(std::make_shared<const ScenarioCatalog>(
+      std::vector<ScenarioRecipe>{{.name = "quick", .base = "custom",
+                                   .tasks = 10, .window_s = 30.0}}));
+  EXPECT_EQ(gen1, 1U);
+  EXPECT_EQ(shared.generation(), 1U);
+
+  // The pre-swap snapshot is untouched; a fresh snapshot sees the reload.
+  EXPECT_EQ(boot->size(), 0U);
+  const std::shared_ptr<const ScenarioCatalog> current = shared.snapshot();
+  EXPECT_EQ(current->size(), 1U);
+  EXPECT_NE(current->find("quick"), nullptr);
+
+  // Swapping nullptr resets to the empty catalog and still bumps the
+  // generation — "unload everything" is a valid reload.
+  const std::uint64_t gen2 = shared.swap(nullptr);
+  EXPECT_EQ(gen2, 2U);
+  EXPECT_EQ(shared.snapshot()->size(), 0U);
+  // The generation-1 snapshot keeps serving its aliases.
+  EXPECT_NE(current->find("quick"), nullptr);
+}
+
+}  // namespace
+}  // namespace eus

@@ -130,10 +130,20 @@ TEST(ParseRequest, RejectsGarbage) {
                    R"({"type":"allocate","mode":"heuristic:nope",
                        "scenario":{"name":"dataset1"}})"),
                ProtocolError);
-  EXPECT_THROW(parse_request_text(
-                   R"({"type":"allocate","mode":"nsga2",
-                       "scenario":{"name":"galaxy5"}})"),
-               ProtocolError);
+  // Unknown names parse as catalog aliases; without a catalog entry they
+  // die at resolution time instead (server-side, before queueing).
+  {
+    const ServeRequest alias = parse_request_text(
+        R"({"type":"allocate","mode":"nsga2",
+            "scenario":{"name":"galaxy5"}})");
+    EXPECT_EQ(alias.scenario.name, "galaxy5");
+    EXPECT_FALSE(alias.scenario.seed_set);
+    EXPECT_THROW((void)resolve_scenario(alias.scenario, nullptr),
+                 ProtocolError);
+    const ScenarioCatalog empty;
+    EXPECT_THROW((void)resolve_scenario(alias.scenario, &empty),
+                 ProtocolError);
+  }
   // Odd population.
   EXPECT_THROW(parse_request_text(
                    R"({"type":"allocate","mode":"nsga2",
@@ -150,6 +160,86 @@ TEST(ParseRequest, RejectsGarbage) {
                    R"({"type":"allocate","mode":"nsga2",
                        "scenario":{"name":"dataset1"},"deadline_ms":-1})"),
                ProtocolError);
+}
+
+TEST(ParseRequest, AdminVerbsParseAndValidate) {
+  {
+    const ServeRequest r = parse_request_text(R"({"type":"adminz"})");
+    EXPECT_EQ(r.kind, RequestKind::kAdminz);
+    EXPECT_EQ(r.admin.action, AdminAction::kGetConfig);
+  }
+  {
+    const ServeRequest r = parse_request_text(
+        R"({"type":"adminz","action":"set-queue-depth","value":16})");
+    EXPECT_EQ(r.admin.action, AdminAction::kSetQueueDepth);
+    EXPECT_EQ(r.admin.value, 16U);
+  }
+  {
+    const ServeRequest r = parse_request_text(
+        R"({"type":"adminz","action":"catalog-reload","catalog":
+            {"scenarios":[{"name":"quick","base":"custom","tasks":10,
+                           "window_s":30,"seed":7}]}})");
+    EXPECT_EQ(r.admin.action, AdminAction::kCatalogReload);
+    ASSERT_EQ(r.admin.catalog.size(), 1U);
+    EXPECT_EQ(r.admin.catalog[0].name, "quick");
+    EXPECT_EQ(r.admin.catalog[0].base, "custom");
+    EXPECT_EQ(r.admin.catalog[0].tasks, 10U);
+    EXPECT_EQ(r.admin.catalog[0].seed, 7U);
+  }
+  // set-* verbs need an integer value >= 1.
+  EXPECT_THROW(
+      parse_request_text(R"({"type":"adminz","action":"set-workers"})"),
+      ProtocolError);
+  EXPECT_THROW(parse_request_text(
+                   R"({"type":"adminz","action":"set-workers","value":0})"),
+               ProtocolError);
+  // catalog-reload needs a catalog object with a scenarios array.
+  EXPECT_THROW(
+      parse_request_text(R"({"type":"adminz","action":"catalog-reload"})"),
+      ProtocolError);
+  EXPECT_THROW(parse_request_text(R"({"type":"adminz","action":"flush"})"),
+               ProtocolError);
+}
+
+TEST(ResolveScenario, AliasesResolveToConcreteSpecs) {
+  const ScenarioCatalog catalog({
+      {"quick", "custom", 99, 10, 30.0},
+      {"paper", "dataset2", 20130520, 60, 120.0},
+  });
+
+  // Built-ins pass through untouched, catalog or not.
+  ScenarioSpec builtin;
+  builtin.name = "dataset1";
+  builtin.seed = 5;
+  EXPECT_EQ(resolve_scenario(builtin, &catalog).name, "dataset1");
+  EXPECT_EQ(resolve_scenario(builtin, nullptr).seed, 5U);
+
+  // An alias becomes its recipe's base + parameters.
+  ScenarioSpec alias;
+  alias.name = "quick";
+  const ScenarioSpec resolved = resolve_scenario(alias, &catalog);
+  EXPECT_EQ(resolved.name, "custom");
+  EXPECT_EQ(resolved.seed, 99U);
+  EXPECT_EQ(resolved.tasks, 10U);
+  EXPECT_EQ(resolved.window_s, 30.0);
+
+  // An explicit request seed overrides the recipe seed.
+  alias.seed = 1234;
+  alias.seed_set = true;
+  EXPECT_EQ(resolve_scenario(alias, &catalog).seed, 1234U);
+
+  // The resolved spec fingerprints identically to a direct request for
+  // the same concrete scenario — aliases share cache entries.
+  ScenarioSpec paper_alias;
+  paper_alias.name = "paper";
+  ServeRequest via_alias;
+  via_alias.mode = ModeKind::kNsga2;
+  via_alias.scenario = resolve_scenario(paper_alias, &catalog);
+  ServeRequest direct;
+  direct.mode = ModeKind::kNsga2;
+  direct.scenario.name = "dataset2";
+  direct.scenario.seed = 20130520;
+  EXPECT_EQ(request_fingerprint(via_alias), request_fingerprint(direct));
 }
 
 TEST(Fingerprint, IdenticalRequestsShareAKey) {

@@ -1,0 +1,256 @@
+// ServeRuntime lifecycle tests: the phase machine's legal/illegal edges,
+// boot/run/halt ordering, idempotent double-stop, drain-under-load
+// completeness, a halt that lands during eBooting, the real signal thread,
+// and the diagnostics thread's run-log snapshots.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/handlers.hpp"
+#include "serve/runtime.hpp"
+#include "util/json_value.hpp"
+#include "util/stopwatch.hpp"
+
+namespace eus::serve {
+namespace {
+
+util::JsonValue one_shot(std::uint16_t port, const std::string& request) {
+  ClientConnection connection;
+  connection.connect(port);
+  return util::parse_json(connection.call(request));
+}
+
+int code_of(const util::JsonValue& doc) {
+  return static_cast<int>(doc.number_or("code", -1.0));
+}
+
+constexpr const char* kSmallScenario =
+    R"("scenario":{"name":"custom","tasks":10,"window_s":30,"seed":11})";
+
+TEST(RuntimeState, OnlyLegalEdgesTransition) {
+  using enum Phase;
+  // The legal one-way street.
+  EXPECT_TRUE(RuntimeState::legal(eBooting, eRunning));
+  EXPECT_TRUE(RuntimeState::legal(eBooting, eDraining));
+  EXPECT_TRUE(RuntimeState::legal(eRunning, eDraining));
+  EXPECT_TRUE(RuntimeState::legal(eDraining, eHalting));
+  EXPECT_TRUE(RuntimeState::legal(eHalting, eHalted));
+  // No skipping, no reversing, no leaving eHalted.
+  EXPECT_FALSE(RuntimeState::legal(eBooting, eHalting));
+  EXPECT_FALSE(RuntimeState::legal(eBooting, eHalted));
+  EXPECT_FALSE(RuntimeState::legal(eRunning, eBooting));
+  EXPECT_FALSE(RuntimeState::legal(eRunning, eHalted));
+  EXPECT_FALSE(RuntimeState::legal(eDraining, eRunning));
+  EXPECT_FALSE(RuntimeState::legal(eDraining, eHalted));
+  EXPECT_FALSE(RuntimeState::legal(eHalting, eDraining));
+  EXPECT_FALSE(RuntimeState::legal(eHalted, eBooting));
+  EXPECT_FALSE(RuntimeState::legal(eHalted, eRunning));
+
+  RuntimeState state;
+  EXPECT_EQ(state.phase(), eBooting);
+  // An illegal edge refuses and leaves the phase untouched.
+  EXPECT_FALSE(state.transition(eBooting, eHalted));
+  EXPECT_EQ(state.phase(), eBooting);
+  // A legal edge from the wrong current phase also refuses.
+  EXPECT_FALSE(state.transition(eRunning, eDraining));
+  EXPECT_EQ(state.phase(), eBooting);
+  // Walk the full street.
+  EXPECT_TRUE(state.transition(eBooting, eRunning));
+  EXPECT_TRUE(state.transition(eRunning, eDraining));
+  EXPECT_TRUE(state.transition(eDraining, eHalting));
+  EXPECT_TRUE(state.transition(eHalting, eHalted));
+  EXPECT_EQ(state.phase(), eHalted);
+  EXPECT_FALSE(state.transition(eHalted, eBooting));
+}
+
+TEST(ServeRuntime, BootServesThenHaltsInOrder) {
+  RuntimeConfig config;
+  config.server.queue_depth = 4;
+  config.server.workers = 1;
+  ServeRuntime runtime(config);
+  EXPECT_EQ(runtime.phase(), Phase::eBooting);
+
+  runtime.boot();
+  EXPECT_EQ(runtime.phase(), Phase::eRunning);
+  ASSERT_NE(runtime.server().port(), 0);
+
+  // healthz reports the live phase while running.
+  const util::JsonValue health =
+      one_shot(runtime.server().port(), R"({"type":"healthz"})");
+  EXPECT_EQ(code_of(health), kCodeOk);
+  EXPECT_EQ(health.string_or("phase", ""), "running");
+
+  runtime.request_halt();
+  runtime.run();  // returns once halted
+  EXPECT_EQ(runtime.phase(), Phase::eHalted);
+
+  // Every ordered teardown step ran exactly once.
+  const MetricsSnapshot snap = runtime.metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("serve.lifecycle.halt_acceptor"), 1U);
+  EXPECT_EQ(snap.counters.at("serve.lifecycle.halt_queue"), 1U);
+  EXPECT_EQ(snap.counters.at("serve.lifecycle.halt_workers"), 1U);
+  EXPECT_EQ(snap.counters.at("serve.lifecycle.halt_recorder"), 1U);
+}
+
+TEST(ServeRuntime, DoubleHaltIsIdempotent) {
+  RuntimeConfig config;
+  ServeRuntime runtime(config);
+  runtime.boot();
+  runtime.halt();
+  EXPECT_EQ(runtime.phase(), Phase::eHalted);
+  runtime.halt();  // second halt: no-op, no double teardown
+  EXPECT_EQ(runtime.phase(), Phase::eHalted);
+
+  const MetricsSnapshot snap = runtime.metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("serve.lifecycle.halt_acceptor"), 1U);
+  EXPECT_EQ(snap.counters.at("serve.lifecycle.halt_queue"), 1U);
+  EXPECT_EQ(snap.counters.at("serve.lifecycle.halt_workers"), 1U);
+  EXPECT_EQ(snap.counters.at("serve.lifecycle.halt_recorder"), 1U);
+}
+
+TEST(ServeRuntime, DrainAnswersEveryAcceptedRequestUnderFullQueue) {
+  RuntimeConfig config;
+  config.server.queue_depth = 4;
+  config.server.workers = 1;
+  ServeRuntime runtime(config);
+  runtime.boot();
+
+  const std::string slow =
+      std::string(R"({"type":"allocate","mode":"nsga2",)") + kSmallScenario +
+      R"(,"nsga2":{"population":8,"generations":5000000},
+         "deadline_ms":2000})";
+  ClientConnection in_flight_client;
+  ClientConnection queued_client;
+  in_flight_client.connect(runtime.server().port());
+  queued_client.connect(runtime.server().port());
+
+  // One request executing, one queued, then halt mid-load.
+  const Stopwatch clock;
+  in_flight_client.send(slow);
+  while (runtime.server().in_flight() < 1 && clock.seconds() < 15.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(runtime.server().in_flight(), 1U);
+  queued_client.send(slow);
+  while (runtime.server().queue_size() < 1 && clock.seconds() < 15.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(runtime.server().queue_size(), 1U);
+
+  std::thread halter([&runtime] { runtime.halt(); });
+  const util::JsonValue first = util::parse_json(in_flight_client.receive());
+  const util::JsonValue second = util::parse_json(queued_client.receive());
+  halter.join();
+
+  // Both accepted requests were answered (partial: the deadline burned
+  // while draining), nothing dropped, and the runtime is fully halted.
+  EXPECT_EQ(code_of(first), kCodePartial);
+  EXPECT_EQ(code_of(second), kCodePartial);
+  EXPECT_EQ(runtime.phase(), Phase::eHalted);
+  const MetricsSnapshot snap = runtime.metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("serve.dropped"), 0U);
+
+  ClientConnection late;
+  EXPECT_THROW(late.connect(runtime.server().port()), ConnectError);
+}
+
+TEST(ServeRuntime, HaltDuringBootingNeverAcceptsConnections) {
+  RuntimeConfig config;
+  ServeRuntime runtime(config);
+
+  // The shutdown wins the race against boot: the listener never starts.
+  runtime.request_halt();
+  runtime.boot();
+  EXPECT_EQ(runtime.phase(), Phase::eBooting);
+  EXPECT_EQ(runtime.server().port(), 0);  // never bound
+
+  runtime.run();
+  EXPECT_EQ(runtime.phase(), Phase::eHalted);
+
+  // The teardown steps still ran (each a no-op against unstarted parts)
+  // and the phase took the eBooting → eDraining edge, not eRunning.
+  const MetricsSnapshot snap = runtime.metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("serve.lifecycle.halt_recorder"), 1U);
+}
+
+TEST(ServeRuntime, SignalThreadConsumesSigtermAndDrains) {
+  RuntimeConfig config;
+  config.signal_thread = true;
+  ServeRuntime runtime(config);
+  runtime.boot();
+  EXPECT_EQ(runtime.phase(), Phase::eRunning);
+
+  // A process-directed SIGTERM: consumed by the runtime's signal thread
+  // via sigtimedwait (the signal is blocked everywhere else), which then
+  // requests the halt — run() returns once eHalted.
+  ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+  runtime.run();
+  EXPECT_EQ(runtime.phase(), Phase::eHalted);
+}
+
+TEST(ServeRuntime, DiagnosticsThreadSnapshotsMetricsIntoRunLog) {
+  const std::string log_path =
+      testing::TempDir() + "/eus_runtime_diag_test.jsonl";
+  std::remove(log_path.c_str());
+  {
+    RuntimeConfig config;
+    config.runlog_path = log_path;
+    config.diagnostics_period_s = 0.02;
+    ServeRuntime runtime(config);
+    runtime.boot();
+    // Serve one request so the snapshots have non-zero serve counters.
+    ASSERT_EQ(
+        code_of(one_shot(
+            runtime.server().port(),
+            std::string(
+                R"({"type":"allocate","mode":"heuristic:min-energy",)") +
+                kSmallScenario + "}")),
+        kCodeOk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    runtime.halt();
+  }
+
+  std::ifstream in(log_path);
+  std::string line;
+  std::size_t periodic = 0;
+  bool saw_final = false;
+  std::vector<std::string> lifecycle;
+  while (std::getline(in, line)) {
+    const util::JsonValue doc = util::parse_json(line);
+    const std::string type = doc.string_or("type", "");
+    if (type == "diagnostics") {
+      ASSERT_NE(doc.get("counters"), nullptr);
+      if (doc.string_or("event", "") == "periodic") ++periodic;
+      if (doc.string_or("event", "") == "final") {
+        saw_final = true;
+        // The final snapshot is written after halt_workers: the full
+        // teardown history is in it.
+        EXPECT_GE(doc.get("counters")->number_or(
+                      "serve.lifecycle.halt_workers", 0.0),
+                  1.0);
+      }
+    } else if (type == "lifecycle") {
+      lifecycle.push_back(doc.string_or("phase", ""));
+    }
+  }
+  EXPECT_GE(periodic, 1U);
+  EXPECT_TRUE(saw_final);
+  const std::vector<std::string> expected = {"running", "draining",
+                                             "halting", "halted"};
+  EXPECT_EQ(lifecycle, expected);
+  std::remove(log_path.c_str());
+}
+
+}  // namespace
+}  // namespace eus::serve

@@ -447,6 +447,7 @@ TEST(ServeServer, GracefulDrainAnswersEveryAcceptedRequest) {
 TEST(ServeServer, MetricszAndRequestLog) {
   const std::string log_path =
       testing::TempDir() + "/eus_serve_log_test.jsonl";
+  std::remove(log_path.c_str());  // RequestLog appends: start clean
   RequestLog log(log_path);
   ServerConfig config;
   config.log = &log;
@@ -489,6 +490,126 @@ TEST(ServeServer, MetricszAndRequestLog) {
   EXPECT_EQ(lines, log.lines_written());
   EXPECT_TRUE(saw_request_line);
   std::remove(log_path.c_str());
+}
+
+TEST(ServeAdmin, LiveKnobsRetuneTheRunningServer) {
+  ServerConfig config;
+  config.queue_depth = 4;
+  config.workers = 2;
+  config.cache_entries = 8;
+  Server server(config);
+  server.start();
+  ClientConnection connection;
+  connection.connect(server.port());
+
+  const util::JsonValue before = call_json(
+      connection, R"({"type":"adminz","action":"get-config","id":"a1"})");
+  ASSERT_EQ(code_of(before), kCodeOk);
+  EXPECT_EQ(before.string_or("id", ""), "a1");
+  EXPECT_EQ(before.number_or("queue_depth", 0.0), 4.0);
+  EXPECT_EQ(before.number_or("workers", 0.0), 2.0);
+  EXPECT_EQ(before.number_or("cache_entries", 0.0), 8.0);
+
+  // Each set-* verb takes effect immediately and echoes the new value.
+  const util::JsonValue deeper = call_json(
+      connection, R"({"type":"adminz","action":"set-queue-depth",
+                      "value":16})");
+  ASSERT_EQ(code_of(deeper), kCodeOk);
+  EXPECT_EQ(deeper.number_or("queue_depth", 0.0), 16.0);
+  EXPECT_EQ(server.queue_capacity(), 16U);
+
+  const util::JsonValue smaller_cache = call_json(
+      connection, R"({"type":"adminz","action":"set-cache-entries",
+                      "value":2})");
+  ASSERT_EQ(code_of(smaller_cache), kCodeOk);
+  EXPECT_EQ(smaller_cache.number_or("cache_entries", 0.0), 2.0);
+
+  const util::JsonValue more_workers = call_json(
+      connection, R"({"type":"adminz","action":"set-workers","value":4})");
+  ASSERT_EQ(code_of(more_workers), kCodeOk);
+  EXPECT_EQ(more_workers.number_or("workers", 0.0), 4.0);
+  EXPECT_EQ(server.worker_target(), 4U);
+  {
+    const Stopwatch clock;
+    while (server.worker_active() < 4 && clock.seconds() < 15.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(server.worker_active(), 4U);
+  }
+
+  // Shrinking retires workers via poison tokens without dropping work.
+  const util::JsonValue fewer_workers = call_json(
+      connection, R"({"type":"adminz","action":"set-workers","value":1})");
+  ASSERT_EQ(code_of(fewer_workers), kCodeOk);
+  {
+    const Stopwatch clock;
+    while (server.worker_active() > 1 && clock.seconds() < 15.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(server.worker_active(), 1U);
+  }
+
+  // The shrunken pool still answers allocate requests.
+  ASSERT_EQ(code_of(call_json(connection, small_nsga2_request())), kCodeOk);
+
+  server.stop();
+  const MetricsSnapshot snap = server.metrics().snapshot();
+  EXPECT_GE(snap.counters.at("serve.admin.actions"), 5U);
+}
+
+TEST(ServeAdmin, CatalogReloadServesAliasesLive) {
+  SharedCatalog catalog;
+  ServerConfig config;
+  config.catalog = &catalog;
+  Server server(config);
+  server.start();
+  ClientConnection connection;
+  connection.connect(server.port());
+
+  // Before the reload, the alias is unknown: 400, connection survives.
+  const std::string aliased = std::string(
+      R"({"type":"allocate","mode":"nsga2","scenario":{"name":"tiny"},)") +
+      R"("nsga2":{"population":8,"generations":4,
+                  "seeds":["min-energy","max-utility"]}})";
+  EXPECT_EQ(code_of(call_json(connection, aliased)), kCodeBadRequest);
+
+  const util::JsonValue reloaded = call_json(
+      connection,
+      R"({"type":"adminz","action":"catalog-reload","catalog":
+          {"scenarios":[{"name":"tiny","base":"custom","tasks":10,
+                         "window_s":30,"seed":11}]}})");
+  ASSERT_EQ(code_of(reloaded), kCodeOk) << reloaded.string_or("error", "");
+  EXPECT_EQ(reloaded.number_or("catalog_generation", 0.0), 1.0);
+  EXPECT_EQ(reloaded.number_or("catalog_size", 0.0), 1.0);
+
+  // The alias now resolves — and because it resolves to the same concrete
+  // spec as kSmallScenario, it shares that request's cache entry: a
+  // direct request then an aliased one is one miss + one hit.
+  const util::JsonValue direct = call_json(connection, small_nsga2_request());
+  ASSERT_EQ(code_of(direct), kCodeOk);
+  EXPECT_EQ(direct.string_or("cache", ""), "miss");
+  const util::JsonValue via_alias = call_json(connection, aliased);
+  ASSERT_EQ(code_of(via_alias), kCodeOk) << via_alias.string_or("error", "");
+  EXPECT_EQ(via_alias.string_or("cache", ""), "hit");
+  ASSERT_EQ(via_alias.get("front")->array.size(),
+            direct.get("front")->array.size());
+
+  // An invalid replacement is rejected whole: the old catalog stays.
+  const util::JsonValue rejected = call_json(
+      connection,
+      R"({"type":"adminz","action":"catalog-reload","catalog":
+          {"scenarios":[{"name":"dataset1","base":"custom"}]}})");
+  EXPECT_EQ(code_of(rejected), kCodeBadRequest);
+  EXPECT_EQ(catalog.generation(), 1U);
+  EXPECT_EQ(code_of(call_json(connection, aliased)), kCodeOk);
+
+  // Swapping in an empty catalog drops the alias for *new* requests.
+  const util::JsonValue cleared = call_json(
+      connection, R"({"type":"adminz","action":"catalog-reload",
+                      "catalog":{"scenarios":[]}})");
+  ASSERT_EQ(code_of(cleared), kCodeOk);
+  EXPECT_EQ(code_of(call_json(connection, aliased)), kCodeBadRequest);
+  server.stop();
 }
 
 }  // namespace

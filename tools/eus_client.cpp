@@ -6,6 +6,14 @@
 //   eus_client --mode pareto-query --max-energy 1500
 //   eus_client --mode nsga2 --repeat 8 --concurrency 4   # load generator
 //
+// Live administration (the daemon's adminz plane, docs/runtime.md):
+//
+//   eus_client admin get-config
+//   eus_client admin set-queue-depth 16
+//   eus_client admin set-workers 4
+//   eus_client admin set-cache-entries 128
+//   eus_client admin catalog-reload --catalog scenarios.json
+//
 // Exit codes (mirrors eus_bench's small-integer convention):
 //   0  success
 //   1  server-sent error response (4xx/5xx payload)
@@ -16,6 +24,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <optional>
@@ -47,6 +56,10 @@ struct CliOptions {
   std::uint16_t port = serve_port();
   bool healthz = false;
   bool metricsz = false;
+  bool admin = false;
+  std::string admin_action;                 ///< adminz verb
+  std::optional<std::size_t> admin_value;   ///< the set-* verbs' operand
+  std::optional<std::string> catalog_path;  ///< catalog-reload JSON file
   bool raw_json = false;
   std::string mode = "heuristic:min-energy";
   std::string id;
@@ -67,6 +80,21 @@ struct CliOptions {
 
 void print_usage(std::ostream& out) {
   out << "usage: eus_client [options]\n"
+         "       eus_client admin <verb> [value] [options]\n"
+         "\n"
+         "admin verbs (live daemon reconfiguration, no restart):\n"
+         "  get-config           effective configuration + phase snapshot\n"
+         "  set-queue-depth <n>  live bounded-queue capacity\n"
+         "  set-cache-entries <n> live front-cache capacity\n"
+         "  set-workers <n>      live worker-pool resize\n"
+         "  catalog-reload --catalog <file>\n"
+         "                       atomically swap the scenario catalog; the\n"
+         "                       file holds {\"scenarios\": [{\"name\", "
+         "\"base\",\n"
+         "                       \"seed\"?, \"tasks\"?, \"window_s\"?}, "
+         "...]}\n"
+         "\n"
+         "options:\n"
          "  --port <n>           daemon port (default EUS_SERVE_PORT or "
          "7461)\n"
          "  --healthz            health snapshot request\n"
@@ -116,7 +144,30 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     if (end == text || *end != '\0') return std::nullopt;
     return x;
   };
-  for (int i = 1; i < argc; ++i) {
+  int start = 1;
+  if (argc > 1 && std::string(argv[1]) == "admin") {
+    opts.admin = true;
+    if (argc < 3 || argv[2][0] == '-') {
+      std::cerr << "eus_client: admin needs a verb (get-config|"
+                   "set-queue-depth|set-cache-entries|set-workers|"
+                   "catalog-reload)\n";
+      return std::nullopt;
+    }
+    opts.admin_action = argv[2];
+    start = 3;
+    if (argc > 3 && argv[3][0] != '-') {
+      const std::optional<std::size_t> n = parse_count(argv[3]);
+      if (!n) {
+        std::cerr << "eus_client: admin value wants a non-negative "
+                     "integer, got '"
+                  << argv[3] << "'\n";
+        return std::nullopt;
+      }
+      opts.admin_value = n;
+      start = 4;
+    }
+  }
+  for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto count_flag = [&](std::optional<std::size_t>& out) -> bool {
       const char* v = value_of(i, arg.c_str());
@@ -170,6 +221,10 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       const char* v = value_of(i, "--scenario");
       if (v == nullptr) return std::nullopt;
       opts.scenario = v;
+    } else if (arg == "--catalog") {
+      const char* v = value_of(i, "--catalog");
+      if (v == nullptr) return std::nullopt;
+      opts.catalog_path = v;
     } else if (arg == "--seeds") {
       const char* v = value_of(i, "--seeds");
       if (v == nullptr) return std::nullopt;
@@ -216,7 +271,57 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     std::cerr << "eus_client: pick one of --healthz / --metricsz\n";
     return std::nullopt;
   }
+  if (opts.admin) {
+    const std::string& verb = opts.admin_action;
+    const bool is_set = verb == "set-queue-depth" ||
+                        verb == "set-cache-entries" || verb == "set-workers";
+    if (verb != "get-config" && verb != "catalog-reload" && !is_set) {
+      std::cerr << "eus_client: unknown admin verb '" << verb << "'\n";
+      return std::nullopt;
+    }
+    if (is_set && (!opts.admin_value || *opts.admin_value == 0)) {
+      std::cerr << "eus_client: admin " << verb
+                << " needs an integer value >= 1\n";
+      return std::nullopt;
+    }
+    if (verb == "catalog-reload" && !opts.catalog_path) {
+      std::cerr << "eus_client: admin catalog-reload needs --catalog "
+                   "<file>\n";
+      return std::nullopt;
+    }
+  }
   return opts;
+}
+
+/// Renders the adminz request; nullopt (after printing the reason) when
+/// the catalog file cannot be read or is not JSON.
+std::optional<std::string> build_admin_request(const CliOptions& opts) {
+  JsonObject o;
+  o.field("type", "adminz");
+  if (!opts.id.empty()) o.field("id", opts.id);
+  o.field("action", opts.admin_action);
+  if (opts.admin_value) {
+    o.field("value", static_cast<std::uint64_t>(*opts.admin_value));
+  }
+  if (opts.catalog_path) {
+    std::ifstream in(*opts.catalog_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "eus_client: cannot read catalog file '"
+                << *opts.catalog_path << "'\n";
+      return std::nullopt;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    try {
+      (void)util::parse_json(contents.str());
+    } catch (const util::JsonParseError& e) {
+      std::cerr << "eus_client: catalog file is not valid JSON: " << e.what()
+                << '\n';
+      return std::nullopt;
+    }
+    o.raw("catalog", contents.str());
+  }
+  return o.str();
 }
 
 std::string build_request(const CliOptions& opts) {
@@ -301,6 +406,25 @@ void print_response(const util::JsonValue& doc) {
     std::cout << "error: " << error << '\n';
     return;
   }
+  if (const std::string action = doc.string_or("action", "");
+      !action.empty()) {
+    std::cout << "action: " << action << '\n';
+    for (const char* key :
+         {"phase", "queue_depth", "queue_size", "workers", "workers_active",
+          "cache_entries", "cache_size", "eval_threads", "catalog_generation",
+          "catalog_size"}) {
+      if (const util::JsonValue* v = doc.get(key); v != nullptr) {
+        std::cout << key << ": ";
+        if (v->is_string()) {
+          std::cout << v->string;
+        } else if (v->is_number()) {
+          std::cout << v->number;
+        }
+        std::cout << '\n';
+      }
+    }
+    return;
+  }
   const std::string mode = doc.string_or("mode", "");
   if (!mode.empty()) {
     std::cout << "mode: " << mode << ", scenario: "
@@ -324,6 +448,10 @@ void print_response(const util::JsonValue& doc) {
               << " ms\n";
   }
   if (doc.get("uptime_s") != nullptr) {
+    if (const std::string phase = doc.string_or("phase", "");
+        !phase.empty()) {
+      std::cout << "phase: " << phase << '\n';
+    }
     std::cout << "uptime_s: " << doc.number_or("uptime_s", 0.0)
               << ", queue_depth: " << doc.number_or("queue_depth", 0.0)
               << "/" << doc.number_or("queue_capacity", 0.0)
@@ -431,7 +559,15 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
   const CliOptions& opts = *parsed;
-  const std::string request = build_request(opts);
+  std::string request;
+  if (opts.admin) {
+    const std::optional<std::string> admin_request =
+        build_admin_request(opts);
+    if (!admin_request) return kExitUsage;
+    request = *admin_request;
+  } else {
+    request = build_request(opts);
+  }
 
   if (opts.repeat > 1 || opts.concurrency > 1) {
     return run_load(opts, request);

@@ -1,8 +1,13 @@
 // eus_served — the allocation-as-a-service daemon.  Listens on loopback,
 // speaks length-prefixed JSON frames (docs/serving.md), executes heuristic
 // / NSGA-II / pareto-query allocate requests on a bounded worker queue
-// with explicit backpressure, and drains gracefully on SIGINT/SIGTERM:
-// every request already accepted into the queue is answered before exit.
+// with explicit backpressure, and serves a live admin plane (adminz:
+// queue depth, cache entries, worker count, catalog hot-reload).
+//
+// The process lifecycle lives in ServeRuntime (docs/runtime.md): a phased
+// state machine (booting → running → draining → halting → halted) with a
+// dedicated signal thread consuming SIGINT/SIGTERM via sigtimedwait and an
+// ordered teardown that answers every accepted request before exit.
 //
 //   eus_served                         # EUS_SERVE_PORT (default 7461)
 //   eus_served --port 0               # ephemeral port, printed on stdout
@@ -10,18 +15,18 @@
 //
 // Exit codes: 0 clean shutdown, 1 startup failure, 2 usage error.
 
-#include <unistd.h>
-
-#include <cerrno>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
-#include <memory>
 #include <optional>
 #include <string>
 
-#include "serve/server.hpp"
+#include "serve/runtime.hpp"
 #include "util/env.hpp"
+
+#ifndef EUS_VERSION
+#define EUS_VERSION "0.0.0"
+#endif
 
 namespace {
 
@@ -32,15 +37,6 @@ constexpr int kExitOk = 0;
 constexpr int kExitStartupFailure = 1;
 constexpr int kExitUsage = 2;
 
-// Self-pipe: the signal handler writes one byte, the main thread blocks on
-// the read end and runs the (non-async-signal-safe) graceful drain.
-int g_signal_pipe[2] = {-1, -1};
-
-extern "C" void on_stop_signal(int) {
-  const char byte = 1;
-  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
-}
-
 struct CliOptions {
   std::uint16_t port = serve_port();
   std::size_t queue_depth = serve_queue_depth();
@@ -48,25 +44,35 @@ struct CliOptions {
   std::size_t eval_threads = bench_threads();  // 0 = hardware concurrency
   std::size_t cache_entries = 64;
   std::size_t max_frame_bytes = kMaxFrameBytes;
+  double diagnostics_period_s = 10.0;  // 0 disables the diagnostics thread
   std::optional<std::string> runlog = env_string("EUS_RUNLOG");
 };
 
 void print_usage(std::ostream& out) {
   out << "usage: eus_served [options]\n"
-         "  --port <n>         listen port on 127.0.0.1 (0 = ephemeral;\n"
-         "                     default EUS_SERVE_PORT or 7461)\n"
-         "  --queue-depth <n>  bounded request queue; overflow is answered\n"
-         "                     with a 503 error (default\n"
-         "                     EUS_SERVE_QUEUE_DEPTH or 64)\n"
-         "  --workers <n>      request-executing worker threads (default 2)\n"
-         "  --threads <n>      shared NSGA-II evaluation pool: 0 = hardware\n"
-         "                     concurrency, 1 = inline (default EUS_THREADS"
-         ")\n"
-         "  --cache <n>        LRU front-cache entries; 0 disables (default "
-         "64)\n"
-         "  --max-frame <n>    per-frame payload byte cap (default 4 MiB)\n"
-         "  --runlog <path>    JSONL request log (default EUS_RUNLOG)\n"
-         "  -h, --help         this text\n";
+         "  --port <n>           listen port on 127.0.0.1 (0 = ephemeral;\n"
+         "                       default EUS_SERVE_PORT or 7461)\n"
+         "  --queue-depth <n>    bounded request queue; overflow is\n"
+         "                       answered with a 503 error (default\n"
+         "                       EUS_SERVE_QUEUE_DEPTH or 64)\n"
+         "  --workers <n>        request-executing worker threads (default "
+         "2)\n"
+         "  --threads <n>        shared NSGA-II evaluation pool: 0 =\n"
+         "                       hardware concurrency, 1 = inline (default\n"
+         "                       EUS_THREADS)\n"
+         "  --cache-entries <n>  LRU front-cache entries; 0 disables\n"
+         "                       (default 64; --cache is a synonym)\n"
+         "  --max-frame <n>      per-frame payload byte cap (default 4 "
+         "MiB)\n"
+         "  --diagnostics <s>    seconds between diagnostics snapshots in\n"
+         "                       the run log; 0 disables (default 10)\n"
+         "  --runlog <path>      JSONL request log (default EUS_RUNLOG)\n"
+         "  --version            print the version and exit\n"
+         "  -h, --help           this text\n"
+         "\n"
+         "All of queue depth, cache entries, worker count and the scenario\n"
+         "catalog are also live-tunable without a restart: see\n"
+         "`eus_client admin --help` and docs/runtime.md.\n";
 }
 
 std::optional<std::size_t> parse_size(const char* text) {
@@ -120,16 +126,33 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       if (!size_flag(i, "--threads", opts.eval_threads)) {
         return std::nullopt;
       }
-    } else if (arg == "--cache") {
-      if (!size_flag(i, "--cache", opts.cache_entries)) return std::nullopt;
+    } else if (arg == "--cache" || arg == "--cache-entries") {
+      if (!size_flag(i, arg.c_str(), opts.cache_entries)) {
+        return std::nullopt;
+      }
     } else if (arg == "--max-frame") {
       if (!size_flag(i, "--max-frame", opts.max_frame_bytes)) {
         return std::nullopt;
       }
+    } else if (arg == "--diagnostics") {
+      const char* v = value_of(i, "--diagnostics");
+      if (v == nullptr) return std::nullopt;
+      char* end = nullptr;
+      const double s = std::strtod(v, &end);
+      if (end == v || *end != '\0' || s < 0.0) {
+        std::cerr << "eus_served: --diagnostics wants a non-negative "
+                     "number of seconds, got '"
+                  << v << "'\n";
+        return std::nullopt;
+      }
+      opts.diagnostics_period_s = s;
     } else if (arg == "--runlog") {
       const char* v = value_of(i, "--runlog");
       if (v == nullptr) return std::nullopt;
       opts.runlog = v;
+    } else if (arg == "--version") {
+      std::cout << "eus_served " << EUS_VERSION << '\n';
+      std::exit(kExitOk);
     } else if (arg == "-h" || arg == "--help") {
       print_usage(std::cout);
       std::exit(kExitOk);
@@ -155,53 +178,35 @@ int main(int argc, char** argv) {
   }
   const CliOptions& opts = *parsed;
 
-  std::unique_ptr<RequestLog> log;
-  if (opts.runlog && !opts.runlog->empty()) {
-    try {
-      log = std::make_unique<RequestLog>(*opts.runlog);
-    } catch (const std::exception& e) {
-      std::cerr << "eus_served: " << e.what() << '\n';
-      return kExitStartupFailure;
-    }
-  }
+  ::signal(SIGPIPE, SIG_IGN);
 
-  ServerConfig config;
-  config.port = opts.port;
-  config.queue_depth = opts.queue_depth;
-  config.workers = opts.workers;
-  config.eval_threads = opts.eval_threads;
-  config.cache_entries = opts.cache_entries;
-  config.max_frame_bytes = opts.max_frame_bytes;
-  config.log = log.get();
+  RuntimeConfig config;
+  config.server.port = opts.port;
+  config.server.queue_depth = opts.queue_depth;
+  config.server.workers = opts.workers;
+  config.server.eval_threads = opts.eval_threads;
+  config.server.cache_entries = opts.cache_entries;
+  config.server.max_frame_bytes = opts.max_frame_bytes;
+  config.runlog_path = opts.runlog.value_or("");
+  config.diagnostics_period_s = opts.diagnostics_period_s;
+  config.signal_thread = true;
 
-  Server server(config);
   try {
-    server.start();
+    ServeRuntime runtime(config);
+    runtime.boot();
+    std::cout << "eus_served " << EUS_VERSION << " listening on 127.0.0.1:"
+              << runtime.server().port() << " (queue " << opts.queue_depth
+              << ", workers " << opts.workers << ", cache "
+              << opts.cache_entries << ", eval-threads "
+              << runtime.server().eval_threads()
+              << ", phase " << to_string(runtime.phase()) << ")"
+              << std::endl;
+    runtime.run();
+    std::cout << "eus_served: drained, bye (phase "
+              << to_string(runtime.phase()) << ")" << std::endl;
   } catch (const std::exception& e) {
     std::cerr << "eus_served: " << e.what() << '\n';
     return kExitStartupFailure;
   }
-
-  if (::pipe(g_signal_pipe) != 0) {
-    std::cerr << "eus_served: pipe() failed\n";
-    return kExitStartupFailure;
-  }
-  struct sigaction action {};
-  action.sa_handler = on_stop_signal;
-  ::sigaction(SIGINT, &action, nullptr);
-  ::sigaction(SIGTERM, &action, nullptr);
-  ::signal(SIGPIPE, SIG_IGN);
-
-  std::cout << "eus_served listening on 127.0.0.1:" << server.port()
-            << " (queue " << opts.queue_depth << ", workers " << opts.workers
-            << ")" << std::endl;
-
-  char byte = 0;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
-  }
-  std::cout << "eus_served: draining..." << std::endl;
-  server.request_stop();
-  server.stop();
-  std::cout << "eus_served: drained, bye" << std::endl;
   return kExitOk;
 }
