@@ -119,11 +119,14 @@ inline StudyResult run_figure(const benchkit::ScenarioContext& ctx,
             << format_double(bounds.utility_upper_contention_free, 1)
             << " (contention-free)\n";
 
-  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
-
   MetricsRegistry local_metrics;
   MetricsRegistry& metrics =
       ctx.metrics != nullptr ? *ctx.metrics : local_metrics;
+
+  EvaluatorOptions evaluator_options;
+  evaluator_options.metrics = &metrics;  // evaluator.* counters in snapshots
+  const UtilityEnergyProblem problem(scenario.system, scenario.trace,
+                                     std::move(evaluator_options));
   const std::string run_path =
       env_string("EUS_RUNLOG")
           .value_or(run_slug(spec.figure, scenario.name) + ".jsonl");

@@ -149,7 +149,10 @@ void FitnessCache::Slot::assign(const Allocation& genome) {
 
 FitnessCache::FitnessCache(FitnessCacheConfig config)
     : capacity_(std::max<std::size_t>(config.capacity, 1)),
-      fingerprinter_(std::move(config.fingerprinter)) {
+      fingerprinter_(std::move(config.fingerprinter)),
+      probe_window_(config.probe_window),
+      bypass_window_(std::max<std::size_t>(config.bypass_window, 1)),
+      min_hit_rate_(config.min_hit_rate) {
   const std::size_t shards =
       std::clamp<std::size_t>(round_up_pow2(std::max<std::size_t>(
                                   config.shards, 1)),
@@ -167,7 +170,34 @@ FitnessCache::FitnessCache(FitnessCacheConfig config)
     metric_hits_ = &config.metrics->counter("cache.hits");
     metric_misses_ = &config.metrics->counter("cache.misses");
     metric_evictions_ = &config.metrics->counter("cache.evictions");
+    metric_bypasses_ = &config.metrics->counter("cache.bypassed");
   }
+}
+
+void FitnessCache::note_probe(bool hit) {
+  if (probe_window_ == 0) return;  // bypassing disabled
+  if (hit) window_hits_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t n =
+      window_events_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n < probe_window_) return;
+  const auto h = static_cast<double>(
+      window_hits_.load(std::memory_order_relaxed));
+  window_events_.store(0, std::memory_order_relaxed);
+  window_hits_.store(0, std::memory_order_relaxed);
+  if (h < min_hit_rate_ * static_cast<double>(n)) {
+    bypassing_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void FitnessCache::note_bypassed() {
+  bypasses_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_bypasses_ != nullptr) metric_bypasses_->add(1);
+  const std::uint64_t n =
+      window_events_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n < bypass_window_) return;
+  window_events_.store(0, std::memory_order_relaxed);
+  window_hits_.store(0, std::memory_order_relaxed);
+  bypassing_.store(false, std::memory_order_relaxed);
 }
 
 std::uint64_t FitnessCache::fingerprint(const Allocation& genome) noexcept {

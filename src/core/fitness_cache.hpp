@@ -22,6 +22,7 @@
 // NSGA-II studies push millions of mostly-distinct genomes through the
 // cache and a node-based table would pay an allocator round-trip per miss.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -53,6 +54,25 @@ struct FitnessCacheConfig {
   /// Test seam: overrides the genome fingerprint (e.g. a constant hash to
   /// force collisions).  Production code leaves it unset.
   std::function<std::uint64_t(const Allocation&)> fingerprinter;
+
+  /// Adaptive bypass.  Memoization only pays when genomes actually repeat;
+  /// on diverse populations every lookup is a miss that still hashes and
+  /// copies the whole genome.  evaluate_through therefore probes: after
+  /// every `probe_window` memoized evaluations the window's hit rate is
+  /// compared against `min_hit_rate`, and when it falls below, the next
+  /// `bypass_window` evaluations skip the cache entirely (no fingerprint,
+  /// no lookup, no stored copy; counted as "cache.bypassed"), after which
+  /// probing resumes.  Results are unaffected — a bypassed evaluation
+  /// computes exactly what a missed one would.  probe_window = 0 disables
+  /// bypassing (every evaluation goes through the table).
+  ///
+  /// The default rate is set by the cost ratio, not by intuition: a miss
+  /// still pays fingerprint + full genome copy (roughly a third of a small
+  /// evaluation), so memoization only breaks even when well over a tenth
+  /// of lookups hit.
+  std::size_t probe_window = 512;
+  std::size_t bypass_window = 8192;
+  double min_hit_rate = 0.10;
 };
 
 /// Thread-safe, sharded genome -> objectives memo.  Share one instance
@@ -84,14 +104,21 @@ class FitnessCache {
   /// pure function of the genome.
   template <typename Fn>
   EUPoint evaluate_through(const Allocation& genome, Fn&& evaluate) {
+    if (bypassing_.load(std::memory_order_relaxed)) {
+      const EUPoint fresh = std::forward<Fn>(evaluate)(genome);
+      note_bypassed();
+      return fresh;
+    }
     // Fingerprint once: the miss path would otherwise pay for it twice
     // (lookup + insert), and misses dominate early generations.
     const std::uint64_t fp = fingerprint_of(genome);
     if (const std::optional<EUPoint> cached = lookup_at(fp, genome)) {
+      note_probe(/*hit=*/true);
       return *cached;
     }
     const EUPoint fresh = std::forward<Fn>(evaluate)(genome);
     insert_at(fp, genome, fresh);
+    note_probe(/*hit=*/false);
     return fresh;
   }
 
@@ -109,6 +136,15 @@ class FitnessCache {
   }
   [[nodiscard]] std::uint64_t evictions() const noexcept {
     return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Evaluations that skipped the table under adaptive bypass (these are
+  /// neither hits nor misses).
+  [[nodiscard]] std::uint64_t bypasses() const noexcept {
+    return bypasses_.load(std::memory_order_relaxed);
+  }
+  /// True while evaluate_through is currently skipping the table.
+  [[nodiscard]] bool bypassing() const noexcept {
+    return bypassing_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -139,6 +175,12 @@ class FitnessCache {
   };
 
   [[nodiscard]] std::uint64_t fingerprint_of(const Allocation& genome) const;
+  /// Records one probed (non-bypassed) evaluate_through outcome and, at
+  /// each probe-window boundary, decides whether to start bypassing.
+  void note_probe(bool hit);
+  /// Records one bypassed evaluation and, at each bypass-window boundary,
+  /// resumes probing.
+  void note_bypassed();
   [[nodiscard]] std::optional<EUPoint> lookup_at(
       std::uint64_t fp, const Allocation& genome) const;
   void insert_at(std::uint64_t fp, const Allocation& genome,
@@ -155,10 +197,21 @@ class FitnessCache {
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> bypasses_{0};
+  /// Adaptive-bypass state machine (see FitnessCacheConfig).  The window
+  /// counters are approximate under concurrency — a racy double-decision
+  /// only shifts a window boundary, never affects results.
+  std::size_t probe_window_;
+  std::size_t bypass_window_;
+  double min_hit_rate_;
+  std::atomic<bool> bypassing_{false};
+  std::atomic<std::uint64_t> window_events_{0};
+  std::atomic<std::uint64_t> window_hits_{0};
   /// Registry handles, resolved once (null when metrics are disabled).
   Counter* metric_hits_ = nullptr;
   Counter* metric_misses_ = nullptr;
   Counter* metric_evictions_ = nullptr;
+  Counter* metric_bypasses_ = nullptr;
 };
 
 }  // namespace eus

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace eus {
 namespace {
@@ -28,9 +30,20 @@ LocalSearchResult local_search(const BiObjectiveProblem& problem,
   const SystemModel& system = problem.system();
   const Trace& trace = problem.trace();
 
+  // Single-gene moves are the delta-evaluator's best case: only the one or
+  // two machines a move touches get re-simulated.  Fronts stay
+  // bit-identical with the seam disabled (see docs/evaluator.md).
+  const Evaluator* ev = problem.incremental_evaluator();
+  const bool use_delta = ev != nullptr && ev->incremental_on();
+  EvalState state;
+  EvalState candidate_state;
+  std::vector<std::uint32_t> touched;
+
   LocalSearchResult result;
   result.allocation = std::move(start);
-  result.objectives = problem.evaluate(result.allocation);
+  result.objectives =
+      use_delta ? problem.objectives_of(ev->evaluate(result.allocation, state))
+                : problem.evaluate(result.allocation);
   result.evaluations = 1;
   if (tasks == 0) return result;
 
@@ -43,6 +56,7 @@ LocalSearchResult local_search(const BiObjectiveProblem& problem,
   while (result.evaluations < options.max_evaluations &&
          stale < options.patience) {
     Allocation candidate = result.allocation;
+    touched.clear();
     if (rng.chance(0.5)) {
       // Relocate one task to another eligible machine.
       const std::size_t g = rng.below(tasks);
@@ -50,18 +64,27 @@ LocalSearchResult local_search(const BiObjectiveProblem& problem,
           system.eligible_machines(trace.tasks()[g].type);
       candidate.machine[g] =
           eligible[rng.below(eligible.size())];
+      touched.push_back(static_cast<std::uint32_t>(g));
     } else {
       // Swap two tasks' scheduling orders.
       const std::size_t g = rng.below(tasks);
       const std::size_t h = rng.below(tasks);
       std::swap(candidate.order[g], candidate.order[h]);
+      touched.push_back(static_cast<std::uint32_t>(g));
+      touched.push_back(static_cast<std::uint32_t>(h));
     }
     if (!candidate.pstate.empty() && rng.chance(0.25)) {
-      candidate.pstate[rng.below(tasks)] =
+      const std::size_t p = rng.below(tasks);
+      candidate.pstate[p] =
           static_cast<int>(rng.below(problem.num_pstates()));
+      touched.push_back(static_cast<std::uint32_t>(p));
     }
 
-    const EUPoint objectives = problem.evaluate(candidate);
+    const EUPoint objectives =
+        use_delta ? problem.objectives_of(ev->evaluate_incremental(
+                        candidate, result.allocation, state, touched,
+                        candidate_state, /*trusted_child=*/true))
+                  : problem.evaluate(candidate);
     ++result.evaluations;
     const double candidate_score =
         score(objectives, options.lambda, u_scale, e_scale);
@@ -69,6 +92,7 @@ LocalSearchResult local_search(const BiObjectiveProblem& problem,
         dominates(objectives, result.objectives)) {
       result.allocation = std::move(candidate);
       result.objectives = objectives;
+      std::swap(state, candidate_state);
       current = candidate_score;
       ++result.improvements;
       stale = 0;

@@ -49,15 +49,55 @@ Nsga2::Nsga2(const BiObjectiveProblem& problem, Nsga2Config config)
 
 Nsga2::~Nsga2() = default;
 
+void Nsga2::evaluate_individual(std::vector<Individual>& individuals,
+                                std::size_t idx, const OffspringHint* hint,
+                                bool trusted_genome) {
+  Individual& ind = individuals[idx];
+  const Evaluator* ev = problem_->incremental_evaluator();
+  const bool use_delta = ev != nullptr && ev->incremental_on();
+  // Cheapest winning path: fitness-cache hit (no simulation at all, but
+  // also no EvalState) > clone of the parent (reuse its objectives and
+  // partials) > delta re-simulation of the dirty machines > full
+  // simulation.  All four produce bit-identical objectives.
+  const auto compute = [&](const Allocation& genome) -> EUPoint {
+    if (use_delta) {
+      if (hint != nullptr && !hint->full) {
+        // Operator-built child of a validated parent: structurally
+        // valid, so the evaluator may skip per-gene validation.
+        const Individual& parent = individuals[hint->parent];
+        if (parent.state.valid()) {
+          if (hint->touched.empty()) {
+            ind.state = parent.state;
+            return parent.objectives;
+          }
+          return problem_->objectives_of(ev->evaluate_incremental(
+              genome, parent.genome, parent.state, hint->touched,
+              ind.state, /*trusted_child=*/true));
+        }
+        return problem_->objectives_of(
+            ev->evaluate_trusted(genome, ind.state));
+      }
+      return problem_->objectives_of(
+          trusted_genome ? ev->evaluate_trusted(genome, ind.state)
+                         : ev->evaluate(genome, ind.state));
+    }
+    return problem_->evaluate(genome);
+  };
+  ind.objectives = config_.cache != nullptr
+                       ? config_.cache->evaluate_through(ind.genome, compute)
+                       : compute(ind.genome);
+}
+
 void Nsga2::evaluate_all(std::vector<Individual>& individuals,
-                         std::size_t begin) {
+                         std::size_t begin,
+                         const std::vector<OffspringHint>* hints,
+                         bool trusted_genomes) {
   const ScopedTimer timed(timer_evaluation_);
   const std::size_t count = individuals.size() - begin;
   const auto eval_one = [&](std::size_t k) {
-    Individual& ind = individuals[begin + k];
-    ind.objectives = config_.cache != nullptr
-                         ? config_.cache->evaluate(*problem_, ind.genome)
-                         : problem_->evaluate(ind.genome);
+    evaluate_individual(individuals, begin + k,
+                        hints != nullptr ? &(*hints)[k] : nullptr,
+                        trusted_genomes);
   };
   if (eval_pool_ != nullptr) {
     eval_pool_->parallel_for(count, eval_one);
@@ -66,6 +106,17 @@ void Nsga2::evaluate_all(std::vector<Individual>& individuals,
   }
   evaluations_ += count;
   if (metric_evaluations_ != nullptr) metric_evaluations_->add(count);
+}
+
+bool Nsga2::inline_evaluation() const noexcept {
+  // With no pool (or a single-worker pool, which runs parallel_for inline)
+  // evaluation is serial either way, so each fresh genome can be evaluated
+  // the moment it is built — while it is still cache-hot from construction.
+  // A population of genomes built first and evaluated afterwards has long
+  // been evicted by the time the evaluator reads it back.  Evaluation is a
+  // pure function and draws no random numbers, so interleaving changes no
+  // result bits.
+  return eval_pool_ == nullptr || eval_pool_->size() == 1;
 }
 
 void Nsga2::initialize(const std::vector<Allocation>& seeds) {
@@ -77,18 +128,40 @@ void Nsga2::initialize(const std::vector<Allocation>& seeds) {
 
   population_.clear();
   population_.reserve(config_.population_size);
+  const Evaluator* ev = problem_->incremental_evaluator();
+  const bool interleave = inline_evaluation();
+  const auto eval_fresh = [&]() {
+    if (!interleave) return;
+    const ScopedTimer timed(timer_evaluation_);
+    evaluate_individual(population_, population_.size() - 1, nullptr,
+                        /*trusted_genome=*/true);
+  };
   for (const Allocation& seed : seeds) {
     if (seed.size() != genome ||
         seed.order.size() != genome) {
       throw std::invalid_argument("seed genome size mismatch");
     }
+    // User-supplied genomes get their one structural validation here;
+    // random fills below are valid by construction (drawn from eligible
+    // machines and in-range p-states), so the initial evaluation sweep
+    // can skip the per-gene pass for the whole population.
+    if (ev != nullptr) ev->validate(seed);
     population_.push_back({seed, {}, 0, 0.0});
+    eval_fresh();
   }
   while (population_.size() < config_.population_size) {
     population_.push_back({random_allocation(*problem_, rng_), {}, 0, 0.0});
+    eval_fresh();
   }
 
-  evaluate_all(population_, 0);
+  if (interleave) {
+    evaluations_ += population_.size();
+    if (metric_evaluations_ != nullptr) {
+      metric_evaluations_->add(population_.size());
+    }
+  } else {
+    evaluate_all(population_, 0, nullptr, /*trusted_genomes=*/true);
+  }
 
   // Annotate the initial population so front() is meaningful pre-iterate.
   annotate_and_select(population_);
@@ -162,33 +235,157 @@ void Nsga2::iterate(std::size_t generations) {
       return crowded_tournament_winner(meta, a, b, rng_);
     };
 
-    {
-      const ScopedTimer timed(timer_variation_);
-      for (std::size_t pair = 0; pair < n / 2; ++pair) {
-        const std::size_t i = select_parent();
-        std::size_t j = select_parent();
-        while (n > 1 && j == i) j = select_parent();
+    // Lineage hints for the delta-evaluator; skipped (full stays true)
+    // when the problem has no evaluator or the knob is off.
+    const Evaluator* ev = problem_->incremental_evaluator();
+    const bool track_deltas = ev != nullptr && ev->incremental_on() &&
+                              !config_.repair_order_permutation;
+    hints_.resize(n);
+    for (OffspringHint& hint : hints_) {
+      hint.full = true;
+      hint.touched.clear();
+    }
 
-        Allocation child_a = meta[i].genome;
-        Allocation child_b = meta[j].genome;
-        crossover(child_a, child_b, rng_);
-        if (rng_.chance(config_.mutation_probability)) {
-          mutate(child_a, *problem_, rng_);
+    const bool interleave = inline_evaluation();
+    {
+      thread_local std::vector<std::uint32_t> mutated_a;
+      thread_local std::vector<std::uint32_t> mutated_b;
+      thread_local std::vector<std::uint32_t> scratch_touched;
+      for (std::size_t pair = 0; pair < n / 2; ++pair) {
+        {
+          const ScopedTimer timed(timer_variation_);
+          const std::size_t i = select_parent();
+          std::size_t j = select_parent();
+          while (n > 1 && j == i) j = select_parent();
+
+          Allocation child_a = meta[i].genome;
+          Allocation child_b = meta[j].genome;
+          CrossoverSegment segment;
+          mutated_a.clear();
+          mutated_b.clear();
+          crossover(child_a, child_b, rng_, &segment);
+          if (rng_.chance(config_.mutation_probability)) {
+            mutate(child_a, *problem_, rng_, &mutated_a);
+          }
+          if (rng_.chance(config_.mutation_probability)) {
+            mutate(child_b, *problem_, rng_, &mutated_b);
+          }
+          if (config_.repair_order_permutation) {
+            repair_order_permutation(child_a);
+            repair_order_permutation(child_b);
+          }
+          if (track_deltas) {
+            // The true delta vs the parent each child was cloned from:
+            // crossover only changes genes where the parents disagreed, so
+            // filter the segment (and any mutated genes) down to actual
+            // differences before handing them to the delta-evaluator.  A
+            // child is also a valid delta off the *other* parent (which
+            // donated the segment): its diff there is the segment's
+            // complement plus mutations inside the segment.
+            //
+            // Diffing both parents for every child doubles the genome scans
+            // for a marginal payoff, so only the side with the smaller
+            // candidate region is scanned up front; the other side is tried
+            // only when the first would make the delta-evaluator bail to a
+            // full simulation anyway (touched > T/2) — exactly the
+            // converged-parents case where the opposite diff can be tiny.
+            const auto cloned_side = [&](const Allocation& child,
+                                         const Allocation& cloned,
+                                         const std::vector<std::uint32_t>&
+                                             mutated,
+                                         std::vector<std::uint32_t>& out) {
+              collect_touched(child, cloned, segment.lo, segment.hi, out);
+              for (const std::uint32_t gene : mutated) {
+                if (gene >= segment.lo && gene <= segment.hi) {
+                  continue;  // already covered by the segment scan
+                }
+                collect_touched(child, cloned, gene, gene, out);
+              }
+            };
+            const auto donor_side = [&](const Allocation& child,
+                                        const Allocation& donor,
+                                        const std::vector<std::uint32_t>&
+                                            mutated,
+                                        std::vector<std::uint32_t>& out) {
+              if (segment.lo > 0) {
+                collect_touched(child, donor, 0, segment.lo - 1, out);
+              }
+              if (segment.hi + 1 < child.machine.size()) {
+                collect_touched(child, donor, segment.hi + 1,
+                                child.machine.size() - 1, out);
+              }
+              for (const std::uint32_t gene : mutated) {
+                if (gene >= segment.lo && gene <= segment.hi) {
+                  collect_touched(child, donor, gene, gene, out);
+                }
+              }
+            };
+            const auto fill_hint = [&](OffspringHint& hint,
+                                       const Allocation& child,
+                                       const Allocation& cloned,
+                                       std::size_t cloned_index,
+                                       const Allocation& donor,
+                                       std::size_t donor_index,
+                                       const std::vector<std::uint32_t>&
+                                           mutated) {
+              hint.parent = static_cast<std::uint32_t>(cloned_index);
+              hint.full = false;
+              if (!segment.swapped) {
+                for (const std::uint32_t gene : mutated) {
+                  collect_touched(child, cloned, gene, gene, hint.touched);
+                }
+                return;
+              }
+              const std::size_t tasks = child.machine.size();
+              const std::size_t len = segment.hi - segment.lo + 1;
+              const bool cloned_first = len * 2 <= tasks;
+              if (cloned_first) {
+                cloned_side(child, cloned, mutated, hint.touched);
+              } else {
+                hint.parent = static_cast<std::uint32_t>(donor_index);
+                donor_side(child, donor, mutated, hint.touched);
+              }
+              if (hint.touched.size() * 2 <= tasks) return;
+              scratch_touched.clear();
+              if (cloned_first) {
+                donor_side(child, donor, mutated, scratch_touched);
+              } else {
+                cloned_side(child, cloned, mutated, scratch_touched);
+              }
+              if (scratch_touched.size() < hint.touched.size()) {
+                hint.parent = static_cast<std::uint32_t>(
+                    cloned_first ? donor_index : cloned_index);
+                hint.touched.swap(scratch_touched);
+              }
+            };
+            fill_hint(hints_[2 * pair], child_a, meta[i].genome, i,
+                      meta[j].genome, j, mutated_a);
+            fill_hint(hints_[2 * pair + 1], child_b, meta[j].genome, j,
+                      meta[i].genome, i, mutated_b);
+          }
+          meta.push_back({std::move(child_a), {}, 0, 0.0});
+          meta.push_back({std::move(child_b), {}, 0, 0.0});
         }
-        if (rng_.chance(config_.mutation_probability)) {
-          mutate(child_b, *problem_, rng_);
+        if (interleave) {
+          // Serial evaluation: take each child while its genome is still
+          // cache-hot from the operators (see inline_evaluation()).
+          const ScopedTimer eval_timed(timer_evaluation_);
+          evaluate_individual(meta, meta.size() - 2, &hints_[2 * pair],
+                              false);
+          evaluate_individual(meta, meta.size() - 1, &hints_[2 * pair + 1],
+                              false);
         }
-        if (config_.repair_order_permutation) {
-          repair_order_permutation(child_a);
-          repair_order_permutation(child_b);
-        }
-        meta.push_back({std::move(child_a), {}, 0, 0.0});
-        meta.push_back({std::move(child_b), {}, 0, 0.0});
       }
     }
 
-    // Only the fresh offspring need evaluating (parents carry theirs).
-    evaluate_all(meta, n);
+    // Only the fresh offspring need evaluating (parents carry theirs);
+    // under interleaved evaluation they already were, pair by pair.
+    if (interleave) {
+      evaluations_ += n;
+      if (metric_evaluations_ != nullptr) metric_evaluations_->add(n);
+    } else {
+      evaluate_all(meta, n, &hints_);
+    }
 
     // Steps 6-11: elitist environmental selection.
     {

@@ -23,6 +23,7 @@
 #include "core/fitness_cache.hpp"
 #include "core/problem.hpp"
 #include "sched/allocation.hpp"
+#include "sched/eval_state.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -78,6 +79,12 @@ struct Individual {
   EUPoint objectives;
   std::size_t rank = 0;     ///< 0 == nondominated
   double crowding = 0.0;
+  /// Per-machine simulation partials backing the incremental
+  /// delta-evaluator (empty when the individual's objectives came from a
+  /// cache hit or a problem without an Evaluator).  Offspring whose
+  /// operators touched few genes re-simulate only the dirty machines of
+  /// their parent's state; fronts are bit-identical either way.
+  EvalState state;
 };
 
 /// Observer invoked after every generation with (generation number, the
@@ -137,7 +144,34 @@ class Nsga2 {
   [[nodiscard]] const Nsga2Config& config() const noexcept { return config_; }
 
  private:
-  void evaluate_all(std::vector<Individual>& individuals, std::size_t begin);
+  /// Delta-evaluation lineage of one offspring: which parent it was cloned
+  /// from and which genes the operators actually changed (post-filtering —
+  /// segment swaps between similar parents copy mostly-equal genes).
+  /// `full` forces a from-scratch simulation (order repair rewrites every
+  /// order gene, and zero-size populations have nothing to track).
+  struct OffspringHint {
+    std::uint32_t parent = 0;
+    bool full = true;
+    std::vector<std::uint32_t> touched;
+  };
+
+  /// Evaluates individuals[begin..] in parallel.  With `trusted_genomes`
+  /// the genomes are known structurally valid (operator-built, or user
+  /// seeds validated up front in initialize()), so hint-less evaluations
+  /// skip the per-gene validation pass.
+  void evaluate_all(std::vector<Individual>& individuals, std::size_t begin,
+                    const std::vector<OffspringHint>* hints,
+                    bool trusted_genomes = false);
+  /// Evaluates individuals[idx] in place (cache → clone → delta → full,
+  /// whichever wins; see the definition).  The unit evaluate_all() fans
+  /// out, and the one inline_evaluation() calls per fresh genome.
+  void evaluate_individual(std::vector<Individual>& individuals,
+                           std::size_t idx, const OffspringHint* hint,
+                           bool trusted_genome);
+  /// Whether evaluation runs serially anyway (no pool, or a single-worker
+  /// pool) — in which case each fresh genome is evaluated right after the
+  /// operators build it, while it is still cache-hot.
+  [[nodiscard]] bool inline_evaluation() const noexcept;
   void annotate_and_select(std::vector<Individual>& meta);
 
   const BiObjectiveProblem* problem_;
@@ -153,6 +187,8 @@ class Nsga2 {
   TimerMetric* timer_evaluation_ = nullptr;
   TimerMetric* timer_selection_ = nullptr;
   std::vector<Individual> population_;
+  /// Per-generation offspring lineage, reused to avoid reallocation.
+  std::vector<OffspringHint> hints_;
   GenerationObserver observer_;
   std::size_t generation_ = 0;
   std::uint64_t evaluations_ = 0;

@@ -33,7 +33,8 @@ Allocation random_allocation(const BiObjectiveProblem& problem, Rng& rng) {
   return a;
 }
 
-void crossover(Allocation& a, Allocation& b, Rng& rng) {
+void crossover(Allocation& a, Allocation& b, Rng& rng,
+               CrossoverSegment* segment) {
   const std::size_t tasks = a.size();
   if (b.size() != tasks) throw std::invalid_argument("genome size mismatch");
   if (tasks == 0) return;
@@ -51,9 +52,11 @@ void crossover(Allocation& a, Allocation& b, Rng& rng) {
       std::swap(a.pstate[g], b.pstate[g]);
     }
   }
+  if (segment != nullptr) *segment = {i, j, true};
 }
 
-void mutate(Allocation& a, const BiObjectiveProblem& problem, Rng& rng) {
+void mutate(Allocation& a, const BiObjectiveProblem& problem, Rng& rng,
+            std::vector<std::uint32_t>* touched) {
   const std::size_t tasks = a.size();
   if (tasks == 0) return;
   const Trace& trace = problem.trace();
@@ -68,6 +71,26 @@ void mutate(Allocation& a, const BiObjectiveProblem& problem, Rng& rng) {
 
   if (!a.pstate.empty()) {
     a.pstate[g] = static_cast<int>(rng.below(problem.num_pstates()));
+  }
+  if (touched != nullptr) {
+    touched->push_back(static_cast<std::uint32_t>(g));
+    touched->push_back(static_cast<std::uint32_t>(h));
+  }
+}
+
+void collect_touched(const Allocation& child, const Allocation& parent,
+                     std::size_t lo, std::size_t hi,
+                     std::vector<std::uint32_t>& out) {
+  const std::size_t tasks = child.size();
+  if (tasks == 0) return;
+  hi = std::min(hi, tasks - 1);
+  const bool pstates = !child.pstate.empty();
+  for (std::size_t g = lo; g <= hi; ++g) {
+    if (child.machine[g] != parent.machine[g] ||
+        child.order[g] != parent.order[g] ||
+        (pstates && child.pstate[g] != parent.pstate[g])) {
+      out.push_back(static_cast<std::uint32_t>(g));
+    }
   }
 }
 

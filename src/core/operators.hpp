@@ -18,16 +18,39 @@ namespace eus {
 [[nodiscard]] Allocation random_allocation(const BiObjectiveProblem& problem,
                                            Rng& rng);
 
+/// The gene span a crossover swapped, reported for delta-evaluation
+/// ([lo, hi] inclusive; empty == no swap happened, e.g. zero-size genomes).
+struct CrossoverSegment {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  bool swapped = false;
+};
+
 /// Two-point segment crossover: picks two gene indices i <= j uniformly and
 /// swaps genes [i, j] wholesale (machines, orders, P-states) between the
-/// chromosomes, in place.
-void crossover(Allocation& a, Allocation& b, Rng& rng);
+/// chromosomes, in place.  When `segment` is non-null the swapped span is
+/// reported there (both children share it); recording never changes the
+/// RNG draw sequence.
+void crossover(Allocation& a, Allocation& b, Rng& rng,
+               CrossoverSegment* segment = nullptr);
 
 /// The paper's mutation: one uniformly chosen gene moves to a uniformly
 /// chosen *eligible* machine; then its global scheduling order is swapped
 /// with a second uniformly chosen gene's.  With P-states present, the
-/// mutated gene's P-state is also re-drawn.
-void mutate(Allocation& a, const BiObjectiveProblem& problem, Rng& rng);
+/// mutated gene's P-state is also re-drawn.  When `touched` is non-null
+/// the indices of both affected genes are appended (duplicates possible);
+/// recording never changes the RNG draw sequence.
+void mutate(Allocation& a, const BiObjectiveProblem& problem, Rng& rng,
+            std::vector<std::uint32_t>* touched = nullptr);
+
+/// Appends to `out` every gene in [lo, hi] (inclusive, clamped to the
+/// genome) where `child` actually differs from `parent` — segment swaps
+/// between converged parents copy mostly-equal genes, so the true delta is
+/// usually far smaller than the segment.  The gene lists must be
+/// shape-compatible (same sizes, same pstate presence).
+void collect_touched(const Allocation& child, const Allocation& parent,
+                     std::size_t lo, std::size_t hi,
+                     std::vector<std::uint32_t>& out);
 
 /// Rewrites `order` into the permutation 0..T-1 that preserves the current
 /// execution sequence (stable by (order, index)).  Optional repair used by

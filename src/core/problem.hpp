@@ -29,6 +29,24 @@ class BiObjectiveProblem {
 
   /// Number of DVFS P-states a pstate gene may take; 0 disables the gene.
   [[nodiscard]] virtual std::size_t num_pstates() const { return 0; }
+
+  /// Delta-evaluation seam: the Evaluator behind evaluate(), or nullptr
+  /// when this problem has none (optimizers then always re-simulate from
+  /// scratch).  A non-null return promises that
+  /// objectives_of(evaluator->evaluate(a)) == evaluate(a) bit for bit, so
+  /// callers may route through Evaluator::evaluate_incremental and map the
+  /// result with objectives_of without perturbing fronts.
+  [[nodiscard]] virtual const Evaluator* incremental_evaluator()
+      const noexcept {
+    return nullptr;
+  }
+
+  /// Maps a raw simulator Evaluation into this problem's (energy, utility)
+  /// point convention.  Only meaningful when incremental_evaluator() is
+  /// non-null; the default is the paper's utility/energy reading.
+  [[nodiscard]] virtual EUPoint objectives_of(const Evaluation& e) const {
+    return {e.energy, e.utility};
+  }
 };
 
 /// The paper's primary problem: maximize total utility earned, minimize
@@ -54,6 +72,10 @@ class UtilityEnergyProblem final : public BiObjectiveProblem {
   }
   [[nodiscard]] std::size_t num_pstates() const override {
     return evaluator_.options().dvfs ? evaluator_.options().dvfs->size() : 0;
+  }
+  [[nodiscard]] const Evaluator* incremental_evaluator()
+      const noexcept override {
+    return &evaluator_;
   }
 
   [[nodiscard]] const Evaluator& evaluator() const noexcept {
@@ -88,6 +110,13 @@ class MakespanEnergyProblem final : public BiObjectiveProblem {
   }
   [[nodiscard]] std::size_t num_pstates() const override {
     return evaluator_.options().dvfs ? evaluator_.options().dvfs->size() : 0;
+  }
+  [[nodiscard]] const Evaluator* incremental_evaluator()
+      const noexcept override {
+    return &evaluator_;
+  }
+  [[nodiscard]] EUPoint objectives_of(const Evaluation& e) const override {
+    return {e.energy, -e.makespan};
   }
 
  private:

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/operators.hpp"
 
@@ -35,9 +38,20 @@ SaResult simulated_annealing(const BiObjectiveProblem& problem,
     throw std::invalid_argument("start allocation size mismatch");
   }
 
+  // The annealing chain mutates one gene pair per step — ideal for the
+  // delta-evaluator, which re-simulates only the touched machines while
+  // producing bit-identical objectives (see docs/evaluator.md).
+  const Evaluator* ev = problem.incremental_evaluator();
+  const bool use_delta = ev != nullptr && ev->incremental_on();
+  EvalState state;
+  EvalState candidate_state;
+  std::vector<std::uint32_t> touched;
+
   SaResult best;
   Allocation current = std::move(start);
-  EUPoint current_obj = problem.evaluate(current);
+  EUPoint current_obj =
+      use_delta ? problem.objectives_of(ev->evaluate(current, state))
+                : problem.evaluate(current);
   best.allocation = current;
   best.objectives = current_obj;
   best.evaluations = 1;
@@ -54,9 +68,15 @@ SaResult simulated_annealing(const BiObjectiveProblem& problem,
   std::size_t step_in_level = 0;
   while (best.evaluations < options.max_evaluations) {
     Allocation candidate = current;
-    mutate(candidate, problem, rng);  // the paper-style neighborhood move
+    touched.clear();
+    mutate(candidate, problem, rng,  // the paper-style neighborhood move
+           use_delta ? &touched : nullptr);
 
-    const EUPoint obj = problem.evaluate(candidate);
+    const EUPoint obj =
+        use_delta ? problem.objectives_of(ev->evaluate_incremental(
+                        candidate, current, state, touched, candidate_state,
+                        /*trusted_child=*/true))
+                  : problem.evaluate(candidate);
     ++best.evaluations;
     const double s = score(obj, options.lambda, u_scale, e_scale);
     const double delta = s - current_score;
@@ -68,6 +88,7 @@ SaResult simulated_annealing(const BiObjectiveProblem& problem,
     if (accept) {
       current = std::move(candidate);
       current_obj = obj;
+      std::swap(state, candidate_state);
       current_score = s;
       ++best.accepted;
       if (s > best_score) {

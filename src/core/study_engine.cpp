@@ -1,5 +1,6 @@
 #include "core/study_engine.hpp"
 
+#include <map>
 #include <mutex>
 #include <stdexcept>
 
@@ -34,14 +35,24 @@ StudyResult StudyEngine::run(const BiObjectiveProblem& problem,
   result.fronts.resize(specs.size());
 
   // Seeds are built up front, serially: deterministic, and the greedy
-  // constructions are pure reads of the shared problem.
+  // constructions are pure reads of the shared problem — so each heuristic
+  // is built once and copied into every spec that lists it (the combined
+  // spec repeats every single-heuristic spec's seed).
+  std::map<SeedHeuristic, Allocation> seed_memo;
   std::vector<std::vector<Allocation>> seeds(specs.size());
   for (std::size_t p = 0; p < specs.size(); ++p) {
     result.population_names.push_back(specs[p].name);
     result.markers.push_back(specs[p].marker);
     seeds[p].reserve(specs[p].seeds.size());
     for (const SeedHeuristic h : specs[p].seeds) {
-      seeds[p].push_back(make_seed(h, problem.system(), problem.trace()));
+      auto it = seed_memo.find(h);
+      if (it == seed_memo.end()) {
+        it = seed_memo
+                 .emplace(h,
+                          make_seed(h, problem.system(), problem.trace()))
+                 .first;
+      }
+      seeds[p].push_back(it->second);
     }
   }
 

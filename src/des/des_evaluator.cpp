@@ -73,8 +73,6 @@ DesResult des_evaluate(const SystemModel& system, const Trace& trace,
       }
 
       const double energy = exec * power;
-      result.totals.utility += utility;
-      result.totals.energy += energy;
       result.totals.makespan = std::max(result.totals.makespan, finish);
       result.outcomes[i] =
           TaskOutcome{allocation.machine[i], start, finish, utility, energy,
@@ -83,6 +81,8 @@ DesResult des_evaluate(const SystemModel& system, const Trace& trace,
       MachineStats& stats = result.machines[m];
       stats.busy_time += exec;
       stats.last_finish = finish;
+      stats.utility += utility;
+      stats.energy += energy;
       ++stats.tasks_run;
       stats.timeline.push_back({i, start, finish});
 
@@ -101,6 +101,15 @@ DesResult des_evaluate(const SystemModel& system, const Trace& trace,
     }
   }
   result.events_fired = events.run();
+
+  // Fold per-machine partials in machine-index order — the same canonical
+  // reduction the analytic Evaluator uses (see docs/evaluator.md), so the
+  // two implementations agree bit for bit by construction rather than by
+  // accident of event ordering.
+  for (const MachineStats& stats : result.machines) {
+    result.totals.utility += stats.utility;
+    result.totals.energy += stats.energy;
+  }
 
   if (!options.idle_watts.empty()) {
     for (std::size_t m = 0; m < machines; ++m) {

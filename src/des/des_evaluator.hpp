@@ -27,6 +27,8 @@ struct TimelineEntry {
 struct MachineStats {
   double busy_time = 0.0;
   double last_finish = 0.0;   ///< 0 when never used
+  double utility = 0.0;       ///< utility earned on this machine
+  double energy = 0.0;        ///< busy joules spent on this machine
   std::size_t tasks_run = 0;
   std::vector<TimelineEntry> timeline;  ///< chronological
 };

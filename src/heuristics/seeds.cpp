@@ -1,8 +1,12 @@
 #include "heuristics/seeds.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <limits>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace eus {
@@ -106,56 +110,158 @@ Allocation min_min_completion_time_allocation(const SystemModel& system,
   a.machine.assign(tasks, -1);
   a.order.assign(tasks, 0);
 
-  std::vector<double> available(system.num_machines(), 0.0);
+  const std::size_t machines = system.num_machines();
+  const std::size_t mtypes = system.num_machine_types();
+  std::vector<double> available(machines, 0.0);
   std::vector<bool> mapped(tasks, false);
 
-  // Cache of each unmapped task's current best (machine, completion);
-  // entries are recomputed lazily when their machine's queue moved.
-  struct Best {
-    int machine = -1;
-    double completion = std::numeric_limits<double>::infinity();
-  };
-  std::vector<Best> best(tasks);
+  // The textbook formulation is O(T^2 M): recompute every unmapped task's
+  // best completion after each mapping.  But completion of task i on
+  // machine m is max(available[m], arrival_i) + ETC(i, m), which splits
+  // into two STATIC orderings — and since ETC depends only on the machine
+  // *type*, instances of a type collapse into one heap set keyed off the
+  // type's minimum availability:
+  //   * ready   — arrival <= min_avail[type]: the type's best completion
+  //               is min_avail[type] + ETC, so tasks order by ETC alone;
+  //   * pending — arrival still ahead of every instance's tail (well, the
+  //               earliest one): best completion = arrival + ETC, a
+  //               constant.  An instance whose tail already passed the
+  //               arrival can only complete later (tail + ETC >= arrival +
+  //               ETC), so the pending key still equals the type's true
+  //               minimum.
+  // min_avail[type] is non-decreasing (each instance's tail only grows), so
+  // a task migrates pending -> ready exactly once per type.  Three
+  // lazy-deletion heaps per machine TYPE — ready by (ETC, index), pending
+  // by (arrival + ETC, index), and a migration mirror by arrival — replace
+  // every recomputation, and one pass over the heap tops of the ~M_T types
+  // (not the M instances) yields the global minimum each step.
+  //
+  // Bit-identity with the quadratic scan: the scan picked the lowest task
+  // index among those achieving the minimum completion; for each type the
+  // candidate value here is the same double the scan computed on the
+  // type's least-available instance (identical max/add operands), every
+  // other instance's candidate is >= it, and ties order by index — so
+  // scanning heap tops with a (completion, index) tie-break selects the
+  // identical task.  The chosen machine and the queue-tail update are then
+  // recomputed with the scan's exact float ops (max + add,
+  // first-strictly-smaller machine over instances).
+  using HeapEntry = std::pair<double, std::uint32_t>;
+  using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                      std::greater<HeapEntry>>;
 
-  const auto recompute = [&](std::size_t i) {
+  // Instances per machine type; types without instances stay heap-less.
+  std::vector<std::vector<std::uint32_t>> instances(mtypes);
+  for (std::size_t m = 0; m < machines; ++m) {
+    instances[static_cast<std::size_t>(system.machines()[m].type)].push_back(
+        static_cast<std::uint32_t>(m));
+  }
+  std::vector<double> min_avail(mtypes, 0.0);
+
+  // Build the initial entry lists flat, then heapify each in O(n) — far
+  // cheaper than individual pushes, which pay O(log n) sift-ups and
+  // repeated vector growth.  Heap-internal layout is irrelevant to the
+  // result: (key, index) keys are unique, so top() is fully determined.
+  std::vector<std::vector<HeapEntry>> ready_init(mtypes);
+  std::vector<std::vector<HeapEntry>> pending_init(mtypes);
+  std::vector<std::vector<HeapEntry>> migrate_init(mtypes);
+  for (std::size_t i = 0; i < tasks; ++i) {
     const auto& task = trace.tasks()[i];
-    Best b;
-    for (const int m : system.eligible_machines(task.type)) {
-      const auto mi = static_cast<std::size_t>(m);
-      const double start = std::max(available[mi], task.arrival);
-      const double finish = start + system.etc_on(task.type, mi);
-      if (finish < b.completion) {
-        b.completion = finish;
-        b.machine = m;
+    const auto ti = static_cast<std::uint32_t>(i);
+    for (std::size_t mt = 0; mt < mtypes; ++mt) {
+      if (instances[mt].empty() || !system.eligible_type(task.type, mt)) {
+        continue;
+      }
+      const double etc = system.etc()(task.type, mt);
+      if (task.arrival <= min_avail[mt]) {
+        ready_init[mt].push_back({etc, ti});
+      } else {
+        pending_init[mt].push_back({task.arrival + etc, ti});
+        migrate_init[mt].push_back({task.arrival, ti});
       }
     }
-    best[i] = b;
-  };
-  for (std::size_t i = 0; i < tasks; ++i) recompute(i);
+  }
+  std::vector<MinHeap> ready;
+  std::vector<MinHeap> pending;
+  std::vector<MinHeap> migrate;
+  ready.reserve(mtypes);
+  pending.reserve(mtypes);
+  migrate.reserve(mtypes);
+  for (std::size_t mt = 0; mt < mtypes; ++mt) {
+    ready.emplace_back(std::greater<HeapEntry>{}, std::move(ready_init[mt]));
+    pending.emplace_back(std::greater<HeapEntry>{},
+                         std::move(pending_init[mt]));
+    migrate.emplace_back(std::greater<HeapEntry>{},
+                         std::move(migrate_init[mt]));
+  }
 
   for (std::size_t step = 0; step < tasks; ++step) {
-    // Stage 2: the overall minimum completion pair.
+    // Stage 2: the overall minimum (completion, index) over all heap tops.
     std::size_t pick = tasks;
     double pick_completion = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < tasks; ++i) {
-      if (!mapped[i] && best[i].completion < pick_completion) {
-        pick_completion = best[i].completion;
+    const auto consider = [&](double completion, std::uint32_t i) {
+      if (completion < pick_completion ||
+          (completion == pick_completion && i < pick)) {
+        pick_completion = completion;
         pick = i;
+      }
+    };
+    for (std::size_t mt = 0; mt < mtypes; ++mt) {
+      while (!ready[mt].empty() && mapped[ready[mt].top().second]) {
+        ready[mt].pop();
+      }
+      if (!ready[mt].empty()) {
+        consider(min_avail[mt] + ready[mt].top().first,
+                 ready[mt].top().second);
+      }
+      while (!pending[mt].empty() &&
+             (mapped[pending[mt].top().second] ||
+              trace.tasks()[pending[mt].top().second].arrival <=
+                  min_avail[mt])) {
+        pending[mt].pop();  // mapped, or migrated to ready[mt] below
+      }
+      if (!pending[mt].empty()) {
+        consider(pending[mt].top().first, pending[mt].top().second);
       }
     }
     if (pick == tasks) throw std::logic_error("min-min found no task");
 
-    mapped[pick] = true;
-    a.machine[pick] = best[pick].machine;
-    a.order[pick] = static_cast<int>(step);  // execute in mapping sequence
-    const auto moved = static_cast<std::size_t>(best[pick].machine);
-    available[moved] = pick_completion;
+    // The picked task's machine, via the scan's original float ops.
+    const auto& task = trace.tasks()[pick];
+    int choice = -1;
+    double completion = std::numeric_limits<double>::infinity();
+    for (const int m : system.eligible_machines(task.type)) {
+      const auto mi = static_cast<std::size_t>(m);
+      const double start = std::max(available[mi], task.arrival);
+      const double finish = start + system.etc_on(task.type, mi);
+      if (finish < completion) {
+        completion = finish;
+        choice = m;
+      }
+    }
 
-    // Stage 1 refresh: only tasks whose cached best used the moved machine
-    // can have changed (queues only grow, so other entries stay valid).
-    for (std::size_t i = 0; i < tasks; ++i) {
-      if (!mapped[i] && static_cast<std::size_t>(best[i].machine) == moved) {
-        recompute(i);
+    mapped[pick] = true;
+    a.machine[pick] = choice;
+    a.order[pick] = static_cast<int>(step);  // execute in mapping sequence
+    const auto moved = static_cast<std::size_t>(choice);
+    available[moved] = completion;
+
+    // Refresh the moved machine's type minimum; when it advances, migrate
+    // tasks whose arrival it just passed — their completion key switches
+    // from arrival + ETC to min_avail + ETC.
+    const auto mt = static_cast<std::size_t>(system.machines()[moved].type);
+    double floor = available[instances[mt][0]];
+    for (std::size_t k = 1; k < instances[mt].size(); ++k) {
+      floor = std::min(floor, available[instances[mt][k]]);
+    }
+    if (floor > min_avail[mt]) {
+      min_avail[mt] = floor;
+      while (!migrate[mt].empty() &&
+             migrate[mt].top().first <= min_avail[mt]) {
+        const std::uint32_t i = migrate[mt].top().second;
+        migrate[mt].pop();
+        if (!mapped[i]) {
+          ready[mt].push({system.etc()(trace.tasks()[i].type, mt), i});
+        }
       }
     }
   }

@@ -10,14 +10,33 @@
 //  * task dropping — tasks whose utility at their achievable completion
 //    would not exceed a threshold are skipped (no time, no energy);
 //  * DVFS — an optional P-state per task scales ETC and EPC.
+//
+// Hot-path layout (see docs/evaluator.md): the constructor flattens every
+// per-task and per-machine lookup the inner loop needs — task type,
+// arrival, TUF pointer, ETC/EPC rows resolved against machine *instances*,
+// DVFS multipliers, per-machine idle watts, and a (task type x machine)
+// eligibility bitset — into contiguous arrays, so simulation touches no
+// nested containers and validate() performs no pointer-chasing.
+//
+// Incremental delta-evaluation: the simulation decomposes exactly per
+// machine, so when a genetic operator touches only a few genes the
+// evaluator re-simulates just the machines whose task sets, orders, or
+// P-states changed (evaluate_incremental) and re-reduces per-machine
+// partials (EvalState).  The result is bit-identical to the full
+// simulation in every option mode; the full path remains the oracle the
+// differential tests compare against.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sched/allocation.hpp"
 #include "sched/dvfs.hpp"
+#include "sched/eval_state.hpp"
 #include "telemetry/metrics.hpp"
+#include "tuf/time_utility_function.hpp"
 #include "workload/trace.hpp"
 
 namespace eus {
@@ -35,10 +54,16 @@ struct EvaluatorOptions {
   /// powered down).  With idle power, packing work onto fewer machines
   /// can beat pure per-task EEC minimization.
   std::vector<double> idle_watts;
+  /// Delta-evaluation override: unset honors the EUS_INCREMENTAL knob
+  /// (default on).  Off forces evaluate_incremental through the full
+  /// simulator; fronts are bit-identical either way.
+  std::optional<bool> incremental;
   /// Optional telemetry sink (must outlive the evaluator).  When set, the
-  /// evaluator counts evaluations ("evaluator.evaluations") and dropped
-  /// tasks ("evaluator.tasks_dropped"); updates are relaxed atomics, safe
-  /// from the population-evaluation pool.
+  /// evaluator counts evaluations ("evaluator.evaluations"), dropped tasks
+  /// ("evaluator.tasks_dropped"), and the delta-path outcome counters
+  /// ("evaluator.incremental.hits" / ".fallbacks" /
+  /// ".machines_resimulated"); updates are relaxed atomics, safe from the
+  /// population-evaluation pool.
   MetricsRegistry* metrics = nullptr;
 };
 
@@ -78,6 +103,41 @@ class Evaluator {
   /// check once; cache hits skip evaluate() entirely.
   [[nodiscard]] Evaluation evaluate(const Allocation& allocation) const;
 
+  /// Full simulation that additionally captures the per-machine partials
+  /// needed to delta-evaluate this allocation's descendants.  Same
+  /// validation contract as evaluate().
+  Evaluation evaluate(const Allocation& allocation, EvalState& state) const;
+
+  /// evaluate(allocation, state) minus the validation pass, for callers
+  /// that can prove validity structurally: the genetic operators preserve
+  /// it gene-wise (crossover mixes two valid allocations index-aligned,
+  /// mutation only draws eligible machines and in-range P-states), so any
+  /// descendant of a validated allocation is valid by induction.  Passing
+  /// an unvalidated allocation is undefined behavior (out-of-bounds
+  /// indexing), not an exception.
+  Evaluation evaluate_trusted(const Allocation& allocation,
+                              EvalState& state) const;
+
+  /// Incremental re-evaluation of `child`, which differs from `parent`
+  /// only at the gene indices in `touched` (duplicates allowed).
+  /// `parent_state` must be the EvalState this evaluator produced for
+  /// `parent`; `out_state` receives child's state and must not alias
+  /// `parent_state`.  Only the machines whose task sets, orders, or
+  /// P-states changed are re-simulated; the result is bit-identical to
+  /// evaluate(child).  Falls back to the full simulator — still filling
+  /// `out_state` — when the delta is large, the shapes diverge, the state
+  /// is invalid, or incremental evaluation is disabled.  Touched genes are
+  /// validated like validate(); untouched genes are trusted (the parent
+  /// was validated).  With `trusted_child` the touched-gene validation is
+  /// skipped too, under the same structural-validity contract as
+  /// evaluate_trusted() (gene indices in `touched` are still range-checked).
+  Evaluation evaluate_incremental(const Allocation& child,
+                                  const Allocation& parent,
+                                  const EvalState& parent_state,
+                                  std::span<const std::uint32_t> touched,
+                                  EvalState& out_state,
+                                  bool trusted_child = false) const;
+
   /// Slow path: the full per-task timeline plus the aggregate.  Validates
   /// like evaluate().
   [[nodiscard]] std::pair<Evaluation, std::vector<TaskOutcome>> detail(
@@ -88,6 +148,12 @@ class Evaluator {
   /// machine, or a P-state index is invalid.
   void validate(const Allocation& allocation) const;
 
+  /// Whether evaluate_incremental may take the delta path (the
+  /// EUS_INCREMENTAL knob, or EvaluatorOptions::incremental when set).
+  [[nodiscard]] bool incremental_on() const noexcept {
+    return incremental_on_;
+  }
+
   [[nodiscard]] const SystemModel& system() const noexcept { return *system_; }
   [[nodiscard]] const Trace& trace() const noexcept { return *trace_; }
   [[nodiscard]] const EvaluatorOptions& options() const noexcept {
@@ -95,15 +161,98 @@ class Evaluator {
   }
 
  private:
+  /// One task's simulation step against its machine's partial.  Shared by
+  /// the full and delta paths so both perform the identical sequence of
+  /// floating-point operations (the bit-identity contract).
   template <typename PerTask>
-  Evaluation run(const Allocation& allocation, PerTask&& per_task) const;
+  void step_task(std::uint32_t i, MachinePartial& mp,
+                 const Allocation& allocation, bool use_dvfs,
+                 PerTask&& per_task) const;
+
+  /// Folds per-machine partials into an Evaluation, always in machine
+  /// order — the single reduction both paths share.
+  [[nodiscard]] Evaluation reduce(const EvalState& state) const;
+
+  template <typename PerTask>
+  Evaluation run(const Allocation& allocation, EvalState& state,
+                 PerTask&& per_task) const;
+
+  void validate_gene(const Allocation& allocation, std::size_t gene) const;
+
+  [[nodiscard]] bool eligible_fast(std::uint32_t type,
+                                   std::uint32_t machine) const noexcept {
+    const std::size_t bit = static_cast<std::size_t>(type) * num_machines_ +
+                            machine;
+    return (eligible_bits_[bit >> 6U] >> (bit & 63U)) & 1U;
+  }
 
   const SystemModel* system_;
   const Trace* trace_;
   EvaluatorOptions options_;
+
+  // --- structure-of-arrays hot-path data, resolved once at construction.
+  /// One flattened TUF interval: the effective [start, end) time window
+  /// plus the fraction endpoints and decay shape.  Together with the
+  /// per-task priority/residual below, tuf_value() replays the exact
+  /// floating-point operation sequence of TimeUtilityFunction::value
+  /// without pointer-chasing through per-object interval vectors.
+  struct TufSpan {
+    double start = 0.0;
+    double end = 0.0;
+    double begin_fraction = 1.0;
+    double end_fraction = 1.0;
+    /// log(end_fraction / begin_fraction), precomputed for exponential
+    /// spans: the decay is evaluated as exp(f * log_ratio), saving the
+    /// std::log per call TimeUtilityFunction::value pays (same expression
+    /// and operand bits, so the results match it exactly).  Unused — and
+    /// left 0 — for other shapes.
+    double log_ratio = 0.0;
+    TufInterval::Shape shape = TufInterval::Shape::kLinear;
+  };
+
+  /// Per-task hot record: everything step_task() and tuf_value() read
+  /// about a task, packed into one 32-byte block.  The simulation walks
+  /// tasks in *sequence* order — random by task index — so parallel
+  /// per-task arrays cost up to six cold cache lines per step; one aligned
+  /// record costs exactly one.  tuf_run packs the span-table offset and
+  /// span count 24/8 (the table is deduplicated per TUF class, so both
+  /// bounds are enforced cheaply at construction).
+  struct alignas(32) TaskRec {
+    double arrival = 0.0;
+    double tuf_priority = 1.0;
+    double tuf_residual = 0.0;  ///< TUF value past the horizon
+    std::uint32_t type = 0;
+    std::uint32_t tuf_run = 0;  ///< (first span index << 8) | span count
+  };
+  static_assert(sizeof(TaskRec) == 32);
+
+  [[nodiscard]] double tuf_value(const TaskRec& rec, double elapsed) const
+      noexcept;
+
+  std::size_t num_machines_ = 0;
+  std::size_t num_tasks_ = 0;
+  std::vector<TaskRec> task_rec_;  ///< per task (cache-line packed)
+  /// Flattened TUF table: tasks sharing a TUF object share one span run.
+  std::vector<TufSpan> tuf_spans_;
+  /// ETC/EPC against machine *instances*, interleaved per row so one line
+  /// serves both loads: [2 * (type * num_machines_ + m)] = ETC seconds,
+  /// [... + 1] = EPC watts.
+  std::vector<double> cost_tm_;
+  /// Eligibility bitset, bit index = type * num_machines_ + m.
+  std::vector<std::uint64_t> eligible_bits_;
+  /// Idle watts per machine instance (empty when idle billing is off).
+  std::vector<double> idle_watts_m_;
+  /// DVFS multipliers per P-state (empty when no DVFS model).
+  std::vector<double> dvfs_time_;
+  std::vector<double> dvfs_power_;
+
+  bool incremental_on_ = true;
   /// Resolved once at construction so the hot path never does name lookups.
   Counter* metric_evaluations_ = nullptr;
   Counter* metric_dropped_ = nullptr;
+  Counter* metric_inc_hits_ = nullptr;
+  Counter* metric_inc_fallbacks_ = nullptr;
+  Counter* metric_inc_machines_ = nullptr;
 };
 
 }  // namespace eus

@@ -82,9 +82,14 @@ double TimeUtilityFunction::value(double elapsed) const noexcept {
                  (iv.begin_fraction +
                   (iv.end_fraction - iv.begin_fraction) * f);
         case TufInterval::Shape::kExponential: {
-          // b * (e/b)^f decays from b to e over the interval.
+          // b * (e/b)^f decays from b to e over the interval, computed as
+          // exp(f * log(e/b)): same curve, and the Evaluator's flattened
+          // replay precomputes log(e/b) per span, so both implementations
+          // must share this exact expression to stay bit-identical
+          // (std::pow's result differs from exp(f*log(r)) by an ulp).
           const double ratio = iv.end_fraction / iv.begin_fraction;
-          return priority_ * iv.begin_fraction * std::pow(ratio, f);
+          return priority_ * iv.begin_fraction *
+                 std::exp(f * std::log(ratio));
         }
       }
     }

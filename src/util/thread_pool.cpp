@@ -72,6 +72,17 @@ void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
 
+  // Single-worker pools (single-core hosts) and single-item ranges gain
+  // nothing from fan-out: the caller work-helps anyway, so every queued
+  // block pays mutex + heap-allocated job + wakeup for work that ends up
+  // running sequentially regardless.  Run the range inline instead —
+  // same contiguous order, same blocking semantics, exceptions propagate
+  // directly.
+  if (workers_.size() == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
   const std::size_t blocks = std::min(count, workers_.size() * 4);
   const std::size_t chunk = (count + blocks - 1) / blocks;
 

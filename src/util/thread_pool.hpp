@@ -23,8 +23,10 @@ namespace eus {
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
-  /// (at least 1).  A pool of size 1 still runs tasks on the worker thread,
-  /// preserving identical code paths on single-core hosts.
+  /// (at least 1).  A pool of size 1 executes parallel_for ranges inline in
+  /// the calling thread — on single-core hosts fan-out is pure queueing
+  /// overhead, and inline execution keeps the sequential order (and thus
+  /// results) identical.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 

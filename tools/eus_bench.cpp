@@ -176,12 +176,15 @@ void print_compare_report(const CompareReport& report,
               << "' — wall-clock bands may not transfer\n";
   }
   AsciiTable table(
-      {"scenario", "metric", "baseline", "measured", "delta", "band",
-       "status"});
+      {"scenario", "metric", "baseline", "measured", "delta", "speedup",
+       "band", "status"});
   for (const CompareEntry& e : report.entries) {
     const bool has_values = e.status == CompareStatus::kOk ||
                             e.status == CompareStatus::kImproved ||
                             e.status == CompareStatus::kRegression;
+    // Every metric is higher-is-worse, so baseline/measured > 1 means this
+    // run beat the recorded baseline by that factor.
+    const bool has_ratio = has_values && e.measured > 0.0;
     table.add_row(
         {e.scenario, e.metric.empty() ? "-" : e.metric,
          has_values || e.status == CompareStatus::kMissingMetric
@@ -189,6 +192,7 @@ void print_compare_report(const CompareReport& report,
              : "-",
          has_values ? format_double(e.measured, 4) : "-",
          has_values ? format_double(e.delta_pct, 1) + "%" : "-",
+         has_ratio ? format_double(e.baseline / e.measured, 2) + "x" : "-",
          has_values || e.status == CompareStatus::kMissingMetric
              ? "±" + format_double(e.tolerance_pct, 0) + "%"
              : "-",
