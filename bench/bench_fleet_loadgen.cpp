@@ -1,0 +1,121 @@
+// fleet_loadgen: end-to-end fleet throughput and the router's scaling
+// curve.  Boots N in-process eus_served engines plus one eus_router on
+// ephemeral loopback ports, then drives the router with 6 concurrent
+// client connections issuing distinct-seed NSGA-II requests — every
+// request is a cache miss with a fresh fingerprint, so the work spreads
+// across the ring and the wall-clock measures real multi-backend
+// execution, not front-cache hits.  The two registered scenarios share one
+// body: fleet_loadgen_1 (a single backend, the proxying-overhead
+// baseline) and fleet_loadgen_3 (three backends; CI's perf-full job
+// checks the 1 -> 3 speedup on multi-core runners).  The scenario fails
+// when any request errors — failover and backpressure should never
+// trigger at this offered load.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchkit/registry.hpp"
+#include "fleet/router.hpp"
+#include "serve/client.hpp"
+#include "serve/handlers.hpp"
+#include "serve/server.hpp"
+#include "util/env.hpp"
+#include "util/json_value.hpp"
+
+namespace {
+
+using namespace eus;
+
+constexpr std::size_t kClients = 6;
+
+std::string nsga2_request(std::uint64_t seed) {
+  return R"({"type":"allocate","mode":"nsga2","scenario":{"name":"custom",)"
+         R"("tasks":12,"window_s":30,"seed":)" +
+         std::to_string(seed) +
+         R"(},"nsga2":{"population":8,"generations":4,)"
+         R"("seeds":["min-energy"]}})";
+}
+
+int run_fleet_loadgen(benchkit::ScenarioContext& ctx,
+                      std::size_t backends) {
+  const auto requests_each = static_cast<std::size_t>(
+      static_cast<double>(9) * bench_scale() + 0.5);
+  const std::size_t per_client = requests_each < 3 ? 3 : requests_each;
+  const std::uint64_t seed = bench_seed();
+
+  std::vector<std::unique_ptr<serve::Server>> servers;
+  fleet::FleetConfig fleet;
+  for (std::size_t b = 0; b < backends; ++b) {
+    serve::ServerConfig config;
+    config.queue_depth = 128;  // no shedding at this offered load
+    // One worker per backend: each backend is a single-threaded engine, so
+    // the 1 -> 3 scaling curve measures fleet capacity, not intra-backend
+    // thread parallelism.
+    config.workers = 1;
+    config.metrics = ctx.metrics;  // serve.* aggregates across backends
+    servers.push_back(std::make_unique<serve::Server>(config));
+    servers.back()->start();
+
+    fleet::BackendConfig backend;
+    backend.name = "bk" + std::to_string(b + 1);
+    backend.port = servers.back()->port();
+    fleet.backends.push_back(std::move(backend));
+  }
+
+  fleet::RouterConfig config;
+  config.fleet = std::move(fleet);
+  config.policy = fleet::RoutePolicy::kMinMin;
+  config.health_period_s = 0.0;  // all backends live; no prober needed
+  config.metrics = ctx.metrics;  // fleet.* lands in BENCH results
+  fleet::Router router(config);
+  router.start();
+
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        serve::ClientConnection connection;
+        connection.connect(router.port());
+        for (std::size_t r = 0; r < per_client; ++r) {
+          // A unique seed per request keeps every fingerprint fresh: no
+          // cache hits, so all backends do real evolution work.
+          const std::string request =
+              nsga2_request(seed + c * per_client + r);
+          const util::JsonValue doc =
+              util::parse_json(connection.call(request));
+          if (static_cast<int>(doc.number_or("code", 0.0)) !=
+              serve::kCodeOk) {
+            failures.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  router.stop();
+  for (const auto& server : servers) server->stop();
+  return failures.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+EUS_BENCHMARK(fleet_loadgen_1,
+              "eus_router with 1 backend: 6 clients, distinct-seed nsga2 "
+              "stream (proxy-overhead baseline, EUS_SCALE)") {
+  return run_fleet_loadgen(ctx, 1);
+}
+
+EUS_BENCHMARK(fleet_loadgen_3,
+              "eus_router with 3 backends: 6 clients, distinct-seed nsga2 "
+              "stream (scaling vs fleet_loadgen_1, EUS_SCALE)") {
+  return run_fleet_loadgen(ctx, 3);
+}

@@ -1,0 +1,76 @@
+#pragma once
+
+// The fleet config: a set of backend descriptors modeled on Nix's
+// remote-build `Machine` (capabilities, eligibility, speedFactor, enabled
+// flag — SNIPPETS.md Snippet 2).  A JSON document
+//
+//   {"backends": [
+//     {"name": "big", "port": 7471, "speed_factor": 2.0, "watts": 95,
+//      "max_in_flight": 8, "capabilities": ["mode:nsga2"], "enabled": true},
+//     ...
+//   ]}
+//
+// describes each eus_served process the router may forward to.  Parsing is
+// strict — duplicate names, bad ports, malformed capability tags and
+// non-positive factors are configuration errors, not warnings — because a
+// silently-dropped backend is the worst possible failure mode for a
+// scheduler.  docs/fleet.md documents the format.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json_value.hpp"
+
+namespace eus::fleet {
+
+/// Malformed fleet configuration; `what()` names the offending backend and
+/// field.
+class FleetConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One backend descriptor (Nix `Machine`-style).  Capability tags restrict
+/// eligibility per dimension: a backend listing any "mode:<m>" tags serves
+/// only those request modes, any "scenario:<s>" tags only those resolved
+/// scenario names; "*" (or an empty list) accepts everything.
+struct BackendConfig {
+  std::string name;                ///< unique handle, [A-Za-z0-9_.-]+
+  std::string host = "127.0.0.1";  ///< loopback only (127.0.0.1/localhost)
+  std::uint16_t port = 0;          ///< required, 1..65535
+  std::vector<std::string> capabilities;
+  double speed_factor = 1.0;   ///< relative service rate (> 0); weights the
+                               ///< hash ring and the cost-based policies
+  double watts = 1.0;          ///< relative power draw (> 0); the energy
+                               ///< side of the max-upe routing policy
+  std::size_t max_in_flight = 32;  ///< router-enforced concurrency cap
+  bool enabled = true;             ///< disabled backends never route
+};
+
+struct FleetConfig {
+  std::vector<BackendConfig> backends;
+};
+
+/// Parses and validates one fleet document.  Throws FleetConfigError on
+/// any violation (duplicate/invalid names, bad ports, non-loopback hosts,
+/// unknown capability syntax, non-positive factors, zero max_in_flight,
+/// empty backend list).
+[[nodiscard]] FleetConfig parse_fleet_config(const util::JsonValue& doc);
+[[nodiscard]] FleetConfig parse_fleet_config_text(std::string_view json);
+
+/// Reads and parses a fleet config file.  Throws std::runtime_error when
+/// unreadable, FleetConfigError when invalid.
+[[nodiscard]] FleetConfig load_fleet_config(const std::string& path);
+
+/// Whether a backend with `capabilities` may serve a request of mode slug
+/// `mode` ("heuristic" | "nsga2" | "pareto-query") against the resolved
+/// scenario `scenario`.  Dimension-wise: listing any tags of a dimension
+/// whitelists that dimension; "*" or no tags of the dimension accepts all.
+[[nodiscard]] bool capabilities_allow(
+    const std::vector<std::string>& capabilities, std::string_view mode,
+    std::string_view scenario);
+
+}  // namespace eus::fleet

@@ -1,0 +1,64 @@
+#include "fleet/policy.hpp"
+
+namespace eus::fleet {
+
+const char* to_string(RoutePolicy p) noexcept {
+  switch (p) {
+    case RoutePolicy::kRoundRobin:
+      return "round-robin";
+    case RoutePolicy::kMinMin:
+      return "min-min";
+    case RoutePolicy::kMaxUpe:
+      return "max-upe";
+  }
+  return "?";
+}
+
+std::optional<RoutePolicy> policy_from_slug(std::string_view slug) noexcept {
+  if (slug == "round-robin") return RoutePolicy::kRoundRobin;
+  if (slug == "min-min") return RoutePolicy::kMinMin;
+  if (slug == "max-upe") return RoutePolicy::kMaxUpe;
+  return std::nullopt;
+}
+
+double request_cost_units(const serve::ServeRequest& request) {
+  if (request.mode != serve::ModeKind::kNsga2) return 1.0;
+  // One evolution evaluates ~population x generations genomes; normalize
+  // to the protocol's default budget (32 x 32) so a default nsga2 request
+  // costs ~1 unit and bigger budgets scale linearly.
+  const double evaluations =
+      static_cast<double>(request.nsga2.population) *
+      static_cast<double>(request.nsga2.generations);
+  const double units = evaluations / (32.0 * 32.0);
+  return units < 1.0 ? 1.0 : units;
+}
+
+std::size_t choose_backend(RoutePolicy policy,
+                           const std::vector<Candidate>& candidates,
+                           double cost_units, std::uint64_t ticket) {
+  if (candidates.size() == 1) return 0;
+  if (policy == RoutePolicy::kRoundRobin) {
+    return static_cast<std::size_t>(ticket % candidates.size());
+  }
+  std::size_t best = 0;
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    const auto queued = static_cast<double>(c.in_flight + 1);
+    double score = 0.0;
+    if (policy == RoutePolicy::kMinMin) {
+      // Lower is better; negate so one comparison direction serves both.
+      score = -(queued * cost_units / c.speed_factor);
+    } else {  // kMaxUpe
+      score = c.speed_factor / (queued * c.watts);
+    }
+    if (i == 0 || score > best_score ||
+        (score == best_score && c.name < candidates[best].name)) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace eus::fleet

@@ -1,0 +1,61 @@
+#pragma once
+
+// Request-routing policies: the paper's scheduling heuristics re-applied
+// at the serving layer, with backends playing the machines and requests
+// the tasks.
+//
+//  - round-robin   the baseline: rotate over candidates, ignore state.
+//  - min-min       Min-Min completion time (the repo's min-min seed
+//                  heuristic): estimated completion of the new request on
+//                  backend b is (in_flight_b + 1) * cost / speed_factor_b;
+//                  route to the backend finishing it earliest.
+//  - max-upe       Max-Utility-per-Energy (the paper's U/E trade-off):
+//                  the utility rate a request earns on b is
+//                  speed_factor_b / (in_flight_b + 1), its power price is
+//                  watts_b; route to the backend with the best ratio.
+//
+// Policies are pure functions over a candidate snapshot, so they are unit-
+// testable without sockets; the router owns candidate construction
+// (eligibility, health, in-flight caps) and cache affinity.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace eus::fleet {
+
+enum class RoutePolicy { kRoundRobin, kMinMin, kMaxUpe };
+
+[[nodiscard]] const char* to_string(RoutePolicy p) noexcept;
+[[nodiscard]] std::optional<RoutePolicy> policy_from_slug(
+    std::string_view slug) noexcept;
+
+/// One routable backend's scheduling-relevant state, snapshotted at
+/// selection time.
+struct Candidate {
+  std::string name;
+  double speed_factor = 1.0;
+  double watts = 1.0;
+  std::size_t in_flight = 0;
+};
+
+/// Relative compute cost of a request, in heuristic-request units: a
+/// greedy heuristic or cached pareto-query is ~1, an NSGA-II run scales
+/// with its population x generations budget.  Only ratios matter — the
+/// min-min completion estimate divides this by the backend speed factor.
+[[nodiscard]] double request_cost_units(const serve::ServeRequest& request);
+
+/// Picks the winning candidate index (candidates must be non-empty).
+/// `cost_units` feeds min-min; `ticket` is the round-robin rotation
+/// counter.  Deterministic: exact ties resolve to the lexicographically
+/// smallest backend name so tests and replicas agree.
+[[nodiscard]] std::size_t choose_backend(
+    RoutePolicy policy, const std::vector<Candidate>& candidates,
+    double cost_units, std::uint64_t ticket);
+
+}  // namespace eus::fleet

@@ -37,6 +37,12 @@ class ClientConnection {
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
   void close() noexcept;
 
+  /// Caps every subsequent send()/receive() at `ms` milliseconds
+  /// (SO_SNDTIMEO/SO_RCVTIMEO); an expired wait surfaces as ConnectError.
+  /// 0 restores blocking forever.  The fleet health checker probes with a
+  /// short timeout so one wedged backend cannot stall the probe loop.
+  void set_timeout_ms(long ms) noexcept;
+
   /// Writes one framed request payload; throws ConnectError when the
   /// connection drops mid-write.
   void send(std::string_view payload);

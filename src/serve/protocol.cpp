@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "data/types.hpp"
+#include "telemetry/json.hpp"
 
 namespace eus::serve {
 
@@ -183,9 +184,27 @@ AdminRequest parse_admin(const JsonValue& doc) {
     }
     return admin;
   }
+  if (action == "enable-backend" || action == "disable-backend") {
+    admin.action = action == "enable-backend" ? AdminAction::kEnableBackend
+                                              : AdminAction::kDisableBackend;
+    admin.name = doc.string_or("name", "");
+    if (admin.name.empty()) {
+      fail("admin." + action + " needs a backend \"name\"");
+    }
+    return admin;
+  }
+  if (action == "fleet-reload") {
+    admin.action = AdminAction::kFleetReload;
+    const JsonValue* f = doc.get("fleet");
+    if (f == nullptr || !f->is_object()) {
+      fail("admin.fleet-reload needs a \"fleet\" object");
+    }
+    admin.fleet = *f;  // validated by the router's fleet-config parser
+    return admin;
+  }
   fail("unknown admin action '" + action +
        "' (want get-config|set-queue-depth|set-cache-entries|set-workers|"
-       "catalog-reload)");
+       "catalog-reload|enable-backend|disable-backend|fleet-reload)");
 }
 
 Nsga2Params parse_nsga2(const JsonValue& doc) {
@@ -309,6 +328,12 @@ const char* to_string(AdminAction a) noexcept {
       return "set-workers";
     case AdminAction::kCatalogReload:
       return "catalog-reload";
+    case AdminAction::kEnableBackend:
+      return "enable-backend";
+    case AdminAction::kDisableBackend:
+      return "disable-backend";
+    case AdminAction::kFleetReload:
+      return "fleet-reload";
   }
   return "?";
 }
@@ -437,6 +462,63 @@ ScenarioSpec resolve_scenario(const ScenarioSpec& spec,
   resolved.tasks = recipe->tasks;
   resolved.window_s = recipe->window_s;
   return resolved;
+}
+
+std::string render_allocate_request(const ServeRequest& request) {
+  if (request.kind != RequestKind::kAllocate) {
+    fail("render_allocate_request wants an allocate request");
+  }
+  if (request.scenario.name == "inline") {
+    fail("render_allocate_request does not support inline scenarios");
+  }
+  JsonObject o;
+  o.field("type", "allocate");
+  if (!request.id.empty()) o.field("id", request.id);
+  std::string mode{to_string(request.mode)};
+  if (request.mode == ModeKind::kHeuristic) {
+    mode += std::string(":") + heuristic_slug(request.heuristic);
+  }
+  o.field("mode", mode);
+  JsonObject scenario;
+  scenario.field("name", request.scenario.name);
+  if (request.scenario.seed_set) {
+    scenario.field("seed", static_cast<std::uint64_t>(request.scenario.seed));
+  }
+  if (request.scenario.name == "custom") {
+    scenario.field("tasks",
+                   static_cast<std::uint64_t>(request.scenario.tasks));
+    scenario.field("window_s", request.scenario.window_s);
+  }
+  o.raw("scenario", scenario.str());
+  if (request.mode != ModeKind::kHeuristic) {
+    const Nsga2Params& n = request.nsga2;
+    JsonObject nsga2;
+    nsga2.field("population", static_cast<std::uint64_t>(n.population));
+    nsga2.field("generations", static_cast<std::uint64_t>(n.generations));
+    nsga2.field("mutation_probability", n.mutation_probability);
+    std::string seeds = "[";
+    for (const SeedHeuristic h : n.seeds) {
+      if (seeds.size() > 1) seeds += ',';
+      seeds += '"';
+      seeds += heuristic_slug(h);
+      seeds += '"';
+    }
+    seeds += ']';
+    nsga2.raw("seeds", seeds);
+    o.raw("nsga2", nsga2.str());
+  }
+  if (request.mode == ModeKind::kParetoQuery) {
+    JsonObject query;
+    if (request.query.max_energy) {
+      query.field("max_energy", *request.query.max_energy);
+    }
+    if (request.query.min_utility) {
+      query.field("min_utility", *request.query.min_utility);
+    }
+    o.raw("query", query.str());
+  }
+  if (request.deadline_ms > 0.0) o.field("deadline_ms", request.deadline_ms);
+  return o.str();
 }
 
 std::string request_fingerprint(const ServeRequest& request) {

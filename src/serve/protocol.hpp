@@ -70,12 +70,17 @@ enum class RequestKind { kAllocate, kHealthz, kMetricsz, kAdminz };
 enum class ModeKind { kHeuristic, kNsga2, kParetoQuery };
 
 /// Live-administration verbs (served inline like healthz — never queued).
+/// The backend/fleet verbs are understood only by eus_router; eus_served
+/// answers them with a 400 explaining there is no fleet to administer.
 enum class AdminAction {
   kGetConfig,      ///< effective configuration + phase snapshot
   kSetQueueDepth,  ///< live bounded-queue capacity
   kSetCacheEntries,///< live LRU front-cache capacity
   kSetWorkers,     ///< live worker-pool resize (grow or shrink)
   kCatalogReload,  ///< atomically hot-swap the named-scenario catalog
+  kEnableBackend,  ///< router: mark a named backend routable again
+  kDisableBackend, ///< router: drain a named backend out of the rotation
+  kFleetReload,    ///< router: atomically swap the fleet config
 };
 
 [[nodiscard]] const char* to_string(RequestKind k) noexcept;
@@ -87,6 +92,8 @@ struct AdminRequest {
   AdminAction action = AdminAction::kGetConfig;
   std::size_t value = 0;  ///< the set-* actions' new value (>= 1)
   std::vector<ScenarioRecipe> catalog;  ///< catalog-reload's entry set
+  std::string name;       ///< enable-/disable-backend's target
+  util::JsonValue fleet;  ///< fleet-reload's config document (kNull else)
 };
 
 /// Which ETC/EPC environment a request targets: one of the paper's named
@@ -157,6 +164,15 @@ struct ServeRequest {
 /// are excluded — they select *within* a computed result, they do not
 /// change it).  Equal requests fingerprint equally.
 [[nodiscard]] std::string request_fingerprint(const ServeRequest& request);
+
+/// Serializes an allocate request back into a protocol document that
+/// parse_request accepts and that round-trips every result-determining
+/// field.  The router uses it to forward alias requests with the scenario
+/// already resolved (backends need no catalog); inline systems are not
+/// supported (the router forwards those payloads verbatim — an alias can
+/// never resolve to one).  Throws ProtocolError on a non-allocate or
+/// inline-scenario request.
+[[nodiscard]] std::string render_allocate_request(const ServeRequest& request);
 
 /// Heuristic name <-> enum for the "heuristic:<name>" mode string.
 [[nodiscard]] const char* heuristic_slug(SeedHeuristic h) noexcept;

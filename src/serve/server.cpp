@@ -19,149 +19,7 @@
 
 namespace eus::serve {
 
-// ---------------------------------------------------------------- RequestLog
-
-struct RequestLog::Impl {
-  std::mutex mutex;
-  std::ofstream out;
-};
-
-RequestLog::RequestLog(const std::string& path)
-    : impl_(std::make_unique<Impl>()) {
-  impl_->out.open(path, std::ios::binary | std::ios::app);
-  if (!impl_->out) throw std::runtime_error("cannot open run log " + path);
-}
-
-RequestLog::~RequestLog() = default;
-
-void RequestLog::write(const std::string& json_line) {
-  const std::lock_guard lock(impl_->mutex);
-  impl_->out << json_line << '\n';
-  impl_->out.flush();  // the daemon may be SIGKILLed; keep lines durable
-  lines_.fetch_add(1, std::memory_order_relaxed);
-}
-
-// ------------------------------------------------------------------ Acceptor
-
-void Acceptor::start(std::uint16_t port, std::function<void(int)> on_accept) {
-  on_accept_ = std::move(on_accept);
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("socket(): ") +
-                             std::strerror(errno));
-  }
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
-               sizeof(enable));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 128) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("cannot listen on port " + std::to_string(port) +
-                             ": " + reason);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-  port_ = ntohs(bound.sin_port);
-  thread_ = std::thread([this] { loop(); });
-}
-
-void Acceptor::interrupt() noexcept {
-  stopping_.store(true, std::memory_order_relaxed);
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-}
-
-void Acceptor::halt() {
-  interrupt();
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-}
-
-void Acceptor::loop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listen socket shut down (or fatal): stop accepting
-    }
-    if (stopping_.load(std::memory_order_relaxed)) {
-      ::close(fd);
-      break;
-    }
-    on_accept_(fd);
-  }
-}
-
-// ------------------------------------------------------------- ConnectionSet
-
-void ConnectionSet::adopt(int fd,
-                          const std::function<void(Connection*)>& loop) {
-  auto connection = std::make_unique<Connection>();
-  connection->fd = fd;
-  Connection* raw = connection.get();
-  {
-    const std::lock_guard lock(mutex_);
-    connections_.push_back(std::move(connection));
-  }
-  raw->thread = std::thread([loop, raw] { loop(raw); });
-}
-
-void ConnectionSet::reap() {
-  const std::lock_guard lock(mutex_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void ConnectionSet::close_fd(Connection* connection) {
-  const std::lock_guard lock(mutex_);
-  if (connection->fd >= 0) {
-    ::close(connection->fd);
-    connection->fd = -1;
-  }
-}
-
-void ConnectionSet::halt() {
-  {
-    const std::lock_guard lock(mutex_);
-    for (const auto& connection : connections_) {
-      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RD);
-    }
-  }
-  // Join outside the lock: exiting loops close their fd via close_fd(),
-  // which takes it.  No adopt() can race (the acceptor is halted first).
-  for (const auto& connection : connections_) {
-    if (connection->thread.joinable()) connection->thread.join();
-  }
-  {
-    const std::lock_guard lock(mutex_);
-    connections_.clear();
-  }
-}
-
-std::size_t ConnectionSet::active() const {
-  const std::lock_guard lock(mutex_);
-  std::size_t live = 0;
-  for (const auto& connection : connections_) {
-    if (!connection->done.load(std::memory_order_acquire)) ++live;
-  }
-  return live;
-}
+// RequestLog / Acceptor / ConnectionSet implementations live in net.cpp.
 
 // ---------------------------------------------------------------- WorkerCrew
 
@@ -663,6 +521,12 @@ std::string Server::adminz_payload(const ServeRequest& request) {
       o.field("catalog_size", static_cast<std::uint64_t>(scenarios));
       return o.str();
     }
+    case AdminAction::kEnableBackend:
+    case AdminAction::kDisableBackend:
+    case AdminAction::kFleetReload:
+      return error_payload(request.id, kCodeBadRequest, "error",
+                           "this is a single eus_served daemon, not an "
+                           "eus_router; fleet verbs have no target here");
   }
   return error_payload(request.id, kCodeInternal, "error",
                        "unhandled admin action");

@@ -49,6 +49,7 @@
 #include "serve/bounded_queue.hpp"
 #include "serve/front_cache.hpp"
 #include "serve/handlers.hpp"
+#include "serve/net.hpp"
 #include "serve/protocol.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/stopwatch.hpp"
@@ -58,31 +59,8 @@ namespace eus::serve {
 
 class RuntimeState;  // runtime.hpp — healthz/adminz report its phase
 
-/// Thread-safe JSONL request log (one line per served request, plus a
-/// config line at startup and periodic diagnostics snapshots).
-/// EXPERIMENTS.md documents the schema.
-class RequestLog {
- public:
-  /// Appends to `path` (creating it when missing; existing lines are
-  /// preserved so restarts extend one history).  Throws
-  /// std::runtime_error when the file cannot be opened.
-  explicit RequestLog(const std::string& path);
-  ~RequestLog();
-
-  RequestLog(const RequestLog&) = delete;
-  RequestLog& operator=(const RequestLog&) = delete;
-
-  void write(const std::string& json_line);
-  /// Lines written through this instance (not pre-existing file lines).
-  [[nodiscard]] std::size_t lines_written() const noexcept {
-    return lines_.load(std::memory_order_relaxed);
-  }
-
- private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
-  std::atomic<std::size_t> lines_{0};
-};
+// RequestLog, Acceptor and ConnectionSet moved to serve/net.hpp — they are
+// shared with the fleet router (fleet/router.hpp).
 
 /// One queued allocate request, or a WorkerCrew control token.
 struct RequestJob {
@@ -91,83 +69,6 @@ struct RequestJob {
   std::promise<HandleResult> promise;
   bool poison = false;  ///< control token: the popping worker re-checks
                         ///< the crew target and retires when over it
-};
-
-/// Listen socket + accept loop on a dedicated thread.  halt() is the
-/// teardown: wake the loop, join it, close the socket.
-class Acceptor {
- public:
-  Acceptor() = default;
-  ~Acceptor() { halt(); }
-
-  Acceptor(const Acceptor&) = delete;
-  Acceptor& operator=(const Acceptor&) = delete;
-
-  /// Binds loopback:`port` (0 = ephemeral), listens, spawns the accept
-  /// thread; `on_accept` receives each connected fd and takes ownership.
-  /// Throws std::runtime_error when the port cannot be bound.
-  void start(std::uint16_t port, std::function<void(int)> on_accept);
-
-  /// The bound port (valid after start(); resolves port 0 requests).
-  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
-
-  /// Wakes the accept loop and makes it exit; safe from any thread and
-  /// does not block (request_stop's half of halt()).
-  void interrupt() noexcept;
-
-  /// interrupt() + join + close the listen socket.  Idempotent.
-  void halt();
-
-  [[nodiscard]] bool stopping() const noexcept {
-    return stopping_.load(std::memory_order_relaxed);
-  }
-
- private:
-  void loop();
-
-  std::function<void(int)> on_accept_;
-  std::thread thread_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-};
-
-/// The live per-connection reader threads.  adopt() spawns one; halt()
-/// shuts every read side down and joins (run only after the workers have
-/// resolved all pending response futures, or readers block forever).
-class ConnectionSet {
- public:
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-
-  ConnectionSet() = default;
-  ~ConnectionSet() { halt(); }
-
-  ConnectionSet(const ConnectionSet&) = delete;
-  ConnectionSet& operator=(const ConnectionSet&) = delete;
-
-  /// Takes ownership of `fd` and runs `loop(connection)` on a new thread.
-  void adopt(int fd, const std::function<void(Connection*)>& loop);
-
-  /// Joins and forgets connections whose loop has finished (called from
-  /// the accept path so idle closes do not accumulate threads).
-  void reap();
-
-  /// Closes `connection`'s socket exactly once (loops call this on exit).
-  void close_fd(Connection* connection);
-
-  /// Shuts down every read side, joins every reader, clears the set.
-  /// Idempotent.  Callers must guarantee no concurrent adopt().
-  void halt();
-
-  [[nodiscard]] std::size_t active() const;
-
- private:
-  mutable std::mutex mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
 };
 
 /// Elastic pool of request-executing workers over one BoundedQueue.

@@ -59,7 +59,9 @@ struct CliOptions {
   bool admin = false;
   std::string admin_action;                 ///< adminz verb
   std::optional<std::size_t> admin_value;   ///< the set-* verbs' operand
+  std::string admin_name;                   ///< *-backend verbs' target
   std::optional<std::string> catalog_path;  ///< catalog-reload JSON file
+  std::optional<std::string> fleet_path;    ///< fleet-reload JSON file
   bool raw_json = false;
   std::string mode = "heuristic:min-energy";
   std::string id;
@@ -93,6 +95,14 @@ void print_usage(std::ostream& out) {
          "\"base\",\n"
          "                       \"seed\"?, \"tasks\"?, \"window_s\"?}, "
          "...]}\n"
+         "\n"
+         "router-only admin verbs (eus_router fleets, docs/fleet.md):\n"
+         "  enable-backend <name>   mark a backend routable again\n"
+         "  disable-backend <name>  drain a backend out of the rotation\n"
+         "  fleet-reload --fleet <file>\n"
+         "                       atomically swap the fleet config; the file\n"
+         "                       holds {\"backends\": [{\"name\", \"port\", "
+         "...}]}\n"
          "\n"
          "options:\n"
          "  --port <n>           daemon port (default EUS_SERVE_PORT or "
@@ -150,21 +160,30 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     if (argc < 3 || argv[2][0] == '-') {
       std::cerr << "eus_client: admin needs a verb (get-config|"
                    "set-queue-depth|set-cache-entries|set-workers|"
-                   "catalog-reload)\n";
+                   "catalog-reload|enable-backend|disable-backend|"
+                   "fleet-reload)\n";
       return std::nullopt;
     }
     opts.admin_action = argv[2];
     start = 3;
     if (argc > 3 && argv[3][0] != '-') {
-      const std::optional<std::size_t> n = parse_count(argv[3]);
-      if (!n) {
-        std::cerr << "eus_client: admin value wants a non-negative "
-                     "integer, got '"
-                  << argv[3] << "'\n";
-        return std::nullopt;
+      // The *-backend verbs take a backend name; the set-* verbs an
+      // integer.
+      if (opts.admin_action == "enable-backend" ||
+          opts.admin_action == "disable-backend") {
+        opts.admin_name = argv[3];
+        start = 4;
+      } else {
+        const std::optional<std::size_t> n = parse_count(argv[3]);
+        if (!n) {
+          std::cerr << "eus_client: admin value wants a non-negative "
+                       "integer, got '"
+                    << argv[3] << "'\n";
+          return std::nullopt;
+        }
+        opts.admin_value = n;
+        start = 4;
       }
-      opts.admin_value = n;
-      start = 4;
     }
   }
   for (int i = start; i < argc; ++i) {
@@ -225,6 +244,10 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       const char* v = value_of(i, "--catalog");
       if (v == nullptr) return std::nullopt;
       opts.catalog_path = v;
+    } else if (arg == "--fleet") {
+      const char* v = value_of(i, "--fleet");
+      if (v == nullptr) return std::nullopt;
+      opts.fleet_path = v;
     } else if (arg == "--seeds") {
       const char* v = value_of(i, "--seeds");
       if (v == nullptr) return std::nullopt;
@@ -275,7 +298,10 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     const std::string& verb = opts.admin_action;
     const bool is_set = verb == "set-queue-depth" ||
                         verb == "set-cache-entries" || verb == "set-workers";
-    if (verb != "get-config" && verb != "catalog-reload" && !is_set) {
+    const bool is_backend =
+        verb == "enable-backend" || verb == "disable-backend";
+    if (verb != "get-config" && verb != "catalog-reload" &&
+        verb != "fleet-reload" && !is_set && !is_backend) {
       std::cerr << "eus_client: unknown admin verb '" << verb << "'\n";
       return std::nullopt;
     }
@@ -284,9 +310,18 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
                 << " needs an integer value >= 1\n";
       return std::nullopt;
     }
+    if (is_backend && opts.admin_name.empty()) {
+      std::cerr << "eus_client: admin " << verb
+                << " needs a backend name\n";
+      return std::nullopt;
+    }
     if (verb == "catalog-reload" && !opts.catalog_path) {
       std::cerr << "eus_client: admin catalog-reload needs --catalog "
                    "<file>\n";
+      return std::nullopt;
+    }
+    if (verb == "fleet-reload" && !opts.fleet_path) {
+      std::cerr << "eus_client: admin fleet-reload needs --fleet <file>\n";
       return std::nullopt;
     }
   }
@@ -303,23 +338,33 @@ std::optional<std::string> build_admin_request(const CliOptions& opts) {
   if (opts.admin_value) {
     o.field("value", static_cast<std::uint64_t>(*opts.admin_value));
   }
-  if (opts.catalog_path) {
-    std::ifstream in(*opts.catalog_path, std::ios::binary);
+  if (!opts.admin_name.empty()) o.field("name", opts.admin_name);
+  const auto splice_file = [&](const std::string& path, const char* key,
+                               const char* what) -> bool {
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
-      std::cerr << "eus_client: cannot read catalog file '"
-                << *opts.catalog_path << "'\n";
-      return std::nullopt;
+      std::cerr << "eus_client: cannot read " << what << " file '" << path
+                << "'\n";
+      return false;
     }
     std::ostringstream contents;
     contents << in.rdbuf();
     try {
       (void)util::parse_json(contents.str());
     } catch (const util::JsonParseError& e) {
-      std::cerr << "eus_client: catalog file is not valid JSON: " << e.what()
-                << '\n';
-      return std::nullopt;
+      std::cerr << "eus_client: " << what
+                << " file is not valid JSON: " << e.what() << '\n';
+      return false;
     }
-    o.raw("catalog", contents.str());
+    o.raw(key, contents.str());
+    return true;
+  };
+  if (opts.catalog_path &&
+      !splice_file(*opts.catalog_path, "catalog", "catalog")) {
+    return std::nullopt;
+  }
+  if (opts.fleet_path && !splice_file(*opts.fleet_path, "fleet", "fleet")) {
+    return std::nullopt;
   }
   return o.str();
 }
@@ -412,15 +457,39 @@ void print_response(const util::JsonValue& doc) {
     for (const char* key :
          {"phase", "queue_depth", "queue_size", "workers", "workers_active",
           "cache_entries", "cache_size", "eval_threads", "catalog_generation",
-          "catalog_size"}) {
+          "catalog_size", "service", "policy", "backend", "enabled"}) {
       if (const util::JsonValue* v = doc.get(key); v != nullptr) {
         std::cout << key << ": ";
         if (v->is_string()) {
           std::cout << v->string;
         } else if (v->is_number()) {
           std::cout << v->number;
+        } else if (v->kind == util::JsonValue::Kind::kBool) {
+          std::cout << (v->boolean ? "true" : "false");
         }
         std::cout << '\n';
+      }
+    }
+    if (const util::JsonValue* backends = doc.get("backends");
+        backends != nullptr) {
+      if (backends->is_number()) {
+        std::cout << "backends: " << backends->number << '\n';
+      } else if (backends->is_array()) {
+        std::cout << "backends: " << backends->array.size() << '\n';
+        for (const util::JsonValue& b : backends->array) {
+          std::cout << "  " << b.string_or("name", "?") << " port "
+                    << b.number_or("port", 0.0)
+                    << (b.get("enabled") != nullptr && b.get("enabled")->boolean
+                            ? ""
+                            : " [disabled]")
+                    << (b.get("up") != nullptr && b.get("up")->boolean
+                            ? " up"
+                            : " DOWN")
+                    << ", in-flight " << b.number_or("in_flight", 0.0) << "/"
+                    << b.number_or("max_in_flight", 0.0) << ", served "
+                    << b.number_or("requests", 0.0) << ", failures "
+                    << b.number_or("failures", 0.0) << '\n';
+        }
       }
     }
     return;
