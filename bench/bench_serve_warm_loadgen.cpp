@@ -1,0 +1,126 @@
+// serve_warm_loadgen: the warm-start payoff, measured.  Primes a tenant's
+// archive with one converged base run, then times two delta streams over
+// the in-process handlers at the same cold budget: warm deltas (archived
+// base repaired + short polish) and cold deltas (archive miss, full
+// re-optimization).  The scenario fails unless the warm p95 beats the cold
+// p95 by at least 10x — the subsystem's headline claim (docs/tenant.md).
+//
+// p95s land in BENCH_results.json as counters (warm.p95_us, cold.p95_us,
+// warm.speedup_x10); the deterministic request counters (serve.delta.warm,
+// serve.delta.cold, archive.warm_hits) gate regressions in baselines.json.
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "benchkit/registry.hpp"
+#include "serve/handlers.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/metrics.hpp"
+#include "tenant/archive_store.hpp"
+#include "util/env.hpp"
+#include "util/json_value.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace eus;
+using namespace eus::serve;
+
+// Cold budget 128 generations vs. a 2-generation warm polish: by
+// evaluation count the gap is ~40x, leaving headroom over the 10x gate on
+// noisy shared runners.
+constexpr std::size_t kColdGenerations = 128;
+constexpr std::size_t kPolishGenerations = 2;
+
+std::string base_block(std::uint64_t seed) {
+  return R"({"name":"custom","tasks":60,"window_s":120,"seed":)" +
+         std::to_string(seed) + "}";
+}
+
+std::string nsga2_block() {
+  return R"({"population":32,"generations":)" +
+         std::to_string(kColdGenerations) +
+         R"(,"seeds":["min-energy","max-utility"]})";
+}
+
+std::string delta_request(const std::string& tenant, std::uint64_t seed,
+                          std::size_t add_tasks, bool warm) {
+  return R"({"type":"delta","tenant":")" + tenant + R"(","base":)" +
+         base_block(seed) + R"(,"mutations":[{"op":"add-tasks","count":)" +
+         std::to_string(add_tasks) + "}]" +
+         (warm ? R"(,"polish_generations":)" +
+                     std::to_string(kPolishGenerations) +
+                     R"(,"cold_fallback":false)"
+               : "") +
+         R"(,"nsga2":)" + nsga2_block() + "}";
+}
+
+double p95_us(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[(samples.size() - 1) * 95 / 100] * 1e6;
+}
+
+}  // namespace
+
+EUS_BENCHMARK(serve_warm_loadgen,
+              "warm-start archive payoff: p95 of warm delta repair+polish "
+              "vs cold re-optimization at the same budget (EUS_SCALE)") {
+  const auto scaled = static_cast<std::size_t>(
+      static_cast<double>(16) * bench_scale() + 0.5);
+  const std::size_t deltas = scaled < 3 ? 3 : scaled;
+  const std::uint64_t seed = bench_seed();
+
+  MetricsRegistry local_metrics;
+  MetricsRegistry* metrics =
+      ctx.metrics != nullptr ? ctx.metrics : &local_metrics;
+  tenant::ArchiveStore archive({}, metrics);
+  HandlerContext handler_ctx;
+  handler_ctx.metrics = metrics;
+  handler_ctx.archive = &archive;
+
+  // Prime: one converged cold run archives the warm tenant's base front.
+  const std::string prime =
+      R"({"type":"allocate","mode":"nsga2","tenant":"warm","scenario":)" +
+      base_block(seed) + R"(,"nsga2":)" + nsga2_block() + "}";
+  const HandleResult primed = handle_allocate(
+      parse_request_text(prime), handler_ctx, std::nullopt, 0.0);
+  if (primed.code != kCodeOk) return 1;
+
+  std::size_t failures = 0;
+  const auto run = [&](const std::string& tenant, bool warm,
+                       std::vector<double>& out) {
+    for (std::size_t i = 0; i < deltas; ++i) {
+      const ServeRequest request = parse_request_text(
+          delta_request(tenant, seed, i + 1, warm));
+      const Stopwatch clock;
+      const HandleResult result =
+          handle_delta(request, handler_ctx, std::nullopt, 0.0);
+      out.push_back(clock.seconds());
+      const util::JsonValue doc = util::parse_json(result.payload);
+      const util::JsonValue* warmed = doc.get("warm");
+      if (result.code != kCodeOk || warmed == nullptr ||
+          warmed->boolean != warm) {
+        ++failures;
+      }
+    }
+  };
+
+  // The warm tenant's deltas repair the archived base; the cold tenant has
+  // no archive entry, so the same mutations re-optimize from scratch.
+  std::vector<double> warm_s;
+  std::vector<double> cold_s;
+  run("warm", true, warm_s);
+  run("cold", false, cold_s);
+
+  const double warm_p95 = p95_us(std::move(warm_s));
+  const double cold_p95 = p95_us(std::move(cold_s));
+  const double speedup = warm_p95 > 0.0 ? cold_p95 / warm_p95 : 0.0;
+  metrics->counter("warm.p95_us").add(static_cast<std::uint64_t>(warm_p95));
+  metrics->counter("cold.p95_us").add(static_cast<std::uint64_t>(cold_p95));
+  metrics->counter("warm.speedup_x10")
+      .add(static_cast<std::uint64_t>(speedup * 10.0));
+
+  return failures == 0 && speedup >= 10.0 ? 0 : 1;
+}

@@ -168,6 +168,22 @@ void Nsga2::initialize(const std::vector<Allocation>& seeds) {
   initialized_ = true;
 }
 
+void Nsga2::initialize_warm(const std::vector<Allocation>& seeds,
+                            const std::vector<Allocation>& warm) {
+  if (seeds.size() > config_.population_size) {
+    throw std::invalid_argument("more seeds than population slots");
+  }
+  std::vector<Allocation> combined = seeds;
+  const std::size_t room = config_.population_size - seeds.size();
+  const std::size_t injected = std::min(room, warm.size());
+  combined.insert(combined.end(), warm.begin(),
+                  warm.begin() + static_cast<std::ptrdiff_t>(injected));
+  if (injected > 0 && config_.metrics != nullptr) {
+    config_.metrics->counter("nsga2.warm_seeds").add(injected);
+  }
+  initialize(combined);
+}
+
 void Nsga2::annotate_and_select(std::vector<Individual>& meta) {
   const std::size_t n = config_.population_size;
 

@@ -116,6 +116,15 @@ class Nsga2 {
   /// Must be called exactly once before iterate().
   void initialize(const std::vector<Allocation>& seeds);
 
+  /// Warm-started initialization: `seeds` are first-class (same contract as
+  /// initialize()), then as many `warm` genomes as still fit are injected
+  /// — archived fronts from a previous converged run — and the remainder is
+  /// filled uniformly at random exactly as a cold start would.  Overflowing
+  /// warm genomes are dropped (lowest-index kept).  Bumps the
+  /// `nsga2.warm_seeds` counter by the number injected.
+  void initialize_warm(const std::vector<Allocation>& seeds,
+                       const std::vector<Allocation>& warm);
+
   /// Runs `generations` generations (Algorithm 1 steps 3-11, repeated).
   void iterate(std::size_t generations);
 

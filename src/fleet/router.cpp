@@ -279,26 +279,38 @@ std::string Router::route_allocate(serve::ServeRequest request,
   // Resolve catalog aliases before anything else: the fingerprint must key
   // on what actually runs (cache affinity survives reloads), and backends
   // carry no catalog, so an aliased request is re-rendered with its
-  // concrete scenario while everything else forwards byte-for-byte.
-  const bool aliased =
-      !ScenarioCatalog::is_builtin_name(request.scenario.name);
+  // concrete scenario while everything else forwards byte-for-byte.  A
+  // delta request's scenario lives in delta.base.
+  const bool is_delta = request.kind == serve::RequestKind::kDelta;
+  const bool aliased = !ScenarioCatalog::is_builtin_name(
+      is_delta ? request.delta.base.name : request.scenario.name);
   std::string forward_payload;
   try {
     std::shared_ptr<const ScenarioCatalog> catalog;
     if (config_.catalog != nullptr) catalog = config_.catalog->snapshot();
-    request.scenario = resolve_scenario(request.scenario, catalog.get());
-    forward_payload =
-        aliased ? render_allocate_request(request) : payload;
+    if (is_delta) {
+      request.delta.base =
+          resolve_scenario(request.delta.base, catalog.get());
+      forward_payload = aliased ? render_delta_request(request) : payload;
+    } else {
+      request.scenario = resolve_scenario(request.scenario, catalog.get());
+      forward_payload = aliased ? render_allocate_request(request) : payload;
+    }
   } catch (const serve::ProtocolError& e) {
     metric_errors_->add();
     log_request(request, kCodeBadRequest, total.milliseconds(), "", false);
     return error_payload(request.id, kCodeBadRequest, "error", e.what());
   }
-  const std::string fingerprint = serve::request_fingerprint(request);
+  // Tenant-scoped requests route by tenant id, not fingerprint: every
+  // scenario a tenant touches — and every delta against it — lands on the
+  // backend holding that tenant's warm-start archive.
+  const std::string affinity = request.tenant.empty()
+                                   ? serve::request_fingerprint(request)
+                                   : request.tenant;
 
   const std::shared_ptr<const Fleet> fleet = fleet_snapshot();
   const std::vector<std::shared_ptr<Backend>> candidates =
-      plan(*fleet, request, fingerprint);
+      plan(*fleet, request, affinity);
   if (candidates.empty()) {
     metric_no_backend_->add();
     metric_errors_->add();
@@ -342,15 +354,18 @@ std::string Router::route_allocate(serve::ServeRequest request,
 
 std::vector<std::shared_ptr<Router::Backend>> Router::plan(
     const Fleet& fleet, const serve::ServeRequest& request,
-    const std::string& fingerprint) {
+    const std::string& affinity) {
   const char* mode = mode_slug(request);
+  const std::string& scenario_name =
+      request.kind == serve::RequestKind::kDelta ? request.delta.base.name
+                                                 : request.scenario.name;
   std::vector<std::shared_ptr<Backend>> capable;
   capable.reserve(fleet.backends.size());
   for (const auto& backend : fleet.backends) {
     if (!backend->enabled.load(std::memory_order_relaxed)) continue;
     if (!backend->up.load(std::memory_order_relaxed)) continue;
     if (!capabilities_allow(backend->config.capabilities, mode,
-                            request.scenario.name)) {
+                            scenario_name)) {
       continue;
     }
     capable.push_back(backend);
@@ -369,10 +384,11 @@ std::vector<std::shared_ptr<Router::Backend>> Router::plan(
   order.reserve(capable.size());
   const bool cacheable = request.mode != serve::ModeKind::kHeuristic;
   if (cacheable) {
-    // Cache affinity: walk the consistent-hash ring from the
-    // fingerprint's owner so repeated identical requests land on the
-    // backend already holding the cached front.
-    for (const std::string& name : fleet.ring.preference(fingerprint)) {
+    // Cache/archive affinity: walk the consistent-hash ring from the
+    // affinity key's owner so repeated identical requests (and a tenant's
+    // whole request stream) land on the backend already holding the cached
+    // front or the tenant's archive.
+    for (const std::string& name : fleet.ring.preference(affinity)) {
       for (const auto& backend : capable) {
         if (backend->config.name == name) {
           order.push_back(backend);
@@ -767,6 +783,13 @@ std::string Router::adminz_payload(const serve::ServeRequest& request) {
       return error_payload(request.id, kCodeBadRequest, "error",
                            "eus_router has no queue, cache or worker pool; "
                            "send set-* verbs to a backend daemon");
+    case serve::AdminAction::kArchiveStats:
+    case serve::AdminAction::kArchiveFlush:
+    case serve::AdminAction::kArchiveCap:
+      return error_payload(request.id, kCodeBadRequest, "error",
+                           "eus_router holds no warm-start archive; send "
+                           "archive-* verbs to the backend owning the "
+                           "tenant (the ring's preference for its id)");
   }
   return error_payload(request.id, kCodeInternal, "error",
                        "unhandled admin action");
@@ -785,7 +808,11 @@ void Router::log_request(const serve::ServeRequest& request, int code,
     mode += std::string(":") + serve::heuristic_slug(request.heuristic);
   }
   o.field("mode", mode);
-  o.field("scenario", request.scenario.name);
+  o.field("kind", to_string(request.kind));
+  o.field("scenario", request.kind == serve::RequestKind::kDelta
+                          ? request.delta.base.name
+                          : request.scenario.name);
+  if (!request.tenant.empty()) o.field("tenant", request.tenant);
   o.field("code", static_cast<std::int64_t>(code));
   if (!backend.empty()) o.field("backend", backend);
   o.field("retried", retried);

@@ -184,10 +184,12 @@ class Router {
   [[nodiscard]] std::string route_allocate(serve::ServeRequest request,
                                            const std::string& payload);
   /// Ordered candidate backends for one request (eligible, enabled, up,
-  /// under their in-flight cap), best first.
+  /// under their in-flight cap), best first.  `affinity` is the
+  /// consistent-hash ring key: the request fingerprint, or the tenant id
+  /// for tenant-scoped requests (archive affinity).
   [[nodiscard]] std::vector<std::shared_ptr<Backend>> plan(
       const Fleet& fleet, const serve::ServeRequest& request,
-      const std::string& fingerprint);
+      const std::string& affinity);
   /// One proxied call on one backend; empty optional = transport failure
   /// (the backend is already marked down and counted).
   [[nodiscard]] std::optional<std::string> forward(

@@ -6,7 +6,16 @@
 
 namespace eus {
 
-bool ParetoArchive::insert(const EUPoint& p, std::size_t tag) {
+bool ParetoArchive::insert(const EUPoint& p, std::size_t tag,
+                           std::uint64_t fingerprint) {
+  // Duplicate genome (same nonzero fingerprint) — never double-insert, even
+  // if the submitted point differs (a genome re-evaluated elsewhere).
+  if (fingerprint != 0) {
+    for (const auto& e : entries_) {
+      if (e.fingerprint == fingerprint) return false;
+    }
+  }
+
   // Reject if dominated by or equal to any member.  Members are sorted by
   // energy; only members with energy <= p.energy can dominate it.
   for (const auto& e : entries_) {
@@ -21,7 +30,7 @@ bool ParetoArchive::insert(const EUPoint& p, std::size_t tag) {
       entries_.begin(), entries_.end(), p, [](const Entry& e, const EUPoint& q) {
         return e.point.energy < q.energy;
       });
-  entries_.insert(at, Entry{p, tag});
+  entries_.insert(at, Entry{p, tag, fingerprint});
 
   if (capacity_ > 0 && entries_.size() > capacity_) prune();
   return true;
@@ -54,6 +63,10 @@ bool ParetoArchive::covers(const EUPoint& p) const {
 void ParetoArchive::prune() {
   // Drop the interior member with the smallest crowding credit (sum of the
   // normalized gaps to its neighbours along the energy-sorted front).
+  // Exact-tie policy (load-bearing for reproducible warm-start archives):
+  // the strict `<` below keeps the first minimum found, so among members
+  // with bit-equal credits the lowest-energy one is evicted.  Entries are
+  // kept energy-sorted, making the victim independent of insertion order.
   const std::size_t n = entries_.size();
   const double e_span =
       std::max(entries_.back().point.energy - entries_.front().point.energy,

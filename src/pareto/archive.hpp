@@ -7,6 +7,7 @@
 // even spread — the same principle as NSGA-II's crowding truncation.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "pareto/point.hpp"
@@ -19,6 +20,10 @@ class ParetoArchive {
     EUPoint point;
     /// Caller-supplied identifier (population index, genome id, ...).
     std::size_t tag = 0;
+    /// Optional genome fingerprint (FitnessCache::fingerprint); 0 = unknown.
+    /// A nonzero fingerprint already present in the archive rejects the
+    /// insertion, so one genome can never occupy two slots.
+    std::uint64_t fingerprint = 0;
   };
 
   /// capacity 0 = unbounded.
@@ -27,8 +32,12 @@ class ParetoArchive {
   /// Inserts if no archived point dominates or equals `p`; evicts any
   /// archived points `p` dominates.  Returns true when inserted.  When the
   /// archive exceeds its capacity, the most crowded member is dropped
-  /// (never the lowest-energy or highest-utility extreme).
-  bool insert(const EUPoint& p, std::size_t tag = 0);
+  /// (never the lowest-energy or highest-utility extreme); exact crowding
+  /// ties evict the lowest-energy tied interior member, so eviction order
+  /// is deterministic for any insertion sequence.  A nonzero `fingerprint`
+  /// matching an archived entry is rejected as a duplicate genome.
+  bool insert(const EUPoint& p, std::size_t tag = 0,
+              std::uint64_t fingerprint = 0);
 
   /// Convenience: inserts a whole front.
   std::size_t insert_all(const std::vector<EUPoint>& points,

@@ -4,12 +4,15 @@
 #include <exception>
 #include <utility>
 
+#include "core/fitness_cache.hpp"
 #include "core/nsga2.hpp"
 #include "core/study_engine.hpp"
 #include "data/historical.hpp"
+#include "pareto/archive.hpp"
 #include "pareto/knee.hpp"
 #include "sched/evaluator.hpp"
 #include "telemetry/json.hpp"
+#include "tenant/repair.hpp"
 #include "util/stopwatch.hpp"
 
 namespace eus::serve {
@@ -51,35 +54,58 @@ std::string allocation_json(const Allocation& allocation) {
   return o.str();
 }
 
-/// Evolves the request's single NSGA-II population, deadline-sliced.
-/// Returns whether the deadline expired before the full budget ran; `out`
-/// always carries the best front evolved so far.
-bool run_nsga2(const ServeRequest& request, const HandlerContext& ctx,
-               const Scenario& scenario, std::optional<double> remaining_ms,
-               CachedResult& out) {
-  const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+/// One NSGA-II evolution, fully specified (handle_allocate and
+/// handle_delta differ only in where these values come from).
+struct EvolveSpec {
+  std::size_t population = 32;
+  std::size_t generations = 32;
+  double mutation_probability = 0.25;
+  std::uint64_t seed = 0;  ///< the *scenario* seed, pre-stride
+  std::vector<SeedHeuristic> heuristics;   ///< greedy seeds to inject
+  const std::vector<Allocation>* warm = nullptr;  ///< repaired archive genomes
+};
 
+/// Evolves one deadline-sliced NSGA-II population.  Returns whether the
+/// deadline expired before the full budget ran; `out` always carries the
+/// best front evolved so far and `out_genomes` (optional) its genomes, in
+/// front order.
+///
+/// With warm seeds the reported front is the nondominated union of the
+/// evolved front and the re-evaluated warm genomes.  Evaluation is a pure
+/// function and archived genomes come from a previously *converged*
+/// deterministic run, so when the archive holds the same scenario's cold
+/// front this union weakly dominates the cold result at any budget — the
+/// structural guarantee behind docs/tenant.md.
+bool run_nsga2(const EvolveSpec& spec, const HandlerContext& ctx,
+               const Scenario& scenario, const BiObjectiveProblem& problem,
+               std::optional<double> remaining_ms, CachedResult& out,
+               std::vector<Allocation>* out_genomes) {
   Nsga2Config config;
-  config.population_size = request.nsga2.population;
-  config.mutation_probability = request.nsga2.mutation_probability;
-  // Population index 0 of a StudyEngine run over the same base seed: the
-  // served front must be bit-identical to the offline study's.
-  config.seed = request.scenario.seed + kPopulationSeedStride * 1;
+  config.population_size = spec.population;
+  config.mutation_probability = spec.mutation_probability;
+  // Population index 0 of a StudyEngine run over the same base seed: a
+  // tenant-less served front must be bit-identical to the offline study's.
+  config.seed = spec.seed + kPopulationSeedStride * 1;
   config.shared_pool = ctx.pool;
   config.metrics = ctx.metrics;
 
   Nsga2 algorithm(problem, config);
   std::vector<Allocation> seeds;
-  seeds.reserve(request.nsga2.seeds.size());
-  for (const SeedHeuristic h : request.nsga2.seeds) {
+  seeds.reserve(spec.heuristics.size());
+  for (const SeedHeuristic h : spec.heuristics) {
     seeds.push_back(make_seed(h, scenario.system, scenario.trace));
   }
-  algorithm.initialize(seeds);
+  const bool warm = spec.warm != nullptr && !spec.warm->empty();
+  if (warm) {
+    algorithm.initialize_warm(seeds, *spec.warm);
+  } else {
+    algorithm.initialize(seeds);
+  }
 
   // Short slices keep the deadline check responsive without perturbing the
   // result: iterate(a) then iterate(b) is identical to iterate(a + b).
   const Stopwatch clock;
-  const std::size_t total = request.nsga2.generations;
+  const std::size_t total = spec.generations;
   const std::size_t slice =
       std::clamp<std::size_t>(total / 32, 1, 64);  // bounds check latency
   std::size_t done = 0;
@@ -91,10 +117,45 @@ bool run_nsga2(const ServeRequest& request, const HandlerContext& ctx,
     expired = remaining_ms.has_value() &&
               clock.milliseconds() >= *remaining_ms && done < total;
   }
-
-  out.front = algorithm.front_points();
   out.evaluations = algorithm.evaluations();
   out.generations = done;
+
+  if (!warm) {
+    out.front = algorithm.front_points();
+    if (out_genomes != nullptr) {
+      out_genomes->clear();
+      for (const Individual& ind : algorithm.front()) {
+        out_genomes->push_back(ind.genome);
+      }
+    }
+    return expired;
+  }
+
+  // Union the evolved front with the warm genomes themselves: evolution can
+  // drop an injected extreme through crowding, and the archive's points must
+  // survive into the response for the weak-dominance guarantee to hold.
+  std::vector<Allocation> pool;
+  std::vector<EUPoint> pool_points;
+  for (const Individual& ind : algorithm.front()) {
+    pool.push_back(ind.genome);
+    pool_points.push_back(ind.objectives);
+  }
+  for (const Allocation& genome : *spec.warm) {
+    pool.push_back(genome);
+    pool_points.push_back(problem.evaluate(genome));
+    ++out.evaluations;
+  }
+  ParetoArchive merged;  // unbounded: a union, not a store
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    merged.insert(pool_points[i], i, FitnessCache::fingerprint(pool[i]));
+  }
+  out.front = merged.points();
+  if (out_genomes != nullptr) {
+    out_genomes->clear();
+    for (const ParetoArchive::Entry& e : merged.entries()) {
+      out_genomes->push_back(pool[e.tag]);
+    }
+  }
   return expired;
 }
 
@@ -133,13 +194,33 @@ std::string error_payload(std::string_view id, int code,
   return o.str();
 }
 
+namespace {
+
+/// Removes spec.dropped_machines from an already-built scenario.  The trace
+/// is left untouched: drops happen *after* trace generation, so a delta'd
+/// scenario optimizes the same workload over fewer machines.
+Scenario apply_drops(Scenario scenario, const ScenarioSpec& spec) {
+  if (spec.dropped_machines.empty()) return scenario;
+  try {
+    scenario.system =
+        tenant::drop_machine_instances(scenario.system, spec.dropped_machines);
+  } catch (const std::invalid_argument& e) {
+    throw ProtocolError(std::string("infeasible machine drop: ") + e.what());
+  }
+  return scenario;
+}
+
+}  // namespace
+
 Scenario build_scenario(const ScenarioSpec& spec) {
-  if (spec.name == "dataset1") return make_dataset1(spec.seed);
-  if (spec.name == "dataset2") return make_dataset2(spec.seed);
-  if (spec.name == "dataset3") return make_dataset3(spec.seed);
+  if (spec.name == "dataset1") return apply_drops(make_dataset1(spec.seed), spec);
+  if (spec.name == "dataset2") return apply_drops(make_dataset2(spec.seed), spec);
+  if (spec.name == "dataset3") return apply_drops(make_dataset3(spec.seed), spec);
   if (spec.name == "custom") {
-    return make_custom_scenario("custom", historical_system(), spec.tasks,
-                                spec.window_s, spec.seed);
+    return apply_drops(
+        make_custom_scenario("custom", historical_system(), spec.tasks,
+                             spec.window_s, spec.seed),
+        spec);
   }
   // Inline system from the request's ETC/EPC matrices.
   const std::size_t num_task_types = spec.etc.size();
@@ -164,8 +245,10 @@ Scenario build_scenario(const ScenarioSpec& spec) {
     SystemModel system(std::move(task_types), std::move(machine_types),
                        std::move(machines), Matrix::from_rows(spec.etc),
                        Matrix::from_rows(spec.epc));
-    return make_custom_scenario("inline", std::move(system), spec.tasks,
-                                spec.window_s, spec.seed);
+    return apply_drops(
+        make_custom_scenario("inline", std::move(system), spec.tasks,
+                             spec.window_s, spec.seed),
+        spec);
   } catch (const std::invalid_argument& e) {
     throw ProtocolError(std::string("invalid inline scenario: ") + e.what());
   }
@@ -182,6 +265,12 @@ HandleResult handle_allocate(const ServeRequest& request,
     if (ctx.cache != nullptr) cached = ctx.cache->lookup(key);
     const bool cache_hit = cached.has_value();
 
+    // The warm-start archive participates only for tenant-scoped
+    // population runs: heuristics are single evaluations and the tenant-
+    // less path must stay bit-identical to the offline StudyEngine.
+    const bool archivable = ctx.archive != nullptr && !request.tenant.empty() &&
+                            request.mode != ModeKind::kHeuristic;
+    bool warm = false;
     bool partial = false;
     CachedResult result;
     if (cache_hit) {
@@ -197,7 +286,31 @@ HandleResult handle_allocate(const ServeRequest& request,
         result.has_allocation = true;
         result.evaluations = 1;
       } else {
-        partial = run_nsga2(request, ctx, scenario, remaining_ms, result);
+        const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+        const std::string scenario_key = scenario_fingerprint(request.scenario);
+        std::vector<Allocation> repaired;
+        if (archivable) {
+          if (const std::optional<tenant::ArchivedFront> hit =
+                  ctx.archive->lookup(request.tenant, scenario_key)) {
+            repaired = tenant::repair_genomes(hit->genomes, problem);
+          }
+        }
+        warm = !repaired.empty();
+        EvolveSpec spec;
+        spec.population = request.nsga2.population;
+        spec.generations = request.nsga2.generations;
+        spec.mutation_probability = request.nsga2.mutation_probability;
+        spec.seed = request.scenario.seed;
+        spec.heuristics = request.nsga2.seeds;
+        if (warm) spec.warm = &repaired;
+        std::vector<Allocation> genomes;
+        partial =
+            run_nsga2(spec, ctx, scenario, problem, remaining_ms, result,
+                      archivable ? &genomes : nullptr);
+        if (archivable && !partial) {
+          ctx.archive->put(request.tenant, scenario_key, "", genomes,
+                           result.front);
+        }
       }
       // Partial fronts are deadline artifacts, not the fingerprint's true
       // result — never let them satisfy a later full-budget request.
@@ -230,12 +343,119 @@ HandleResult handle_allocate(const ServeRequest& request,
     }
     o.field("mode", mode);
     o.field("scenario", request.scenario.name);
+    if (!request.tenant.empty()) {
+      o.field("tenant", request.tenant);
+      o.field("warm", warm);
+    }
     o.field("cache", cache_hit ? "hit" : "miss");
     o.raw("front", front_json(result.front));
     if (point) o.raw("objectives", point_json(*point));
     if (result.has_allocation) {
       o.raw("allocation", allocation_json(result.allocation));
     }
+    o.field("generations", static_cast<std::uint64_t>(result.generations));
+    o.field("evaluations", result.evaluations);
+    o.field("deadline_exceeded", partial);
+    JsonObject timing;
+    timing.field("queue_ms", queue_ms);
+    timing.field("service_ms", service.milliseconds());
+    o.raw("timing", timing.str());
+    return {code, o.str()};
+  } catch (const ProtocolError& e) {
+    return {kCodeBadRequest,
+            error_payload(request.id, kCodeBadRequest, "error", e.what())};
+  } catch (const std::invalid_argument& e) {
+    return {kCodeBadRequest,
+            error_payload(request.id, kCodeBadRequest, "error", e.what())};
+  } catch (const std::exception& e) {
+    return {kCodeInternal,
+            error_payload(request.id, kCodeInternal, "error", e.what())};
+  }
+}
+
+HandleResult handle_delta(const ServeRequest& request,
+                          const HandlerContext& ctx,
+                          std::optional<double> remaining_ms,
+                          double queue_ms) {
+  const Stopwatch service;
+  try {
+    const DeltaRequest& delta = request.delta;
+    const std::string base_key = scenario_fingerprint(delta.base);
+    const ScenarioSpec mutated = apply_mutations(delta.base, delta.mutations);
+    const std::string new_key = scenario_fingerprint(mutated);
+    const Scenario scenario = build_scenario(mutated);
+    const UtilityEnergyProblem problem(scenario.system, scenario.trace);
+
+    // The archived base genomes were converged over the un-mutated system:
+    // remap machine genes across any instances this delta dropped.
+    std::vector<Allocation> repaired;
+    if (ctx.archive != nullptr) {
+      if (const std::optional<tenant::ArchivedFront> hit =
+              ctx.archive->lookup(request.tenant, base_key)) {
+        std::vector<int> index_map;
+        if (!mutated.dropped_machines.empty()) {
+          index_map = tenant::machine_index_map(
+              scenario.system.num_machines() + mutated.dropped_machines.size(),
+              mutated.dropped_machines);
+        }
+        repaired = tenant::repair_genomes(hit->genomes, problem, index_map);
+      }
+    }
+    const bool warm = !repaired.empty();
+    if (!warm && !delta.cold_fallback) {
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->counter("serve.delta.unknown_base").add(1);
+      }
+      return {kCodeUnsatisfiable,
+              error_payload(request.id, kCodeUnsatisfiable, "error",
+                            "unknown base fingerprint " + base_key +
+                                " for tenant " + request.tenant)};
+    }
+
+    EvolveSpec spec;
+    spec.population = request.nsga2.population;
+    spec.mutation_probability = request.nsga2.mutation_probability;
+    spec.seed = mutated.seed;
+    if (warm) {
+      // Polish, don't restart: a converged-and-repaired population needs a
+      // fraction of the cold budget (the delta-evaluator makes these
+      // generations cheap, too).
+      spec.generations =
+          delta.polish_generations != 0
+              ? delta.polish_generations
+              : std::max<std::size_t>(1, request.nsga2.generations / 16);
+      spec.warm = &repaired;
+    } else {
+      spec.generations = request.nsga2.generations;
+      spec.heuristics = request.nsga2.seeds;
+    }
+
+    CachedResult result;
+    std::vector<Allocation> genomes;
+    const bool partial = run_nsga2(spec, ctx, scenario, problem, remaining_ms,
+                                   result, &genomes);
+    if (ctx.archive != nullptr && !partial) {
+      ctx.archive->put(request.tenant, new_key, warm ? base_key : "", genomes,
+                       result.front);
+    }
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->counter(warm ? "serve.delta.warm" : "serve.delta.cold")
+          .add(1);
+    }
+
+    const int code = partial ? kCodePartial : kCodeOk;
+    JsonObject o;
+    o.field("type", "response");
+    if (!request.id.empty()) o.field("id", request.id);
+    o.field("status", partial ? "partial" : "ok");
+    o.field("code", static_cast<std::int64_t>(code));
+    o.field("mode", "nsga2");
+    o.field("scenario", mutated.name);
+    o.field("tenant", request.tenant);
+    o.field("warm", warm);
+    o.field("base_fingerprint", base_key);
+    o.field("fingerprint", new_key);
+    o.raw("front", front_json(result.front));
     o.field("generations", static_cast<std::uint64_t>(result.generations));
     o.field("evaluations", result.evaluations);
     o.field("deadline_exceeded", partial);

@@ -12,9 +12,19 @@
 // checked in between, and on expiry the best front evolved *so far* is
 // returned, flagged `"status":"partial"` / code 206.
 //
+// Warm starts (docs/tenant.md): a request carrying a tenant id consults
+// the per-tenant ArchiveStore; archived genomes of the same scenario
+// fingerprint are repaired and injected into generation 0, and the
+// response front is the nondominated union of the evolved front with the
+// re-evaluated archive — which is why a warm front weakly dominates the
+// cold front at the same budget (the archive holds the deterministic cold
+// run's own converged points).  The "delta" handler mutates an archived
+// base scenario and re-polishes its front in a fraction of the cold
+// generation budget, riding the incremental delta-evaluator.
+//
 // Handlers are stateless and thread-safe; cross-request state (the LRU
-// front cache, the shared evaluation pool, metrics) arrives through the
-// HandlerContext.
+// front cache, the warm-start archive, the shared evaluation pool,
+// metrics) arrives through the HandlerContext.
 
 #include <optional>
 #include <string>
@@ -22,6 +32,7 @@
 #include "serve/front_cache.hpp"
 #include "serve/protocol.hpp"
 #include "telemetry/metrics.hpp"
+#include "tenant/archive_store.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/scenarios.hpp"
 
@@ -41,6 +52,7 @@ struct HandlerContext {
   MetricsRegistry* metrics = nullptr;  ///< serve.* + nsga2.* sink (optional)
   FrontCache* cache = nullptr;         ///< LRU result cache (optional)
   ThreadPool* pool = nullptr;          ///< shared evaluation pool (optional)
+  tenant::ArchiveStore* archive = nullptr;  ///< warm-start store (optional)
 };
 
 struct HandleResult {
@@ -54,9 +66,10 @@ struct HandleResult {
                                         std::string_view status,
                                         std::string_view message);
 
-/// Materializes the scenario a request names.  Deterministic; throws
-/// ProtocolError (inline system rejected by SystemModel validation) on
-/// incoherent specs.
+/// Materializes the scenario a request names (including any
+/// dropped_machines a delta mutation applied).  Deterministic; throws
+/// ProtocolError (inline system rejected by SystemModel validation, or an
+/// infeasible machine drop) on incoherent specs.
 [[nodiscard]] Scenario build_scenario(const ScenarioSpec& spec);
 
 /// Executes one allocate request end to end.  `remaining_ms` is the
@@ -68,5 +81,17 @@ struct HandleResult {
                                            const HandlerContext& ctx,
                                            std::optional<double> remaining_ms,
                                            double queue_ms);
+
+/// Executes one delta request: resolves the tenant's archived base front,
+/// repairs it for the mutated scenario, and re-polishes it over
+/// `polish_generations` (a fraction of the cold budget).  An archive miss
+/// either falls back to a full cold run (cold_fallback, the default) or
+/// answers 404.  Results are archived under the mutated scenario's
+/// fingerprint with the base as lineage; delta responses are never
+/// front-cached (they depend on archive state).
+[[nodiscard]] HandleResult handle_delta(const ServeRequest& request,
+                                        const HandlerContext& ctx,
+                                        std::optional<double> remaining_ms,
+                                        double queue_ms);
 
 }  // namespace eus::serve

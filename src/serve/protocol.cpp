@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -7,6 +8,7 @@
 
 #include "data/types.hpp"
 #include "telemetry/json.hpp"
+#include "tenant/archive_store.hpp"
 
 namespace eus::serve {
 
@@ -69,10 +71,10 @@ std::vector<std::vector<double>> matrix_field(const JsonValue& obj,
   return rows;
 }
 
-ScenarioSpec parse_scenario(const JsonValue& doc) {
-  const JsonValue* s = doc.get("scenario");
+ScenarioSpec parse_scenario(const JsonValue& doc, std::string_view key) {
+  const JsonValue* s = doc.get(key);
   if (s == nullptr || !s->is_object()) {
-    fail("allocate request needs a \"scenario\" object");
+    fail("request needs a \"" + std::string(key) + "\" scenario object");
   }
   ScenarioSpec spec;
   spec.name = s->string_or("name", "");
@@ -202,9 +204,37 @@ AdminRequest parse_admin(const JsonValue& doc) {
     admin.fleet = *f;  // validated by the router's fleet-config parser
     return admin;
   }
+  if (action == "archive-stats") {
+    admin.action = AdminAction::kArchiveStats;
+    return admin;
+  }
+  if (action == "archive-flush") {
+    admin.action = AdminAction::kArchiveFlush;
+    admin.name = doc.string_or("name", "");
+    if (!admin.name.empty() && !tenant::valid_tenant_id(admin.name)) {
+      fail("admin.archive-flush tenant name must match [A-Za-z0-9._-]{1,64}");
+    }
+    return admin;
+  }
+  if (action == "archive-cap") {
+    admin.action = AdminAction::kArchiveCap;
+    admin.name = doc.string_or("name", "");
+    if (!tenant::valid_tenant_id(admin.name)) {
+      fail("admin.archive-cap needs a tenant \"name\" matching "
+           "[A-Za-z0-9._-]{1,64}");
+    }
+    const JsonValue* v = doc.get("value");
+    if (v == nullptr || !v->is_number() || v->number < 1.0 ||
+        v->number != std::floor(v->number)) {
+      fail("admin.archive-cap needs an integer \"value\" >= 1");
+    }
+    admin.value = static_cast<std::size_t>(v->number);
+    return admin;
+  }
   fail("unknown admin action '" + action +
        "' (want get-config|set-queue-depth|set-cache-entries|set-workers|"
-       "catalog-reload|enable-backend|disable-backend|fleet-reload)");
+       "catalog-reload|enable-backend|disable-backend|fleet-reload|"
+       "archive-stats|archive-flush|archive-cap)");
 }
 
 Nsga2Params parse_nsga2(const JsonValue& doc) {
@@ -234,6 +264,63 @@ Nsga2Params parse_nsga2(const JsonValue& doc) {
     }
   }
   return params;
+}
+
+std::string parse_tenant(const JsonValue& doc, bool required) {
+  const JsonValue* t = doc.get("tenant");
+  if (t == nullptr) {
+    if (required) fail("delta request needs a \"tenant\" id");
+    return {};
+  }
+  if (!t->is_string() || !tenant::valid_tenant_id(t->string)) {
+    fail("tenant must be a string matching [A-Za-z0-9._-]{1,64}");
+  }
+  return t->string;
+}
+
+std::vector<ScenarioMutation> parse_mutations(const JsonValue& doc) {
+  const JsonValue* m = doc.get("mutations");
+  if (m == nullptr || !m->is_array()) {
+    fail("delta request needs a \"mutations\" array");
+  }
+  if (m->array.empty()) {
+    fail("delta.mutations must not be empty (an unchanged scenario is an "
+         "allocate request)");
+  }
+  std::vector<ScenarioMutation> mutations;
+  mutations.reserve(m->array.size());
+  for (const JsonValue& entry : m->array) {
+    if (!entry.is_object()) fail("delta.mutations entries must be objects");
+    const std::string op = entry.string_or("op", "");
+    ScenarioMutation mut;
+    if (op == "add-tasks" || op == "remove-tasks") {
+      mut.op = op == "add-tasks" ? ScenarioMutation::Op::kAddTasks
+                                 : ScenarioMutation::Op::kRemoveTasks;
+      mut.count = size_field(entry, "count", 0);
+      if (mut.count == 0) fail("mutation " + op + " needs a \"count\" >= 1");
+    } else if (op == "set-window") {
+      mut.op = ScenarioMutation::Op::kSetWindow;
+      const JsonValue* w = entry.get("window_s");
+      if (w == nullptr || !w->is_number()) {
+        fail("mutation set-window needs a \"window_s\" number");
+      }
+      mut.window_s = require_positive(w->number, "mutation window_s");
+    } else if (op == "drop-machine") {
+      mut.op = ScenarioMutation::Op::kDropMachine;
+      const JsonValue* v = entry.get("machine");
+      if (v == nullptr || !v->is_number() || v->number < 0.0 ||
+          v->number != std::floor(v->number)) {
+        fail("mutation drop-machine needs a non-negative integer "
+             "\"machine\" instance index");
+      }
+      mut.machine = static_cast<std::size_t>(v->number);
+    } else {
+      fail("unknown mutation op '" + op +
+           "' (want add-tasks|remove-tasks|set-window|drop-machine)");
+    }
+    mutations.push_back(mut);
+  }
+  return mutations;
 }
 
 ParetoQuery parse_query(const JsonValue& doc) {
@@ -306,6 +393,8 @@ const char* to_string(RequestKind k) noexcept {
   switch (k) {
     case RequestKind::kAllocate:
       return "allocate";
+    case RequestKind::kDelta:
+      return "delta";
     case RequestKind::kHealthz:
       return "healthz";
     case RequestKind::kMetricsz:
@@ -334,6 +423,12 @@ const char* to_string(AdminAction a) noexcept {
       return "disable-backend";
     case AdminAction::kFleetReload:
       return "fleet-reload";
+    case AdminAction::kArchiveStats:
+      return "archive-stats";
+    case AdminAction::kArchiveFlush:
+      return "archive-flush";
+    case AdminAction::kArchiveCap:
+      return "archive-cap";
   }
   return "?";
 }
@@ -391,11 +486,41 @@ ServeRequest parse_request(const util::JsonValue& doc) {
     request.admin = parse_admin(doc);
     return request;
   }
+  if (type == "delta") {
+    request.kind = RequestKind::kDelta;
+    // A delta is an nsga2-budget request for routing/capability purposes:
+    // repairing and polishing a front runs the same machinery.
+    request.mode = ModeKind::kNsga2;
+    request.tenant = parse_tenant(doc, /*required=*/true);
+    request.delta.base = parse_scenario(doc, "base");
+    if (request.delta.base.name == "inline") {
+      fail("delta.base cannot be an inline scenario (inline systems are "
+           "not archivable; name the scenario instead)");
+    }
+    request.delta.mutations = parse_mutations(doc);
+    request.delta.polish_generations =
+        size_field(doc, "polish_generations", 0);
+    if (const JsonValue* cf = doc.get("cold_fallback"); cf != nullptr) {
+      if (cf->kind != JsonValue::Kind::kBool) {
+        fail("cold_fallback must be a boolean");
+      }
+      request.delta.cold_fallback = cf->boolean;
+    }
+    request.nsga2 = parse_nsga2(doc);
+    if (const JsonValue* d = doc.get("deadline_ms"); d != nullptr) {
+      if (!d->is_number() || d->number < 0.0) {
+        fail("deadline_ms must be a non-negative number");
+      }
+      request.deadline_ms = d->number;
+    }
+    return request;
+  }
   if (type != "allocate") {
     fail("unknown request type '" + type +
-         "' (want allocate|healthz|metricsz|adminz)");
+         "' (want allocate|delta|healthz|metricsz|adminz)");
   }
   request.kind = RequestKind::kAllocate;
+  request.tenant = parse_tenant(doc, /*required=*/false);
 
   const std::string mode = doc.string_or("mode", "");
   constexpr std::string_view kHeuristicPrefix = "heuristic:";
@@ -421,7 +546,7 @@ ServeRequest parse_request(const util::JsonValue& doc) {
          "' (want heuristic:<name>|nsga2|pareto-query)");
   }
 
-  request.scenario = parse_scenario(doc);
+  request.scenario = parse_scenario(doc, "scenario");
   request.nsga2 = parse_nsga2(doc);
   request.query = parse_query(doc);
 
@@ -464,6 +589,85 @@ ScenarioSpec resolve_scenario(const ScenarioSpec& spec,
   return resolved;
 }
 
+ScenarioSpec apply_mutations(const ScenarioSpec& base,
+                             const std::vector<ScenarioMutation>& mutations) {
+  ScenarioSpec spec = base;
+  for (const ScenarioMutation& m : mutations) {
+    switch (m.op) {
+      case ScenarioMutation::Op::kAddTasks:
+        if (spec.name != "custom") {
+          fail("mutation add-tasks applies only to custom scenarios (the "
+               "datasets' traces are fixed)");
+        }
+        spec.tasks += m.count;
+        break;
+      case ScenarioMutation::Op::kRemoveTasks:
+        if (spec.name != "custom") {
+          fail("mutation remove-tasks applies only to custom scenarios (the "
+               "datasets' traces are fixed)");
+        }
+        if (m.count >= spec.tasks) {
+          fail("mutation remove-tasks would leave the trace empty");
+        }
+        spec.tasks -= m.count;
+        break;
+      case ScenarioMutation::Op::kSetWindow:
+        if (spec.name != "custom") {
+          fail("mutation set-window applies only to custom scenarios (the "
+               "datasets' windows are fixed)");
+        }
+        spec.window_s = m.window_s;
+        break;
+      case ScenarioMutation::Op::kDropMachine:
+        for (const std::size_t d : spec.dropped_machines) {
+          if (d == m.machine) {
+            fail("mutation drop-machine lists machine " +
+                 std::to_string(m.machine) + " twice");
+          }
+        }
+        spec.dropped_machines.push_back(m.machine);
+        break;
+    }
+  }
+  std::sort(spec.dropped_machines.begin(), spec.dropped_machines.end());
+  return spec;
+}
+
+namespace {
+
+/// The "nsga2" budget object shared by allocate and delta rendering.
+JsonObject render_nsga2_object(const Nsga2Params& n) {
+  JsonObject nsga2;
+  nsga2.field("population", static_cast<std::uint64_t>(n.population));
+  nsga2.field("generations", static_cast<std::uint64_t>(n.generations));
+  nsga2.field("mutation_probability", n.mutation_probability);
+  std::string seeds = "[";
+  for (const SeedHeuristic h : n.seeds) {
+    if (seeds.size() > 1) seeds += ',';
+    seeds += '"';
+    seeds += heuristic_slug(h);
+    seeds += '"';
+  }
+  seeds += ']';
+  nsga2.raw("seeds", seeds);
+  return nsga2;
+}
+
+JsonObject render_scenario_object(const ScenarioSpec& spec) {
+  JsonObject scenario;
+  scenario.field("name", spec.name);
+  if (spec.seed_set) {
+    scenario.field("seed", static_cast<std::uint64_t>(spec.seed));
+  }
+  if (spec.name == "custom") {
+    scenario.field("tasks", static_cast<std::uint64_t>(spec.tasks));
+    scenario.field("window_s", spec.window_s);
+  }
+  return scenario;
+}
+
+}  // namespace
+
 std::string render_allocate_request(const ServeRequest& request) {
   if (request.kind != RequestKind::kAllocate) {
     fail("render_allocate_request wants an allocate request");
@@ -474,38 +678,15 @@ std::string render_allocate_request(const ServeRequest& request) {
   JsonObject o;
   o.field("type", "allocate");
   if (!request.id.empty()) o.field("id", request.id);
+  if (!request.tenant.empty()) o.field("tenant", request.tenant);
   std::string mode{to_string(request.mode)};
   if (request.mode == ModeKind::kHeuristic) {
     mode += std::string(":") + heuristic_slug(request.heuristic);
   }
   o.field("mode", mode);
-  JsonObject scenario;
-  scenario.field("name", request.scenario.name);
-  if (request.scenario.seed_set) {
-    scenario.field("seed", static_cast<std::uint64_t>(request.scenario.seed));
-  }
-  if (request.scenario.name == "custom") {
-    scenario.field("tasks",
-                   static_cast<std::uint64_t>(request.scenario.tasks));
-    scenario.field("window_s", request.scenario.window_s);
-  }
-  o.raw("scenario", scenario.str());
+  o.raw("scenario", render_scenario_object(request.scenario).str());
   if (request.mode != ModeKind::kHeuristic) {
-    const Nsga2Params& n = request.nsga2;
-    JsonObject nsga2;
-    nsga2.field("population", static_cast<std::uint64_t>(n.population));
-    nsga2.field("generations", static_cast<std::uint64_t>(n.generations));
-    nsga2.field("mutation_probability", n.mutation_probability);
-    std::string seeds = "[";
-    for (const SeedHeuristic h : n.seeds) {
-      if (seeds.size() > 1) seeds += ',';
-      seeds += '"';
-      seeds += heuristic_slug(h);
-      seeds += '"';
-    }
-    seeds += ']';
-    nsga2.raw("seeds", seeds);
-    o.raw("nsga2", nsga2.str());
+    o.raw("nsga2", render_nsga2_object(request.nsga2).str());
   }
   if (request.mode == ModeKind::kParetoQuery) {
     JsonObject query;
@@ -521,10 +702,54 @@ std::string render_allocate_request(const ServeRequest& request) {
   return o.str();
 }
 
-std::string request_fingerprint(const ServeRequest& request) {
+std::string render_delta_request(const ServeRequest& request) {
+  if (request.kind != RequestKind::kDelta) {
+    fail("render_delta_request wants a delta request");
+  }
+  JsonObject o;
+  o.field("type", "delta");
+  if (!request.id.empty()) o.field("id", request.id);
+  o.field("tenant", request.tenant);
+  o.raw("base", render_scenario_object(request.delta.base).str());
+  std::string mutations = "[";
+  for (const ScenarioMutation& m : request.delta.mutations) {
+    JsonObject mut;
+    switch (m.op) {
+      case ScenarioMutation::Op::kAddTasks:
+        mut.field("op", "add-tasks");
+        mut.field("count", static_cast<std::uint64_t>(m.count));
+        break;
+      case ScenarioMutation::Op::kRemoveTasks:
+        mut.field("op", "remove-tasks");
+        mut.field("count", static_cast<std::uint64_t>(m.count));
+        break;
+      case ScenarioMutation::Op::kSetWindow:
+        mut.field("op", "set-window");
+        mut.field("window_s", m.window_s);
+        break;
+      case ScenarioMutation::Op::kDropMachine:
+        mut.field("op", "drop-machine");
+        mut.field("machine", static_cast<std::uint64_t>(m.machine));
+        break;
+    }
+    if (mutations.size() > 1) mutations += ',';
+    mutations += mut.str();
+  }
+  mutations += ']';
+  o.raw("mutations", mutations);
+  if (request.delta.polish_generations > 0) {
+    o.field("polish_generations",
+            static_cast<std::uint64_t>(request.delta.polish_generations));
+  }
+  if (!request.delta.cold_fallback) o.field("cold_fallback", false);
+  o.raw("nsga2", render_nsga2_object(request.nsga2).str());
+  if (request.deadline_ms > 0.0) o.field("deadline_ms", request.deadline_ms);
+  return o.str();
+}
+
+std::string scenario_fingerprint(const ScenarioSpec& s) {
   std::ostringstream key;
   key.precision(17);
-  const ScenarioSpec& s = request.scenario;
   key << "scenario=" << s.name << ";seed=" << s.seed;
   if (s.name == "custom" || s.name == "inline") {
     key << ";tasks=" << s.tasks << ";window=" << s.window_s;
@@ -553,6 +778,44 @@ std::string request_fingerprint(const ServeRequest& request) {
     for (const std::size_t c : s.machine_counts) mix(c);
     key << ";system=" << std::hex << h << std::dec;
   }
+  if (!s.dropped_machines.empty()) {
+    key << ";drop=";
+    for (std::size_t i = 0; i < s.dropped_machines.size(); ++i) {
+      if (i > 0) key << ',';
+      key << s.dropped_machines[i];
+    }
+  }
+  return key.str();
+}
+
+std::string request_fingerprint(const ServeRequest& request) {
+  std::ostringstream key;
+  key.precision(17);
+  if (request.kind == RequestKind::kDelta) {
+    // Never a front-cache key (delta results depend on archive state);
+    // identifies the request for routing and logs.
+    key << "delta;base=" << scenario_fingerprint(request.delta.base)
+        << ";mut=";
+    for (const ScenarioMutation& m : request.delta.mutations) {
+      switch (m.op) {
+        case ScenarioMutation::Op::kAddTasks:
+          key << "+t" << m.count;
+          break;
+        case ScenarioMutation::Op::kRemoveTasks:
+          key << "-t" << m.count;
+          break;
+        case ScenarioMutation::Op::kSetWindow:
+          key << "w" << m.window_s;
+          break;
+        case ScenarioMutation::Op::kDropMachine:
+          key << "-m" << m.machine;
+          break;
+      }
+      key << ',';
+    }
+  } else {
+    key << scenario_fingerprint(request.scenario);
+  }
   key << "|mode=";
   if (request.mode == ModeKind::kHeuristic) {
     key << "heuristic:" << heuristic_slug(request.heuristic);
@@ -563,6 +826,11 @@ std::string request_fingerprint(const ServeRequest& request) {
     key << "nsga2;pop=" << n.population << ";gen=" << n.generations
         << ";mut=" << n.mutation_probability << ";seeds=";
     for (const SeedHeuristic h : n.seeds) key << heuristic_slug(h) << ',';
+  }
+  if (!request.tenant.empty()) {
+    // Tenant-keyed results may be warm-started (strictly better fronts);
+    // they never share cache entries with the tenant-less fast path.
+    key << ";tenant=" << request.tenant;
   }
   return key.str();
 }

@@ -7,15 +7,19 @@
 // Oversized frames are a protocol error — the decoder rejects them before
 // buffering the payload, so a hostile length prefix cannot balloon memory.
 //
-// A request document carries a type ("allocate" | "healthz" | "metricsz"
-// | "adminz"), and for allocate: a scenario (named dataset, catalog alias,
-// or inline ETC/EPC), a mode ("heuristic:<name>" | "nsga2" |
-// "pareto-query"), optional NSGA-II budget parameters and an optional
-// deadline.  "adminz" is the live administration plane (docs/runtime.md):
-// get-config, set-queue-depth, set-cache-entries, set-workers, and
-// catalog-reload.  docs/serving.md documents the full schema with
-// examples; parse_request enforces it and throws ProtocolError (with a
-// human-readable reason) on any violation.
+// A request document carries a type ("allocate" | "delta" | "healthz" |
+// "metricsz" | "adminz"), and for allocate: a scenario (named dataset,
+// catalog alias, or inline ETC/EPC), a mode ("heuristic:<name>" | "nsga2" |
+// "pareto-query"), optional NSGA-II budget parameters, an optional tenant
+// id (enables the warm-start archive, docs/tenant.md) and an optional
+// deadline.  "delta" mutates a tenant's previously optimized scenario
+// (add/remove tasks, shrink the window, drop a machine) and re-polishes
+// the archived front instead of restarting.  "adminz" is the live
+// administration plane (docs/runtime.md): get-config, set-queue-depth,
+// set-cache-entries, set-workers, catalog-reload, and the archive plane
+// (archive-stats, archive-flush, archive-cap).  docs/serving.md documents
+// the full schema with examples; parse_request enforces it and throws
+// ProtocolError (with a human-readable reason) on any violation.
 
 #include <cstddef>
 #include <cstdint>
@@ -65,7 +69,7 @@ class FrameDecoder {
   std::string buffer_;
 };
 
-enum class RequestKind { kAllocate, kHealthz, kMetricsz, kAdminz };
+enum class RequestKind { kAllocate, kDelta, kHealthz, kMetricsz, kAdminz };
 
 enum class ModeKind { kHeuristic, kNsga2, kParetoQuery };
 
@@ -81,6 +85,9 @@ enum class AdminAction {
   kEnableBackend,  ///< router: mark a named backend routable again
   kDisableBackend, ///< router: drain a named backend out of the rotation
   kFleetReload,    ///< router: atomically swap the fleet config
+  kArchiveStats,   ///< per-tenant warm-start archive occupancy + hit rates
+  kArchiveFlush,   ///< drop one tenant's archive entries (or all tenants')
+  kArchiveCap,     ///< set a tenant's archive entry cap
 };
 
 [[nodiscard]] const char* to_string(RequestKind k) noexcept;
@@ -90,9 +97,11 @@ enum class AdminAction {
 /// The payload of an "adminz" request.
 struct AdminRequest {
   AdminAction action = AdminAction::kGetConfig;
-  std::size_t value = 0;  ///< the set-* actions' new value (>= 1)
+  std::size_t value = 0;  ///< set-* / archive-cap's new value (>= 1)
   std::vector<ScenarioRecipe> catalog;  ///< catalog-reload's entry set
-  std::string name;       ///< enable-/disable-backend's target
+  /// enable-/disable-backend's target; archive-flush / archive-cap's tenant
+  /// ("" for archive-flush = every tenant).
+  std::string name;
   util::JsonValue fleet;  ///< fleet-reload's config document (kNull else)
 };
 
@@ -116,6 +125,10 @@ struct ScenarioSpec {
   std::vector<std::vector<double>> etc;
   std::vector<std::vector<double>> epc;
   std::vector<std::size_t> machine_counts;
+  /// Machine *instances* removed from the built system (sorted, unique).
+  /// Never parsed off the wire — only apply_mutations produces it — but it
+  /// is part of the scenario identity and therefore of the fingerprint.
+  std::vector<std::size_t> dropped_machines;
 };
 
 /// NSGA-II budget for mode "nsga2" (and "pareto-query" cache misses).
@@ -134,12 +147,43 @@ struct ParetoQuery {
   std::optional<double> min_utility;  ///< floor (pick min energy)
 };
 
+/// One scenario mutation inside a "delta" request, applied in list order.
+struct ScenarioMutation {
+  enum class Op {
+    kAddTasks,     ///< grow a custom trace by `count` tasks
+    kRemoveTasks,  ///< shrink a custom trace by `count` tasks
+    kSetWindow,    ///< retune a custom trace's window to `window_s`
+    kDropMachine,  ///< remove machine instance `machine` from the system
+  };
+  Op op = Op::kAddTasks;
+  std::size_t count = 0;
+  double window_s = 0.0;
+  std::size_t machine = 0;
+};
+
+/// The payload of a "delta" request: mutate `base` (the tenant's previously
+/// optimized scenario) and re-polish its archived front.
+struct DeltaRequest {
+  ScenarioSpec base;  ///< inline scenarios rejected (not archivable)
+  std::vector<ScenarioMutation> mutations;  ///< must be non-empty
+  /// Polish budget in generations; 0 = auto (nsga2.generations / 16, >= 1).
+  std::size_t polish_generations = 0;
+  /// On an archive miss: true runs the mutated scenario cold at the full
+  /// nsga2 budget, false answers 404.
+  bool cold_fallback = true;
+};
+
 struct ServeRequest {
   RequestKind kind = RequestKind::kAllocate;
   std::string id;  ///< optional client correlation id, echoed back
+  /// Warm-start archive key ([A-Za-z0-9._-]{1,64}); optional for allocate
+  /// (enables archiving + warm starts), required for delta.  Empty = the
+  /// tenant-less fast path, bit-identical to offline StudyEngine runs.
+  std::string tenant;
   ModeKind mode = ModeKind::kHeuristic;
   SeedHeuristic heuristic = SeedHeuristic::kMinEnergy;
   ScenarioSpec scenario;
+  DeltaRequest delta;  ///< delta requests only
   Nsga2Params nsga2;
   ParetoQuery query;
   AdminRequest admin;        ///< adminz requests only
@@ -159,11 +203,33 @@ struct ServeRequest {
 [[nodiscard]] ScenarioSpec resolve_scenario(const ScenarioSpec& spec,
                                             const ScenarioCatalog* catalog);
 
+/// Canonical identity of a *scenario* alone, independent of optimization
+/// budget: the warm-start archive key.  A resolved allocate request's
+/// scenario and the same scenario reached through a delta lineage
+/// fingerprint equally.
+[[nodiscard]] std::string scenario_fingerprint(const ScenarioSpec& spec);
+
 /// Canonical cache key for an allocate request: scenario identity plus the
 /// result-determining mode parameters (the deadline and query constraints
 /// are excluded — they select *within* a computed result, they do not
-/// change it).  Equal requests fingerprint equally.
+/// change it).  Equal requests fingerprint equally.  A request with a
+/// tenant id keys separately — warm-started fronts may strictly dominate
+/// the tenant-less (StudyEngine-bit-identical) result, so they never share
+/// cache entries.  Delta requests get a distinct "delta;..." key (their
+/// results are archive-state-dependent and are never front-cached; the key
+/// serves routing and logging).
 [[nodiscard]] std::string request_fingerprint(const ServeRequest& request);
+
+/// Applies a delta request's mutations to the *resolved* base spec,
+/// returning the mutated scenario.  Trace-shape mutations (add-tasks,
+/// remove-tasks, set-window) apply only to "custom" bases — the datasets'
+/// traces are fixed by the paper; drop-machine applies to any base
+/// (indices refer to the base system's machine instances; range checking
+/// happens when the system is built).  Throws ProtocolError on an
+/// inapplicable mutation, a duplicate drop, or a shape that mutates away
+/// every task.
+[[nodiscard]] ScenarioSpec apply_mutations(
+    const ScenarioSpec& base, const std::vector<ScenarioMutation>& mutations);
 
 /// Serializes an allocate request back into a protocol document that
 /// parse_request accepts and that round-trips every result-determining
@@ -173,6 +239,11 @@ struct ServeRequest {
 /// never resolve to one).  Throws ProtocolError on a non-allocate or
 /// inline-scenario request.
 [[nodiscard]] std::string render_allocate_request(const ServeRequest& request);
+
+/// render_allocate_request's sibling for delta requests: serializes the
+/// (resolved-base) delta back into a document parse_request accepts.  The
+/// router uses it to forward a delta whose base was a catalog alias.
+[[nodiscard]] std::string render_delta_request(const ServeRequest& request);
 
 /// Heuristic name <-> enum for the "heuristic:<name>" mode string.
 [[nodiscard]] const char* heuristic_slug(SeedHeuristic h) noexcept;

@@ -68,6 +68,11 @@ ServeRuntime::ServeRuntime(RuntimeConfig config)
   if (server_config.metrics == nullptr) server_config.metrics = &metrics_;
   if (server_config.log == nullptr) server_config.log = owned_log_.get();
   if (server_config.catalog == nullptr) server_config.catalog = &catalog_;
+  if (server_config.archive == nullptr && config_.archive.max_tenants > 0) {
+    archive_ = std::make_unique<tenant::ArchiveStore>(config_.archive,
+                                                      server_config.metrics);
+    server_config.archive = archive_.get();
+  }
   server_config.state = &state_;
   log_ = server_config.log;
   server_ = std::make_unique<Server>(server_config);
@@ -91,6 +96,28 @@ void ServeRuntime::boot() {
       // A shutdown beat the boot: never bind, never accept.  run()/halt()
       // take the eBooting → eDraining edge from here.
       return;
+    }
+  }
+  // Reload the warm-start archive before the listener is up, so the first
+  // accepted request already sees the previous run's fronts.  A corrupt
+  // checkpoint cold-starts (archive.checkpoint.corrupt); it never aborts
+  // the boot.
+  if (archive_ != nullptr && !config_.archive_path.empty()) {
+    const tenant::ArchiveStore::LoadResult result =
+        archive_->load(config_.archive_path);
+    archive_loaded_.store(true, std::memory_order_release);
+    if (log_ != nullptr) {
+      JsonObject o;
+      o.field("type", "archive_load");
+      o.field("path", config_.archive_path);
+      o.field("result",
+              result == tenant::ArchiveStore::LoadResult::kLoaded ? "loaded"
+              : result == tenant::ArchiveStore::LoadResult::kMissing
+                  ? "missing"
+                  : "corrupt");
+      o.field("tenants", static_cast<std::uint64_t>(archive_->tenants()));
+      o.field("entries", static_cast<std::uint64_t>(archive_->entries()));
+      log_->write(o.str());
     }
   }
   server_->start();
@@ -134,6 +161,21 @@ void ServeRuntime::halt() {
   state_.transition(Phase::eDraining, Phase::eHalting);
   log_lifecycle("halting");
   server_->halt_workers();
+  // Checkpoint after the drain: every request answered before the halt is
+  // in the archive by now, and no worker can write to it anymore.
+  if (archive_ != nullptr && !config_.archive_path.empty() &&
+      archive_loaded_.load(std::memory_order_acquire)) {
+    const bool saved = archive_->save(config_.archive_path);
+    if (log_ != nullptr) {
+      JsonObject o;
+      o.field("type", "archive_save");
+      o.field("path", config_.archive_path);
+      o.field("saved", saved);
+      o.field("tenants", static_cast<std::uint64_t>(archive_->tenants()));
+      o.field("entries", static_cast<std::uint64_t>(archive_->entries()));
+      log_->write(o.str());
+    }
+  }
   halt_recorder();
 
   state_.transition(Phase::eHalting, Phase::eHalted);

@@ -70,6 +70,15 @@ struct RuntimeConfig {
   /// Engine configuration.  The runtime wires metrics/log/catalog/state
   /// itself when they are left null (tests may inject their own).
   ServerConfig server;
+  /// Warm-start archive bounds (docs/tenant.md).  max_tenants = 0 disables
+  /// the archive entirely — no warm starts, no archive-* admin verbs —
+  /// unless tests injected their own store via server.archive.
+  tenant::ArchiveConfig archive;
+  /// Archive checkpoint path; empty = in-memory only.  Loaded (corruption-
+  /// tolerantly: a bad file logs and cold-starts) during boot, written
+  /// during halt() once the workers have drained — so the checkpoint holds
+  /// every front the daemon ever answered with.
+  std::string archive_path;
   /// JSONL run log path; empty = no log.
   std::string runlog_path;
   /// Diagnostics snapshot period; 0 = no diagnostics thread.
@@ -112,6 +121,10 @@ class ServeRuntime {
   [[nodiscard]] const RuntimeState& state() const noexcept { return state_; }
   [[nodiscard]] Server& server() noexcept { return *server_; }
   [[nodiscard]] SharedCatalog& catalog() noexcept { return catalog_; }
+  /// The effective warm-start archive (null when disabled).
+  [[nodiscard]] tenant::ArchiveStore* archive() noexcept {
+    return server_->config().archive;
+  }
   [[nodiscard]] MetricsRegistry& metrics() noexcept {
     return server_->metrics();
   }
@@ -129,6 +142,9 @@ class ServeRuntime {
   RuntimeState state_;
   std::unique_ptr<RequestLog> owned_log_;  ///< from runlog_path
   RequestLog* log_ = nullptr;              ///< effective log (may be null)
+  /// Owned warm-start archive; declared before server_ (the server holds a
+  /// raw pointer and must be torn down first).
+  std::unique_ptr<tenant::ArchiveStore> archive_;
   std::unique_ptr<Server> server_;
   Stopwatch uptime_;
 
@@ -142,6 +158,10 @@ class ServeRuntime {
   std::mutex halt_mutex_;
   bool halted_ = false;  ///< guarded by halt_mutex_
   std::atomic<bool> booted_{false};
+  /// boot() attempted the checkpoint load; halt() only writes the
+  /// checkpoint afterwards (a halt-before-boot must never clobber a real
+  /// checkpoint with an empty store).
+  std::atomic<bool> archive_loaded_{false};
 };
 
 }  // namespace eus::serve

@@ -132,6 +132,7 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   handler_context_.metrics = metrics_;
   handler_context_.cache = cache_.get();
   handler_context_.pool = eval_pool_.get();
+  handler_context_.archive = config_.archive;
 }
 
 Server::~Server() { stop(); }
@@ -261,8 +262,11 @@ void Server::execute_job(RequestJob& job) {
   HandleResult result;
   {
     const ScopedTimer timed(metric_service_);
-    result = handle_allocate(job.request, handler_context_, remaining_ms,
-                             queue_ms);
+    result = job.request.kind == RequestKind::kDelta
+                 ? handle_delta(job.request, handler_context_, remaining_ms,
+                                queue_ms)
+                 : handle_allocate(job.request, handler_context_, remaining_ms,
+                                   queue_ms);
   }
   if (result.code == kCodePartial) metric_deadline_expired_->add();
   job.promise.set_value(std::move(result));
@@ -339,7 +343,11 @@ bool Server::process_payload(Connection* connection,
   try {
     std::shared_ptr<const ScenarioCatalog> catalog;
     if (config_.catalog != nullptr) catalog = config_.catalog->snapshot();
-    request.scenario = resolve_scenario(request.scenario, catalog.get());
+    if (request.kind == RequestKind::kDelta) {
+      request.delta.base = resolve_scenario(request.delta.base, catalog.get());
+    } else {
+      request.scenario = resolve_scenario(request.scenario, catalog.get());
+    }
   } catch (const ProtocolError& e) {
     metric_errors_->add();
     send_payload(connection,
@@ -417,6 +425,12 @@ std::string Server::healthz_payload(const std::string& id) const {
     o.field("catalog_size",
             static_cast<std::uint64_t>(config_.catalog->snapshot()->size()));
   }
+  if (config_.archive != nullptr) {
+    o.field("archive_tenants",
+            static_cast<std::uint64_t>(config_.archive->tenants()));
+    o.field("archive_entries",
+            static_cast<std::uint64_t>(config_.archive->entries()));
+  }
   o.field("draining", draining_.load(std::memory_order_relaxed));
   return o.str();
 }
@@ -461,6 +475,17 @@ std::string Server::admin_config_payload(const std::string& id) const {
             static_cast<std::uint64_t>(config_.catalog->generation()));
     o.field("catalog_size",
             static_cast<std::uint64_t>(config_.catalog->snapshot()->size()));
+  }
+  if (config_.archive != nullptr) {
+    const tenant::ArchiveConfig& a = config_.archive->config();
+    o.field("archive_tenants",
+            static_cast<std::uint64_t>(config_.archive->tenants()));
+    o.field("archive_max_tenants",
+            static_cast<std::uint64_t>(a.max_tenants));
+    o.field("archive_entries_per_tenant",
+            static_cast<std::uint64_t>(a.entries_per_tenant));
+    o.field("archive_genomes_per_entry",
+            static_cast<std::uint64_t>(a.genomes_per_entry));
   }
   o.field("draining", draining_.load(std::memory_order_relaxed));
   return o.str();
@@ -527,6 +552,66 @@ std::string Server::adminz_payload(const ServeRequest& request) {
       return error_payload(request.id, kCodeBadRequest, "error",
                            "this is a single eus_served daemon, not an "
                            "eus_router; fleet verbs have no target here");
+    case AdminAction::kArchiveStats: {
+      if (config_.archive == nullptr) {
+        return error_payload(request.id, kCodeBadRequest, "error",
+                             "no warm-start archive configured "
+                             "(--archive-tenants=0); archive verbs have no "
+                             "target");
+      }
+      JsonObject o;
+      o.field("type", "response");
+      if (!request.id.empty()) o.field("id", request.id);
+      o.field("status", "ok");
+      o.field("code", static_cast<std::int64_t>(kCodeOk));
+      o.field("action", "archive-stats");
+      o.field("tenants",
+              static_cast<std::uint64_t>(config_.archive->tenants()));
+      o.field("entries",
+              static_cast<std::uint64_t>(config_.archive->entries()));
+      o.field("genomes",
+              static_cast<std::uint64_t>(config_.archive->genomes()));
+      std::string per_tenant = "[";
+      bool first = true;
+      for (const tenant::TenantStats& s : config_.archive->stats()) {
+        if (!first) per_tenant += ',';
+        first = false;
+        JsonObject t;
+        t.field("tenant", s.tenant);
+        t.field("entries", static_cast<std::uint64_t>(s.entries));
+        t.field("genomes", static_cast<std::uint64_t>(s.genomes));
+        t.field("cap", static_cast<std::uint64_t>(s.cap));
+        t.field("warm_hits", s.warm_hits);
+        t.field("misses", s.misses);
+        per_tenant += t.str();
+      }
+      per_tenant += ']';
+      o.raw("per_tenant", per_tenant);
+      return o.str();
+    }
+    case AdminAction::kArchiveFlush: {
+      if (config_.archive == nullptr) {
+        return error_payload(request.id, kCodeBadRequest, "error",
+                             "no warm-start archive configured "
+                             "(--archive-tenants=0); archive verbs have no "
+                             "target");
+      }
+      const std::size_t flushed = config_.archive->flush(admin.name);
+      return applied("flushed", static_cast<std::uint64_t>(flushed));
+    }
+    case AdminAction::kArchiveCap: {
+      if (config_.archive == nullptr) {
+        return error_payload(request.id, kCodeBadRequest, "error",
+                             "no warm-start archive configured "
+                             "(--archive-tenants=0); archive verbs have no "
+                             "target");
+      }
+      if (!config_.archive->set_tenant_cap(admin.name, admin.value)) {
+        return error_payload(request.id, kCodeBadRequest, "error",
+                             "archive-cap value must be >= 1");
+      }
+      return applied("cap", static_cast<std::uint64_t>(admin.value));
+    }
   }
   return error_payload(request.id, kCodeInternal, "error",
                        "unhandled admin action");
@@ -544,7 +629,11 @@ void Server::log_request(const ServeRequest& request, int code,
     mode += std::string(":") + heuristic_slug(request.heuristic);
   }
   o.field("mode", mode);
-  o.field("scenario", request.scenario.name);
+  o.field("kind", to_string(request.kind));
+  o.field("scenario", request.kind == RequestKind::kDelta
+                          ? request.delta.base.name
+                          : request.scenario.name);
+  if (!request.tenant.empty()) o.field("tenant", request.tenant);
   o.field("code", static_cast<std::int64_t>(code));
   o.field("dropped", dropped);
   o.field("total_ms", total_ms);

@@ -148,6 +148,10 @@ struct ServerConfig {
   /// Optional runtime phase source (must outlive the server): healthz and
   /// adminz get-config report its phase when set.
   const RuntimeState* state = nullptr;
+  /// Optional per-tenant warm-start archive (must outlive the server):
+  /// tenant-scoped allocate and delta requests read and feed it, and the
+  /// archive-* admin verbs administer it (docs/tenant.md).
+  tenant::ArchiveStore* archive = nullptr;
 };
 
 class Server {

@@ -1,0 +1,169 @@
+#pragma once
+
+// Per-tenant warm-start archives (ROADMAP item 5).  An ArchiveStore keeps,
+// for each (tenant id, scenario fingerprint) pair, the capacity-bounded
+// nondominated set of converged genomes produced by previous optimizations
+// — the seed material that lets a later request on the same (or a mutated)
+// scenario start from a converged front instead of generation zero.
+//
+// Bounds: at most `max_tenants` tenants, `entries_per_tenant` scenarios per
+// tenant (overridable per tenant over the admin plane), `genomes_per_entry`
+// genomes per scenario; every level evicts least-recently-used first, and
+// within an entry the ParetoArchive's crowding prune keeps the extremes.
+// All public methods are thread-safe (one mutex; the store is touched a
+// handful of times per request, never inside the evolution hot loop).
+//
+// Checkpointing: the whole store serializes to a versioned text format
+// built on src/core population I/O.  `load` is corruption-tolerant — a
+// truncated or tampered file logs `archive.checkpoint.corrupt` and leaves
+// the store empty (cold start), it never throws.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pareto/point.hpp"
+#include "sched/allocation.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace eus::tenant {
+
+struct ArchiveConfig {
+  std::size_t max_tenants = 64;
+  std::size_t entries_per_tenant = 8;
+  std::size_t genomes_per_entry = 32;
+};
+
+/// A stored converged front: genomes[i] evaluates to points[i] under the
+/// scenario identified by `scenario_key`.  `lineage` is the scenario key of
+/// the base this entry was derived from via a delta request ("" = cold
+/// origin); `revision` counts merges into the entry.
+struct ArchivedFront {
+  std::string scenario_key;
+  std::string lineage;
+  std::uint64_t revision = 0;
+  std::vector<Allocation> genomes;
+  std::vector<EUPoint> points;  ///< ascending energy, mutually nondominated
+};
+
+struct TenantStats {
+  std::string tenant;
+  std::size_t entries = 0;
+  std::size_t genomes = 0;
+  std::size_t cap = 0;  ///< entry cap for this tenant
+  std::uint64_t warm_hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class ArchiveStore {
+ public:
+  static constexpr std::string_view kCheckpointHeader =
+      "eus-archive-checkpoint v1";
+
+  explicit ArchiveStore(ArchiveConfig config = {},
+                        MetricsRegistry* metrics = nullptr);
+
+  /// Merges a converged front into the (tenant, scenario_key) entry through
+  /// a capacity-bounded ParetoArchive (duplicate genomes rejected by
+  /// fingerprint, crowding prune on overflow).  Creates the tenant/entry on
+  /// first use, evicting least-recently-used ones over capacity.  `genomes`
+  /// and `points` are parallel.  Returns the entry's size after the merge.
+  std::size_t put(const std::string& tenant, const std::string& scenario_key,
+                  const std::string& lineage,
+                  const std::vector<Allocation>& genomes,
+                  const std::vector<EUPoint>& points);
+
+  /// Returns a copy of the entry and marks tenant + entry most recently
+  /// used.  Bumps archive.warm_hits / archive.misses.
+  [[nodiscard]] std::optional<ArchivedFront> lookup(
+      const std::string& tenant, const std::string& scenario_key);
+
+  /// Per-tenant stats, most recently used first.
+  [[nodiscard]] std::vector<TenantStats> stats() const;
+
+  /// Drops one tenant's entries ("" = every tenant).  Returns the number of
+  /// entries flushed.
+  std::size_t flush(const std::string& tenant = "");
+
+  /// Sets (creating the tenant if needed) the per-tenant entry cap,
+  /// trimming least-recently-used entries over the new cap.  cap must be
+  /// >= 1; returns false otherwise.
+  bool set_tenant_cap(const std::string& tenant, std::size_t cap);
+
+  [[nodiscard]] std::size_t tenants() const;
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::size_t genomes() const;
+  [[nodiscard]] const ArchiveConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Versioned checkpoint of the whole store (tenants and entries in
+  /// most-recently-used-first order, doubles at full round-trip precision:
+  /// restore(checkpoint_string()) reproduces the store bit for bit).
+  [[nodiscard]] std::string checkpoint_string() const;
+
+  enum class LoadResult { kLoaded, kMissing, kCorrupt };
+
+  /// Replaces the store contents with a parsed checkpoint.  Any malformed
+  /// input (bad header, truncated entry, non-finite point, invalid genome
+  /// block) bumps archive.checkpoint.corrupt and returns kCorrupt with the
+  /// store left empty.  Never throws.
+  LoadResult restore(const std::string& text);
+
+  /// restore() from a file; a missing/unreadable file is kMissing (a fresh
+  /// deployment, not an error).
+  LoadResult load(const std::string& path);
+
+  /// Atomically (write temp + rename) writes checkpoint_string() to path.
+  /// Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  struct StoredEntry {
+    std::string key;
+    std::string lineage;
+    std::uint64_t revision = 0;
+    std::vector<Allocation> genomes;
+    std::vector<EUPoint> points;
+  };
+  struct TenantState {
+    std::string name;
+    std::size_t cap = 0;
+    std::uint64_t warm_hits = 0;
+    std::uint64_t misses = 0;
+    std::list<StoredEntry> entries;  ///< front = most recently used
+  };
+
+  TenantState* find_tenant(const std::string& name);
+  TenantState& touch_tenant(const std::string& name);  ///< find-or-create
+  void trim_tenant(TenantState& t);
+  void update_gauges();
+
+  ArchiveConfig config_;
+  MetricsRegistry* metrics_;
+  Counter* warm_hits_ = nullptr;
+  Counter* misses_ = nullptr;
+  Counter* inserts_ = nullptr;
+  Counter* evictions_ = nullptr;
+  Counter* tenant_evictions_ = nullptr;
+  Counter* flushes_ = nullptr;
+  Counter* checkpoint_saved_ = nullptr;
+  Counter* checkpoint_loaded_ = nullptr;
+  Counter* checkpoint_corrupt_ = nullptr;
+  Gauge* tenants_gauge_ = nullptr;
+  Gauge* entries_gauge_ = nullptr;
+  Gauge* genomes_gauge_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::list<TenantState> tenants_;  ///< front = most recently used
+};
+
+/// True iff `id` is a legal tenant id: 1..64 chars from [A-Za-z0-9._-].
+[[nodiscard]] bool valid_tenant_id(std::string_view id);
+
+}  // namespace eus::tenant

@@ -1,0 +1,50 @@
+#pragma once
+
+// Genome repair for warm-started optimization (ROADMAP item 5).  Archived
+// Pareto genomes were converged against a *previous* scenario; before they
+// can seed a new population the genes must be made feasible for the target:
+// resized to the target trace, remapped across dropped machine instances,
+// and re-checked against per-task eligibility (traces are re-sampled rather
+// than prefix-extended, so even a pure task-count change can reshuffle task
+// types).  Repair preserves as much of the converged structure as possible;
+// the polish run recovers the rest.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "data/system.hpp"
+#include "sched/allocation.hpp"
+
+namespace eus::tenant {
+
+/// Removes the given machine *instances* (indices into system.machines())
+/// and rebuilds the model over the survivors.  The ETC/EPC matrices are
+/// indexed by machine *type* and pass through unchanged.  Throws
+/// std::invalid_argument on an out-of-range or duplicate index, when every
+/// instance would be dropped, or when a task type that previously had an
+/// eligible instance would be left with none.
+[[nodiscard]] SystemModel drop_machine_instances(
+    const SystemModel& system, const std::vector<std::size_t>& dropped);
+
+/// Old-instance-index -> new-instance-index map after dropping; dropped
+/// indices map to -1.  `dropped` must be valid against `old_count`.
+[[nodiscard]] std::vector<int> machine_index_map(
+    std::size_t old_count, const std::vector<std::size_t>& dropped);
+
+/// Repairs archived genomes for the target `problem`:
+///  - resizes to problem.genome_size() (truncating, or appending new tasks
+///    on their cheapest-ETC eligible machine after all existing orders),
+///  - remaps machine genes through `index_map` (empty = identity; a gene
+///    mapping to -1 is reassigned),
+///  - reassigns any ineligible/out-of-range machine gene to the
+///    lowest-index minimum-ETC eligible instance for that task's type,
+///  - normalizes the pstate vector to the problem's P-state count.
+/// Exact duplicates (same genome fingerprint) are dropped so every returned
+/// genome occupies a distinct population slot.  Every returned genome
+/// passes Evaluator::validate for the target problem.
+[[nodiscard]] std::vector<Allocation> repair_genomes(
+    const std::vector<Allocation>& genomes, const BiObjectiveProblem& problem,
+    const std::vector<int>& index_map = {});
+
+}  // namespace eus::tenant

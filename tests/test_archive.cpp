@@ -139,5 +139,54 @@ TEST(Archive, UnboundedNeverPrunes) {
   EXPECT_EQ(a.size(), 100U);
 }
 
+TEST(Archive, RejectsDuplicateFingerprint) {
+  ParetoArchive a;
+  EXPECT_TRUE(a.insert({3.0, 10.0}, 1, 0xdeadbeefULL));
+  // Same genome re-submitted with a different (even better) point: rejected,
+  // never double-inserted.
+  EXPECT_FALSE(a.insert({2.0, 11.0}, 2, 0xdeadbeefULL));
+  ASSERT_EQ(a.size(), 1U);
+  EXPECT_EQ(a.entries()[0].tag, 1U);
+  EXPECT_EQ(a.entries()[0].fingerprint, 0xdeadbeefULL);
+  // A different genome with a nondominated point still gets in.
+  EXPECT_TRUE(a.insert({1.0, 5.0}, 3, 0xfeedULL));
+  EXPECT_EQ(a.size(), 2U);
+}
+
+TEST(Archive, ZeroFingerprintNeverCollides) {
+  ParetoArchive a;
+  EXPECT_TRUE(a.insert({1.0, 1.0}, 0, 0));
+  EXPECT_TRUE(a.insert({2.0, 2.0}, 0, 0));  // fp 0 = unknown, no dedup
+  EXPECT_EQ(a.size(), 2U);
+}
+
+TEST(Archive, PruneTieBreakEvictsLowestEnergyTiedMember) {
+  // Four evenly spaced interior members have bit-equal crowding credits;
+  // the pinned policy evicts the lowest-energy one (index 1).
+  ParetoArchive a(5);
+  a.insert({0.0, 0.0}, 0);
+  a.insert({6.0, 6.0}, 5);
+  a.insert({1.0, 1.0}, 1);
+  a.insert({2.0, 2.0}, 2);
+  a.insert({3.0, 3.0}, 3);
+  ASSERT_EQ(a.size(), 5U);
+  a.insert({4.0, 4.0}, 4);  // exceeds capacity: every interior credit ties
+  ASSERT_EQ(a.size(), 5U);
+  std::vector<std::size_t> tags;
+  for (const auto& e : a.entries()) tags.push_back(e.tag);
+  EXPECT_EQ(tags, (std::vector<std::size_t>{0, 2, 3, 4, 5}));
+}
+
+TEST(Archive, PruneTieBreakIndependentOfInsertionOrder) {
+  // Same point set inserted in two different orders prunes identically.
+  const std::vector<EUPoint> pts = {{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0},
+                                    {3.0, 3.0}, {4.0, 4.0}, {6.0, 6.0}};
+  ParetoArchive fwd(5);
+  for (const auto& p : pts) fwd.insert(p);
+  ParetoArchive rev(5);
+  for (auto it = pts.rbegin(); it != pts.rend(); ++it) rev.insert(*it);
+  EXPECT_EQ(fwd.points(), rev.points());
+}
+
 }  // namespace
 }  // namespace eus

@@ -292,6 +292,191 @@ TEST(Fingerprint, InlineMatricesAreHashedIn) {
   EXPECT_EQ(fp("[[1.0,2.0]]"), fp("[[1.0,2.0]]"));
 }
 
+TEST(ParseRequest, DeltaDocumentParses) {
+  const ServeRequest r = parse_request_text(
+      R"({"type":"delta","id":"d1","tenant":"acme.prod-1",
+          "base":{"name":"custom","tasks":40,"window_s":120,"seed":9},
+          "mutations":[{"op":"add-tasks","count":6},
+                       {"op":"remove-tasks","count":2},
+                       {"op":"set-window","window_s":90.5},
+                       {"op":"drop-machine","machine":3}],
+          "polish_generations":4,"cold_fallback":false,
+          "nsga2":{"population":16,"generations":32},"deadline_ms":500})");
+  EXPECT_EQ(r.kind, RequestKind::kDelta);
+  EXPECT_EQ(r.id, "d1");
+  EXPECT_EQ(r.tenant, "acme.prod-1");
+  EXPECT_EQ(r.mode, ModeKind::kNsga2);  // routed/budgeted as nsga2
+  EXPECT_EQ(r.delta.base.name, "custom");
+  EXPECT_EQ(r.delta.base.tasks, 40U);
+  EXPECT_EQ(r.delta.base.seed, 9U);
+  ASSERT_EQ(r.delta.mutations.size(), 4U);
+  EXPECT_EQ(r.delta.mutations[0].op, ScenarioMutation::Op::kAddTasks);
+  EXPECT_EQ(r.delta.mutations[0].count, 6U);
+  EXPECT_EQ(r.delta.mutations[1].op, ScenarioMutation::Op::kRemoveTasks);
+  EXPECT_EQ(r.delta.mutations[1].count, 2U);
+  EXPECT_EQ(r.delta.mutations[2].op, ScenarioMutation::Op::kSetWindow);
+  EXPECT_EQ(r.delta.mutations[2].window_s, 90.5);
+  EXPECT_EQ(r.delta.mutations[3].op, ScenarioMutation::Op::kDropMachine);
+  EXPECT_EQ(r.delta.mutations[3].machine, 3U);
+  EXPECT_EQ(r.delta.polish_generations, 4U);
+  EXPECT_FALSE(r.delta.cold_fallback);
+  EXPECT_EQ(r.nsga2.generations, 32U);
+  EXPECT_EQ(r.deadline_ms, 500.0);
+
+  // Defaults: cold fallback on, auto polish budget.
+  const ServeRequest d = parse_request_text(
+      R"({"type":"delta","tenant":"t",
+          "base":{"name":"custom","tasks":10},
+          "mutations":[{"op":"add-tasks","count":1}]})");
+  EXPECT_TRUE(d.delta.cold_fallback);
+  EXPECT_EQ(d.delta.polish_generations, 0U);
+}
+
+TEST(ParseRequest, DeltaRejectsMalformedDocuments) {
+  const auto reject = [](const char* text) {
+    EXPECT_THROW((void)parse_request_text(text), ProtocolError) << text;
+  };
+  // No tenant (and tenants must match the id alphabet).
+  reject(R"({"type":"delta","base":{"name":"custom"},
+             "mutations":[{"op":"add-tasks","count":1}]})");
+  reject(R"({"type":"delta","tenant":"has space",
+             "base":{"name":"custom"},
+             "mutations":[{"op":"add-tasks","count":1}]})");
+  // Missing / empty mutations.
+  reject(R"({"type":"delta","tenant":"t","base":{"name":"custom"}})");
+  reject(R"({"type":"delta","tenant":"t","base":{"name":"custom"},
+             "mutations":[]})");
+  // Unknown op, zero count, bad window.
+  reject(R"({"type":"delta","tenant":"t","base":{"name":"custom"},
+             "mutations":[{"op":"recolor","count":1}]})");
+  reject(R"({"type":"delta","tenant":"t","base":{"name":"custom"},
+             "mutations":[{"op":"add-tasks","count":0}]})");
+  reject(R"({"type":"delta","tenant":"t","base":{"name":"custom"},
+             "mutations":[{"op":"set-window","window_s":-5}]})");
+  // Inline bases are not archivable.
+  reject(R"({"type":"delta","tenant":"t",
+             "base":{"etc":[[1.0]],"epc":[[2.0]],"tasks":4},
+             "mutations":[{"op":"add-tasks","count":1}]})");
+  // An allocate tenant is optional but still validated.
+  reject(R"({"type":"allocate","mode":"nsga2","tenant":"bad/slash",
+             "scenario":{"name":"dataset1"}})");
+}
+
+TEST(ApplyMutations, MutatesCustomSpecsAndRefusesDatasetShapes) {
+  ScenarioSpec base;
+  base.name = "custom";
+  base.tasks = 40;
+  base.window_s = 120.0;
+
+  ScenarioMutation add;
+  add.op = ScenarioMutation::Op::kAddTasks;
+  add.count = 6;
+  ScenarioMutation remove;
+  remove.op = ScenarioMutation::Op::kRemoveTasks;
+  remove.count = 2;
+  ScenarioMutation window;
+  window.op = ScenarioMutation::Op::kSetWindow;
+  window.window_s = 90.0;
+  ScenarioMutation drop;
+  drop.op = ScenarioMutation::Op::kDropMachine;
+  drop.machine = 2;
+
+  const ScenarioSpec out =
+      apply_mutations(base, {add, remove, window, drop});
+  EXPECT_EQ(out.tasks, 44U);
+  EXPECT_EQ(out.window_s, 90.0);
+  ASSERT_EQ(out.dropped_machines.size(), 1U);
+  EXPECT_EQ(out.dropped_machines[0], 2U);
+
+  // Mutating every task away refuses.
+  ScenarioMutation remove_all = remove;
+  remove_all.count = 40;
+  EXPECT_THROW((void)apply_mutations(base, {remove_all}), ProtocolError);
+  // A duplicate drop refuses.
+  EXPECT_THROW((void)apply_mutations(base, {drop, drop}), ProtocolError);
+
+  // Trace-shape mutations are custom-only; drop-machine works anywhere.
+  ScenarioSpec dataset;
+  dataset.name = "dataset1";
+  EXPECT_THROW((void)apply_mutations(dataset, {add}), ProtocolError);
+  EXPECT_THROW((void)apply_mutations(dataset, {window}), ProtocolError);
+  EXPECT_EQ(apply_mutations(dataset, {drop}).dropped_machines.size(), 1U);
+}
+
+TEST(Fingerprint, ScenarioLineageConvergesOnEqualSpecs) {
+  // The scenario fingerprint identifies the *scenario*, however it was
+  // reached: a delta lineage that lands on the same concrete spec shares
+  // the archive key with a direct request for it.
+  ScenarioSpec base;
+  base.name = "custom";
+  base.tasks = 40;
+  base.window_s = 120.0;
+  ScenarioMutation window;
+  window.op = ScenarioMutation::Op::kSetWindow;
+  window.window_s = 90.0;
+
+  ScenarioSpec direct = base;
+  direct.window_s = 90.0;
+  EXPECT_EQ(scenario_fingerprint(apply_mutations(base, {window})),
+            scenario_fingerprint(direct));
+  EXPECT_NE(scenario_fingerprint(base), scenario_fingerprint(direct));
+
+  // Dropped machines are part of the scenario identity.
+  ScenarioMutation drop;
+  drop.op = ScenarioMutation::Op::kDropMachine;
+  drop.machine = 1;
+  const std::string dropped =
+      scenario_fingerprint(apply_mutations(base, {drop}));
+  EXPECT_NE(dropped, scenario_fingerprint(base));
+  EXPECT_NE(dropped.find("drop=1"), std::string::npos);
+}
+
+TEST(Fingerprint, TenantAndDeltaKeySeparately) {
+  const ServeRequest plain = parse_request_text(
+      R"({"type":"allocate","mode":"nsga2","scenario":{"name":"dataset1"}})");
+  const ServeRequest tenanted = parse_request_text(
+      R"({"type":"allocate","mode":"nsga2","tenant":"acme",
+          "scenario":{"name":"dataset1"}})");
+  // Warm-started fronts may strictly dominate the tenant-less result, so
+  // they must never share a cache entry.
+  EXPECT_NE(request_fingerprint(plain), request_fingerprint(tenanted));
+
+  const ServeRequest delta = parse_request_text(
+      R"({"type":"delta","tenant":"acme","base":{"name":"dataset1"},
+          "mutations":[{"op":"drop-machine","machine":1}]})");
+  const std::string delta_fp = request_fingerprint(delta);
+  EXPECT_EQ(delta_fp.rfind("delta;", 0), 0U);
+  EXPECT_NE(delta_fp, request_fingerprint(plain));
+  EXPECT_NE(delta_fp, request_fingerprint(tenanted));
+}
+
+TEST(RenderDeltaRequest, RoundTripsThroughParse) {
+  const ServeRequest original = parse_request_text(
+      R"({"type":"delta","id":"x7","tenant":"acme",
+          "base":{"name":"custom","tasks":30,"window_s":60,"seed":4},
+          "mutations":[{"op":"add-tasks","count":3},
+                       {"op":"set-window","window_s":45},
+                       {"op":"drop-machine","machine":2}],
+          "polish_generations":2,"cold_fallback":false,
+          "nsga2":{"population":8,"generations":16},"deadline_ms":250})");
+  const ServeRequest back =
+      parse_request_text(render_delta_request(original));
+  EXPECT_EQ(back.kind, RequestKind::kDelta);
+  EXPECT_EQ(back.id, original.id);
+  EXPECT_EQ(back.tenant, original.tenant);
+  EXPECT_EQ(back.delta.base.name, original.delta.base.name);
+  EXPECT_EQ(back.delta.base.tasks, original.delta.base.tasks);
+  ASSERT_EQ(back.delta.mutations.size(), original.delta.mutations.size());
+  for (std::size_t i = 0; i < back.delta.mutations.size(); ++i) {
+    EXPECT_EQ(back.delta.mutations[i].op, original.delta.mutations[i].op);
+  }
+  EXPECT_EQ(back.delta.polish_generations,
+            original.delta.polish_generations);
+  EXPECT_EQ(back.delta.cold_fallback, original.delta.cold_fallback);
+  EXPECT_EQ(back.deadline_ms, original.deadline_ms);
+  EXPECT_EQ(request_fingerprint(back), request_fingerprint(original));
+}
+
 TEST(Slugs, RoundTripEveryHeuristic) {
   for (const SeedHeuristic h : all_seed_heuristics()) {
     const std::optional<SeedHeuristic> back =

@@ -1,0 +1,313 @@
+// ArchiveStore unit tests: put/lookup round trips, the three capacity
+// bounds (tenants, entries per tenant, genomes per entry) with LRU
+// eviction, duplicate-genome rejection, admin operations (flush, per-tenant
+// caps, stats), the versioned checkpoint's bit-identical round trip, and
+// corruption tolerance (a bad checkpoint cold-starts, never throws).
+
+#include "tenant/archive_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace eus::tenant {
+namespace {
+
+// Distinct genomes with mutually nondominated points: genome k puts every
+// task on machine k % 3 and maps to (energy 10+k, utility 50+k) — energy
+// and utility both ascend, so no point dominates another.
+Allocation genome(std::size_t k, std::size_t tasks = 6) {
+  Allocation a;
+  a.machine.assign(tasks, static_cast<int>(k % 3));
+  a.order.resize(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    a.order[i] = static_cast<int>((i + k) % tasks);
+  }
+  return a;
+}
+
+EUPoint point(std::size_t k) {
+  return {10.0 + static_cast<double>(k), 50.0 + static_cast<double>(k)};
+}
+
+std::vector<Allocation> genomes(std::size_t from, std::size_t n) {
+  std::vector<Allocation> out;
+  for (std::size_t k = from; k < from + n; ++k) out.push_back(genome(k));
+  return out;
+}
+
+std::vector<EUPoint> points(std::size_t from, std::size_t n) {
+  std::vector<EUPoint> out;
+  for (std::size_t k = from; k < from + n; ++k) out.push_back(point(k));
+  return out;
+}
+
+TEST(ArchiveStore, PutThenLookupRoundTrips) {
+  MetricsRegistry metrics;
+  ArchiveStore store({}, &metrics);
+  EXPECT_EQ(store.put("acme", "key-a", "", genomes(0, 3), points(0, 3)), 3U);
+
+  const std::optional<ArchivedFront> hit = store.lookup("acme", "key-a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->scenario_key, "key-a");
+  EXPECT_EQ(hit->lineage, "");
+  EXPECT_EQ(hit->revision, 1U);
+  ASSERT_EQ(hit->genomes.size(), 3U);
+  ASSERT_EQ(hit->points.size(), 3U);
+  // Entries come back ascending energy with genomes parallel to points.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hit->points[i], point(i)) << i;
+    EXPECT_EQ(hit->genomes[i], genome(i)) << i;
+  }
+
+  EXPECT_FALSE(store.lookup("acme", "other-key").has_value());
+  EXPECT_FALSE(store.lookup("ghost", "key-a").has_value());
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("archive.warm_hits"), 1U);
+  EXPECT_EQ(snap.counters.at("archive.misses"), 2U);
+  EXPECT_EQ(snap.gauges.at("archive.tenants"), 1.0);
+  EXPECT_EQ(snap.gauges.at("archive.entries"), 1.0);
+  EXPECT_EQ(snap.gauges.at("archive.genomes"), 3.0);
+}
+
+TEST(ArchiveStore, MergeKeepsNondominatedUnionAndCountsRevisions) {
+  ArchiveStore store;
+  store.put("t", "k", "", genomes(0, 2), points(0, 2));
+  // The second put merges: a dominated point must not survive.
+  std::vector<Allocation> worse = {genome(9)};
+  std::vector<EUPoint> worse_points = {{99.0, 1.0}};  // dominated by all
+  store.put("t", "k", "", worse, worse_points);
+
+  const std::optional<ArchivedFront> hit = store.lookup("t", "k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->revision, 2U);
+  EXPECT_EQ(hit->points.size(), 2U);
+  for (const EUPoint& p : hit->points) EXPECT_NE(p, worse_points[0]);
+}
+
+TEST(ArchiveStore, DuplicateGenomesAreRejectedByFingerprint) {
+  ArchiveStore store;
+  EXPECT_EQ(store.put("t", "k", "", genomes(0, 2), points(0, 2)), 2U);
+  // Same genomes again (even with different, nondominated points): the
+  // fingerprint check refuses a second copy of an identical genome.
+  EXPECT_EQ(store.put("t", "k", "", genomes(0, 2), points(4, 2)), 2U);
+  const std::optional<ArchivedFront> hit = store.lookup("t", "k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->genomes.size(), 2U);
+}
+
+TEST(ArchiveStore, GenomesPerEntryCapBounds) {
+  ArchiveConfig config;
+  config.genomes_per_entry = 4;
+  ArchiveStore store(config);
+  EXPECT_LE(store.put("t", "k", "", genomes(0, 10), points(0, 10)), 4U);
+  EXPECT_EQ(store.genomes(), 4U);
+}
+
+TEST(ArchiveStore, EntryLruEvictionPerTenant) {
+  MetricsRegistry metrics;
+  ArchiveConfig config;
+  config.entries_per_tenant = 2;
+  ArchiveStore store(config, &metrics);
+  store.put("t", "k1", "", genomes(0, 1), points(0, 1));
+  store.put("t", "k2", "", genomes(1, 1), points(1, 1));
+  // Touch k1 so k2 becomes least recently used, then overflow.
+  EXPECT_TRUE(store.lookup("t", "k1").has_value());
+  store.put("t", "k3", "", genomes(2, 1), points(2, 1));
+
+  EXPECT_TRUE(store.lookup("t", "k1").has_value());
+  EXPECT_FALSE(store.lookup("t", "k2").has_value());  // evicted
+  EXPECT_TRUE(store.lookup("t", "k3").has_value());
+  EXPECT_GE(metrics.snapshot().counters.at("archive.evictions"), 1U);
+}
+
+TEST(ArchiveStore, TenantLruEviction) {
+  MetricsRegistry metrics;
+  ArchiveConfig config;
+  config.max_tenants = 2;
+  ArchiveStore store(config, &metrics);
+  store.put("a", "k", "", genomes(0, 1), points(0, 1));
+  store.put("b", "k", "", genomes(1, 1), points(1, 1));
+  EXPECT_TRUE(store.lookup("a", "k").has_value());  // a is now MRU
+  store.put("c", "k", "", genomes(2, 1), points(2, 1));
+
+  EXPECT_EQ(store.tenants(), 2U);
+  EXPECT_TRUE(store.lookup("a", "k").has_value());
+  EXPECT_FALSE(store.lookup("b", "k").has_value());  // evicted tenant
+  EXPECT_TRUE(store.lookup("c", "k").has_value());
+  EXPECT_EQ(metrics.snapshot().counters.at("archive.tenant_evictions"), 1U);
+}
+
+TEST(ArchiveStore, FlushOneTenantAndAll) {
+  ArchiveStore store;
+  store.put("a", "k1", "", genomes(0, 1), points(0, 1));
+  store.put("a", "k2", "", genomes(1, 1), points(1, 1));
+  store.put("b", "k1", "", genomes(2, 1), points(2, 1));
+
+  EXPECT_EQ(store.flush("ghost"), 0U);
+  EXPECT_EQ(store.flush("a"), 2U);
+  EXPECT_EQ(store.tenants(), 1U);
+  EXPECT_TRUE(store.lookup("b", "k1").has_value());
+  EXPECT_EQ(store.flush(""), 1U);
+  EXPECT_EQ(store.tenants(), 0U);
+  EXPECT_EQ(store.entries(), 0U);
+}
+
+TEST(ArchiveStore, PerTenantCapTrimsLru) {
+  ArchiveStore store;
+  store.put("t", "k1", "", genomes(0, 1), points(0, 1));
+  store.put("t", "k2", "", genomes(1, 1), points(1, 1));
+  store.put("t", "k3", "", genomes(2, 1), points(2, 1));
+  EXPECT_FALSE(store.set_tenant_cap("t", 0));  // cap must be >= 1
+  EXPECT_TRUE(store.set_tenant_cap("t", 1));
+  EXPECT_EQ(store.entries(), 1U);
+  EXPECT_TRUE(store.lookup("t", "k3").has_value());  // MRU survives
+
+  // The cap sticks for future puts.
+  store.put("t", "k4", "", genomes(3, 1), points(3, 1));
+  EXPECT_EQ(store.entries(), 1U);
+  EXPECT_FALSE(store.lookup("t", "k3").has_value());
+}
+
+TEST(ArchiveStore, StatsReportPerTenantState) {
+  ArchiveStore store;
+  store.put("a", "k1", "", genomes(0, 2), points(0, 2));
+  store.put("b", "k1", "", genomes(2, 3), points(2, 3));
+  (void)store.lookup("b", "k1");
+  (void)store.lookup("b", "nope");
+
+  const std::vector<TenantStats> stats = store.stats();
+  ASSERT_EQ(stats.size(), 2U);
+  // Most recently used first: b was just touched.
+  EXPECT_EQ(stats[0].tenant, "b");
+  EXPECT_EQ(stats[0].entries, 1U);
+  EXPECT_EQ(stats[0].genomes, 3U);
+  EXPECT_EQ(stats[0].warm_hits, 1U);
+  EXPECT_EQ(stats[0].misses, 1U);
+  EXPECT_EQ(stats[1].tenant, "a");
+  EXPECT_EQ(stats[1].warm_hits, 0U);
+}
+
+TEST(ArchiveStore, CheckpointRoundTripsBitForBit) {
+  ArchiveStore store;
+  store.put("acme", "key-a", "", genomes(0, 3), points(0, 3));
+  store.put("acme", "key-b", "key-a", genomes(3, 2), points(3, 2));
+  store.put("beta", "key-a", "", genomes(5, 1), points(5, 1));
+  (void)store.set_tenant_cap("beta", 5);
+
+  const std::string text = store.checkpoint_string();
+  EXPECT_EQ(text.rfind(ArchiveStore::kCheckpointHeader, 0), 0U);
+
+  MetricsRegistry metrics;
+  ArchiveStore restored({}, &metrics);
+  ASSERT_EQ(restored.restore(text), ArchiveStore::LoadResult::kLoaded);
+  EXPECT_EQ(restored.checkpoint_string(), text);  // bit-identical
+  EXPECT_EQ(restored.tenants(), 2U);
+  EXPECT_EQ(restored.entries(), 3U);
+
+  const std::optional<ArchivedFront> hit = restored.lookup("acme", "key-b");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->lineage, "key-a");
+  ASSERT_EQ(hit->genomes.size(), 2U);
+  EXPECT_EQ(hit->genomes[0], genome(3));
+  EXPECT_EQ(metrics.snapshot().counters.at("archive.checkpoint.loaded"), 1U);
+}
+
+TEST(ArchiveStore, RestoreRejectsCorruptionAndColdStarts) {
+  ArchiveStore donor;
+  donor.put("t", "k", "", genomes(0, 2), points(0, 2));
+  const std::string good = donor.checkpoint_string();
+
+  const std::vector<std::string> corrupt = {
+      "",                                   // empty
+      "garbage, not a checkpoint\n",        // wrong header
+      good.substr(0, good.size() / 2),      // truncated mid-entry
+      good.substr(0, good.size() - 1),      // missing trailing newline
+      "eus-archive-checkpoint v2\n",        // future version
+  };
+  for (std::size_t i = 0; i < corrupt.size(); ++i) {
+    MetricsRegistry metrics;
+    ArchiveStore store({}, &metrics);
+    store.put("pre", "k", "", genomes(0, 1), points(0, 1));
+    EXPECT_EQ(store.restore(corrupt[i]), ArchiveStore::LoadResult::kCorrupt)
+        << "case " << i;
+    // Cold start: even the pre-existing contents are gone.
+    EXPECT_EQ(store.tenants(), 0U) << "case " << i;
+    EXPECT_EQ(store.entries(), 0U) << "case " << i;
+    EXPECT_EQ(metrics.snapshot().counters.at("archive.checkpoint.corrupt"),
+              1U)
+        << "case " << i;
+  }
+}
+
+TEST(ArchiveStore, SaveAndLoadFiles) {
+  const std::string path = testing::TempDir() + "/eus_archive_ckpt_test";
+  std::remove(path.c_str());
+
+  MetricsRegistry metrics;
+  ArchiveStore store({}, &metrics);
+  EXPECT_EQ(store.load(path), ArchiveStore::LoadResult::kMissing);
+
+  store.put("acme", "k", "", genomes(0, 2), points(0, 2));
+  ASSERT_TRUE(store.save(path));
+  EXPECT_EQ(metrics.snapshot().counters.at("archive.checkpoint.saved"), 1U);
+
+  ArchiveStore reloaded;
+  ASSERT_EQ(reloaded.load(path), ArchiveStore::LoadResult::kLoaded);
+  EXPECT_EQ(reloaded.checkpoint_string(), store.checkpoint_string());
+
+  // A corrupt file on disk cold-starts too.
+  std::ofstream(path) << "scribbled over\n";
+  ArchiveStore victim;
+  EXPECT_EQ(victim.load(path), ArchiveStore::LoadResult::kCorrupt);
+  EXPECT_EQ(victim.tenants(), 0U);
+  std::remove(path.c_str());
+}
+
+TEST(ArchiveStore, ValidatesTenantIds) {
+  EXPECT_TRUE(valid_tenant_id("acme"));
+  EXPECT_TRUE(valid_tenant_id("a.b_c-9"));
+  EXPECT_TRUE(valid_tenant_id(std::string(64, 'x')));
+  EXPECT_FALSE(valid_tenant_id(""));
+  EXPECT_FALSE(valid_tenant_id(std::string(65, 'x')));
+  EXPECT_FALSE(valid_tenant_id("has space"));
+  EXPECT_FALSE(valid_tenant_id("slash/ok"));
+  EXPECT_FALSE(valid_tenant_id("semi;colon"));
+}
+
+TEST(ArchiveStore, ConcurrentPutsAndLookupsStayCoherent) {
+  MetricsRegistry metrics;
+  ArchiveStore store({}, &metrics);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOps = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      const std::string tenant = "tenant-" + std::to_string(t % 4);
+      for (std::size_t i = 0; i < kOps; ++i) {
+        const std::string key = "key-" + std::to_string(i % 3);
+        store.put(tenant, key, "", genomes(i % 5, 1), points(i % 5, 1));
+        (void)store.lookup(tenant, key);
+        if (i % 50 == 0) (void)store.stats();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(store.tenants(), 4U);
+  EXPECT_LE(store.entries(), 4U * 8U);
+  // Every lookup followed its own put: all hits, zero misses.
+  EXPECT_EQ(metrics.snapshot().counters.at("archive.warm_hits"),
+            kThreads * kOps);
+  EXPECT_EQ(metrics.snapshot().counters.at("archive.misses"), 0U);
+}
+
+}  // namespace
+}  // namespace eus::tenant

@@ -1,0 +1,272 @@
+// Warm-start repair and dominance tests: machine_index_map /
+// drop_machine_instances / repair_genomes unit coverage, plus the
+// subsystem's load-bearing property — a warm-started front weakly
+// dominates the cold front at the same optimization budget — asserted
+// end-to-end through handle_allocate across three catalog scenarios.
+
+#include "tenant/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/operators.hpp"
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+#include "data/historical.hpp"
+#include "data/matrix.hpp"
+#include "data/system.hpp"
+#include "serve/handlers.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/metrics.hpp"
+#include "tenant/archive_store.hpp"
+#include "util/json_value.hpp"
+#include "workload/scenarios.hpp"
+
+namespace eus {
+namespace {
+
+TEST(MachineIndexMap, MapsSurvivorsAndMarksDropped) {
+  const std::vector<int> map = tenant::machine_index_map(5, {1, 3});
+  const std::vector<int> expected = {0, -1, 1, -1, 2};
+  EXPECT_EQ(map, expected);
+
+  // No drops: the identity.
+  const std::vector<int> identity = tenant::machine_index_map(3, {});
+  const std::vector<int> expected_identity = {0, 1, 2};
+  EXPECT_EQ(identity, expected_identity);
+}
+
+TEST(DropMachineInstances, RemovesInstancesAndKeepsTypeMatrices) {
+  const SystemModel system = historical_system();
+  const std::size_t before = system.num_machines();
+  ASSERT_GE(before, 2U);
+
+  const SystemModel dropped = tenant::drop_machine_instances(system, {1});
+  EXPECT_EQ(dropped.num_machines(), before - 1);
+  EXPECT_EQ(dropped.num_machine_types(), system.num_machine_types());
+  EXPECT_EQ(dropped.etc().rows(), system.etc().rows());
+  // Survivors keep their identity: machine 0 unchanged, old 2 is new 1.
+  EXPECT_EQ(dropped.machines()[0].name, system.machines()[0].name);
+  EXPECT_EQ(dropped.machines()[1].name, system.machines()[2].name);
+}
+
+TEST(DropMachineInstances, RejectsInfeasibleDrops) {
+  const SystemModel system = historical_system();
+  const std::size_t n = system.num_machines();
+
+  EXPECT_THROW((void)tenant::drop_machine_instances(system, {n}),
+               std::invalid_argument);  // out of range
+  EXPECT_THROW((void)tenant::drop_machine_instances(system, {0, 0}),
+               std::invalid_argument);  // duplicate
+  std::vector<std::size_t> all;
+  for (std::size_t i = 0; i < n; ++i) all.push_back(i);
+  EXPECT_THROW((void)tenant::drop_machine_instances(system, all),
+               std::invalid_argument);  // nothing left
+}
+
+TEST(DropMachineInstances, RejectsStarvingATaskType) {
+  // One general machine plus one special machine that only accelerates the
+  // special task type t1 (§III-C: only special machines may reject).  The
+  // general task t0 runs nowhere else, so dropping the general machine's
+  // sole instance must refuse; dropping the special one is fine (t1 still
+  // has the general machine).
+  std::vector<TaskType> task_types(2);
+  task_types[0].name = "t0";
+  task_types[1].name = "t1";
+  task_types[1].category = Category::kSpecial;
+  task_types[1].special_machine_type = 1;
+  std::vector<MachineType> machine_types(2);
+  machine_types[0].name = "m0";
+  machine_types[1].name = "m1";
+  machine_types[1].category = Category::kSpecial;
+  std::vector<Machine> machines;
+  machines.push_back(Machine{0, "m0 #1"});
+  machines.push_back(Machine{1, "m1 #1"});
+  const SystemModel system(
+      std::move(task_types), std::move(machine_types), std::move(machines),
+      Matrix::from_rows({{1.0, kIneligible}, {2.0, 3.0}}),
+      Matrix::from_rows({{5.0, 5.0}, {5.0, 5.0}}));
+
+  EXPECT_THROW((void)tenant::drop_machine_instances(system, {0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)tenant::drop_machine_instances(system, {1}));
+}
+
+TEST(RepairGenomes, SameProblemGenomesPassThroughValid) {
+  const Scenario s =
+      make_custom_scenario("custom", historical_system(), 20, 120.0, 7);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Rng rng(11);
+  std::vector<Allocation> genomes;
+  for (int i = 0; i < 4; ++i) {
+    genomes.push_back(random_allocation(problem, rng));
+  }
+
+  const std::vector<Allocation> repaired =
+      tenant::repair_genomes(genomes, problem);
+  ASSERT_EQ(repaired.size(), genomes.size());
+  for (const Allocation& a : repaired) {
+    EXPECT_EQ(a.size(), problem.genome_size());
+    EXPECT_NO_THROW(problem.evaluator().validate(a));
+  }
+}
+
+TEST(RepairGenomes, ResizesAcrossTraceShapes) {
+  const SystemModel system = historical_system();
+  const Scenario small = make_custom_scenario("custom", system, 12, 120.0, 7);
+  const Scenario large = make_custom_scenario("custom", system, 18, 120.0, 7);
+  const UtilityEnergyProblem small_problem(small.system, small.trace);
+  const UtilityEnergyProblem large_problem(large.system, large.trace);
+
+  Rng rng(3);
+  std::vector<Allocation> genomes;
+  for (int i = 0; i < 3; ++i) {
+    genomes.push_back(random_allocation(small_problem, rng));
+  }
+  // Grow 12 -> 18 and shrink 18 -> 12: both directions end up valid.
+  for (const Allocation& a :
+       tenant::repair_genomes(genomes, large_problem)) {
+    EXPECT_EQ(a.size(), 18U);
+    EXPECT_NO_THROW(large_problem.evaluator().validate(a));
+  }
+  std::vector<Allocation> big;
+  for (int i = 0; i < 3; ++i) {
+    big.push_back(random_allocation(large_problem, rng));
+  }
+  for (const Allocation& a : tenant::repair_genomes(big, small_problem)) {
+    EXPECT_EQ(a.size(), 12U);
+    EXPECT_NO_THROW(small_problem.evaluator().validate(a));
+  }
+}
+
+TEST(RepairGenomes, RemapsGenesAcrossDroppedMachines) {
+  const Scenario base =
+      make_custom_scenario("custom", historical_system(), 16, 120.0, 9);
+  const UtilityEnergyProblem base_problem(base.system, base.trace);
+  constexpr std::size_t kDropped = 1;
+  const SystemModel survivor_system =
+      tenant::drop_machine_instances(base.system, {kDropped});
+  const UtilityEnergyProblem target(survivor_system, base.trace);
+  const std::vector<int> map =
+      tenant::machine_index_map(base.system.num_machines(), {kDropped});
+
+  Rng rng(5);
+  std::vector<Allocation> genomes;
+  for (int i = 0; i < 6; ++i) {
+    genomes.push_back(random_allocation(base_problem, rng));
+  }
+  // Force at least one gene onto the dropped machine.
+  genomes[0].machine[0] = static_cast<int>(kDropped);
+
+  const std::vector<Allocation> repaired =
+      tenant::repair_genomes(genomes, target, map);
+  ASSERT_FALSE(repaired.empty());
+  for (const Allocation& a : repaired) {
+    EXPECT_NO_THROW(target.evaluator().validate(a));
+    for (const int m : a.machine) {
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, static_cast<int>(survivor_system.num_machines()));
+    }
+  }
+}
+
+TEST(RepairGenomes, DropsExactDuplicates) {
+  const Scenario s =
+      make_custom_scenario("custom", historical_system(), 10, 120.0, 2);
+  const UtilityEnergyProblem problem(s.system, s.trace);
+  Rng rng(8);
+  const Allocation a = random_allocation(problem, rng);
+  const std::vector<Allocation> repaired =
+      tenant::repair_genomes({a, a, a}, problem);
+  EXPECT_EQ(repaired.size(), 1U);
+}
+
+// --- The warm-dominance property, end to end through handle_allocate ----
+
+std::vector<EUPoint> front_of(const util::JsonValue& doc) {
+  const util::JsonValue* front = doc.get("front");
+  EXPECT_NE(front, nullptr);
+  std::vector<EUPoint> out;
+  if (front == nullptr) return out;
+  for (const util::JsonValue& p : front->array) {
+    out.push_back({p.number_or("energy", 0.0), p.number_or("utility", 0.0)});
+  }
+  return out;
+}
+
+bool weakly_dominated(const EUPoint& c, const std::vector<EUPoint>& warm) {
+  for (const EUPoint& w : warm) {
+    if (w.energy <= c.energy && w.utility >= c.utility) return true;
+  }
+  return false;
+}
+
+TEST(WarmStart, WarmFrontWeaklyDominatesColdAcrossScenarios) {
+  // One scenario per catalog family, each at the *same* small budget for
+  // the cold and the warm run.
+  const std::vector<std::string> scenarios = {
+      R"({"name":"dataset1","seed":11})",
+      R"({"name":"dataset2","seed":5})",
+      R"({"name":"custom","tasks":30,"window_s":90,"seed":3})",
+  };
+  for (const std::string& scenario : scenarios) {
+    MetricsRegistry metrics;
+    tenant::ArchiveStore archive({}, &metrics);
+    serve::HandlerContext ctx;
+    ctx.metrics = &metrics;
+    ctx.archive = &archive;
+
+    const auto request = [&](bool with_tenant) {
+      return serve::parse_request_text(
+          std::string(R"({"type":"allocate","mode":"nsga2",)") +
+          (with_tenant ? R"("tenant":"acme",)" : "") +
+          R"("scenario":)" + scenario +
+          R"(,"nsga2":{"population":16,"generations":6,)"
+          R"("seeds":["min-energy","max-utility"]}})");
+    };
+
+    // Cold reference: no tenant, bit-identical to the offline study.
+    const serve::HandleResult cold =
+        serve::handle_allocate(request(false), ctx, std::nullopt, 0.0);
+    ASSERT_EQ(cold.code, serve::kCodeOk) << scenario;
+    const util::JsonValue cold_doc = util::parse_json(cold.payload);
+    const std::vector<EUPoint> cold_front = front_of(cold_doc);
+    ASSERT_FALSE(cold_front.empty()) << scenario;
+
+    // Prime the archive (first tenant request runs cold but archives).
+    const serve::HandleResult prime =
+        serve::handle_allocate(request(true), ctx, std::nullopt, 0.0);
+    ASSERT_EQ(prime.code, serve::kCodeOk) << scenario;
+    const util::JsonValue prime_doc = util::parse_json(prime.payload);
+    ASSERT_NE(prime_doc.get("warm"), nullptr) << scenario;
+    EXPECT_FALSE(prime_doc.get("warm")->boolean) << scenario;
+
+    // Warm run at the same budget.
+    const serve::HandleResult warm =
+        serve::handle_allocate(request(true), ctx, std::nullopt, 0.0);
+    ASSERT_EQ(warm.code, serve::kCodeOk) << scenario;
+    const util::JsonValue warm_doc = util::parse_json(warm.payload);
+    ASSERT_NE(warm_doc.get("warm"), nullptr) << scenario;
+    EXPECT_TRUE(warm_doc.get("warm")->boolean) << scenario;
+    EXPECT_EQ(warm_doc.string_or("tenant", ""), "acme") << scenario;
+    const std::vector<EUPoint> warm_front = front_of(warm_doc);
+    ASSERT_FALSE(warm_front.empty()) << scenario;
+
+    // The property: every cold point is weakly dominated by a warm point.
+    for (const EUPoint& c : cold_front) {
+      EXPECT_TRUE(weakly_dominated(c, warm_front))
+          << scenario << " cold point (" << c.energy << ", " << c.utility
+          << ") not weakly dominated by the warm front";
+    }
+
+    const MetricsSnapshot snap = metrics.snapshot();
+    EXPECT_GE(snap.counters.at("archive.warm_hits"), 1U) << scenario;
+    EXPECT_GE(snap.counters.at("nsga2.warm_seeds"), 1U) << scenario;
+  }
+}
+
+}  // namespace
+}  // namespace eus

@@ -5,6 +5,14 @@
 //   eus_client --mode nsga2 --generations 64 --deadline-ms 200
 //   eus_client --mode pareto-query --max-energy 1500
 //   eus_client --mode nsga2 --repeat 8 --concurrency 4   # load generator
+//   eus_client --mode nsga2 --tenant acme                # warm-start archive
+//
+// Delta requests (docs/tenant.md): mutate a tenant's previously optimized
+// scenario and re-polish the archived front instead of restarting.
+// Mutations apply in command-line order:
+//
+//   eus_client delta --tenant acme --scenario custom --tasks 60
+//       --add-tasks 10 --drop-machine 3
 //
 // Live administration (the daemon's adminz plane, docs/runtime.md):
 //
@@ -13,6 +21,9 @@
 //   eus_client admin set-workers 4
 //   eus_client admin set-cache-entries 128
 //   eus_client admin catalog-reload --catalog scenarios.json
+//   eus_client admin archive-stats
+//   eus_client admin archive-flush [tenant]
+//   eus_client admin archive-cap <tenant> <n>
 //
 // Exit codes (mirrors eus_bench's small-integer convention):
 //   0  success
@@ -52,16 +63,29 @@ constexpr int kExitUsage = 2;
 constexpr int kExitConnectFailure = 3;
 constexpr int kExitDeadlineExceeded = 4;
 
+/// One delta mutation as given on the command line (order preserved).
+struct CliMutation {
+  std::string op;  ///< add-tasks | remove-tasks | set-window | drop-machine
+  std::size_t count = 0;
+  double window_s = 0.0;
+  std::size_t machine = 0;
+};
+
 struct CliOptions {
   std::uint16_t port = serve_port();
   bool healthz = false;
   bool metricsz = false;
   bool admin = false;
+  bool delta = false;                       ///< "delta" subcommand
   std::string admin_action;                 ///< adminz verb
-  std::optional<std::size_t> admin_value;   ///< the set-* verbs' operand
-  std::string admin_name;                   ///< *-backend verbs' target
+  std::optional<std::size_t> admin_value;   ///< set-* / archive-cap operand
+  std::string admin_name;                   ///< backend / tenant target
   std::optional<std::string> catalog_path;  ///< catalog-reload JSON file
   std::optional<std::string> fleet_path;    ///< fleet-reload JSON file
+  std::string tenant;                       ///< warm-start archive key
+  std::vector<CliMutation> mutations;       ///< delta mutations, CLI order
+  std::optional<std::size_t> polish_generations;
+  bool cold_fallback = true;  ///< --no-cold-fallback: archive miss = 404
   bool raw_json = false;
   std::string mode = "heuristic:min-energy";
   std::string id;
@@ -82,7 +106,20 @@ struct CliOptions {
 
 void print_usage(std::ostream& out) {
   out << "usage: eus_client [options]\n"
+         "       eus_client delta --tenant <id> [mutations] [options]\n"
          "       eus_client admin <verb> [value] [options]\n"
+         "\n"
+         "delta requests (docs/tenant.md) mutate the --scenario base a\n"
+         "tenant previously optimized and re-polish its archived front;\n"
+         "mutations apply in command-line order:\n"
+         "  --add-tasks <n>      grow a custom trace by n tasks\n"
+         "  --remove-tasks <n>   shrink a custom trace by n tasks\n"
+         "  --set-window <x>     retune a custom trace's window seconds\n"
+         "  --drop-machine <n>   remove machine instance n from the system\n"
+         "  --polish-generations <n>\n"
+         "                       polish budget (default: generations/16)\n"
+         "  --no-cold-fallback   answer 404 on an archive miss instead of\n"
+         "                       running the mutated scenario cold\n"
          "\n"
          "admin verbs (live daemon reconfiguration, no restart):\n"
          "  get-config           effective configuration + phase snapshot\n"
@@ -95,6 +132,12 @@ void print_usage(std::ostream& out) {
          "\"base\",\n"
          "                       \"seed\"?, \"tasks\"?, \"window_s\"?}, "
          "...]}\n"
+         "  archive-stats        warm-start archive occupancy + hit rates\n"
+         "  archive-flush [tenant]\n"
+         "                       drop one tenant's archive (all when "
+         "omitted)\n"
+         "  archive-cap <tenant> <n>\n"
+         "                       set a tenant's archived-scenario cap\n"
          "\n"
          "router-only admin verbs (eus_router fleets, docs/fleet.md):\n"
          "  enable-backend <name>   mark a backend routable again\n"
@@ -117,6 +160,10 @@ void print_usage(std::ostream& out) {
          "  --scenario <s>       dataset1|dataset2|dataset3|custom "
          "(default dataset1)\n"
          "  --seed <n>           scenario seed\n"
+         "  --tenant <id>        warm-start archive key ([A-Za-z0-9._-]);\n"
+         "                       allocate: archive + reuse converged "
+         "fronts,\n"
+         "                       delta: required\n"
          "  --tasks <n>          custom-scenario task count\n"
          "  --window <x>        custom-scenario window seconds\n"
          "  --population <n>     NSGA-II population (even, >= 2)\n"
@@ -155,24 +202,43 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     return x;
   };
   int start = 1;
-  if (argc > 1 && std::string(argv[1]) == "admin") {
+  if (argc > 1 && std::string(argv[1]) == "delta") {
+    opts.delta = true;
+    start = 2;
+  } else if (argc > 1 && std::string(argv[1]) == "admin") {
     opts.admin = true;
     if (argc < 3 || argv[2][0] == '-') {
       std::cerr << "eus_client: admin needs a verb (get-config|"
                    "set-queue-depth|set-cache-entries|set-workers|"
                    "catalog-reload|enable-backend|disable-backend|"
-                   "fleet-reload)\n";
+                   "fleet-reload|archive-stats|archive-flush|"
+                   "archive-cap)\n";
       return std::nullopt;
     }
     opts.admin_action = argv[2];
     start = 3;
     if (argc > 3 && argv[3][0] != '-') {
-      // The *-backend verbs take a backend name; the set-* verbs an
-      // integer.
+      // The *-backend verbs and archive-flush take a name, archive-cap a
+      // name followed by an integer, the set-* verbs an integer.
       if (opts.admin_action == "enable-backend" ||
-          opts.admin_action == "disable-backend") {
+          opts.admin_action == "disable-backend" ||
+          opts.admin_action == "archive-flush") {
         opts.admin_name = argv[3];
         start = 4;
+      } else if (opts.admin_action == "archive-cap") {
+        opts.admin_name = argv[3];
+        start = 4;
+        if (argc > 4 && argv[4][0] != '-') {
+          const std::optional<std::size_t> n = parse_count(argv[4]);
+          if (!n) {
+            std::cerr << "eus_client: archive-cap wants a non-negative "
+                         "integer cap, got '"
+                      << argv[4] << "'\n";
+            return std::nullopt;
+          }
+          opts.admin_value = n;
+          start = 5;
+        }
       } else {
         const std::optional<std::size_t> n = parse_count(argv[3]);
         if (!n) {
@@ -240,6 +306,33 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       const char* v = value_of(i, "--scenario");
       if (v == nullptr) return std::nullopt;
       opts.scenario = v;
+    } else if (arg == "--tenant") {
+      const char* v = value_of(i, "--tenant");
+      if (v == nullptr) return std::nullopt;
+      opts.tenant = v;
+    } else if (arg == "--add-tasks" || arg == "--remove-tasks" ||
+               arg == "--drop-machine") {
+      std::optional<std::size_t> n;
+      if (!count_flag(n)) return std::nullopt;
+      CliMutation m;
+      m.op = arg.substr(2);
+      if (arg == "--drop-machine") {
+        m.machine = *n;
+      } else {
+        m.count = *n;
+      }
+      opts.mutations.push_back(m);
+    } else if (arg == "--set-window") {
+      std::optional<double> x;
+      if (!num_flag(x)) return std::nullopt;
+      CliMutation m;
+      m.op = "set-window";
+      m.window_s = *x;
+      opts.mutations.push_back(m);
+    } else if (arg == "--polish-generations") {
+      if (!count_flag(opts.polish_generations)) return std::nullopt;
+    } else if (arg == "--no-cold-fallback") {
+      opts.cold_fallback = false;
     } else if (arg == "--catalog") {
       const char* v = value_of(i, "--catalog");
       if (v == nullptr) return std::nullopt;
@@ -294,6 +387,25 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     std::cerr << "eus_client: pick one of --healthz / --metricsz\n";
     return std::nullopt;
   }
+  if (opts.delta) {
+    if (opts.tenant.empty()) {
+      std::cerr << "eus_client: delta needs --tenant <id> (the archive "
+                   "holding the base front)\n";
+      return std::nullopt;
+    }
+    if (opts.mutations.empty()) {
+      std::cerr << "eus_client: delta needs at least one mutation "
+                   "(--add-tasks/--remove-tasks/--set-window/"
+                   "--drop-machine); an unchanged scenario is an allocate "
+                   "request\n";
+      return std::nullopt;
+    }
+  } else if (!opts.mutations.empty() || opts.polish_generations ||
+             !opts.cold_fallback) {
+    std::cerr << "eus_client: mutation flags apply only to the delta "
+                 "subcommand\n";
+    return std::nullopt;
+  }
   if (opts.admin) {
     const std::string& verb = opts.admin_action;
     const bool is_set = verb == "set-queue-depth" ||
@@ -301,13 +413,22 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     const bool is_backend =
         verb == "enable-backend" || verb == "disable-backend";
     if (verb != "get-config" && verb != "catalog-reload" &&
-        verb != "fleet-reload" && !is_set && !is_backend) {
+        verb != "fleet-reload" && verb != "archive-stats" &&
+        verb != "archive-flush" && verb != "archive-cap" && !is_set &&
+        !is_backend) {
       std::cerr << "eus_client: unknown admin verb '" << verb << "'\n";
       return std::nullopt;
     }
     if (is_set && (!opts.admin_value || *opts.admin_value == 0)) {
       std::cerr << "eus_client: admin " << verb
                 << " needs an integer value >= 1\n";
+      return std::nullopt;
+    }
+    if (verb == "archive-cap" &&
+        (opts.admin_name.empty() || !opts.admin_value ||
+         *opts.admin_value == 0)) {
+      std::cerr << "eus_client: admin archive-cap needs a tenant name and "
+                   "an integer cap >= 1\n";
       return std::nullopt;
     }
     if (is_backend && opts.admin_name.empty()) {
@@ -376,9 +497,6 @@ std::string build_request(const CliOptions& opts) {
     if (!opts.id.empty()) o.field("id", opts.id);
     return o.str();
   }
-  o.field("type", "allocate");
-  if (!opts.id.empty()) o.field("id", opts.id);
-  o.field("mode", opts.mode);
   JsonObject scenario;
   scenario.field("name", opts.scenario);
   if (opts.seed) scenario.field("seed", *opts.seed);
@@ -386,7 +504,40 @@ std::string build_request(const CliOptions& opts) {
     scenario.field("tasks", static_cast<std::uint64_t>(*opts.tasks));
   }
   if (opts.window_s) scenario.field("window_s", *opts.window_s);
-  o.raw("scenario", scenario.str());
+  if (opts.delta) {
+    o.field("type", "delta");
+    if (!opts.id.empty()) o.field("id", opts.id);
+    o.field("tenant", opts.tenant);
+    o.raw("base", scenario.str());
+    std::string mutations = "[";
+    for (std::size_t i = 0; i < opts.mutations.size(); ++i) {
+      const CliMutation& m = opts.mutations[i];
+      if (i != 0) mutations += ',';
+      JsonObject mut;
+      mut.field("op", m.op);
+      if (m.op == "add-tasks" || m.op == "remove-tasks") {
+        mut.field("count", static_cast<std::uint64_t>(m.count));
+      } else if (m.op == "set-window") {
+        mut.field("window_s", m.window_s);
+      } else {
+        mut.field("machine", static_cast<std::uint64_t>(m.machine));
+      }
+      mutations += mut.str();
+    }
+    mutations += ']';
+    o.raw("mutations", mutations);
+    if (opts.polish_generations) {
+      o.field("polish_generations",
+              static_cast<std::uint64_t>(*opts.polish_generations));
+    }
+    if (!opts.cold_fallback) o.field("cold_fallback", false);
+  } else {
+    o.field("type", "allocate");
+    if (!opts.id.empty()) o.field("id", opts.id);
+    o.field("mode", opts.mode);
+    if (!opts.tenant.empty()) o.field("tenant", opts.tenant);
+    o.raw("scenario", scenario.str());
+  }
   if (opts.population || opts.generations || opts.mutation || opts.seeds) {
     JsonObject nsga2;
     if (opts.population) {
@@ -457,7 +608,8 @@ void print_response(const util::JsonValue& doc) {
     for (const char* key :
          {"phase", "queue_depth", "queue_size", "workers", "workers_active",
           "cache_entries", "cache_size", "eval_threads", "catalog_generation",
-          "catalog_size", "service", "policy", "backend", "enabled"}) {
+          "catalog_size", "service", "policy", "backend", "enabled",
+          "tenants", "entries", "genomes", "flushed", "cap"}) {
       if (const util::JsonValue* v = doc.get(key); v != nullptr) {
         std::cout << key << ": ";
         if (v->is_string()) {
@@ -468,6 +620,17 @@ void print_response(const util::JsonValue& doc) {
           std::cout << (v->boolean ? "true" : "false");
         }
         std::cout << '\n';
+      }
+    }
+    if (const util::JsonValue* per_tenant = doc.get("per_tenant");
+        per_tenant != nullptr && per_tenant->is_array()) {
+      for (const util::JsonValue& t : per_tenant->array) {
+        std::cout << "  " << t.string_or("tenant", "?") << ": entries "
+                  << t.number_or("entries", 0.0) << "/"
+                  << t.number_or("cap", 0.0) << ", genomes "
+                  << t.number_or("genomes", 0.0) << ", warm hits "
+                  << t.number_or("warm_hits", 0.0) << ", misses "
+                  << t.number_or("misses", 0.0) << '\n';
       }
     }
     if (const util::JsonValue* backends = doc.get("backends");
@@ -497,8 +660,19 @@ void print_response(const util::JsonValue& doc) {
   const std::string mode = doc.string_or("mode", "");
   if (!mode.empty()) {
     std::cout << "mode: " << mode << ", scenario: "
-              << doc.string_or("scenario", "?") << ", cache: "
-              << doc.string_or("cache", "?") << '\n';
+              << doc.string_or("scenario", "?");
+    if (doc.get("cache") != nullptr) {
+      std::cout << ", cache: " << doc.string_or("cache", "?");
+    }
+    if (const std::string tenant = doc.string_or("tenant", "");
+        !tenant.empty()) {
+      std::cout << ", tenant: " << tenant;
+    }
+    if (const util::JsonValue* warm = doc.get("warm");
+        warm != nullptr && warm->kind == util::JsonValue::Kind::kBool) {
+      std::cout << ", warm: " << (warm->boolean ? "yes" : "no");
+    }
+    std::cout << '\n';
   }
   if (const util::JsonValue* front = doc.get("front");
       front != nullptr && front->is_array()) {

@@ -46,6 +46,11 @@ struct CliOptions {
   std::size_t max_frame_bytes = kMaxFrameBytes;
   double diagnostics_period_s = 10.0;  // 0 disables the diagnostics thread
   std::optional<std::string> runlog = env_string("EUS_RUNLOG");
+  // Warm-start archive (docs/tenant.md).
+  std::optional<std::string> archive = env_string("EUS_ARCHIVE");
+  std::size_t archive_tenants = 64;   // 0 disables the archive
+  std::size_t archive_entries = 8;    // scenarios kept per tenant
+  std::size_t archive_genomes = 32;   // genomes kept per scenario
 };
 
 void print_usage(std::ostream& out) {
@@ -67,12 +72,23 @@ void print_usage(std::ostream& out) {
          "  --diagnostics <s>    seconds between diagnostics snapshots in\n"
          "                       the run log; 0 disables (default 10)\n"
          "  --runlog <path>      JSONL request log (default EUS_RUNLOG)\n"
+         "  --archive <path>     warm-start archive checkpoint file: loaded\n"
+         "                       on boot (a corrupt file cold-starts),\n"
+         "                       written on drain (default EUS_ARCHIVE;\n"
+         "                       unset = in-memory archive only)\n"
+         "  --archive-tenants <n> max tenants in the warm-start archive;\n"
+         "                       0 disables warm starts and the archive-*\n"
+         "                       admin verbs (default 64)\n"
+         "  --archive-entries <n> scenarios kept per tenant (default 8;\n"
+         "                       per-tenant override: archive-cap verb)\n"
+         "  --archive-genomes <n> genomes kept per scenario (default 32)\n"
          "  --version            print the version and exit\n"
          "  -h, --help           this text\n"
          "\n"
-         "All of queue depth, cache entries, worker count and the scenario\n"
-         "catalog are also live-tunable without a restart: see\n"
-         "`eus_client admin --help` and docs/runtime.md.\n";
+         "All of queue depth, cache entries, worker count, the scenario\n"
+         "catalog and the per-tenant archive caps are also live-tunable\n"
+         "without a restart: see `eus_client admin --help`, docs/runtime.md\n"
+         "and docs/tenant.md.\n";
 }
 
 std::optional<std::size_t> parse_size(const char* text) {
@@ -150,6 +166,22 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       const char* v = value_of(i, "--runlog");
       if (v == nullptr) return std::nullopt;
       opts.runlog = v;
+    } else if (arg == "--archive") {
+      const char* v = value_of(i, "--archive");
+      if (v == nullptr) return std::nullopt;
+      opts.archive = v;
+    } else if (arg == "--archive-tenants") {
+      if (!size_flag(i, "--archive-tenants", opts.archive_tenants)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--archive-entries") {
+      if (!size_flag(i, "--archive-entries", opts.archive_entries)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--archive-genomes") {
+      if (!size_flag(i, "--archive-genomes", opts.archive_genomes)) {
+        return std::nullopt;
+      }
     } else if (arg == "--version") {
       std::cout << "eus_served " << EUS_VERSION << '\n';
       std::exit(kExitOk);
@@ -163,6 +195,13 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
   }
   if (opts.queue_depth == 0 || opts.workers == 0) {
     std::cerr << "eus_served: --queue-depth and --workers must be >= 1\n";
+    return std::nullopt;
+  }
+  if (opts.archive_tenants > 0 &&
+      (opts.archive_entries == 0 || opts.archive_genomes == 0)) {
+    std::cerr << "eus_served: --archive-entries and --archive-genomes must "
+                 "be >= 1 (use --archive-tenants 0 to disable the "
+                 "archive)\n";
     return std::nullopt;
   }
   return opts;
@@ -188,6 +227,10 @@ int main(int argc, char** argv) {
   config.server.cache_entries = opts.cache_entries;
   config.server.max_frame_bytes = opts.max_frame_bytes;
   config.runlog_path = opts.runlog.value_or("");
+  config.archive.max_tenants = opts.archive_tenants;
+  config.archive.entries_per_tenant = opts.archive_entries;
+  config.archive.genomes_per_entry = opts.archive_genomes;
+  config.archive_path = opts.archive.value_or("");
   config.diagnostics_period_s = opts.diagnostics_period_s;
   config.signal_thread = true;
 
